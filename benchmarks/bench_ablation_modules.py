@@ -1,0 +1,57 @@
+"""Ablation — leave-one-module-out accuracy (the modularity claim, §3.2).
+
+EFES is "a two-dimensional modularization of the estimation problem";
+this bench quantifies what each shipped module contributes by re-running
+the full Section 6 evaluation with one module removed at a time.
+"""
+
+from repro.core import Efes, MappingModule, StructureModule, ValueModule
+from repro.experiments import run_experiments
+from repro.practitioner import PractitionerSimulator
+from repro.reporting import render_table
+from conftest import run_once
+
+CONFIGURATIONS = {
+    "full": (MappingModule, StructureModule, ValueModule),
+    "no mapping": (StructureModule, ValueModule),
+    "no structure": (MappingModule, ValueModule),
+    "no values": (MappingModule, StructureModule),
+}
+
+
+def _evaluate_configurations():
+    simulator = PractitionerSimulator()
+    results = {}
+    for name, module_types in CONFIGURATIONS.items():
+        report = run_experiments(
+            seed=1,
+            efes_factory=lambda mt=module_types: Efes([m() for m in mt]),
+            simulator=simulator,
+        )
+        results[name] = report.overall_efes_rmse
+    return results
+
+
+def test_ablation_modules(benchmark):
+    results = run_once(benchmark, _evaluate_configurations)
+
+    rows = [
+        (name, f"{rmse:.3f}", f"{rmse / results['full']:.2f}x")
+        for name, rmse in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["Configuration", "Overall rmse", "vs full"],
+            rows,
+            title="Ablation — leave-one-module-out (lower rmse is better)",
+        )
+    )
+
+    # The full configuration is the most accurate one.
+    for name, rmse in results.items():
+        if name != "full":
+            assert results["full"] <= rmse + 1e-9, name
+    # Each module contributes: every ablated configuration is measurably
+    # worse somewhere (at least one must degrade clearly).
+    assert max(results.values()) > results["full"] * 1.2

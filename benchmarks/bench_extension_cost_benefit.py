@@ -1,0 +1,55 @@
+"""Extension bench — cost-benefit curves (Section 7 future work).
+
+"This integration would allow to plot cost-benefit graphs for the
+integration: the more effort, the better the quality of the result."
+The bench times curve computation for all eight evaluation scenarios and
+asserts the curves are monotone (more effort never retains less data).
+"""
+
+from repro.core import ResultQuality
+from repro.extensions import cost_benefit_curve
+from repro.reporting import render_table
+from conftest import run_once
+
+
+def test_extension_cost_benefit(benchmark, bibliographic, music, efes):
+    scenarios = bibliographic + music
+
+    def all_curves():
+        return {
+            scenario.name: cost_benefit_curve(efes, scenario)
+            for scenario in scenarios
+        }
+
+    curves = run_once(benchmark, all_curves)
+
+    rows = []
+    for name, curve in curves.items():
+        low = next(p for p in curve if p.quality is ResultQuality.LOW_EFFORT)
+        high = next(
+            p for p in curve if p.quality is ResultQuality.HIGH_QUALITY
+        )
+        rows.append(
+            (
+                name,
+                f"{low.effort_minutes:.0f} min / {low.benefit:.1%}",
+                f"{high.effort_minutes:.0f} min / {high.benefit:.1%}",
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["Scenario", "Low effort", "High quality"],
+            rows,
+            title="Extension — cost-benefit curves per scenario",
+        )
+    )
+
+    for name, curve in curves.items():
+        efforts = [point.effort_minutes for point in curve]
+        benefits = [point.benefit for point in curve]
+        assert efforts == sorted(efforts), name
+        assert benefits == sorted(benefits), name
+        assert benefits[-1] == 1.0, name  # high quality keeps everything
+    # At least one scenario trades real data away at low effort.
+    assert any(curve[0].benefit < 1.0 for curve in curves.values())

@@ -1,0 +1,47 @@
+"""Section 6.2 (text) — the pooled accuracy over all eight scenarios.
+
+Paper: "When putting the results over the eight scenarios together, EFES
+achieves a root-mean-square error of 0.84, while the baseline obtains
+1.70" — a ≈2× overall improvement.  We assert the same winner and at
+least the same improvement magnitude.
+"""
+
+from repro.experiments import run_experiments
+from repro.reporting import render_table
+from conftest import run_once
+
+
+def test_overall_rmse(benchmark):
+    report = run_once(benchmark, run_experiments, 1)
+
+    rows = [
+        (
+            "bibliographic",
+            f"{report.bibliographic.efes_rmse:.2f}",
+            f"{report.bibliographic.counting_rmse:.2f}",
+            f"×{report.bibliographic.improvement_factor:.1f}",
+        ),
+        (
+            "music",
+            f"{report.music.efes_rmse:.2f}",
+            f"{report.music.counting_rmse:.2f}",
+            f"×{report.music.improvement_factor:.1f}",
+        ),
+        (
+            "overall",
+            f"{report.overall_efes_rmse:.2f}",
+            f"{report.overall_counting_rmse:.2f}",
+            f"×{report.overall_improvement:.1f}",
+        ),
+    ]
+    print()
+    print(
+        render_table(
+            ["Domain", "Efes rmse", "Counting rmse", "Improvement"],
+            rows,
+            title="Section 6.2 — relative rmse (paper: 0.47/1.90, 1.05/1.64, 0.84/1.70)",
+        )
+    )
+
+    assert report.overall_efes_rmse < report.overall_counting_rmse
+    assert report.overall_improvement >= 2.0

@@ -1,0 +1,55 @@
+"""Section 6.2 (text) — runtime: "EFES relies on simple SQL queries only
+for the analysis of the data and completes within seconds for databases
+with thousands of tuples".
+
+Times a full assessment of the running example at growing instance sizes
+and asserts the seconds-scale claim at the paper's size class.
+"""
+
+import time
+
+from repro.core import default_efes
+from repro.reporting import render_table
+from repro.scenarios.example import ExampleParameters, example_scenario
+from conftest import run_once
+
+
+def test_runtime_scaling(benchmark):
+    efes = default_efes()
+    sizes = (250, 1000, 2000)
+    scenarios = {
+        albums: example_scenario(
+            ExampleParameters(
+                albums=albums,
+                multi_artist_albums=albums // 4,
+                detached_artists=albums // 20,
+            )
+        )
+        for albums in sizes
+    }
+
+    def assess_largest():
+        return efes.assess(scenarios[sizes[-1]])
+
+    rows = []
+    for albums, scenario in scenarios.items():
+        started = time.perf_counter()
+        efes.assess(scenario)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            (albums, scenario.sources[0].total_rows(), f"{elapsed:.2f}s")
+        )
+
+    run_once(benchmark, assess_largest)
+
+    print()
+    print(
+        render_table(
+            ["Albums", "Source rows", "Assessment time"],
+            rows,
+            title="Section 6.2 — assessment runtime scaling",
+        )
+    )
+    # "completes within seconds for databases with thousands of tuples"
+    largest_elapsed = float(rows[-1][2].rstrip("s"))
+    assert largest_elapsed < 10.0

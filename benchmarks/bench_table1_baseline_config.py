@@ -1,0 +1,35 @@
+"""Table 1 — "Tasks and effort per attribute from [14]" (Harden's model).
+
+The table is the configuration of the attribute-counting baseline; the
+bench verifies the published numbers and times a baseline estimation.
+"""
+
+import pytest
+
+from repro.core import (
+    AttributeCountingBaseline,
+    HARDEN_TASKS,
+    HOURS_PER_ATTRIBUTE,
+    ResultQuality,
+)
+from repro.reporting import render_table
+
+
+def test_table1_baseline_config(benchmark, example):
+    baseline = AttributeCountingBaseline()
+    estimate = benchmark(
+        baseline.estimate, example, ResultQuality.HIGH_QUALITY
+    )
+
+    print()
+    print(
+        render_table(
+            ["Task", "Hours per attribute"],
+            list(HARDEN_TASKS),
+            title="Table 1 — tasks and effort per attribute [14]",
+        )
+    )
+    assert HOURS_PER_ATTRIBUTE == pytest.approx(8.05)
+    assert estimate.total_minutes == pytest.approx(
+        8.05 * 60 * example.total_source_attributes()
+    )

@@ -1,0 +1,69 @@
+"""Table 5 — "High-quality structure repair tasks and their estimated
+effort using the effort calculation functions from Table 9".
+
+Paper rows::
+
+    Task                        Repetitions  Effort
+    Add tuples (records)        102          5 mins
+    Add missing values (title)  102          204 mins
+    Merge values (title)        503          15 mins
+    Total                                    224 mins
+
+(The paper labels the merge task "(title)"; the merged attribute in its
+own running example is ``records.artist`` — the repetition count of 503
+identifies it unambiguously.  See EXPERIMENTS.md.)
+"""
+
+import pytest
+
+from repro.core import ResultQuality, default_execution_settings
+from repro.core.effort import price_tasks
+from repro.core.modules.structure import StructureModule
+from repro.core.tasks import TaskType
+from repro.reporting import render_table
+
+PAPER_TOTAL_MINUTES = 224.0
+PAPER_TASKS = {
+    TaskType.ADD_TUPLES: (102, 5.0),
+    TaskType.ADD_MISSING_VALUES: (102, 204.0),
+    TaskType.MERGE_VALUES: (503, 15.0),
+}
+
+
+def test_table5_structure_tasks(benchmark, example):
+    module = StructureModule()
+    settings = default_execution_settings()
+    report = module.assess(example)
+
+    def plan_and_price():
+        tasks = module.plan(example, report, ResultQuality.HIGH_QUALITY)
+        return price_tasks(
+            example.name, ResultQuality.HIGH_QUALITY, tasks, settings
+        )
+
+    estimate = benchmark(plan_and_price)
+
+    rows = [
+        (
+            entry.task.describe(),
+            int(entry.task.repetitions),
+            f"{entry.minutes:g} mins",
+        )
+        for entry in estimate.entries
+    ]
+    rows.append(("Total", "", f"{estimate.total_minutes:g} mins"))
+    print()
+    print(
+        render_table(
+            ["Task", "Repetitions", "Effort"],
+            rows,
+            title="Table 5 — high-quality structure repair tasks",
+        )
+    )
+
+    assert estimate.total_minutes == pytest.approx(PAPER_TOTAL_MINUTES)
+    measured = {
+        entry.task.type: (int(entry.task.repetitions), entry.minutes)
+        for entry in estimate.entries
+    }
+    assert measured == PAPER_TASKS

@@ -1,0 +1,75 @@
+"""Table 7 — "Value heterogeneities and corresponding cleaning tasks".
+
+Static catalogue; the bench renders it and times the planner on a
+synthetic report covering every heterogeneity class.
+"""
+
+from repro.core import ResultQuality
+from repro.core.modules.values import ValueTransformationPlanner
+from repro.core.reports import ValueHeterogeneityFinding
+from repro.core.tasks import VALUE_TASK_CATALOGUE, TaskType, ValueHeterogeneity
+from repro.reporting import render_table
+
+PAPER_TABLE7 = {
+    ValueHeterogeneity.TOO_FEW_ELEMENTS: (None, TaskType.ADD_VALUES),
+    ValueHeterogeneity.DIFFERENT_REPRESENTATIONS_CRITICAL: (
+        TaskType.DROP_VALUES,
+        TaskType.CONVERT_VALUES,
+    ),
+    ValueHeterogeneity.DIFFERENT_REPRESENTATIONS: (
+        None,
+        TaskType.CONVERT_VALUES,
+    ),
+    ValueHeterogeneity.TOO_FINE_GRAINED: (None, TaskType.GENERALIZE_VALUES),
+    ValueHeterogeneity.TOO_COARSE_GRAINED: (None, TaskType.REFINE_VALUES),
+}
+
+
+def _full_report():
+    return [
+        ValueHeterogeneityFinding(
+            source_database="src",
+            source_attribute="s.v",
+            target_attribute="t.v",
+            heterogeneity=heterogeneity,
+            parameters={"values": 100.0, "distinct_values": 80.0,
+                        "representations": 2.0},
+        )
+        for heterogeneity in ValueHeterogeneity
+    ]
+
+
+def test_table7_value_catalogue(benchmark):
+    planner = ValueTransformationPlanner()
+    findings = _full_report()
+
+    def plan_both():
+        return (
+            planner.plan(findings, ResultQuality.LOW_EFFORT),
+            planner.plan(findings, ResultQuality.HIGH_QUALITY),
+        )
+
+    low_tasks, high_tasks = benchmark(plan_both)
+
+    rows = []
+    for heterogeneity, (low, high) in PAPER_TABLE7.items():
+        catalogue = VALUE_TASK_CATALOGUE[heterogeneity]
+        assert catalogue[ResultQuality.LOW_EFFORT] is low
+        assert catalogue[ResultQuality.HIGH_QUALITY] is high
+        rows.append(
+            (
+                heterogeneity.value,
+                "-" if low is None else low.value,
+                "-" if high is None else high.value,
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["Value heterogeneity", "low effort", "high quality"],
+            rows,
+            title="Table 7 — value heterogeneities and cleaning tasks",
+        )
+    )
+    # Low effort ignores everything except the critical class.
+    assert len(low_tasks) == 1 and len(high_tasks) == len(findings)

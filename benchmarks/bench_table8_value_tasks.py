@@ -1,0 +1,58 @@
+"""Table 8 — "Value transformation tasks and their estimated effort".
+
+Paper rows::
+
+    Task                          Parameters                      Effort
+    Convert values                274,523 values,                 15 mins
+      (length → duration)         260,923 distinct values
+    Total                                                         15 mins
+"""
+
+import pytest
+
+from repro.core import ResultQuality, default_execution_settings
+from repro.core.effort import price_tasks
+from repro.core.modules.values import ValueModule
+from repro.core.tasks import TaskType
+from repro.reporting import render_table
+
+PAPER_TOTAL_MINUTES = 15.0
+
+
+def test_table8_value_tasks(benchmark, example):
+    module = ValueModule()
+    settings = default_execution_settings()
+    report = module.assess(example)
+
+    def plan_and_price():
+        tasks = module.plan(example, report, ResultQuality.HIGH_QUALITY)
+        return price_tasks(
+            example.name, ResultQuality.HIGH_QUALITY, tasks, settings
+        )
+
+    estimate = benchmark(plan_and_price)
+
+    rows = [
+        (
+            entry.task.describe(),
+            f"{entry.task.parameter('values'):g} values, "
+            f"{entry.task.parameter('distinct_values'):g} distinct values",
+            f"{entry.minutes:g} mins",
+        )
+        for entry in estimate.entries
+    ]
+    rows.append(("Total", "", f"{estimate.total_minutes:g} mins"))
+    print()
+    print(
+        render_table(
+            ["Task", "Parameters", "Effort"],
+            rows,
+            title="Table 8 — value transformation tasks",
+        )
+    )
+
+    assert estimate.total_minutes == pytest.approx(PAPER_TOTAL_MINUTES)
+    assert [entry.task.type for entry in estimate.entries] == [
+        TaskType.CONVERT_VALUES
+    ]
+    assert "songs.length" in estimate.entries[0].task.subject

@@ -1,0 +1,73 @@
+"""Table 9 — "Effort calculation functions used for the experiments".
+
+Verifies the configured functions against the published ones (with the
+documented Convert-values interpretation, see EXPERIMENTS.md) and times a
+full pricing pass over one synthetic task per type.
+"""
+
+import pytest
+
+from repro.core import ResultQuality, default_execution_settings
+from repro.core.tasks import Task, TaskType
+from repro.reporting import render_table
+
+
+def make_task(task_type, **parameters):
+    return Task(
+        type=task_type,
+        quality=ResultQuality.HIGH_QUALITY,
+        subject="bench",
+        parameters=parameters,
+    )
+
+
+#: (task type, parameters, expected minutes) — straight from Table 9.
+PAPER_CASES = [
+    (TaskType.AGGREGATE_VALUES, {"repetitions": 7}, 21.0),
+    (TaskType.CONVERT_VALUES, {"representations": 3}, 15.0),
+    (TaskType.CONVERT_VALUES, {"representations": 200}, 50.0),
+    (TaskType.GENERALIZE_VALUES, {"distinct_values": 40}, 20.0),
+    (TaskType.REFINE_VALUES, {"values": 40}, 20.0),
+    (TaskType.DROP_VALUES, {}, 10.0),
+    (TaskType.ADD_VALUES, {"values": 102}, 204.0),
+    (TaskType.CREATE_ENCLOSING_TUPLES, {}, 10.0),
+    (TaskType.DROP_DETACHED_VALUES, {}, 0.0),
+    (TaskType.REJECT_TUPLES, {}, 5.0),
+    (TaskType.KEEP_ANY_VALUE, {}, 5.0),
+    (TaskType.ADD_TUPLES, {}, 5.0),
+    (TaskType.AGGREGATE_TUPLES, {}, 5.0),
+    (TaskType.DELETE_DANGLING_VALUES, {}, 5.0),
+    (TaskType.ADD_REFERENCED_VALUES, {}, 5.0),
+    (TaskType.DELETE_DANGLING_TUPLES, {}, 5.0),
+    (TaskType.UNLINK_ALL_BUT_ONE_TUPLE, {}, 5.0),
+    (
+        TaskType.WRITE_MAPPING,
+        {"foreign_keys": 2, "primary_keys": 1, "attributes": 4, "tables": 6},
+        31.0,  # 3·2 + 3·1 + 4 + 3·6
+    ),
+]
+
+
+def test_table9_effort_functions(benchmark):
+    settings = default_execution_settings()
+    tasks = [make_task(task_type, **params) for task_type, params, _ in PAPER_CASES]
+
+    def price_all():
+        return [settings.effort_of(task) for task in tasks]
+
+    efforts = benchmark(price_all)
+
+    rows = [
+        (task_type.value, str(params or "-"), f"{minutes:g}")
+        for (task_type, params, _), minutes in zip(PAPER_CASES, efforts)
+    ]
+    print()
+    print(
+        render_table(
+            ["Task", "Parameters", "Effort [min]"],
+            rows,
+            title="Table 9 — effort calculation functions",
+        )
+    )
+    for (task_type, params, expected), minutes in zip(PAPER_CASES, efforts):
+        assert minutes == pytest.approx(expected), (task_type, params)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md).  Scenario construction and the full
+Section 6 evaluation are cached per session; the ``benchmark`` fixture
+then times the interesting computation and the bench prints the rows the
+paper reports (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import default_efes
+from repro.practitioner import PractitionerSimulator
+from repro.scenarios import (
+    bibliographic_scenarios,
+    example_scenario,
+    music_scenarios,
+)
+
+
+@pytest.fixture(scope="session")
+def example():
+    return example_scenario()
+
+
+@pytest.fixture(scope="session")
+def efes():
+    return default_efes()
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return PractitionerSimulator()
+
+
+@pytest.fixture(scope="session")
+def bibliographic():
+    return bibliographic_scenarios(seed=1)
+
+
+@pytest.fixture(scope="session")
+def music():
+    return music_scenarios(seed=1)
+
+
+@pytest.fixture(scope="session")
+def experiment_report():
+    from repro.experiments import run_experiments
+
+    return run_experiments(seed=1)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark an expensive pipeline with a single timed round."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

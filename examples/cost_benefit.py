@@ -1,0 +1,60 @@
+"""Cost-benefit curves and marginal-gain source ranking (Section 7).
+
+Implements the paper's future-work proposal: combine EFES's effort
+estimates with a benefit model ("the more effort, the better the quality
+of the result") and rank candidate integrations by benefit per hour, in
+the spirit of Dong et al.'s marginal gain [9].
+
+    python examples/cost_benefit.py
+"""
+
+from repro import default_efes
+from repro.extensions import cost_benefit_curve, marginal_gains
+from repro.reporting import render_table
+from repro.scenarios import bibliographic_scenarios, example_scenario
+
+
+def main() -> None:
+    efes = default_efes()
+
+    # Cost-benefit curve of the running example.
+    curve = cost_benefit_curve(efes, example_scenario())
+    print(
+        render_table(
+            ["Quality", "Estimated effort [min]", "Retained information"],
+            [
+                (
+                    point.quality.label,
+                    round(point.effort_minutes, 1),
+                    f"{point.benefit:.1%}",
+                )
+                for point in curve
+            ],
+            title="Cost-benefit curve — running example",
+        )
+    )
+
+    # Marginal-gain ranking over the bibliographic candidates.
+    gains = marginal_gains(efes, bibliographic_scenarios())
+    print()
+    print(
+        render_table(
+            ["Candidate", "Effort [min]", "Benefit", "Benefit per hour"],
+            [
+                (
+                    gain.scenario_name,
+                    round(gain.effort_minutes, 1),
+                    f"{gain.benefit:.1%}",
+                    round(gain.gain_per_hour, 2),
+                )
+                for gain in gains
+            ],
+            title="Greedy source selection by marginal gain [9]",
+        )
+    )
+    print()
+    print(f"Integrate {gains[0].scenario_name} first — best value per hour.")
+
+
+if __name__ == "__main__":
+    main()

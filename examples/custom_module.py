@@ -1,0 +1,124 @@
+"""Extensibility: plug a custom estimation module into EFES.
+
+Section 3.2: modularity "establishes the desired extensibility by
+plugging new [modules]".  This example adds a *duplicate detection*
+module in the spirit of CrowdER [25], whose "back of the envelope"
+calculation prices the pairwise comparisons a human worker needs to
+confirm duplicates in the integrated data.
+
+The module follows the standard two-phase shape:
+
+* detector — estimate the number of candidate duplicate pairs between
+  source and target values of corresponding attributes (after cheap
+  normalisation blocking),
+* planner — emit an *Aggregate tuples* task per affected target relation,
+  parameterised with the comparison count.
+
+    python examples/custom_module.py
+"""
+
+from collections import defaultdict
+
+from repro import ResultQuality, default_efes
+from repro.core import Efes, default_modules
+from repro.core.framework import EstimationModule
+from repro.core.reports import ComplexityReport
+from repro.core.tasks import Task, TaskType
+from repro.reporting import render_table
+from repro.scenarios import example_scenario
+
+
+class DuplicationReport(ComplexityReport):
+    """Candidate duplicate pairs per target relation."""
+
+    module = "duplicates"
+
+    def __init__(self, candidate_pairs: dict[str, int]):
+        self.candidate_pairs = dict(candidate_pairs)
+
+    def is_empty(self) -> bool:
+        return not any(self.candidate_pairs.values())
+
+
+def _normalise(value: object) -> str:
+    return "".join(ch for ch in str(value).lower() if ch.isalnum())
+
+
+class DuplicationModule(EstimationModule):
+    """Estimate entity-resolution effort for the integrated data [25]."""
+
+    name = "duplicates"
+
+    def assess(self, scenario) -> DuplicationReport:
+        pairs: dict[str, int] = defaultdict(int)
+        for source, correspondences in scenario.pairs():
+            for c in correspondences.attribute_correspondences():
+                source_values = source.table(c.source_relation).distinct(
+                    c.source_attribute
+                )
+                target_values = scenario.target.table(
+                    c.target_relation
+                ).distinct(c.target_attribute)
+                # Blocking on the normalised value: only values that
+                # collide after normalisation need human comparison.
+                buckets: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+                for value in source_values:
+                    buckets[_normalise(value)][0] += 1
+                for value in target_values:
+                    buckets[_normalise(value)][1] += 1
+                pairs[c.target_relation] += sum(
+                    s * t for s, t in buckets.values() if s and t
+                )
+        return DuplicationReport(pairs)
+
+    def plan(self, scenario, report, quality) -> list[Task]:
+        if quality is ResultQuality.LOW_EFFORT:
+            return []  # duplicates are tolerated in a low-effort result
+        tasks = []
+        for relation, count in sorted(report.candidate_pairs.items()):
+            if not count:
+                continue
+            tasks.append(
+                Task(
+                    type=TaskType.AGGREGATE_TUPLES,
+                    quality=quality,
+                    subject=relation,
+                    # CrowdER-style: ~1 comparison batch per 20 pairs.
+                    parameters={"repetitions": count, "batches": count / 20},
+                    module=self.name,
+                )
+            )
+        return tasks
+
+
+def main() -> None:
+    scenario = example_scenario()
+
+    plain = default_efes()
+    extended = Efes(default_modules() + [DuplicationModule()])
+
+    report = extended.assess(scenario)["duplicates"]
+    print(
+        render_table(
+            ["Target relation", "Candidate duplicate pairs"],
+            sorted(report.candidate_pairs.items()),
+            title="Duplicate-detection complexity report (custom module)",
+        )
+    )
+
+    rows = []
+    for label, efes in (("shipped modules", plain), ("+ duplicates", extended)):
+        estimate = efes.estimate(scenario, ResultQuality.HIGH_QUALITY)
+        rows.append((label, round(estimate.total_minutes, 1)))
+    print()
+    print(
+        render_table(
+            ["Configuration", "High-quality estimate [min]"],
+            rows,
+            title="Effort with and without the custom module",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

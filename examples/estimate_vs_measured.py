@@ -1,0 +1,31 @@
+"""Reproduce the paper's evaluation: Figures 6 and 7 plus Section 6.2.
+
+Runs the full pipeline — scenario generation, ground-truth integration by
+the practitioner simulator, raw EFES and counting estimates, cross-domain
+calibration — and renders both figures as ASCII stacked bars together
+with the relative rmse of each estimator.
+
+    python examples/estimate_vs_measured.py
+"""
+
+from repro.experiments import run_experiments
+from repro.reporting import render_domain_figure
+
+
+def main() -> None:
+    report = run_experiments(seed=1)
+
+    print(render_domain_figure(report.bibliographic))
+    print()
+    print(render_domain_figure(report.music))
+    print()
+    print(
+        "Overall (paper: Efes 0.84 vs Counting 1.70): "
+        f"Efes {report.overall_efes_rmse:.2f} vs "
+        f"Counting {report.overall_counting_rmse:.2f} "
+        f"— EFES is ×{report.overall_improvement:.1f} more accurate"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: estimate the effort of the paper's running example.
+
+Runs both EFES phases on the Figure 2 scenario — complexity assessment
+(Tables 2, 3, 6) and effort estimation (Tables 5, 8) — for both expected
+result qualities.
+
+    python examples/quickstart.py
+"""
+
+from repro import ResultQuality, default_efes
+from repro.reporting import render_table
+from repro.scenarios import example_scenario
+
+
+def main() -> None:
+    scenario = example_scenario()
+    efes = default_efes()
+
+    # ------------------------------------------------------------------
+    # Phase 1: complexity assessment (objective, context-free)
+    # ------------------------------------------------------------------
+    reports = efes.assess(scenario)
+
+    print(
+        render_table(
+            ["Target table", "Source tables", "Attributes", "Primary key"],
+            [c.as_row() for c in reports["mapping"].connections],
+            title="Mapping complexity (Table 2)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["Constraint in target schema", "Violation count"],
+            [
+                (f"κ({v.target_relationship}) = {v.prescribed}", v.violation_count)
+                for v in reports["structure"].violations
+            ],
+            title="Structural conflicts (Table 3)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["Value heterogeneity", "Attribute pair"],
+            [
+                (f.heterogeneity.value, f"{f.source_attribute} -> {f.target_attribute}")
+                for f in reports["values"].findings
+            ],
+            title="Value heterogeneities (Table 6)",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 2: effort estimation (context-dependent)
+    # ------------------------------------------------------------------
+    for quality in (ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY):
+        estimate = efes.estimate(scenario, quality)
+        print()
+        print(
+            render_table(
+                ["Task", "Effort [min]"],
+                [
+                    (entry.task.describe(), round(entry.minutes, 1))
+                    for entry in estimate.entries
+                ],
+                title=f"Effort estimate — {quality.label}",
+            )
+        )
+        for category, minutes in estimate.by_category().items():
+            print(f"  {category.value:22s} {minutes:8.1f} min")
+        print(f"  {'Total':22s} {estimate.total_minutes:8.1f} min")
+
+
+if __name__ == "__main__":
+    main()

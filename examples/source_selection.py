@@ -1,0 +1,76 @@
+"""Source selection: rank integration candidates by estimated effort.
+
+Section 1.2 / 3.3 of the paper: complexity reports are "useful for
+several tasks, even if not interpreted as an input to calculate actual
+effort.  Examples of application are source selection [9], i.e., given a
+set of integration candidates, find the source with the best 'fit'".
+
+The example targets the normalised bibliographic database (s2) and ranks
+three candidate sources — s1 (dirty dump), s3 (citation-key style), and
+another s2 instance (a sibling system) — by their estimated integration
+effort.  Correspondences are generated automatically with the composite
+schema matcher, so the whole pipeline is hands-free.
+
+    python examples/source_selection.py
+"""
+
+from repro import ResultQuality, default_efes
+from repro.matching import CompositeMatcher, CorrespondenceSet
+from repro.reporting import render_table
+from repro.scenarios.bibliographic import build_s1, build_s2, build_s3
+from repro.scenarios.scenario import IntegrationScenario
+
+
+def main() -> None:
+    target = build_s2(seed=2024)
+    candidates = {
+        "s1 (denormalised dump)": build_s1(seed=1),
+        "s3 (citation keys)": build_s3(seed=2),
+        "s2' (sibling system)": _renamed(build_s2(seed=3), "s2_sibling"),
+    }
+
+    matcher = CompositeMatcher(threshold=0.55)
+    efes = default_efes()
+    rows = []
+    for label, source in candidates.items():
+        correspondences = CorrespondenceSet(matcher.match(source, target))
+        scenario = IntegrationScenario(
+            f"{source.name}->s2", source, target, correspondences
+        )
+        reports = efes.assess(scenario)
+        estimate = efes.estimate(scenario, ResultQuality.HIGH_QUALITY)
+        rows.append(
+            (
+                label,
+                len(correspondences),
+                reports["structure"].total_violations(),
+                len(reports["values"].findings),
+                round(estimate.total_minutes, 1),
+            )
+        )
+
+    rows.sort(key=lambda row: row[-1])
+    print(
+        render_table(
+            [
+                "Candidate source",
+                "Matched attrs",
+                "Structural violations",
+                "Value heterogeneities",
+                "Estimated effort [min]",
+            ],
+            rows,
+            title="Source selection: cheapest-to-integrate first",
+        )
+    )
+    print()
+    print(f"Best fit: {rows[0][0]} ({rows[0][-1]} estimated minutes)")
+
+
+def _renamed(database, name):
+    database.schema.name = name
+    return database
+
+
+if __name__ == "__main__":
+    main()

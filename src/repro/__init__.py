@@ -1,0 +1,52 @@
+"""EFES — Estimating Data Integration and Cleaning Effort.
+
+A faithful, from-scratch reproduction of Kruse, Papotti, Naumann:
+*Estimating Data Integration and Cleaning Effort* (EDBT 2015).
+
+Quickstart::
+
+    from repro import default_efes, ResultQuality
+    from repro.scenarios import example_scenario
+
+    scenario = example_scenario()
+    efes = default_efes()
+    reports = efes.assess(scenario)           # phase 1: complexity
+    estimate = efes.estimate(scenario, ResultQuality.HIGH_QUALITY)
+    print(estimate.total_minutes, estimate.by_category())
+
+Subpackages: :mod:`repro.relational` (in-memory relational engine),
+:mod:`repro.profiling` (statistics + dependency discovery),
+:mod:`repro.matching` (schema matchers), :mod:`repro.csg`
+(cardinality-constrained schema graphs), :mod:`repro.core` (the EFES
+framework and its three modules), :mod:`repro.scenarios` (the running
+example + both case-study domains), :mod:`repro.practitioner` (ground-
+truth simulator), :mod:`repro.experiments` (Section 6 evaluation),
+:mod:`repro.reporting` (tables and ASCII figures).
+"""
+
+from .core import (
+    AttributeCountingBaseline,
+    Efes,
+    EffortEstimate,
+    ExecutionSettings,
+    ResultQuality,
+    default_efes,
+    default_execution_settings,
+    default_modules,
+    tool_assisted_settings,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeCountingBaseline",
+    "Efes",
+    "EffortEstimate",
+    "ExecutionSettings",
+    "ResultQuality",
+    "__version__",
+    "default_efes",
+    "default_execution_settings",
+    "default_modules",
+    "tool_assisted_settings",
+]

@@ -1,0 +1,278 @@
+"""Command-line interface: ``efes <command>``.
+
+Mirrors the paper prototype's command-line interface (Section 6.1) on top
+of the shipped scenarios:
+
+* ``efes assess <scenario>``   — print the data complexity reports,
+* ``efes estimate <scenario>`` — print the task list and effort estimate,
+* ``efes measure <scenario>``  — run the practitioner simulator,
+* ``efes experiments``         — reproduce Figures 6 and 7 + rmse,
+* ``efes list``                — list the available scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import ResultQuality, default_efes
+from .core.tasks import TaskCategory
+from .practitioner import PractitionerSimulator
+from .reporting import render_domain_figure, render_table
+from .scenarios import (
+    bibliographic_scenarios,
+    example_scenario,
+    music_scenarios,
+)
+
+
+def _scenarios(seed: int):
+    catalogue = {"example": example_scenario()}
+    for scenario in bibliographic_scenarios(seed) + music_scenarios(seed):
+        catalogue[scenario.name] = scenario
+    return catalogue
+
+
+def _resolve_scenario(name: str, seed: int):
+    """A shipped scenario by name, or a directory in the on-disk format."""
+    from pathlib import Path
+
+    catalogue = _scenarios(seed)
+    if name in catalogue:
+        return catalogue[name]
+    if Path(name).is_dir():
+        from .scenarios.io import load_scenario
+
+        return load_scenario(name)
+    raise KeyError(
+        f"unknown scenario {name!r}; run `efes list` or pass a scenario "
+        "directory (see repro.scenarios.io)"
+    )
+
+
+def _quality(name: str) -> ResultQuality:
+    return (
+        ResultQuality.HIGH_QUALITY
+        if name in ("high", "high_quality", "hq")
+        else ResultQuality.LOW_EFFORT
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name in _scenarios(args.seed):
+        print(name)
+    return 0
+
+
+def cmd_assess(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args.scenario, args.seed)
+    efes = default_efes()
+    reports = efes.assess(scenario)
+    mapping = reports["mapping"]
+    print(
+        render_table(
+            ["Target table", "Source tables", "Attributes", "Primary key"],
+            [connection.as_row() for connection in mapping.connections],
+            title="Mapping complexity report",
+        )
+    )
+    print()
+    structure = reports["structure"]
+    print(
+        render_table(
+            ["Constraint in target schema", "Conflict", "Violations"],
+            [
+                (
+                    f"κ({v.target_relationship}) = {v.prescribed}",
+                    v.conflict.value,
+                    v.violation_count,
+                )
+                for v in structure.violations
+            ],
+            title="Structure conflict report",
+        )
+    )
+    print()
+    values = reports["values"]
+    print(
+        render_table(
+            ["Value heterogeneity", "Attributes", "Parameters"],
+            [
+                (
+                    f.heterogeneity.value,
+                    f"{f.source_attribute} -> {f.target_attribute}",
+                    ", ".join(
+                        f"{k}={v:g}" for k, v in sorted(f.parameters.items())
+                    ),
+                )
+                for f in values.findings
+            ],
+            title="Value heterogeneity report",
+        )
+    )
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args.scenario, args.seed)
+    efes = default_efes()
+    estimate = efes.estimate(scenario, _quality(args.quality))
+    print(
+        render_table(
+            ["Task", "Category", "Effort [min]"],
+            [
+                (
+                    entry.task.describe(),
+                    entry.task.category.value,
+                    round(entry.minutes, 1),
+                )
+                for entry in estimate.entries
+            ],
+            title=f"Effort estimate for {scenario.name} ({args.quality})",
+        )
+    )
+    totals = estimate.by_category()
+    print()
+    for category in TaskCategory:
+        print(f"{category.value:22s} {totals[category]:8.1f} min")
+    print(f"{'Total':22s} {estimate.total_minutes:8.1f} min")
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args.scenario, args.seed)
+    simulator = PractitionerSimulator()
+    result = simulator.integrate(scenario, _quality(args.quality))
+    print(
+        render_table(
+            ["Action", "Subject", "Count", "Minutes"],
+            [
+                (a.action, a.subject, a.count, round(a.minutes, 1))
+                for a in result.actions
+            ],
+            title=f"Measured integration of {scenario.name} ({args.quality})",
+        )
+    )
+    print()
+    for category, minutes in result.breakdown().items():
+        print(f"{category:22s} {minutes:8.1f} min")
+    print(f"{'Total':22s} {result.total_minutes:8.1f} min")
+    return 0
+
+
+def cmd_curve(args: argparse.Namespace) -> int:
+    from .extensions import cost_benefit_curve
+
+    scenario = _resolve_scenario(args.scenario, args.seed)
+    curve = cost_benefit_curve(default_efes(), scenario)
+    print(
+        render_table(
+            ["Quality", "Estimated effort [min]", "Retained information"],
+            [
+                (
+                    point.quality.label,
+                    round(point.effort_minutes, 1),
+                    f"{point.benefit:.1%}",
+                )
+                for point in curve
+            ],
+            title=f"Cost-benefit curve for {scenario.name}",
+        )
+    )
+    return 0
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    from .scenarios.io import save_scenario
+
+    scenario = _resolve_scenario(args.scenario, args.seed)
+    directory = save_scenario(scenario, args.directory)
+    print(f"wrote scenario {scenario.name!r} to {directory}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import run_experiments
+    from .reporting import render_experiment_markdown
+
+    report = run_experiments(seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_experiment_markdown(report))
+        print(f"wrote {args.output}")
+        return 0
+    print(render_domain_figure(report.bibliographic))
+    print()
+    print(render_domain_figure(report.music))
+    print()
+    print(
+        f"Overall rmse: Efes={report.overall_efes_rmse:.2f} "
+        f"Counting={report.overall_counting_rmse:.2f} "
+        f"(improvement ×{report.overall_improvement:.1f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="efes",
+        description="EFES: effort estimation for data integration & cleaning",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="scenario seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available scenarios")
+
+    for name, needs_quality in (
+        ("assess", False),
+        ("estimate", True),
+        ("measure", True),
+    ):
+        sub = subparsers.add_parser(name)
+        sub.add_argument("scenario", help="scenario name (see `efes list`)")
+        if needs_quality:
+            sub.add_argument(
+                "--quality",
+                choices=("low", "high"),
+                default="high",
+                help="expected result quality",
+            )
+
+    curve = subparsers.add_parser(
+        "curve", help="cost-benefit curve of a scenario (§7 extension)"
+    )
+    curve.add_argument("scenario", help="scenario name (see `efes list`)")
+
+    save = subparsers.add_parser(
+        "save", help="export a scenario to the on-disk format"
+    )
+    save.add_argument("scenario", help="scenario name (see `efes list`)")
+    save.add_argument("directory", help="output directory")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="reproduce Figures 6 and 7"
+    )
+    experiments.add_argument(
+        "--output",
+        default=None,
+        help="write a markdown report to this path instead of printing",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {
+        "list": cmd_list,
+        "assess": cmd_assess,
+        "estimate": cmd_estimate,
+        "measure": cmd_measure,
+        "curve": cmd_curve,
+        "save": cmd_save,
+        "experiments": cmd_experiments,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""EFES — the Effort Estimation framework (Section 3).
+
+The public entry points:
+
+* :func:`default_efes` — the framework with the paper's three modules and
+  Table 9 execution settings,
+* :class:`Efes` — assemble your own module set (extensibility),
+* :class:`AttributeCountingBaseline` — the comparison baseline [14],
+* :mod:`~repro.core.calibration` — the rmse metric and cross-domain
+  calibration of Section 6.2.
+"""
+
+from .baseline import (
+    HARDEN_TASKS,
+    HOURS_PER_ATTRIBUTE,
+    MAPPING_SHARE,
+    AttributeCountingBaseline,
+    BaselineEstimate,
+)
+from .calibration import (
+    ComparisonRow,
+    DomainResult,
+    EstimateSummary,
+    combined_rmse,
+    optimal_scale,
+    relative_rmse,
+)
+from .effort import (
+    EffortEstimate,
+    ExecutionSettings,
+    TaskEffort,
+    constant,
+    default_execution_settings,
+    linear,
+    per_unit,
+    price_tasks,
+    threshold_per_unit,
+    tool_assisted_settings,
+)
+from .framework import Efes, EstimationModule, TaskAdjustment
+from .modules import (
+    InfiniteCleaningLoopError,
+    MappingModule,
+    StructureModule,
+    ValueModule,
+    make_drop_instead_of_add,
+)
+from .quality import ResultQuality
+from .reports import (
+    ComplexityReport,
+    MappingComplexityReport,
+    MappingConnection,
+    StructureComplexityReport,
+    StructureViolation,
+    ValueComplexityReport,
+    ValueHeterogeneityFinding,
+)
+from .tasks import (
+    STRUCTURE_TASK_CATALOGUE,
+    VALUE_TASK_CATALOGUE,
+    StructuralConflict,
+    Task,
+    TaskCategory,
+    TaskType,
+    ValueHeterogeneity,
+)
+
+
+def default_modules() -> list[EstimationModule]:
+    """The paper's three estimation modules, in report order."""
+    return [MappingModule(), StructureModule(), ValueModule()]
+
+
+def default_efes(settings: ExecutionSettings | None = None) -> Efes:
+    """EFES with the shipped modules and (by default) Table 9 settings."""
+    return Efes(default_modules(), settings)
+
+
+__all__ = [
+    "AttributeCountingBaseline",
+    "BaselineEstimate",
+    "ComparisonRow",
+    "ComplexityReport",
+    "DomainResult",
+    "Efes",
+    "EffortEstimate",
+    "EstimateSummary",
+    "EstimationModule",
+    "ExecutionSettings",
+    "HARDEN_TASKS",
+    "HOURS_PER_ATTRIBUTE",
+    "InfiniteCleaningLoopError",
+    "MAPPING_SHARE",
+    "MappingComplexityReport",
+    "MappingConnection",
+    "MappingModule",
+    "ResultQuality",
+    "STRUCTURE_TASK_CATALOGUE",
+    "StructuralConflict",
+    "StructureComplexityReport",
+    "StructureModule",
+    "StructureViolation",
+    "Task",
+    "TaskAdjustment",
+    "TaskCategory",
+    "TaskEffort",
+    "TaskType",
+    "VALUE_TASK_CATALOGUE",
+    "ValueComplexityReport",
+    "ValueHeterogeneity",
+    "ValueHeterogeneityFinding",
+    "ValueModule",
+    "combined_rmse",
+    "constant",
+    "default_efes",
+    "default_execution_settings",
+    "default_modules",
+    "linear",
+    "make_drop_instead_of_add",
+    "optimal_scale",
+    "per_unit",
+    "price_tasks",
+    "relative_rmse",
+    "threshold_per_unit",
+    "tool_assisted_settings",
+]

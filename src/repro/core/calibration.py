@@ -1,0 +1,119 @@
+"""Calibration and accuracy metrics (Section 6.2).
+
+The paper compares estimators with the *relative* root-mean-square error
+
+    rmse = sqrt( Σ_s ((measured(s) - estimated(s)) / measured(s))² / #scenarios )
+
+and calibrates both EFES and the counting baseline by cross validation:
+"We used the effort measurements from the bibliographic domain to
+calibrate the parameters [...] for the estimation of the music domain
+scenarios, and vice versa."
+
+Both shipped estimators are *linear in one global parameter* (EFES's
+settings scale, the baseline's per-attribute rate), so the least-squares
+calibration has the closed form  s* = Σ(e·m/m²) / Σ(e²/m²)  over the
+training pairs (estimate e at parameter 1, measurement m).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+
+def relative_rmse(
+    measured: Sequence[float], estimated: Sequence[float]
+) -> float:
+    """The paper's rmse over paired measured/estimated efforts."""
+    if len(measured) != len(estimated):
+        raise ValueError("measured and estimated lengths differ")
+    if not measured:
+        raise ValueError("rmse of an empty scenario set is undefined")
+    total = 0.0
+    for m, e in zip(measured, estimated):
+        if m == 0:
+            raise ValueError("a measured effort of zero breaks relative rmse")
+        total += ((m - e) / m) ** 2
+    return math.sqrt(total / len(measured))
+
+
+def optimal_scale(
+    measured: Sequence[float], raw_estimates: Sequence[float]
+) -> float:
+    """The scale s minimising Σ((m - s·e)/m)² — closed-form least squares.
+
+    Falls back to 1.0 when every raw estimate is zero (nothing to scale).
+    """
+    if len(measured) != len(raw_estimates):
+        raise ValueError("measured and raw estimate lengths differ")
+    numerator = 0.0
+    denominator = 0.0
+    for m, e in zip(measured, raw_estimates):
+        if m == 0:
+            raise ValueError("a measured effort of zero breaks calibration")
+        numerator += e / m
+        denominator += (e / m) ** 2
+    if denominator == 0.0:
+        return 1.0
+    return numerator / denominator
+
+
+@dataclasses.dataclass(frozen=True)
+class EstimateSummary:
+    """One estimator's output for one (scenario, quality) cell.
+
+    ``breakdown`` maps category labels (Mapping / Cleaning (Structure) /
+    Cleaning (Values) / Cleaning) to minutes — the stacked-bar segments of
+    Figures 6 and 7.
+    """
+
+    estimator: str
+    scenario_name: str
+    quality_label: str
+    total_minutes: float
+    breakdown: dict[str, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """EFES vs measured vs counting for one (scenario, quality) cell."""
+
+    scenario_name: str
+    quality_label: str
+    efes: EstimateSummary
+    measured: EstimateSummary
+    counting: EstimateSummary
+
+
+@dataclasses.dataclass(frozen=True)
+class DomainResult:
+    """All comparison rows of one domain plus both rmse values."""
+
+    domain: str
+    rows: tuple[ComparisonRow, ...]
+    efes_rmse: float
+    counting_rmse: float
+
+    @property
+    def improvement_factor(self) -> float:
+        """How many times more accurate EFES is than counting."""
+        if self.efes_rmse == 0:
+            return math.inf
+        return self.counting_rmse / self.efes_rmse
+
+
+def combined_rmse(results: Sequence[DomainResult]) -> tuple[float, float]:
+    """(EFES rmse, counting rmse) pooled over all domains' scenarios."""
+    measured: list[float] = []
+    efes: list[float] = []
+    counting: list[float] = []
+    for result in results:
+        for row in result.rows:
+            measured.append(row.measured.total_minutes)
+            efes.append(row.efes.total_minutes)
+            counting.append(row.counting.total_minutes)
+    return (
+        relative_rmse(measured, efes),
+        relative_rmse(measured, counting),
+    )

@@ -1,0 +1,124 @@
+"""The EFES framework (Section 3): modules, assessment, estimation.
+
+EFES "handles different kinds of integration challenges by accepting a
+dedicated estimation module to cope with each of them independently".  A
+module couples a *data complexity detector* with a *task planner*
+(Figure 3); the framework runs all detectors (phase 1, complexity
+assessment), all planners (phase 2 input), and prices the resulting tasks
+with the execution settings' effort-calculation functions (phase 2, effort
+estimation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..scenarios.scenario import IntegrationScenario
+from .effort import (
+    EffortEstimate,
+    ExecutionSettings,
+    default_execution_settings,
+    price_tasks,
+)
+from .quality import ResultQuality
+from .reports import ComplexityReport
+from .tasks import Task
+
+
+class EstimationModule:
+    """One estimation module = complexity detector + task planner."""
+
+    #: Stable module identifier (used as report key and task provenance).
+    name: str = "module"
+
+    def assess(self, scenario: IntegrationScenario) -> ComplexityReport:
+        """Phase 1: extract complexity indicators into a report."""
+        raise NotImplementedError
+
+    def plan(
+        self,
+        scenario: IntegrationScenario,
+        report: ComplexityReport,
+        quality: ResultQuality,
+    ) -> list[Task]:
+        """Phase 2 input: derive tasks that overcome the reported issues."""
+        raise NotImplementedError
+
+
+class TaskAdjustment:
+    """A user revision of the proposed task list (Section 6.1).
+
+    "If a data complexity aspect was properly recognized but we preferred
+    a different integration task, we have adapted the proposed tasks" —
+    e.g. swapping *Add missing values* for *Reject tuples* when the
+    missing FreeDB disc IDs cannot possibly be provided.  An adjustment is
+    a callable mapping the proposed task list to the revised one.
+    """
+
+    def __call__(self, tasks: list[Task]) -> list[Task]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Efes:
+    """The effort estimation framework.
+
+    Assemble with any set of modules; the three shipped ones are in
+    :func:`repro.core.default_modules`.
+    """
+
+    def __init__(
+        self,
+        modules: Sequence[EstimationModule],
+        settings: ExecutionSettings | None = None,
+    ) -> None:
+        names = [module.name for module in modules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate module names: {names}")
+        self.modules = list(modules)
+        self.settings = settings or default_execution_settings()
+
+    # ------------------------------------------------------------------
+    # Phase 1: complexity assessment
+    # ------------------------------------------------------------------
+
+    def assess(
+        self, scenario: IntegrationScenario
+    ) -> dict[str, ComplexityReport]:
+        """Run every module's detector; returns reports keyed by module."""
+        return {
+            module.name: module.assess(scenario) for module in self.modules
+        }
+
+    # ------------------------------------------------------------------
+    # Phase 2: effort estimation
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        scenario: IntegrationScenario,
+        quality: ResultQuality,
+        reports: dict[str, ComplexityReport] | None = None,
+    ) -> list[Task]:
+        """Run every module's planner on its report; concatenated tasks."""
+        if reports is None:
+            reports = self.assess(scenario)
+        tasks: list[Task] = []
+        for module in self.modules:
+            report = reports[module.name]
+            tasks.extend(module.plan(scenario, report, quality))
+        return tasks
+
+    def estimate(
+        self,
+        scenario: IntegrationScenario,
+        quality: ResultQuality,
+        adjustments: Iterable[TaskAdjustment] = (),
+    ) -> EffortEstimate:
+        """The full pipeline: assess → plan → (adjust) → price."""
+        tasks = self.plan(scenario, quality)
+        for adjustment in adjustments:
+            tasks = adjustment(tasks)
+        return price_tasks(scenario.name, quality, tasks, self.settings)
+
+    def with_settings(self, settings: ExecutionSettings) -> "Efes":
+        return Efes(self.modules, settings)

@@ -1,0 +1,36 @@
+"""The three estimation modules shipped with EFES (Section 3.2)."""
+
+from .mapping import MappingModule, join_closure
+from .structure import (
+    InfiniteCleaningLoopError,
+    StructureConflictDetector,
+    StructureModule,
+    StructureRepairPlanner,
+    VirtualRelationship,
+)
+from .values import (
+    DEFAULT_FIT_THRESHOLD,
+    FitBreakdown,
+    ValueFitDetector,
+    ValueModule,
+    ValueTransformationPlanner,
+    make_drop_instead_of_add,
+    weighted_fit,
+)
+
+__all__ = [
+    "DEFAULT_FIT_THRESHOLD",
+    "FitBreakdown",
+    "InfiniteCleaningLoopError",
+    "MappingModule",
+    "StructureConflictDetector",
+    "StructureModule",
+    "StructureRepairPlanner",
+    "ValueFitDetector",
+    "ValueModule",
+    "ValueTransformationPlanner",
+    "VirtualRelationship",
+    "join_closure",
+    "make_drop_instead_of_add",
+    "weighted_fit",
+]

@@ -1,0 +1,204 @@
+"""The mapping estimation module (Section 3.3, Table 2; Example 3.8).
+
+"For each table in the target schema and each source database that
+provides data for that table, some connection has to be established to
+fetch the source data and write it into the target table.  [...] every
+connection can be described in terms of certain metrics, such as the
+number of source tables to be queried, the number of attributes that must
+be copied, and whether new IDs for a primary key need to be generated."
+
+Source-table counting walks the source FK graph: the relations that carry
+attribute correspondences for the target table, the relations on the
+(shortest) FK paths connecting them — e.g. the ``artist_lists`` link table
+of the running example, which carries no correspondence but must still be
+queried — plus one lookup per target foreign key whose referenced target
+table is also being populated (the mapping query must resolve the new ids
+of the referenced tuples).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+
+from ...matching.correspondence import CorrespondenceSet
+from ...relational.database import Database
+from ...relational.schema import Schema
+from ...scenarios.scenario import IntegrationScenario
+from ..framework import EstimationModule
+from ..quality import ResultQuality
+from ..reports import MappingComplexityReport, MappingConnection
+from ..tasks import Task, TaskType
+
+
+def _fk_adjacency(schema: Schema) -> dict[str, set[str]]:
+    """Undirected relation-level adjacency induced by foreign keys."""
+    adjacency: dict[str, set[str]] = {
+        relation.name: set() for relation in schema.relations
+    }
+    for fk in schema.foreign_keys():
+        adjacency[fk.relation].add(fk.referenced)
+        adjacency[fk.referenced].add(fk.relation)
+    return adjacency
+
+
+def _shortest_relation_path(
+    adjacency: dict[str, set[str]], start: str, goal: str
+) -> list[str] | None:
+    """BFS shortest path (inclusive of endpoints) in the FK graph."""
+    if start == goal:
+        return [start]
+    queue = deque([[start]])
+    visited = {start}
+    while queue:
+        path = queue.popleft()
+        for successor in sorted(adjacency.get(path[-1], ())):
+            if successor in visited:
+                continue
+            extended = path + [successor]
+            if successor == goal:
+                return extended
+            visited.add(successor)
+            queue.append(extended)
+    return None
+
+
+def join_closure(schema: Schema, relations: set[str]) -> set[str]:
+    """The relations needed to join all of ``relations`` together: the
+    union of pairwise shortest FK paths (a light-weight Steiner tree)."""
+    if not relations:
+        return set()
+    adjacency = _fk_adjacency(schema)
+    closure = set(relations)
+    for left, right in itertools.combinations(sorted(relations), 2):
+        path = _shortest_relation_path(adjacency, left, right)
+        if path:
+            closure.update(path)
+    return closure
+
+
+def _count_traversed_fks(schema: Schema, closure: set[str]) -> int:
+    """Foreign keys with both ends inside the closure — the join conditions."""
+    return sum(
+        1
+        for fk in schema.foreign_keys()
+        if fk.relation in closure and fk.referenced in closure
+    )
+
+
+class MappingModule(EstimationModule):
+    """Detector + planner for the mapping-creation activity."""
+
+    name = "mapping"
+
+    def assess(self, scenario: IntegrationScenario) -> MappingComplexityReport:
+        connections: list[MappingConnection] = []
+        for source, correspondences in scenario.pairs():
+            connections.extend(
+                self._connections_for(scenario, source, correspondences)
+            )
+        return MappingComplexityReport(connections)
+
+    def _connections_for(
+        self,
+        scenario: IntegrationScenario,
+        source: Database,
+        correspondences: CorrespondenceSet,
+    ) -> list[MappingConnection]:
+        target_schema = scenario.target.schema
+        connections: list[MappingConnection] = []
+        populated_targets = set(correspondences.target_relations())
+        for target_table in correspondences.target_relations():
+            mapped_attributes = correspondences.mapped_target_attributes(
+                target_table
+            )
+            source_relations = {
+                c.source_relation
+                for attribute in mapped_attributes
+                for c in correspondences.sources_of_attribute(
+                    target_table, attribute
+                )
+            }
+            source_relations.update(
+                correspondences.sources_of_relation(target_table)
+            )
+            if not source_relations:
+                continue
+
+            # Each target FK into another populated target table needs a
+            # reference-resolution lookup in the mapping query; the join
+            # must also reach the source relation(s) that feed the
+            # referenced target table's identity.
+            lookups = 0
+            resolution_relations: set[str] = set()
+            resolved_fk_attributes: set[str] = set()
+            for fk in target_schema.foreign_keys_of(target_table):
+                if fk.referenced in populated_targets:
+                    lookups += 1
+                    resolved_fk_attributes.update(fk.attributes)
+                    resolution_relations.update(
+                        correspondences.identity_sources_of_relation(
+                            fk.referenced
+                        )
+                    )
+
+            closure = join_closure(
+                source.schema, source_relations | resolution_relations
+            )
+            foreign_keys = _count_traversed_fks(source.schema, closure)
+
+            # FK attributes are resolved (via the lookup), not copied.
+            copied_attributes = [
+                attribute
+                for attribute in mapped_attributes
+                if attribute not in resolved_fk_attributes
+            ]
+
+            primary_key = target_schema.primary_key_of(target_table)
+            needs_primary_key = primary_key is not None and any(
+                attribute not in mapped_attributes
+                for attribute in primary_key.attributes
+            )
+            connections.append(
+                MappingConnection(
+                    target_table=target_table,
+                    source_database=source.name,
+                    source_tables=len(closure) + lookups,
+                    attributes=len(copied_attributes),
+                    needs_primary_key=needs_primary_key,
+                    foreign_keys=foreign_keys + lookups,
+                )
+            )
+        return connections
+
+    def plan(
+        self,
+        scenario: IntegrationScenario,
+        report: MappingComplexityReport,
+        quality: ResultQuality,
+    ) -> list[Task]:
+        """One *Write mapping* task per connection.
+
+        The mapping has to be written regardless of the expected result
+        quality; quality only affects the cleaning planners.
+        """
+        tasks: list[Task] = []
+        for connection in report.connections:
+            tasks.append(
+                Task(
+                    type=TaskType.WRITE_MAPPING,
+                    quality=quality,
+                    subject=(
+                        f"{connection.source_database} -> "
+                        f"{connection.target_table}"
+                    ),
+                    parameters={
+                        "tables": connection.source_tables,
+                        "attributes": connection.attributes,
+                        "primary_keys": 1.0 if connection.needs_primary_key else 0.0,
+                        "foreign_keys": connection.foreign_keys,
+                    },
+                    module=self.name,
+                )
+            )
+        return tasks

@@ -1,0 +1,24 @@
+"""Expected result quality (Section 3.4).
+
+"We defined two instances of expected quality, namely low effort (removal
+of tuples) and high quality (updates)."  The task planners branch on this
+to choose between alternative cleaning tasks (Example 3.5).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ResultQuality(enum.Enum):
+    """The expected quality of the integration result."""
+
+    LOW_EFFORT = "low_effort"
+    HIGH_QUALITY = "high_quality"
+
+    @property
+    def label(self) -> str:
+        return "low eff." if self is ResultQuality.LOW_EFFORT else "high qual."
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,186 @@
+"""Data complexity reports (Section 3.3).
+
+"The goal of this first phase is to compute data complexity reports for
+the integration scenario. [...] There is no formal definition for such a
+report; rather, it can be tailored to the specific, needed complexity
+indicators."  Each shipped module defines its own report shape below; all
+of them render as plain tables for the granularity requirement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from .tasks import StructuralConflict, ValueHeterogeneity
+
+
+class ComplexityReport:
+    """Base class of all module reports — only for isinstance dispatch."""
+
+    module: str = ""
+
+    def is_empty(self) -> bool:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Mapping module (Table 2)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MappingConnection:
+    """One target table × source database connection (Section 3.3).
+
+    "every connection can be described in terms of certain metrics, such
+    as the number of source tables to be queried, the number of attributes
+    that must be copied, and whether new IDs for a primary key need to be
+    generated."  ``foreign_keys`` counts the source FKs the connection
+    traverses (the join conditions of the mapping query).
+    """
+
+    target_table: str
+    source_database: str
+    source_tables: int
+    attributes: int
+    needs_primary_key: bool
+    foreign_keys: int = 0
+
+    def as_row(self) -> tuple[str, int, int, str]:
+        return (
+            self.target_table,
+            self.source_tables,
+            self.attributes,
+            "yes" if self.needs_primary_key else "no",
+        )
+
+
+@dataclasses.dataclass
+class MappingComplexityReport(ComplexityReport):
+    """Table 2 — the mapping complexity report."""
+
+    connections: list[MappingConnection]
+    module: str = "mapping"
+
+    def is_empty(self) -> bool:
+        return not self.connections
+
+    def total_tables(self) -> int:
+        return sum(connection.source_tables for connection in self.connections)
+
+    def total_attributes(self) -> int:
+        return sum(connection.attributes for connection in self.connections)
+
+    def total_primary_keys(self) -> int:
+        return sum(
+            1 for connection in self.connections if connection.needs_primary_key
+        )
+
+    def total_foreign_keys(self) -> int:
+        return sum(connection.foreign_keys for connection in self.connections)
+
+
+# ----------------------------------------------------------------------
+# Structure module (Table 3)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StructureViolation:
+    """One structural conflict, with the violation count in the source data.
+
+    ``constraint`` is the prescribed target cardinality in the paper's
+    notation (e.g. ``κ(ρ_records→artist) = 1``); ``conflict`` classifies it
+    per Table 4; ``violation_count`` counts actually conflicting source
+    elements; ``scope`` tells how many elements feed the constraint at all
+    (used by planners for per-tuple task parameters).
+    """
+
+    source_database: str
+    target_relationship: str
+    conflict: StructuralConflict
+    prescribed: str
+    inferred: str
+    violation_count: int
+    scope: int
+    target_relation: str = ""
+    target_attribute: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"κ({self.target_relationship}) = {self.prescribed}, "
+            f"source offers {self.inferred}: "
+            f"{self.violation_count} violating element(s)"
+        )
+
+
+@dataclasses.dataclass
+class StructureComplexityReport(ComplexityReport):
+    """Table 3 — the complexity report of the structure conflict detector."""
+
+    violations: list[StructureViolation]
+    module: str = "structure"
+
+    def is_empty(self) -> bool:
+        return not any(v.violation_count for v in self.violations)
+
+    def total_violations(self) -> int:
+        return sum(violation.violation_count for violation in self.violations)
+
+    def by_conflict(self) -> dict[StructuralConflict, int]:
+        totals: dict[StructuralConflict, int] = {}
+        for violation in self.violations:
+            totals[violation.conflict] = (
+                totals.get(violation.conflict, 0) + violation.violation_count
+            )
+        return totals
+
+
+# ----------------------------------------------------------------------
+# Value module (Table 6)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ValueHeterogeneityFinding:
+    """One detected value heterogeneity with its additional parameters.
+
+    Table 6's "additional parameters" are carried in ``parameters``
+    (``values``, ``distinct_values``, plus per-rule details such as the
+    overall fit value).
+    """
+
+    source_database: str
+    source_attribute: str
+    target_attribute: str
+    heterogeneity: ValueHeterogeneity
+    parameters: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", dict(self.parameters))
+
+    def describe(self) -> str:
+        return (
+            f"{self.heterogeneity} ({self.source_attribute} -> "
+            f"{self.target_attribute})"
+        )
+
+
+@dataclasses.dataclass
+class ValueComplexityReport(ComplexityReport):
+    """Table 6 — the complexity report of the value fit detector."""
+
+    findings: list[ValueHeterogeneityFinding]
+    module: str = "values"
+
+    def is_empty(self) -> bool:
+        return not self.findings
+
+    def by_heterogeneity(self) -> dict[ValueHeterogeneity, int]:
+        totals: dict[ValueHeterogeneity, int] = {}
+        for finding in self.findings:
+            totals[finding.heterogeneity] = (
+                totals.get(finding.heterogeneity, 0) + 1
+            )
+        return totals

@@ -1,0 +1,223 @@
+"""The task model: typed integration/cleaning tasks (Sections 3.4, 4.2, 5.2).
+
+"Each estimation module has to provide a task planner that consumes its
+data complexity report and outputs tasks to overcome the reported issues.
+Each of these tasks is of a certain type, is expected to deliver a certain
+result quality, and comprises an arbitrary set of parameters."
+
+The task-type catalogue merges Table 4 (structural conflicts), Table 7
+(value heterogeneities) and Table 9 (every task the effort functions
+price, including the mapping task).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Mapping
+
+from .quality import ResultQuality
+
+
+class TaskCategory(enum.Enum):
+    """The effort breakdown categories of Figures 6 and 7."""
+
+    MAPPING = "Mapping"
+    CLEANING_STRUCTURE = "Cleaning (Structure)"
+    CLEANING_VALUES = "Cleaning (Values)"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TaskType(enum.Enum):
+    """All task types known to the shipped modules (Tables 4, 7, 9)."""
+
+    # Mapping module
+    WRITE_MAPPING = "Write mapping"
+
+    # Structure repair (Table 4 + the extra tasks priced in Table 9)
+    REJECT_TUPLES = "Reject tuples"
+    ADD_MISSING_VALUES = "Add missing values"
+    SET_VALUES_TO_NULL = "Set values to null"
+    AGGREGATE_TUPLES = "Aggregate tuples"
+    KEEP_ANY_VALUE = "Keep any value"
+    MERGE_VALUES = "Merge values"
+    DROP_DETACHED_VALUES = "Delete detached values"
+    CREATE_ENCLOSING_TUPLES = "Create enclosing tuples"
+    ADD_TUPLES = "Add tuples"
+    DELETE_DANGLING_VALUES = "Delete dangling values"
+    ADD_REFERENCED_VALUES = "Add referenced values"
+    DELETE_DANGLING_TUPLES = "Delete dangling tuples"
+    UNLINK_ALL_BUT_ONE_TUPLE = "Unlink all but one tuple"
+
+    # Value transformation (Table 7)
+    ADD_VALUES = "Add values"
+    DROP_VALUES = "Drop values"
+    CONVERT_VALUES = "Convert values"
+    GENERALIZE_VALUES = "Generalize values"
+    REFINE_VALUES = "Refine values"
+    AGGREGATE_VALUES = "Aggregate values"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_CATEGORY_BY_TYPE: dict[TaskType, TaskCategory] = {
+    TaskType.WRITE_MAPPING: TaskCategory.MAPPING,
+    TaskType.REJECT_TUPLES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.ADD_MISSING_VALUES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.SET_VALUES_TO_NULL: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.AGGREGATE_TUPLES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.KEEP_ANY_VALUE: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.MERGE_VALUES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.DROP_DETACHED_VALUES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.CREATE_ENCLOSING_TUPLES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.ADD_TUPLES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.DELETE_DANGLING_VALUES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.ADD_REFERENCED_VALUES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.DELETE_DANGLING_TUPLES: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.UNLINK_ALL_BUT_ONE_TUPLE: TaskCategory.CLEANING_STRUCTURE,
+    TaskType.ADD_VALUES: TaskCategory.CLEANING_VALUES,
+    TaskType.DROP_VALUES: TaskCategory.CLEANING_VALUES,
+    TaskType.CONVERT_VALUES: TaskCategory.CLEANING_VALUES,
+    TaskType.GENERALIZE_VALUES: TaskCategory.CLEANING_VALUES,
+    TaskType.REFINE_VALUES: TaskCategory.CLEANING_VALUES,
+    TaskType.AGGREGATE_VALUES: TaskCategory.CLEANING_VALUES,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """One planned integration/cleaning task.
+
+    ``subject`` names the affected schema element (e.g. ``records.title``);
+    ``parameters`` carries the effort-function inputs such as
+    ``repetitions``, ``values``, ``distinct_values``, ``tables``,
+    ``attributes``, ``primary_keys``, ``foreign_keys``.
+    """
+
+    type: TaskType
+    quality: ResultQuality
+    subject: str
+    parameters: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    module: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", dict(self.parameters))
+
+    @property
+    def category(self) -> TaskCategory:
+        return _CATEGORY_BY_TYPE[self.type]
+
+    def parameter(self, name: str, default: float = 0.0) -> float:
+        return float(self.parameters.get(name, default))
+
+    @property
+    def repetitions(self) -> float:
+        return self.parameter("repetitions", 1.0)
+
+    def describe(self) -> str:
+        subject = f" ({self.subject})" if self.subject else ""
+        return f"{self.type}{subject}"
+
+
+# ----------------------------------------------------------------------
+# Catalogues (Tables 4 and 7)
+# ----------------------------------------------------------------------
+
+
+class StructuralConflict(enum.Enum):
+    """The structural conflict classes of Table 4.
+
+    ``FD_VIOLATED`` extends the paper's Table 4: functional dependencies
+    are expressible in CSGs through composed relationships ("prescribing
+    cardinalities not only to atomic but also to complex relationships
+    further allows to express [...] functional dependencies", §4.1); the
+    corresponding cleaning tasks follow the Table 4 pattern.
+    """
+
+    NOT_NULL_VIOLATED = "Not null violated"
+    UNIQUE_VIOLATED = "Unique violated"
+    MULTIPLE_ATTRIBUTE_VALUES = "Multiple attribute values"
+    VALUE_WITHOUT_ENCLOSING_TUPLE = "Value w/o enclosing tuple"
+    FK_VIOLATED = "FK violated"
+    FD_VIOLATED = "FD violated"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Table 4 — "Structural conflicts and their corresponding cleaning tasks".
+STRUCTURE_TASK_CATALOGUE: dict[
+    StructuralConflict, dict[ResultQuality, TaskType]
+] = {
+    StructuralConflict.NOT_NULL_VIOLATED: {
+        ResultQuality.LOW_EFFORT: TaskType.REJECT_TUPLES,
+        ResultQuality.HIGH_QUALITY: TaskType.ADD_MISSING_VALUES,
+    },
+    StructuralConflict.UNIQUE_VIOLATED: {
+        ResultQuality.LOW_EFFORT: TaskType.SET_VALUES_TO_NULL,
+        ResultQuality.HIGH_QUALITY: TaskType.AGGREGATE_TUPLES,
+    },
+    StructuralConflict.MULTIPLE_ATTRIBUTE_VALUES: {
+        ResultQuality.LOW_EFFORT: TaskType.KEEP_ANY_VALUE,
+        ResultQuality.HIGH_QUALITY: TaskType.MERGE_VALUES,
+    },
+    StructuralConflict.VALUE_WITHOUT_ENCLOSING_TUPLE: {
+        ResultQuality.LOW_EFFORT: TaskType.DROP_DETACHED_VALUES,
+        ResultQuality.HIGH_QUALITY: TaskType.ADD_TUPLES,
+    },
+    StructuralConflict.FK_VIOLATED: {
+        ResultQuality.LOW_EFFORT: TaskType.DELETE_DANGLING_VALUES,
+        ResultQuality.HIGH_QUALITY: TaskType.ADD_REFERENCED_VALUES,
+    },
+    StructuralConflict.FD_VIOLATED: {
+        ResultQuality.LOW_EFFORT: TaskType.SET_VALUES_TO_NULL,
+        ResultQuality.HIGH_QUALITY: TaskType.AGGREGATE_VALUES,
+    },
+}
+
+
+class ValueHeterogeneity(enum.Enum):
+    """The value heterogeneity classes of Algorithm 1 / Table 7."""
+
+    TOO_FEW_ELEMENTS = "Too few elements"
+    DIFFERENT_REPRESENTATIONS_CRITICAL = "Different representations (critical)"
+    DIFFERENT_REPRESENTATIONS = "Different representations"
+    TOO_FINE_GRAINED = "Too fine-grained source values"
+    TOO_COARSE_GRAINED = "Too coarse-grained source values"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Table 7 — "Value heterogeneities and corresponding cleaning tasks".
+#: ``None`` means the heterogeneity is simply ignored at that quality
+#: level ("for a low-effort integration result, value heterogeneities can
+#: in most cases be simply ignored").
+VALUE_TASK_CATALOGUE: dict[
+    ValueHeterogeneity, dict[ResultQuality, TaskType | None]
+] = {
+    ValueHeterogeneity.TOO_FEW_ELEMENTS: {
+        ResultQuality.LOW_EFFORT: None,
+        ResultQuality.HIGH_QUALITY: TaskType.ADD_VALUES,
+    },
+    ValueHeterogeneity.DIFFERENT_REPRESENTATIONS_CRITICAL: {
+        ResultQuality.LOW_EFFORT: TaskType.DROP_VALUES,
+        ResultQuality.HIGH_QUALITY: TaskType.CONVERT_VALUES,
+    },
+    ValueHeterogeneity.DIFFERENT_REPRESENTATIONS: {
+        ResultQuality.LOW_EFFORT: None,
+        ResultQuality.HIGH_QUALITY: TaskType.CONVERT_VALUES,
+    },
+    # "Too specific → Generalize values; Too general → Refine values".
+    ValueHeterogeneity.TOO_FINE_GRAINED: {
+        ResultQuality.LOW_EFFORT: None,
+        ResultQuality.HIGH_QUALITY: TaskType.GENERALIZE_VALUES,
+    },
+    ValueHeterogeneity.TOO_COARSE_GRAINED: {
+        ResultQuality.LOW_EFFORT: None,
+        ResultQuality.HIGH_QUALITY: TaskType.REFINE_VALUES,
+    },
+}

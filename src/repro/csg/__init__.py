@@ -1,0 +1,64 @@
+"""Cardinality-constrained schema graphs (CSGs) — Section 4 of the paper.
+
+The CSG formalism is the paper's novel metamodel for comparing schemas in
+terms of mappings and constraints.  This package provides:
+
+* :mod:`~repro.csg.cardinality` — cardinality interval sets and the four
+  inference operators (composition, union, join, collateral; Lemmas 1-4),
+* :mod:`~repro.csg.graph` — graphs, nodes, relationships (Definition 1),
+* :mod:`~repro.csg.instance` — instances, links, actual cardinalities and
+  violation counting (Definition 2),
+* :mod:`~repro.csg.convert` — lossless relational → CSG conversion,
+* :mod:`~repro.csg.paths` — path search and conciseness-based matching of
+  target relationships to composite source relationships.
+"""
+
+from .cardinality import (
+    ANY,
+    AT_LEAST_ONE,
+    AT_MOST_ONE,
+    EXACTLY_ONE,
+    NONE,
+    Cardinality,
+    CardinalityError,
+    Interval,
+)
+from .convert import attribute_node_of, database_to_csg, schema_to_csg, tuple_id
+from .graph import Csg, CsgError, Node, NodeKind, Relationship, RelationshipKind
+from .instance import CsgInstance
+from .paths import (
+    DEFAULT_MAX_PATH_LENGTH,
+    MatchedPath,
+    find_paths,
+    infer_path_cardinality,
+    match_endpoints,
+    most_concise,
+)
+
+__all__ = [
+    "ANY",
+    "AT_LEAST_ONE",
+    "AT_MOST_ONE",
+    "Cardinality",
+    "CardinalityError",
+    "Csg",
+    "CsgError",
+    "CsgInstance",
+    "DEFAULT_MAX_PATH_LENGTH",
+    "EXACTLY_ONE",
+    "Interval",
+    "MatchedPath",
+    "NONE",
+    "Node",
+    "NodeKind",
+    "Relationship",
+    "RelationshipKind",
+    "attribute_node_of",
+    "database_to_csg",
+    "find_paths",
+    "infer_path_cardinality",
+    "match_endpoints",
+    "most_concise",
+    "schema_to_csg",
+    "tuple_id",
+]

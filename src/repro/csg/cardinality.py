@@ -1,0 +1,321 @@
+"""Cardinalities: the constraint language of CSGs (Section 4.1).
+
+A cardinality κ prescribes how many links of a relationship each element
+must participate in.  The paper writes cardinalities as subsets of ℕ, e.g.
+``1``, ``0..1``, ``1..*``; Lemma 2's union operator can produce
+*non-contiguous* sets, so we represent a :class:`Cardinality` exactly as a
+normalised list of disjoint, ascending integer intervals whose last
+interval may be unbounded (``hi is None`` ≙ ``*``).
+
+The four inference operators of the paper — composition (Lemma 1), union
+(Lemma 2, in its three domain/codomain variants), join (Lemma 3) and
+collateral (Lemma 4) — are implemented here as pure functions on
+cardinalities.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+
+class CardinalityError(ValueError):
+    """A cardinality expression or operation is malformed."""
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval ``lo..hi``; ``hi=None`` means unbounded."""
+
+    lo: int
+    hi: int | None
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise CardinalityError(f"negative interval bound: {self.lo}")
+        if self.hi is not None and self.hi < self.lo:
+            raise CardinalityError(f"empty interval: {self.lo}..{self.hi}")
+
+    def contains(self, value: int) -> bool:
+        return value >= self.lo and (self.hi is None or value <= self.hi)
+
+    def __str__(self) -> str:
+        if self.hi == self.lo:
+            return str(self.lo)
+        hi = "*" if self.hi is None else str(self.hi)
+        return f"{self.lo}..{hi}"
+
+
+def _mul(a: int | None, b: int | None) -> int | None:
+    """Multiply bounds where ``None`` is +∞ (but ∞·0 = 0)."""
+    if a == 0 or b == 0:
+        return 0
+    if a is None or b is None:
+        return None
+    return a * b
+
+
+def _add(a: int | None, b: int | None) -> int | None:
+    """Add bounds where ``None`` is +∞."""
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _min_bound(a: int | None, b: int | None) -> int | None:
+    """Minimum of upper bounds where ``None`` is +∞."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _normalise(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort intervals and merge overlapping/adjacent ones."""
+    ordered = sorted(
+        intervals, key=lambda iv: (iv.lo, float("inf") if iv.hi is None else iv.hi)
+    )
+    merged: list[Interval] = []
+    for interval in ordered:
+        if not merged:
+            merged.append(interval)
+            continue
+        last = merged[-1]
+        if last.hi is None or interval.lo <= last.hi + 1:
+            hi = (
+                None
+                if last.hi is None or interval.hi is None
+                else max(last.hi, interval.hi)
+            )
+            merged[-1] = Interval(last.lo, hi)
+        else:
+            merged.append(interval)
+    return tuple(merged)
+
+
+class Cardinality:
+    """A prescribed cardinality: a set of admissible link counts.
+
+    Construct via :meth:`of`, :meth:`parse`, or the module constants
+    :data:`EXACTLY_ONE`, :data:`AT_MOST_ONE`, :data:`AT_LEAST_ONE`,
+    :data:`ANY`, :data:`NONE` (the empty cardinality, e.g. from Lemma 3's
+    degenerate join).
+    """
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Iterable[Interval]) -> None:
+        object.__setattr__(self, "intervals", _normalise(intervals))
+
+    def __setattr__(self, name: str, value: object) -> None:  # immutability
+        raise AttributeError("Cardinality objects are immutable")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, lo: int, hi: int | None = -1) -> "Cardinality":
+        """``Cardinality.of(1)`` ≙ exactly 1; ``of(0, None)`` ≙ ``0..*``."""
+        if hi == -1:
+            hi = lo
+        return cls([Interval(lo, hi)])
+
+    @classmethod
+    def empty(cls) -> "Cardinality":
+        return cls([])
+
+    @classmethod
+    def parse(cls, text: str) -> "Cardinality":
+        """Parse the paper's notation: ``"1"``, ``"0..1"``, ``"1..*"``, or
+        comma-separated unions such as ``"0, 2..4"``."""
+        intervals: list[Interval] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                raise CardinalityError(f"bad cardinality: {text!r}")
+            if ".." in part:
+                lo_text, hi_text = part.split("..", 1)
+                lo = int(lo_text)
+                hi = None if hi_text.strip() == "*" else int(hi_text)
+            elif part == "*":
+                lo, hi = 0, None
+            else:
+                lo = int(part)
+                hi = lo
+            intervals.append(Interval(lo, hi))
+        return cls(intervals)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    @property
+    def min(self) -> int | None:
+        """The smallest admissible count, or None if empty."""
+        return self.intervals[0].lo if self.intervals else None
+
+    @property
+    def max(self) -> int | None:
+        """The largest admissible count; ``None`` for unbounded or empty.
+
+        Use :attr:`is_bounded` to tell the two ``None`` cases apart.
+        """
+        if not self.intervals:
+            return None
+        return self.intervals[-1].hi
+
+    @property
+    def is_bounded(self) -> bool:
+        return bool(self.intervals) and self.intervals[-1].hi is not None
+
+    def contains(self, value: int) -> bool:
+        return any(interval.contains(value) for interval in self.intervals)
+
+    def is_subset(self, other: "Cardinality") -> bool:
+        """κ₁ ⊆ κ₂ — every admissible count of self is admissible in other."""
+        for interval in self.intervals:
+            if not _interval_covered(interval, other.intervals):
+                return False
+        return True
+
+    def is_proper_subset(self, other: "Cardinality") -> bool:
+        """κ₁ ⊂ κ₂ — the paper's "more concise" relation (Section 4.1)."""
+        return self.is_subset(other) and self != other
+
+    def intersection(self, other: "Cardinality") -> "Cardinality":
+        result: list[Interval] = []
+        for a in self.intervals:
+            for b in other.intervals:
+                lo = max(a.lo, b.lo)
+                hi = _min_bound(a.hi, b.hi)
+                if hi is None or lo <= hi:
+                    result.append(Interval(lo, hi))
+        return Cardinality(result)
+
+    # ------------------------------------------------------------------
+    # Lemma 1: composition
+    # ------------------------------------------------------------------
+
+    def compose(self, other: "Cardinality") -> "Cardinality":
+        """κ(ρ₁ ∘ ρ₂) = (sgn a₁ · a₂)..(b₁ · b₂) per interval pair (Lemma 1)."""
+        if self.is_empty or other.is_empty:
+            return Cardinality.empty()
+        result = []
+        for a in self.intervals:
+            for b in other.intervals:
+                lo = b.lo if a.lo > 0 else 0
+                hi = _mul(a.hi, b.hi)
+                result.append(Interval(lo, hi))
+        return Cardinality(result)
+
+    # ------------------------------------------------------------------
+    # Lemma 2: union (three variants)
+    # ------------------------------------------------------------------
+
+    def union_disjoint_domains(self, other: "Cardinality") -> "Cardinality":
+        """κ₁ ∪ κ₂ — plain set union (disjoint link domains)."""
+        return Cardinality(self.intervals + other.intervals)
+
+    def union_sum(self, other: "Cardinality") -> "Cardinality":
+        """κ₁ + κ₂ = {a+b} — equal domains, disjoint codomains."""
+        if self.is_empty or other.is_empty:
+            return Cardinality.empty()
+        result = []
+        for a in self.intervals:
+            for b in other.intervals:
+                result.append(Interval(a.lo + b.lo, _add(a.hi, b.hi)))
+        return Cardinality(result)
+
+    def union_overlapping(self, other: "Cardinality") -> "Cardinality":
+        """κ₁ +̂ κ₂ = {c : max(a,b) ≤ c ≤ a+b} — overlapping codomains."""
+        if self.is_empty or other.is_empty:
+            return Cardinality.empty()
+        result = []
+        for a in self.intervals:
+            for b in other.intervals:
+                result.append(Interval(max(a.lo, b.lo), _add(a.hi, b.hi)))
+        return Cardinality(result)
+
+    # ------------------------------------------------------------------
+    # Lemma 3: join
+    # ------------------------------------------------------------------
+
+    def join(self, other: "Cardinality") -> "Cardinality":
+        """κ(ρ₁ ⋈ ρ₂): ∅ if either relationship admits no link, else 1..m
+        with m = min(max κ₁, max κ₂)."""
+        if self.is_empty or other.is_empty:
+            return Cardinality.empty()
+        m = _min_bound(self.max if self.is_bounded else None,
+                       other.max if other.is_bounded else None)
+        if m == 0:
+            return Cardinality.empty()
+        return Cardinality([Interval(1, m)])
+
+    def join_inverse(self, other: "Cardinality") -> "Cardinality":
+        """κ((ρ₁ ⋈ ρ₂)⁻¹) = (min κ₁ · min κ₂)..(max κ₁ · max κ₂)."""
+        if self.is_empty or other.is_empty:
+            return Cardinality.empty()
+        lo = self.min * other.min
+        hi = _mul(
+            self.max if self.is_bounded else None,
+            other.max if other.is_bounded else None,
+        )
+        return Cardinality([Interval(lo, hi)])
+
+    # ------------------------------------------------------------------
+    # Lemma 4: collateral
+    # ------------------------------------------------------------------
+
+    def collateral(self, other: "Cardinality") -> "Cardinality":
+        """κ(ρ₁ ‖ ρ₂) = 0..(max κ₁ · max κ₂)."""
+        if self.is_empty or other.is_empty:
+            return Cardinality.empty()
+        hi = _mul(
+            self.max if self.is_bounded else None,
+            other.max if other.is_bounded else None,
+        )
+        return Cardinality([Interval(0, hi)])
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cardinality):
+            return NotImplemented
+        return self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def __str__(self) -> str:
+        if not self.intervals:
+            return "∅"  # ∅
+        return ", ".join(str(interval) for interval in self.intervals)
+
+    def __repr__(self) -> str:
+        return f"Cardinality({self})"
+
+
+def _interval_covered(interval: Interval, cover: tuple[Interval, ...]) -> bool:
+    """Whether ``interval`` lies within the (normalised, disjoint) ``cover``."""
+    for candidate in cover:
+        if candidate.lo <= interval.lo and (
+            candidate.hi is None
+            or (interval.hi is not None and interval.hi <= candidate.hi)
+        ):
+            return True
+    return False
+
+
+EXACTLY_ONE = Cardinality.of(1)
+AT_MOST_ONE = Cardinality.of(0, 1)
+AT_LEAST_ONE = Cardinality.of(1, None)
+ANY = Cardinality.of(0, None)
+NONE = Cardinality.empty()

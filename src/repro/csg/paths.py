@@ -1,0 +1,147 @@
+"""Path search and conciseness-based relationship matching (Section 4.1).
+
+Target relationships can correspond to arbitrarily complex source
+relationships — in particular compositions — so matching a target
+relationship to the source schema is a graph-search problem: map the
+target relationship's endpoints into the source CSG via the
+correspondences, enumerate simple paths between the mapped nodes, infer
+each path's cardinality by composing the edge cardinalities (Lemma 1), and
+pick the *most concise* path: the one whose inferred cardinality is a
+proper subset of the others', with ties broken by path length (Occam's
+razor) and finally by label order for determinism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from .cardinality import Cardinality
+from .graph import Csg, Node, Relationship
+
+Path = tuple[Relationship, ...]
+
+DEFAULT_MAX_PATH_LENGTH = 8
+
+
+def infer_path_cardinality(path: Sequence[Relationship]) -> Cardinality:
+    """Compose the cardinalities along ``path`` via Lemma 1."""
+    if not path:
+        raise ValueError("cannot infer the cardinality of an empty path")
+    cardinality = path[0].cardinality
+    for relationship in path[1:]:
+        cardinality = cardinality.compose(relationship.cardinality)
+    return cardinality
+
+
+def find_paths(
+    graph: Csg,
+    start: Node,
+    end: Node,
+    max_length: int = DEFAULT_MAX_PATH_LENGTH,
+) -> list[Path]:
+    """All node-simple paths from ``start`` to ``end`` up to ``max_length``.
+
+    Node-simplicity also prevents trivially bouncing back over an inverse
+    relationship.  Results are in breadth-first (shortest-first) order.
+    """
+    if start.name == end.name:
+        return []
+    paths: list[Path] = []
+    frontier: list[tuple[Node, Path, frozenset[str]]] = [
+        (start, (), frozenset({start.name}))
+    ]
+    while frontier:
+        next_frontier: list[tuple[Node, Path, frozenset[str]]] = []
+        for node, path, visited in frontier:
+            if len(path) >= max_length:
+                continue
+            for relationship in graph.outgoing(node):
+                successor = relationship.end
+                if successor.name in visited:
+                    continue
+                extended = path + (relationship,)
+                if successor.name == end.name:
+                    paths.append(extended)
+                else:
+                    next_frontier.append(
+                        (successor, extended, visited | {successor.name})
+                    )
+        frontier = next_frontier
+    return paths
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchedPath:
+    """A source path matched to a target relationship, with its cardinality."""
+
+    path: Path
+    cardinality: Cardinality
+
+    @property
+    def length(self) -> int:
+        return len(self.path)
+
+    def describe(self) -> str:
+        if not self.path:
+            return "<empty>"
+        nodes = [self.path[0].start.name]
+        nodes.extend(relationship.end.name for relationship in self.path)
+        return " -> ".join(nodes)
+
+
+def most_concise(
+    candidates: Sequence[MatchedPath], use_conciseness: bool = True
+) -> MatchedPath | None:
+    """Select the best candidate per Section 4.1's conciseness rule.
+
+    ``use_conciseness=False`` disables the cardinality criterion and falls
+    back to shortest-path selection — this switch exists for the
+    conciseness ablation benchmark.
+    """
+    if not candidates:
+        return None
+    pool = list(candidates)
+    if use_conciseness:
+        minimal = [
+            candidate
+            for candidate in pool
+            if not any(
+                other.cardinality.is_proper_subset(candidate.cardinality)
+                for other in pool
+            )
+        ]
+        if minimal:
+            pool = minimal
+    pool.sort(
+        key=lambda candidate: (
+            candidate.length,
+            tuple(relationship.label for relationship in candidate.path),
+        )
+    )
+    return pool[0]
+
+
+def match_endpoints(
+    graph: Csg,
+    start_names: Sequence[str],
+    end_names: Sequence[str],
+    max_length: int = DEFAULT_MAX_PATH_LENGTH,
+    use_conciseness: bool = True,
+) -> MatchedPath | None:
+    """Match a target relationship whose endpoints map to the given source
+    node names (several candidates each when correspondences are m:n)."""
+    candidates: list[MatchedPath] = []
+    for start_name in start_names:
+        if not graph.has_node(start_name):
+            continue
+        start = graph.node(start_name)
+        for end_name in end_names:
+            if not graph.has_node(end_name):
+                continue
+            end = graph.node(end_name)
+            for path in find_paths(graph, start, end, max_length=max_length):
+                candidates.append(
+                    MatchedPath(path, infer_path_cardinality(path))
+                )
+    return most_concise(candidates, use_conciseness=use_conciseness)

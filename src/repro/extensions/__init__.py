@@ -1,0 +1,26 @@
+"""Future-work extensions of the paper (Section 7), implemented.
+
+* :mod:`~repro.extensions.correspondences` — effort estimation for
+  correspondence creation via Melnik et al.'s match-accuracy measure,
+* :mod:`~repro.extensions.cost_benefit` — cost-benefit curves and
+  marginal-gain source ranking à la Dong et al. [9].
+"""
+
+from .correspondences import CorrespondenceModule, CorrespondenceReport
+from .cost_benefit import (
+    CostBenefitPoint,
+    MarginalGain,
+    cost_benefit_curve,
+    marginal_gains,
+    predicted_loss,
+)
+
+__all__ = [
+    "CorrespondenceModule",
+    "CorrespondenceReport",
+    "CostBenefitPoint",
+    "MarginalGain",
+    "cost_benefit_curve",
+    "marginal_gains",
+    "predicted_loss",
+]

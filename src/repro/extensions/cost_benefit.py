@@ -1,0 +1,155 @@
+"""Cost-benefit analysis — the paper's first future-work direction (§7).
+
+"One possible general direction is to integrate EFES with approaches that
+measure the benefit of the integration, such as the marginal gain [9].
+This integration would allow to plot cost-benefit graphs for the
+integration: the more effort, the better the quality of the result."
+
+Two pieces are provided:
+
+* :func:`cost_benefit_curve` — for one scenario, the (effort, benefit)
+  point of each result-quality level, where *benefit* is the predicted
+  fraction of source information that survives the integration (low
+  effort discards violating tuples and incompatible values; high quality
+  keeps them).  Benefits are derived purely from the phase-1 complexity
+  reports — no integration is executed.
+* :func:`marginal_gains` — greedy source selection à la Dong et al. [9]:
+  order candidate sources by benefit-per-minute against a shared target.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from ..core import ResultQuality
+from ..core.framework import Efes
+from ..core.reports import (
+    StructureComplexityReport,
+    ValueComplexityReport,
+)
+from ..core.tasks import StructuralConflict, ValueHeterogeneity
+from ..scenarios.scenario import IntegrationScenario
+
+#: Conflict classes whose low-effort repair discards source tuples.
+_TUPLE_DISCARDING = {
+    StructuralConflict.NOT_NULL_VIOLATED,
+    StructuralConflict.FK_VIOLATED,
+}
+#: Conflict classes whose low-effort repair discards detached values.
+_VALUE_DISCARDING = {
+    StructuralConflict.VALUE_WITHOUT_ENCLOSING_TUPLE,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CostBenefitPoint:
+    """One point of a scenario's cost-benefit curve."""
+
+    scenario_name: str
+    quality: ResultQuality
+    effort_minutes: float
+    benefit: float  # predicted surviving fraction of source information
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.scenario_name} ({self.quality.label}): "
+            f"{self.effort_minutes:.0f} min -> {self.benefit:.1%} retained"
+        )
+
+
+def predicted_loss(
+    structure: StructureComplexityReport,
+    values: ValueComplexityReport,
+    total_source_rows: int,
+    quality: ResultQuality,
+) -> float:
+    """The fraction of source information predicted to be discarded.
+
+    High quality repairs instead of discarding, so its predicted loss is
+    zero; low effort loses the violating tuples, the detached values and
+    the critically incompatible values the reports enumerate.
+    """
+    if quality is ResultQuality.HIGH_QUALITY or total_source_rows <= 0:
+        return 0.0
+    lost = 0.0
+    for violation in structure.violations:
+        if violation.conflict in _TUPLE_DISCARDING | _VALUE_DISCARDING:
+            lost += violation.violation_count
+    for finding in values.findings:
+        if finding.heterogeneity is (
+            ValueHeterogeneity.DIFFERENT_REPRESENTATIONS_CRITICAL
+        ):
+            lost += finding.parameters.get("incompatible", 0.0)
+    return min(1.0, lost / total_source_rows)
+
+
+def cost_benefit_curve(
+    efes: Efes, scenario: IntegrationScenario
+) -> list[CostBenefitPoint]:
+    """The scenario's cost-benefit curve over the quality levels.
+
+    Reports are computed once; only planning and pricing differ per
+    quality.  Points come out in increasing-effort order.
+    """
+    reports = efes.assess(scenario)
+    total_rows = sum(source.total_rows() for source in scenario.sources)
+    points = []
+    for quality in (ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY):
+        tasks = efes.plan(scenario, quality, reports)
+        from ..core.effort import price_tasks
+
+        estimate = price_tasks(scenario.name, quality, tasks, efes.settings)
+        benefit = 1.0 - predicted_loss(
+            reports["structure"], reports["values"], total_rows, quality
+        )
+        points.append(
+            CostBenefitPoint(
+                scenario_name=scenario.name,
+                quality=quality,
+                effort_minutes=estimate.total_minutes,
+                benefit=benefit,
+            )
+        )
+    points.sort(key=lambda point: point.effort_minutes)
+    return points
+
+
+@dataclasses.dataclass(frozen=True)
+class MarginalGain:
+    """One step of greedy source selection."""
+
+    scenario_name: str
+    effort_minutes: float
+    benefit: float
+    gain_per_hour: float
+
+
+def marginal_gains(
+    efes: Efes,
+    scenarios: Sequence[IntegrationScenario],
+    quality: ResultQuality = ResultQuality.HIGH_QUALITY,
+) -> list[MarginalGain]:
+    """Rank candidate integrations by benefit per hour of estimated effort.
+
+    Each scenario is one candidate source (against a common target); the
+    result is the greedy "integrate the best-value source next" order of
+    Dong et al.'s less-is-more principle [9].
+    """
+    ranked = []
+    for scenario in scenarios:
+        points = {
+            point.quality: point for point in cost_benefit_curve(efes, scenario)
+        }
+        point = points[quality]
+        effort_hours = max(point.effort_minutes / 60.0, 1e-9)
+        ranked.append(
+            MarginalGain(
+                scenario_name=scenario.name,
+                effort_minutes=point.effort_minutes,
+                benefit=point.benefit,
+                gain_per_hour=point.benefit / effort_hours,
+            )
+        )
+    ranked.sort(key=lambda gain: -gain.gain_per_hour)
+    return ranked

@@ -1,0 +1,47 @@
+"""Schema matching substrate.
+
+EFES assumes correspondences are given ("they can be automatically
+discovered with schema matching tools", Section 3.1); this package builds
+those tools: a name matcher, an instance matcher on profiling statistics,
+similarity flooding [19] with its match-accuracy effort measure, and a
+composite matcher.
+"""
+
+from .correspondence import (
+    Correspondence,
+    CorrespondenceSet,
+    attribute_correspondence,
+    relation_correspondence,
+)
+from .instance_matcher import InstanceMatcher, profile_similarity
+from .matcher import CompositeMatcher
+from .name_matcher import (
+    NameMatcher,
+    levenshtein,
+    name_similarity,
+    normalise,
+    trigram_similarity,
+)
+from .similarity_flooding import (
+    FloodingResult,
+    SimilarityFlooding,
+    match_accuracy,
+)
+
+__all__ = [
+    "CompositeMatcher",
+    "Correspondence",
+    "CorrespondenceSet",
+    "FloodingResult",
+    "InstanceMatcher",
+    "NameMatcher",
+    "SimilarityFlooding",
+    "attribute_correspondence",
+    "levenshtein",
+    "match_accuracy",
+    "name_similarity",
+    "normalise",
+    "profile_similarity",
+    "relation_correspondence",
+    "trigram_similarity",
+]

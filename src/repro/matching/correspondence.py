@@ -1,0 +1,202 @@
+"""Correspondences between source and target schema elements (Section 3.1).
+
+A correspondence connects "a source schema element with the target schema
+element, into which its contents should be integrated" — either two
+relations or two attributes.  Correspondences are *not* executable
+mappings, but they carry enough information for the complexity assessment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator
+
+from ..relational.schema import Schema
+
+
+@dataclasses.dataclass(frozen=True)
+class Correspondence:
+    """One source→target element correspondence.
+
+    Attribute-level correspondences set both ``source_attribute`` and
+    ``target_attribute``; relation-level ones leave both as ``None``.
+    ``confidence`` is 1.0 for hand-made correspondences and the matcher
+    score for generated ones.
+    """
+
+    source_relation: str
+    source_attribute: str | None
+    target_relation: str
+    target_attribute: str | None
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if (self.source_attribute is None) != (self.target_attribute is None):
+            raise ValueError(
+                "a correspondence links either two relations or two "
+                "attributes, not a mix"
+            )
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence out of range: {self.confidence}")
+
+    @property
+    def is_attribute_level(self) -> bool:
+        return self.source_attribute is not None
+
+    @property
+    def source(self) -> str:
+        if self.is_attribute_level:
+            return f"{self.source_relation}.{self.source_attribute}"
+        return self.source_relation
+
+    @property
+    def target(self) -> str:
+        if self.is_attribute_level:
+            return f"{self.target_relation}.{self.target_attribute}"
+        return self.target_relation
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source} => {self.target} ({self.confidence:.2f})"
+
+
+def attribute_correspondence(
+    source: str, target: str, confidence: float = 1.0
+) -> Correspondence:
+    """Build an attribute correspondence from dotted names
+    (``"albums.name" => "records.title"``)."""
+    source_relation, source_attribute = source.split(".", 1)
+    target_relation, target_attribute = target.split(".", 1)
+    return Correspondence(
+        source_relation,
+        source_attribute,
+        target_relation,
+        target_attribute,
+        confidence,
+    )
+
+
+def relation_correspondence(
+    source: str, target: str, confidence: float = 1.0
+) -> Correspondence:
+    """Build a relation correspondence from bare relation names."""
+    return Correspondence(source, None, target, None, confidence)
+
+
+class CorrespondenceSet:
+    """An indexed collection of correspondences for one scenario pair."""
+
+    def __init__(self, correspondences: Iterable[Correspondence] = ()) -> None:
+        self._correspondences: list[Correspondence] = []
+        for correspondence in correspondences:
+            self.add(correspondence)
+
+    def add(self, correspondence: Correspondence) -> None:
+        self._correspondences.append(correspondence)
+
+    def __iter__(self) -> Iterator[Correspondence]:
+        return iter(self._correspondences)
+
+    def __len__(self) -> int:
+        return len(self._correspondences)
+
+    # ------------------------------------------------------------------
+    # Lookups used by the detectors
+    # ------------------------------------------------------------------
+
+    def attribute_correspondences(self) -> tuple[Correspondence, ...]:
+        return tuple(c for c in self._correspondences if c.is_attribute_level)
+
+    def relation_correspondences(self) -> tuple[Correspondence, ...]:
+        """Relation-level correspondences, both declared and implied.
+
+        A target relation that only has attribute correspondences still
+        corresponds to the source relations those attributes live in.
+        """
+        explicit = [
+            c for c in self._correspondences if not c.is_attribute_level
+        ]
+        seen = {(c.source_relation, c.target_relation) for c in explicit}
+        implied: list[Correspondence] = []
+        for c in self.attribute_correspondences():
+            key = (c.source_relation, c.target_relation)
+            if key not in seen:
+                seen.add(key)
+                implied.append(
+                    Correspondence(
+                        c.source_relation, None, c.target_relation, None,
+                        c.confidence,
+                    )
+                )
+        return tuple(explicit + implied)
+
+    def sources_of_attribute(
+        self, target_relation: str, target_attribute: str
+    ) -> tuple[Correspondence, ...]:
+        return tuple(
+            c
+            for c in self.attribute_correspondences()
+            if c.target_relation == target_relation
+            and c.target_attribute == target_attribute
+        )
+
+    def explicit_relation_correspondences(self) -> tuple[Correspondence, ...]:
+        """Only the relation correspondences the user actually declared."""
+        return tuple(
+            c for c in self._correspondences if not c.is_attribute_level
+        )
+
+    def sources_of_relation(self, target_relation: str) -> tuple[str, ...]:
+        """Source relations feeding a target relation, in stable order."""
+        seen: list[str] = []
+        for c in self.relation_correspondences():
+            if c.target_relation == target_relation:
+                if c.source_relation not in seen:
+                    seen.append(c.source_relation)
+        return tuple(seen)
+
+    def identity_sources_of_relation(self, target_relation: str) -> tuple[str, ...]:
+        """The source relation(s) providing a target relation's *identity*.
+
+        Explicit relation correspondences (the solid relation arrows of
+        Fig. 2a) take precedence; implied ones are a fallback for
+        correspondence sets that only declare attribute arrows.
+        """
+        explicit = [
+            c.source_relation
+            for c in self.explicit_relation_correspondences()
+            if c.target_relation == target_relation
+        ]
+        if explicit:
+            seen: list[str] = []
+            for name in explicit:
+                if name not in seen:
+                    seen.append(name)
+            return tuple(seen)
+        return self.sources_of_relation(target_relation)
+
+    def target_relations(self) -> tuple[str, ...]:
+        """All target relations that receive data, in stable order."""
+        seen: list[str] = []
+        for c in self._correspondences:
+            if c.target_relation not in seen:
+                seen.append(c.target_relation)
+        return tuple(seen)
+
+    def mapped_target_attributes(
+        self, target_relation: str
+    ) -> tuple[str, ...]:
+        seen: list[str] = []
+        for c in self.attribute_correspondences():
+            if c.target_relation == target_relation:
+                if c.target_attribute not in seen:
+                    seen.append(c.target_attribute)
+        return tuple(seen)
+
+    def validate_against(self, source: Schema, target: Schema) -> None:
+        """Raise if any correspondence references unknown schema elements."""
+        for c in self._correspondences:
+            source_relation = source.relation(c.source_relation)
+            target_relation = target.relation(c.target_relation)
+            if c.is_attribute_level:
+                source_relation.attribute(c.source_attribute)
+                target_relation.attribute(c.target_attribute)

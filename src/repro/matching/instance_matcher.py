@@ -1,0 +1,90 @@
+"""Instance-based schema matching.
+
+Scores attribute pairs by how similar their *data* looks: value overlap
+for discrete columns, pattern/length/range overlap otherwise.  Reuses the
+profiling statistics, so the instance matcher is exactly "value fit"
+turned into a matcher — the paper notes this dual use of statistics for
+both matching and complexity assessment.
+"""
+
+from __future__ import annotations
+
+from ..relational.database import Database
+from ..profiling.profiler import ColumnProfile, profile_database
+from .correspondence import Correspondence
+
+
+def profile_similarity(source: ColumnProfile, target: ColumnProfile) -> float:
+    """Similarity of two column profiles in [0, 1].
+
+    The importance-weighted average of the per-statistic fit values, run in
+    both directions and averaged, so the measure is symmetric (a matcher
+    needs symmetry; the value-fit detector deliberately does not).
+    """
+    forward = _directed_fit(source, target)
+    backward = _directed_fit(target, source)
+    return (forward + backward) / 2.0
+
+
+def _directed_fit(source: ColumnProfile, target: ColumnProfile) -> float:
+    total_weight = 0.0
+    weighted_fit = 0.0
+    for name, target_statistic in target.statistics.items():
+        source_statistic = source.statistics.get(name)
+        if source_statistic is None:
+            continue
+        importance = target_statistic.importance()
+        if importance <= 0.0:
+            continue
+        weighted_fit += importance * target_statistic.fit(source_statistic)
+        total_weight += importance
+    if total_weight == 0.0:
+        return 0.0
+    return weighted_fit / total_weight
+
+
+class InstanceMatcher:
+    """Generate attribute correspondences from data similarity alone."""
+
+    def __init__(self, threshold: float = 0.75) -> None:
+        self.threshold = threshold
+
+    def score(
+        self, source: Database, target: Database
+    ) -> dict[tuple[str, str, str, str], float]:
+        source_profiles = profile_database(source)
+        target_profiles = profile_database(target)
+        scores: dict[tuple[str, str, str, str], float] = {}
+        for (s_rel, s_attr), s_profile in source_profiles.items():
+            for (t_rel, t_attr), t_profile in target_profiles.items():
+                if s_profile.datatype.is_numeric != t_profile.datatype.is_numeric:
+                    # Different statistic families — compare only fill/constancy.
+                    score = 0.5 * (
+                        1.0
+                        - abs(
+                            s_profile.constancy.constancy
+                            - t_profile.constancy.constancy
+                        )
+                    )
+                else:
+                    score = profile_similarity(s_profile, t_profile)
+                scores[(s_rel, s_attr, t_rel, t_attr)] = score
+        return scores
+
+    def match(self, source: Database, target: Database) -> list[Correspondence]:
+        scores = self.score(source, target)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        taken_source: set[tuple[str, str]] = set()
+        taken_target: set[tuple[str, str]] = set()
+        result: list[Correspondence] = []
+        for (s_rel, s_attr, t_rel, t_attr), score in ranked:
+            if score < self.threshold:
+                break
+            if (s_rel, s_attr) in taken_source or (t_rel, t_attr) in taken_target:
+                continue
+            taken_source.add((s_rel, s_attr))
+            taken_target.add((t_rel, t_attr))
+            result.append(
+                Correspondence(s_rel, s_attr, t_rel, t_attr, confidence=score)
+            )
+        return result

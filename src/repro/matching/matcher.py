@@ -1,0 +1,64 @@
+"""Composite matcher: combine name-, instance-, and structure-based scores."""
+
+from __future__ import annotations
+
+from ..relational.database import Database
+from .correspondence import Correspondence
+from .instance_matcher import InstanceMatcher
+from .name_matcher import NameMatcher
+
+
+class CompositeMatcher:
+    """Weighted combination of the name and instance matchers.
+
+    The weights are exposed so the source-selection example can trade
+    schema evidence against data evidence.
+    """
+
+    def __init__(
+        self,
+        name_weight: float = 0.6,
+        instance_weight: float = 0.4,
+        threshold: float = 0.6,
+    ) -> None:
+        if name_weight < 0 or instance_weight < 0:
+            raise ValueError("matcher weights must be non-negative")
+        total = name_weight + instance_weight
+        if total == 0:
+            raise ValueError("at least one matcher weight must be positive")
+        self.name_weight = name_weight / total
+        self.instance_weight = instance_weight / total
+        self.threshold = threshold
+        self._name_matcher = NameMatcher(threshold=0.0)
+        self._instance_matcher = InstanceMatcher(threshold=0.0)
+
+    def score(
+        self, source: Database, target: Database
+    ) -> dict[tuple[str, str, str, str], float]:
+        name_scores = self._name_matcher.score(source.schema, target.schema)
+        instance_scores = self._instance_matcher.score(source, target)
+        combined: dict[tuple[str, str, str, str], float] = {}
+        for key, name_score in name_scores.items():
+            combined[key] = (
+                self.name_weight * name_score
+                + self.instance_weight * instance_scores.get(key, 0.0)
+            )
+        return combined
+
+    def match(self, source: Database, target: Database) -> list[Correspondence]:
+        scores = self.score(source, target)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        taken_source: set[tuple[str, str]] = set()
+        taken_target: set[tuple[str, str]] = set()
+        result: list[Correspondence] = []
+        for (s_rel, s_attr, t_rel, t_attr), score in ranked:
+            if score < self.threshold:
+                break
+            if (s_rel, s_attr) in taken_source or (t_rel, t_attr) in taken_target:
+                continue
+            taken_source.add((s_rel, s_attr))
+            taken_target.add((t_rel, t_attr))
+            result.append(
+                Correspondence(s_rel, s_attr, t_rel, t_attr, confidence=score)
+            )
+        return result

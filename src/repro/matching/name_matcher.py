@@ -1,0 +1,148 @@
+"""Name-based schema matching.
+
+Scores attribute pairs by the similarity of their (normalised) names using
+trigram Jaccard similarity plus a Levenshtein fallback for short names.
+Used to bootstrap correspondences when none are hand-made (the paper
+assumes given correspondences but points to matchers [10] for automation).
+"""
+
+from __future__ import annotations
+
+from ..relational.schema import Schema
+from .correspondence import Correspondence
+
+_SYNONYMS = {
+    # Tiny thesaurus of the vocabulary our scenario domains use; real
+    # matchers plug in WordNet or domain ontologies here.
+    "title": {"name", "label"},
+    "name": {"title", "label"},
+    "length": {"duration", "runtime"},
+    "duration": {"length", "runtime"},
+    "artist": {"performer", "musician"},
+    "author": {"writer", "creator"},
+    "record": {"album", "release"},
+    "album": {"record", "release"},
+    "song": {"track", "tune"},
+    "track": {"song", "tune"},
+    "year": {"date", "released"},
+}
+
+
+def normalise(name: str) -> str:
+    """Lower-case and strip separators so ``artist_list`` ≈ ``artistList``."""
+    result: list[str] = []
+    for char in name:
+        if char.isalnum():
+            result.append(char.lower())
+    return "".join(result)
+
+
+def trigrams(text: str) -> set[str]:
+    padded = f"##{text}##"
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_similarity(left: str, right: str) -> float:
+    """Jaccard similarity of character trigrams of the normalised names."""
+    left_norm, right_norm = normalise(left), normalise(right)
+    if not left_norm or not right_norm:
+        return 0.0
+    if left_norm == right_norm:
+        return 1.0
+    left_set, right_set = trigrams(left_norm), trigrams(right_norm)
+    union = left_set | right_set
+    if not union:
+        return 0.0
+    return len(left_set & right_set) / len(union)
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Classic edit distance, O(len(left)·len(right))."""
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def name_similarity(left: str, right: str) -> float:
+    """Blend trigram similarity, edit distance, and the synonym table."""
+    left_norm, right_norm = normalise(left), normalise(right)
+    if left_norm and left_norm == right_norm:
+        return 1.0
+    if right_norm in _SYNONYMS.get(left_norm, ()):  # symmetric table
+        return 0.9
+    tri = trigram_similarity(left, right)
+    if max(len(left_norm), len(right_norm)) == 0:
+        return 0.0
+    edit = 1.0 - levenshtein(left_norm, right_norm) / max(
+        len(left_norm), len(right_norm)
+    )
+    return max(tri, edit * 0.8)
+
+
+class NameMatcher:
+    """Generate attribute correspondences by name similarity."""
+
+    def __init__(self, threshold: float = 0.55) -> None:
+        self.threshold = threshold
+
+    def score(
+        self,
+        source: Schema,
+        target: Schema,
+    ) -> dict[tuple[str, str, str, str], float]:
+        """Similarity score for every attribute pair.
+
+        Keys are ``(source_relation, source_attribute, target_relation,
+        target_attribute)``.  The relation-name similarity contributes a
+        small context bonus, so ``albums.name`` prefers ``records.title``
+        over ``tracks.title``.
+        """
+        scores: dict[tuple[str, str, str, str], float] = {}
+        for source_relation in source.relations:
+            for target_relation in target.relations:
+                context = name_similarity(
+                    source_relation.name, target_relation.name
+                )
+                for source_attribute in source_relation.attributes:
+                    for target_attribute in target_relation.attributes:
+                        base = name_similarity(
+                            source_attribute.name, target_attribute.name
+                        )
+                        key = (
+                            source_relation.name,
+                            source_attribute.name,
+                            target_relation.name,
+                            target_attribute.name,
+                        )
+                        scores[key] = min(1.0, 0.85 * base + 0.15 * context)
+        return scores
+
+    def match(self, source: Schema, target: Schema) -> list[Correspondence]:
+        """Stable-greedy 1:1 matching of attribute pairs above the threshold."""
+        scores = self.score(source, target)
+        ranked = sorted(
+            scores.items(), key=lambda item: (-item[1], item[0])
+        )
+        taken_source: set[tuple[str, str]] = set()
+        taken_target: set[tuple[str, str]] = set()
+        result: list[Correspondence] = []
+        for (s_rel, s_attr, t_rel, t_attr), score in ranked:
+            if score < self.threshold:
+                break
+            if (s_rel, s_attr) in taken_source or (t_rel, t_attr) in taken_target:
+                continue
+            taken_source.add((s_rel, s_attr))
+            taken_target.add((t_rel, t_attr))
+            result.append(
+                Correspondence(s_rel, s_attr, t_rel, t_attr, confidence=score)
+            )
+        return result

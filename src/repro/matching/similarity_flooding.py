@@ -1,0 +1,182 @@
+"""Similarity flooding (Melnik, Garcia-Molina, Rahm; ICDE 2002) [19].
+
+The paper leans on similarity flooding twice: as a representative matcher
+for bootstrapping correspondences and for its *match accuracy* measure —
+"how much effort it costs the user to modify the proposed match result
+into the intended result" in terms of additions and deletions — which the
+conclusions recommend as the starting point for pricing correspondence
+creation.  Both are implemented here.
+
+The algorithm: build a *pairwise connectivity graph* whose nodes are pairs
+(source element, target element) connected whenever both components are
+connected by the same edge label in their schema graphs; then propagate
+initial (name-based) similarities along the connectivity graph with the
+"basic" fixpoint formula until convergence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from ..relational.schema import Schema
+from .correspondence import Correspondence
+from .name_matcher import name_similarity
+
+PairNode = tuple[str, str]
+
+#: Edge labels of the schema-as-graph view.
+_ATTRIBUTE_EDGE = "attribute"
+_TYPE_EDGE = "type"
+
+
+def _schema_edges(schema: Schema) -> list[tuple[str, str, str]]:
+    """The schema as labelled edges: relation --attribute--> attribute node,
+    attribute --type--> datatype node."""
+    edges: list[tuple[str, str, str]] = []
+    for relation in schema.relations:
+        for attribute in relation.attributes:
+            attribute_node = f"{relation.name}.{attribute.name}"
+            edges.append((relation.name, _ATTRIBUTE_EDGE, attribute_node))
+            edges.append(
+                (attribute_node, _TYPE_EDGE, f"type:{attribute.datatype.value}")
+            )
+    return edges
+
+
+def _initial_similarity(node_a: str, node_b: str) -> float:
+    if node_a.startswith("type:") or node_b.startswith("type:"):
+        return 1.0 if node_a == node_b else 0.0
+    # Compare the trailing name component (attribute or relation name).
+    return name_similarity(node_a.rsplit(".", 1)[-1], node_b.rsplit(".", 1)[-1])
+
+
+@dataclasses.dataclass
+class FloodingResult:
+    """The fixpoint similarities plus the filtered correspondences."""
+
+    similarities: dict[PairNode, float]
+    correspondences: list[Correspondence]
+    iterations: int
+
+
+class SimilarityFlooding:
+    """The basic similarity-flooding fixpoint with 1:1 filtering."""
+
+    def __init__(
+        self,
+        threshold: float = 0.35,
+        max_iterations: int = 100,
+        epsilon: float = 1e-4,
+    ) -> None:
+        self.threshold = threshold
+        self.max_iterations = max_iterations
+        self.epsilon = epsilon
+
+    def run(self, source: Schema, target: Schema) -> FloodingResult:
+        source_edges = _schema_edges(source)
+        target_edges = _schema_edges(target)
+
+        # Pairwise connectivity graph with propagation coefficients.
+        neighbours: dict[PairNode, list[tuple[PairNode, float]]] = defaultdict(list)
+        by_label_source = defaultdict(list)
+        by_label_target = defaultdict(list)
+        for a, label, b in source_edges:
+            by_label_source[label].append((a, b))
+        for a, label, b in target_edges:
+            by_label_target[label].append((a, b))
+        out_degree: dict[PairNode, int] = defaultdict(int)
+        pcg_edges: list[tuple[PairNode, PairNode]] = []
+        for label, source_pairs in by_label_source.items():
+            for (sa, sb) in source_pairs:
+                for (ta, tb) in by_label_target.get(label, ()):  # same label
+                    pcg_edges.append(((sa, ta), (sb, tb)))
+                    pcg_edges.append(((sb, tb), (sa, ta)))
+        for origin, _ in pcg_edges:
+            out_degree[origin] += 1
+        for origin, destination in pcg_edges:
+            neighbours[origin].append((destination, 1.0 / out_degree[origin]))
+
+        nodes: set[PairNode] = set(neighbours)
+        for origin, targets in list(neighbours.items()):
+            nodes.update(destination for destination, _ in targets)
+
+        sigma0 = {node: _initial_similarity(*node) for node in nodes}
+        sigma = dict(sigma0)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            incoming: dict[PairNode, float] = defaultdict(float)
+            for origin, targets in neighbours.items():
+                contribution = sigma[origin]
+                for destination, weight in targets:
+                    incoming[destination] += contribution * weight
+            updated = {
+                node: sigma0[node] + incoming.get(node, 0.0) for node in nodes
+            }
+            peak = max(updated.values(), default=1.0)
+            if peak > 0:
+                updated = {node: value / peak for node, value in updated.items()}
+            delta = max(
+                abs(updated[node] - sigma[node]) for node in nodes
+            ) if nodes else 0.0
+            sigma = updated
+            if delta < self.epsilon:
+                break
+
+        correspondences = self._filter(source, target, sigma)
+        return FloodingResult(sigma, correspondences, iterations)
+
+    def _filter(
+        self, source: Schema, target: Schema, sigma: dict[PairNode, float]
+    ) -> list[Correspondence]:
+        """Stable-greedy 1:1 selection over attribute pairs."""
+        candidates: list[tuple[float, str, str]] = []
+        for (node_a, node_b), value in sigma.items():
+            if "." in node_a and "." in node_b and not node_a.startswith("type:"):
+                candidates.append((value, node_a, node_b))
+        candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+        taken_source: set[str] = set()
+        taken_target: set[str] = set()
+        result: list[Correspondence] = []
+        for value, node_a, node_b in candidates:
+            if value < self.threshold:
+                break
+            if node_a in taken_source or node_b in taken_target:
+                continue
+            s_rel, s_attr = node_a.split(".", 1)
+            t_rel, t_attr = node_b.split(".", 1)
+            if not (source.has_relation(s_rel) and target.has_relation(t_rel)):
+                continue
+            taken_source.add(node_a)
+            taken_target.add(node_b)
+            result.append(
+                Correspondence(s_rel, s_attr, t_rel, t_attr,
+                               confidence=min(1.0, value))
+            )
+        return result
+
+
+def match_accuracy(
+    proposed: list[Correspondence], intended: list[Correspondence]
+) -> float:
+    """Melnik et al.'s accuracy: 1 - (additions + deletions) / |intended|.
+
+    Measures "how much effort it costs the user to modify the proposed
+    match result into the intended result".  Can be negative when fixing
+    the proposal costs more than matching from scratch.
+    """
+    def key(c: Correspondence) -> tuple:
+        return (
+            c.source_relation,
+            c.source_attribute,
+            c.target_relation,
+            c.target_attribute,
+        )
+
+    proposed_keys = {key(c) for c in proposed}
+    intended_keys = {key(c) for c in intended}
+    if not intended_keys:
+        return 1.0 if not proposed_keys else 0.0
+    additions = len(intended_keys - proposed_keys)
+    deletions = len(proposed_keys - intended_keys)
+    return 1.0 - (additions + deletions) / len(intended_keys)

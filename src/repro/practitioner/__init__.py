@@ -1,0 +1,29 @@
+"""The integration practitioner simulator (ground-truth effort).
+
+See DESIGN.md §1: the paper's measured ground truth (a human integrating
+with SQL + pgAdmin, timed) is substituted by a simulator that *executes*
+the integration on the actual instances and charges an independent human
+cost model, so the estimation error of EFES and the counting baseline is
+meaningful.
+"""
+
+from .cost_model import HumanCostModel, NoisyClock
+from .simulator import (
+    MAPPING,
+    STRUCTURE,
+    VALUES,
+    ActionRecord,
+    IntegrationResult,
+    PractitionerSimulator,
+)
+
+__all__ = [
+    "ActionRecord",
+    "HumanCostModel",
+    "IntegrationResult",
+    "MAPPING",
+    "NoisyClock",
+    "PractitionerSimulator",
+    "STRUCTURE",
+    "VALUES",
+]

@@ -1,0 +1,974 @@
+"""The integration practitioner simulator: ground-truth effort measurement.
+
+The paper obtained ground truth by *actually integrating* the scenarios
+with SQL scripts and pgAdmin, measuring the execution time of each task
+(Section 6.1).  This simulator plays that practitioner: it executes the
+integration — materialises the mapping queries, converts value
+representations with the transformations a human would know how to
+script, repairs structural conflicts on the real rows, resolves
+references, generates keys, and validates the result — and charges every
+action to a :class:`~repro.practitioner.cost_model.HumanCostModel` clock.
+
+The resulting :class:`IntegrationResult` carries both the measured minutes
+(broken down like Figures 6/7) and the integrated target database, which
+is checked to satisfy all target constraints — the paper's definition of a
+completed cleaning (Section 3.4).
+
+Pipeline per (source, target table):
+
+1. *mapping* — study the joined source relations, write the query,
+   materialise one entity per base tuple (cells hold value *sets*; the
+   intermediate result is deliberately not in 1NF, cf. Example 3.2);
+2. *detached values* — source values no entity carries get enclosing
+   tuples (high quality only);
+3. *value cleaning* — convert/drop representations that do not match the
+   target column (conversion scripts are written once per correspondence);
+4. *structure cleaning* — collapse multi-valued cells, fill or reject
+   missing mandatory values (every NOT NULL attribute, mapped or not);
+5. *insert* — generate primary keys, resolve references via the key maps
+   of previously integrated tables, skip dangling references;
+6. *finalise* — validate the target and repair leftovers by deletion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import Counter
+
+from ..core.quality import ResultQuality
+from ..core.modules.mapping import join_closure
+from ..csg.convert import database_to_csg
+from ..csg.paths import match_endpoints
+from ..matching.correspondence import Correspondence, CorrespondenceSet
+from ..profiling.patterns import extract_pattern, generalize_pattern
+from ..relational.database import Database
+from ..relational.datatypes import DataType, can_cast, cast
+from ..relational.errors import TypeCastError
+from ..relational.validation import validate
+from ..scenarios.scenario import IntegrationScenario
+from .cost_model import HumanCostModel, NoisyClock
+from .sql_render import render_mapping_script
+
+MAPPING = "Mapping"
+STRUCTURE = "Cleaning (Structure)"
+VALUES = "Cleaning (Values)"
+
+
+@dataclasses.dataclass(frozen=True)
+class ActionRecord:
+    """One executed practitioner action with its (noisy) duration."""
+
+    category: str
+    action: str
+    subject: str
+    count: int
+    minutes: float
+
+
+@dataclasses.dataclass
+class IntegrationResult:
+    """The outcome of one simulated integration run."""
+
+    scenario_name: str
+    quality: ResultQuality
+    actions: list[ActionRecord]
+    target: Database
+    rejected_rows: int = 0
+    #: The mapping queries the practitioner "wrote", as real SQL
+    #: (``(target table, script)`` pairs; see sql_render).
+    scripts: list[tuple[str, str]] = dataclasses.field(default_factory=list)
+
+    @property
+    def total_minutes(self) -> float:
+        return sum(action.minutes for action in self.actions)
+
+    def breakdown(self) -> dict[str, float]:
+        totals = {MAPPING: 0.0, STRUCTURE: 0.0, VALUES: 0.0}
+        for action in self.actions:
+            totals[action.category] = (
+                totals.get(action.category, 0.0) + action.minutes
+            )
+        return totals
+
+    def actions_of(self, action: str) -> list[ActionRecord]:
+        return [record for record in self.actions if record.action == action]
+
+
+class _Entity:
+    """One future target tuple: per-attribute lists of candidate values.
+
+    Before cleaning, integrated data is conceptually not in 1NF (an album
+    may carry several artists, Example 3.2); entities make that state
+    explicit, exactly like virtual CSG instances do.
+    """
+
+    __slots__ = ("source_key", "cells", "base")
+
+    def __init__(self, source_key: object, base: str = "") -> None:
+        self.source_key = source_key
+        self.base = base
+        self.cells: dict[str, list[object]] = {}
+
+    def values(self, attribute: str) -> list[object]:
+        return self.cells.get(attribute, [])
+
+    def first(self, attribute: str) -> object:
+        values = self.cells.get(attribute)
+        return values[0] if values else None
+
+    def set_single(self, attribute: str, value: object) -> None:
+        self.cells[attribute] = [] if value is None else [value]
+
+
+class PractitionerSimulator:
+    """Executes integrations and measures the human effort they take."""
+
+    def __init__(
+        self,
+        cost_model: HumanCostModel | None = None,
+        seed: int = 42,
+    ) -> None:
+        self.cost_model = cost_model or HumanCostModel()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def integrate(
+        self, scenario: IntegrationScenario, quality: ResultQuality
+    ) -> IntegrationResult:
+        # Python's str hash is salted per process; a stable digest keeps
+        # measured efforts reproducible across runs and machines.
+        digest = hashlib.md5(
+            f"{self.seed}:{scenario.name}:{quality.value}".encode()
+        ).digest()
+        clock = NoisyClock(
+            self.cost_model.noise_sigma,
+            seed=int.from_bytes(digest[:4], "big"),
+        )
+        result = IntegrationResult(
+            scenario.name, quality, [], scenario.target.copy()
+        )
+        transformations = getattr(scenario, "known_transformations", {})
+        for source, correspondences in scenario.pairs():
+            self._integrate_source(
+                result, source, correspondences, quality, transformations, clock
+            )
+        self._finalize(result, clock)
+        return result
+
+    def _charge(
+        self,
+        result: IntegrationResult,
+        clock: NoisyClock,
+        category: str,
+        action: str,
+        subject: str,
+        minutes: float,
+        count: int = 1,
+    ) -> None:
+        result.actions.append(
+            ActionRecord(category, action, subject, count, clock.charge(minutes))
+        )
+
+    # ------------------------------------------------------------------
+    # Per-source integration
+    # ------------------------------------------------------------------
+
+    def _integrate_source(
+        self,
+        result: IntegrationResult,
+        source: Database,
+        correspondences: CorrespondenceSet,
+        quality: ResultQuality,
+        transformations: dict,
+        clock: NoisyClock,
+    ) -> None:
+        source_graph, source_instance = database_to_csg(source)
+        target_schema = result.target.schema
+        populated = list(correspondences.target_relations())
+        key_maps: dict[str, dict[object, object]] = {}
+
+        for target_table in self._dependency_order(target_schema, populated):
+            flat_correspondences = [
+                c
+                for attribute in correspondences.mapped_target_attributes(
+                    target_table
+                )
+                for c in correspondences.sources_of_attribute(
+                    target_table, attribute
+                )
+            ]
+            fk_attributes = {
+                attribute
+                for fk in target_schema.foreign_keys_of(target_table)
+                if fk.referenced in populated
+                for attribute in fk.attributes
+            }
+            bases = correspondences.identity_sources_of_relation(target_table)
+            self._charge_mapping(
+                result, clock, source, correspondences, target_table,
+                flat_correspondences, fk_attributes, bases,
+            )
+            copyable = [
+                c
+                for c in flat_correspondences
+                if c.target_attribute not in fk_attributes
+            ]
+            if not copyable:
+                continue  # pure link tables are wired inside other queries
+
+            for base in bases:
+                primary_key = source.schema.primary_key_of(base)
+                group_key = (
+                    primary_key.attributes[0]
+                    if primary_key and len(primary_key.attributes) == 1
+                    else None
+                )
+                script = render_mapping_script(
+                    source.schema,
+                    target_table,
+                    [c.target_attribute for c in copyable],
+                    base,
+                    copyable,
+                    group_key,
+                )
+                if script is not None:
+                    result.scripts.append((target_table, script))
+
+            entities, resolved = self._materialize(
+                source, source_graph, source_instance, bases,
+                flat_correspondences,
+            )
+            if not entities:
+                continue
+            if quality is ResultQuality.HIGH_QUALITY:
+                self._create_detached_tuples(
+                    result, clock, source_instance, target_table, entities,
+                    [c for c in copyable if c in resolved],
+                )
+            self._clean_values(
+                result, clock, result.target, target_table, entities,
+                [c for c in copyable if c in resolved], transformations,
+                quality,
+            )
+            self._clean_structure(
+                result, clock, target_schema, target_table, entities,
+                copyable, fk_attributes, quality,
+            )
+            self._insert(
+                result, clock, target_table, entities, fk_attributes, key_maps,
+            )
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    def _charge_mapping(
+        self,
+        result: IntegrationResult,
+        clock: NoisyClock,
+        source: Database,
+        correspondences: CorrespondenceSet,
+        target_table: str,
+        flat_correspondences: list[Correspondence],
+        fk_attributes: set[str],
+        bases: tuple[str, ...],
+    ) -> None:
+        model = self.cost_model
+        source_relations = {c.source_relation for c in flat_correspondences}
+        source_relations.update(bases)
+        resolution_relations: set[str] = set()
+        lookups = 0
+        for fk in result.target.schema.foreign_keys_of(target_table):
+            if set(fk.attributes) & fk_attributes:
+                lookups += 1
+                resolution_relations.update(
+                    correspondences.identity_sources_of_relation(fk.referenced)
+                )
+        closure = join_closure(
+            source.schema, source_relations | resolution_relations
+        )
+        joins = sum(
+            1
+            for fk in source.schema.foreign_keys()
+            if fk.relation in closure and fk.referenced in closure
+        )
+        copied = sum(
+            1
+            for c in flat_correspondences
+            if c.target_attribute not in fk_attributes
+        )
+        primary_key = result.target.schema.primary_key_of(target_table)
+        mapped_attributes = {c.target_attribute for c in flat_correspondences}
+        needs_pk = primary_key is not None and any(
+            attribute not in mapped_attributes
+            for attribute in primary_key.attributes
+        )
+        minutes = (
+            model.study_source_table * len(closure)
+            + model.write_query_base * max(len(bases), 1)
+            + model.per_join * joins
+            + model.per_copied_attribute * copied
+            + (model.generate_primary_key if needs_pk else 0.0)
+            + model.resolve_reference * lookups
+        )
+        self._charge(
+            result, clock, MAPPING, "write mapping query", target_table, minutes
+        )
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    def _materialize(
+        self,
+        source: Database,
+        source_graph,
+        source_instance,
+        bases: tuple[str, ...],
+        flat_correspondences: list[Correspondence],
+    ) -> tuple[list[_Entity], list[Correspondence]]:
+        """One entity per base tuple over all bases; returns the entities
+        plus the correspondences that were reachable from some base."""
+        entities: list[_Entity] = []
+        resolved: list[Correspondence] = []
+        for base in bases:
+            base_table = source.table(base)
+            base_entities = [
+                _Entity(source_key=(base, index), base=base)
+                for index in range(len(base_table))
+            ]
+            pk = source.schema.primary_key_of(base)
+            if pk is not None and len(pk.attributes) == 1:
+                for entity, key in zip(
+                    base_entities, base_table.column(pk.attributes[0])
+                ):
+                    entity.source_key = key
+            for correspondence in flat_correspondences:
+                matched = match_endpoints(
+                    source_graph, [base], [correspondence.source]
+                )
+                if matched is None:
+                    continue
+                if correspondence not in resolved:
+                    resolved.append(correspondence)
+                images = source_instance.image_sets(matched.path)
+                for index, entity in enumerate(base_entities):
+                    values = images.get((base, index), set())
+                    if values:
+                        entity.cells[correspondence.target_attribute] = sorted(
+                            values,
+                            key=lambda value: (str(type(value)), str(value)),
+                        )
+            entities.extend(base_entities)
+        return entities, resolved
+
+    # ------------------------------------------------------------------
+    # Detached values (Example 3.7)
+    # ------------------------------------------------------------------
+
+    def _create_detached_tuples(
+        self,
+        result: IntegrationResult,
+        clock: NoisyClock,
+        source_instance,
+        target_table: str,
+        entities: list[_Entity],
+        resolved: list[Correspondence],
+    ) -> None:
+        """Create enclosing tuples for source values no entity carries."""
+        model = self.cost_model
+        for correspondence in resolved:
+            attribute = correspondence.target_attribute
+            all_values = source_instance.elements(correspondence.source)
+            reached: set[object] = set()
+            for entity in entities:
+                reached.update(entity.values(attribute))
+            detached = sorted(
+                (value for value in all_values if value not in reached), key=str
+            )
+            if not detached:
+                continue
+            self._charge(
+                result, clock, STRUCTURE, "create tuples for detached values",
+                f"{target_table}.{attribute}", model.create_tuple_statement,
+                count=len(detached),
+            )
+            for offset, value in enumerate(detached):
+                entity = _Entity(
+                    source_key=("__detached__", attribute, offset),
+                    base="__detached__",
+                )
+                entity.set_single(attribute, value)
+                entities.append(entity)
+
+    # ------------------------------------------------------------------
+    # Value cleaning
+    # ------------------------------------------------------------------
+
+    def _clean_values(
+        self,
+        result: IntegrationResult,
+        clock: NoisyClock,
+        target: Database,
+        target_table: str,
+        entities: list[_Entity],
+        resolved: list[Correspondence],
+        transformations: dict,
+        quality: ResultQuality,
+    ) -> None:
+        model = self.cost_model
+        target_schema = target.schema
+        for correspondence in resolved:
+            attribute = correspondence.target_attribute
+            datatype = target_schema.attribute(target_table, attribute).datatype
+            values = [
+                entity.first(attribute)
+                for entity in entities
+                if entity.values(attribute)
+            ]
+            if not values:
+                continue
+            uncastable = sum(
+                1 for value in values if not can_cast(value, datatype)
+            )
+            pattern_conflict = self._pattern_conflict(
+                target, target_table, attribute, datatype, values
+            )
+            if uncastable == 0 and not pattern_conflict:
+                continue
+            transformation = transformations.get(
+                (correspondence.source, correspondence.target)
+            )
+            subject = f"{correspondence.source} -> {correspondence.target}"
+            if quality is ResultQuality.HIGH_QUALITY:
+                if transformation is not None:
+                    self._charge(
+                        result, clock, VALUES, "write conversion script",
+                        subject, model.write_conversion_script,
+                    )
+                    self._charge(
+                        result, clock, VALUES, "validate conversion",
+                        subject, model.validate_conversion,
+                    )
+                    self._apply_transformation(
+                        entities, attribute, transformation
+                    )
+                else:
+                    distinct = {
+                        str(entity.first(attribute))
+                        for entity in entities
+                        if entity.values(attribute)
+                    }
+                    self._charge(
+                        result, clock, VALUES, "fix values manually",
+                        subject, model.manual_value_fix * len(distinct),
+                        count=len(distinct),
+                    )
+                    self._coerce(entities, attribute, datatype)
+                remaining = [
+                    entity
+                    for entity in entities
+                    if entity.values(attribute)
+                    and not can_cast(entity.first(attribute), datatype)
+                ]
+                if remaining:
+                    self._reject_uncastable(
+                        result, clock, target_schema, target_table, attribute,
+                        entities, remaining,
+                    )
+            elif uncastable:
+                offending = [
+                    entity
+                    for entity in entities
+                    if entity.values(attribute)
+                    and not can_cast(entity.first(attribute), datatype)
+                ]
+                self._reject_uncastable(
+                    result, clock, target_schema, target_table, attribute,
+                    entities, offending,
+                    charge_action="drop incompatible values",
+                )
+            # else: a pure format mismatch is simply ignored at low quality.
+
+    def _pattern_conflict(
+        self,
+        target: Database,
+        target_table: str,
+        attribute: str,
+        datatype: DataType,
+        values: list[object],
+    ) -> bool:
+        """Eyeball-check the candidate values against existing target data."""
+        target_values = [
+            value
+            for value in target.table(target_table).column(attribute)
+            if value is not None
+        ]
+        if not target_values:
+            return False
+        if not datatype.is_textual:
+            # Numeric check: an order-of-magnitude mean mismatch is visible.
+            numeric = [
+                float(cast(value, DataType.FLOAT))
+                for value in values
+                if can_cast(value, DataType.FLOAT)
+            ]
+            comparable = [
+                float(cast(value, DataType.FLOAT))
+                for value in target_values
+                if can_cast(value, DataType.FLOAT)
+            ]
+            if not comparable or not numeric:
+                return False
+            target_mean = sum(comparable) / len(comparable)
+            source_mean = sum(numeric) / len(numeric)
+            if target_mean == 0 or source_mean == 0:
+                return False
+            ratio = source_mean / target_mean
+            return ratio > 5 or ratio < 0.2
+
+        def distribution(sample: list[object]) -> dict[str, float]:
+            counts = Counter(
+                generalize_pattern(extract_pattern(str(value)))
+                for value in sample
+            )
+            total = sum(counts.values())
+            if not total:
+                return {}
+            return {pattern: n / total for pattern, n in counts.items()}
+
+        castable = [
+            cast(value, datatype)
+            for value in values
+            if can_cast(value, datatype)
+        ]
+        source_distribution = distribution(castable)
+        target_distribution = distribution(target_values)
+        if not source_distribution or not target_distribution:
+            return False
+        overlap = sum(
+            min(share, target_distribution.get(pattern, 0.0))
+            for pattern, share in source_distribution.items()
+        )
+        return overlap < 0.75
+
+    @staticmethod
+    def _apply_transformation(entities, attribute: str, transformation) -> None:
+        for entity in entities:
+            values = entity.values(attribute)
+            if not values:
+                continue
+            converted = []
+            for value in values:
+                try:
+                    new_value = transformation(value)
+                except Exception:
+                    new_value = None
+                if new_value is not None:
+                    converted.append(new_value)
+            entity.cells[attribute] = converted
+
+    @staticmethod
+    def _coerce(entities, attribute: str, datatype: DataType) -> None:
+        for entity in entities:
+            values = entity.values(attribute)
+            if not values:
+                continue
+            coerced = []
+            for value in values:
+                try:
+                    coerced.append(cast(value, datatype))
+                except TypeCastError:
+                    pass
+            entity.cells[attribute] = coerced
+
+    def _reject_uncastable(
+        self,
+        result: IntegrationResult,
+        clock: NoisyClock,
+        target_schema,
+        target_table: str,
+        attribute: str,
+        entities: list[_Entity],
+        offending: list[_Entity],
+        charge_action: str = "reject unconvertible tuples",
+    ) -> None:
+        if not offending:
+            return
+        model = self.cost_model
+        self._charge(
+            result, clock, VALUES, charge_action,
+            f"{target_table}.{attribute}", model.drop_values_statement,
+            count=len(offending),
+        )
+        if target_schema.is_not_null(target_table, attribute):
+            result.rejected_rows += len(offending)
+            for entity in offending:
+                entities.remove(entity)
+        else:
+            for entity in offending:
+                entity.set_single(attribute, None)
+
+    # ------------------------------------------------------------------
+    # Structure cleaning
+    # ------------------------------------------------------------------
+
+    def _clean_structure(
+        self,
+        result: IntegrationResult,
+        clock: NoisyClock,
+        target_schema,
+        target_table: str,
+        entities: list[_Entity],
+        copyable: list[Correspondence],
+        fk_attributes: set[str],
+        quality: ResultQuality,
+    ) -> None:
+        model = self.cost_model
+        relation = target_schema.relation(target_table)
+
+        # 1. Multiple values per single-valued attribute (Example 3.2).
+        for correspondence in copyable:
+            attribute = correspondence.target_attribute
+            multi = [e for e in entities if len(e.values(attribute)) > 1]
+            if not multi:
+                continue
+            if quality is ResultQuality.HIGH_QUALITY:
+                self._charge(
+                    result, clock, STRUCTURE, "merge values",
+                    f"{target_table}.{attribute}", model.merge_value_group,
+                    count=len(multi),
+                )
+                for entity in multi:
+                    values = entity.values(attribute)
+                    if all(isinstance(value, str) for value in values):
+                        entity.set_single(attribute, ", ".join(values))
+                    else:
+                        entity.set_single(attribute, values[0])
+            else:
+                self._charge(
+                    result, clock, STRUCTURE, "keep any value",
+                    f"{target_table}.{attribute}", model.write_fix_statement,
+                    count=len(multi),
+                )
+                for entity in multi:
+                    entity.set_single(attribute, entity.values(attribute)[0])
+
+        # 2. Missing values on every NOT NULL attribute (mapped or not).
+        primary_key = target_schema.primary_key_of(target_table)
+        pk_attributes = set(primary_key.attributes) if primary_key else set()
+        for attribute_def in relation.attributes:
+            attribute = attribute_def.name
+            if attribute in pk_attributes or attribute in fk_attributes:
+                continue  # generated / resolved at insert time
+            if not target_schema.is_not_null(target_table, attribute):
+                continue
+            # Group the gap by base relation: a base that contributes *no*
+            # data at all for this attribute gets a constant default in one
+            # statement (the practitioner knows e.g. books have no venue);
+            # partial gaps and new tuples for detached values need per-value
+            # research (high quality) or tuple rejection (low effort).
+            default_fill: list[_Entity] = []
+            research: list[_Entity] = []
+            bases_here = sorted({entity.base for entity in entities})
+            for base in bases_here:
+                group = [e for e in entities if e.base == base]
+                missing = [e for e in group if not e.values(attribute)]
+                if not missing:
+                    continue
+                if len(missing) == len(group) and base != "__detached__":
+                    default_fill.extend(missing)
+                else:
+                    research.extend(missing)
+            if default_fill:
+                self._charge(
+                    result, clock, STRUCTURE, "fill with default",
+                    f"{target_table}.{attribute}", model.write_fix_statement,
+                    count=len(default_fill),
+                )
+                for entity in default_fill:
+                    entity.set_single(
+                        attribute, self._placeholder(attribute_def.datatype, 0)
+                    )
+            if not research:
+                continue
+            if quality is ResultQuality.HIGH_QUALITY:
+                self._charge(
+                    result, clock, STRUCTURE, "add missing values",
+                    f"{target_table}.{attribute}",
+                    model.inspect_and_fill_value * len(research),
+                    count=len(research),
+                )
+                for offset, entity in enumerate(research):
+                    entity.set_single(
+                        attribute,
+                        self._placeholder(attribute_def.datatype, offset),
+                    )
+            else:
+                self._charge(
+                    result, clock, STRUCTURE, "reject tuples",
+                    f"{target_table}.{attribute}", model.write_fix_statement,
+                    count=len(research),
+                )
+                result.rejected_rows += len(research)
+                for entity in research:
+                    entities.remove(entity)
+
+    @staticmethod
+    def _placeholder(datatype: DataType, offset: int):
+        """Pattern-neutral filler values (a human picks sensible defaults)."""
+        if datatype.is_numeric:
+            return 0
+        if datatype is DataType.BOOLEAN:
+            return False
+        if datatype is DataType.DATE:
+            return "1970-01-01"
+        return "unknown" if offset == 0 else f"unknown{offset}"
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def _insert(
+        self,
+        result: IntegrationResult,
+        clock: NoisyClock,
+        target_table: str,
+        entities: list[_Entity],
+        fk_attributes: set[str],
+        key_maps: dict[str, dict[object, object]],
+    ) -> None:
+        target = result.target
+        relation = target.relation(target_table)
+        schema = target.schema
+        primary_key = schema.primary_key_of(target_table)
+        single_pk = (
+            primary_key.attributes[0]
+            if primary_key and len(primary_key.attributes) == 1
+            else None
+        )
+        used_keys: set[object] = set()
+        if single_pk is not None:
+            used_keys.update(
+                value
+                for value in target.table(target_table).column(single_pk)
+                if value is not None
+            )
+        next_id = 1 + max(
+            (key for key in used_keys if isinstance(key, int)), default=0
+        )
+        key_map = key_maps.setdefault(target_table, {})
+        fk_lookup: dict[str, dict[object, object]] = {}
+        for fk in schema.foreign_keys_of(target_table):
+            if set(fk.attributes) & fk_attributes and len(fk.attributes) == 1:
+                fk_lookup[fk.attributes[0]] = key_maps.get(fk.referenced, {})
+
+        dangling = 0
+        for entity in entities:
+            row: dict[str, object] = {}
+            ok = True
+            for attribute in relation.attribute_names:
+                if attribute in fk_lookup:
+                    resolved = fk_lookup[attribute].get(entity.first(attribute))
+                    if resolved is None:
+                        ok = False
+                        break
+                    row[attribute] = resolved
+                else:
+                    value = entity.first(attribute)
+                    datatype = relation.attribute(attribute).datatype
+                    row[attribute] = (
+                        cast(value, datatype)
+                        if value is not None and can_cast(value, datatype)
+                        else None
+                    )
+            if not ok:
+                dangling += 1
+                continue
+            if single_pk is not None:
+                key = row.get(single_pk)
+                if key is None or key in used_keys:
+                    while next_id in used_keys:
+                        next_id += 1
+                    key = cast(next_id, relation.attribute(single_pk).datatype)
+                    row[single_pk] = key
+                    next_id += 1
+                used_keys.add(key)
+                key_map[entity.source_key] = key
+            target.insert(target_table, row)
+
+        if dangling:
+            self._charge(
+                result, clock, STRUCTURE, "skip dangling references",
+                target_table, self.cost_model.write_fix_statement,
+                count=dangling,
+            )
+            result.rejected_rows += dangling
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+
+    def _finalize(self, result: IntegrationResult, clock: NoisyClock) -> None:
+        """Validate the integrated target; deduplicate / prune leftovers."""
+        model = self.cost_model
+        for relation in result.target.schema.relations:
+            if len(result.target.table(relation.name)):
+                self._charge(
+                    result, clock, MAPPING, "validate result", relation.name,
+                    model.final_validation,
+                )
+        for _ in range(5):
+            violations = validate(result.target)
+            if not violations:
+                return
+            for violation in violations:
+                self._repair_violation(result, clock, violation)
+        remaining = validate(result.target)
+        if remaining:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"practitioner could not reach a valid target: {remaining[:3]}"
+            )
+
+    def _repair_violation(self, result, clock, violation) -> None:
+        """Brute-force repair of a leftover violation by deletion."""
+        from ..relational.constraints import (
+            ForeignKey,
+            FunctionalDependencyConstraint,
+            NotNull,
+            PrimaryKey,
+            Unique,
+        )
+
+        model = self.cost_model
+        constraint = violation.constraint
+        table = result.target.table(constraint.relation)
+        if isinstance(constraint, FunctionalDependencyConstraint):
+            chosen: dict[object, object] = {}
+
+            def breaks_fd(row: dict) -> bool:
+                determinant = row[constraint.determinant]
+                if determinant is None:
+                    return False
+                dependent = row[constraint.dependent]
+                if determinant not in chosen:
+                    chosen[determinant] = dependent
+                    return False
+                return chosen[determinant] != dependent
+
+            deleted = table.delete_where(breaks_fd)
+            if deleted:
+                result.rejected_rows += deleted
+                self._charge(
+                    result, clock, STRUCTURE, "resolve fd conflicts",
+                    constraint.relation, model.write_fix_statement,
+                    count=deleted,
+                )
+            return
+        if isinstance(constraint, NotNull):
+            deleted = table.delete_where(
+                lambda row: row[constraint.attribute] is None
+            )
+            action = "delete null tuples"
+        elif isinstance(constraint, (PrimaryKey, Unique)):
+            seen: set[tuple] = set()
+
+            def is_duplicate(row: dict) -> bool:
+                key = tuple(row[a] for a in constraint.attributes)
+                if any(part is None for part in key):
+                    return isinstance(constraint, PrimaryKey)
+                if key in seen:
+                    return True
+                seen.add(key)
+                return False
+
+            deleted = table.delete_where(is_duplicate)
+            action = "deduplicate tuples"
+        elif isinstance(constraint, ForeignKey):
+            referenced = result.target.table(constraint.referenced)
+            indices = [
+                referenced.relation.index_of(a)
+                for a in constraint.referenced_attributes
+            ]
+            valid_keys = {tuple(row[i] for i in indices) for row in referenced}
+            if result.quality is ResultQuality.HIGH_QUALITY:
+                # Table 4: FK violated, high quality → add referenced values.
+                missing: set[tuple] = set()
+                for row in table.dicts():
+                    key = tuple(row[a] for a in constraint.attributes)
+                    if any(part is None for part in key):
+                        continue
+                    if key not in valid_keys:
+                        missing.add(key)
+                if missing:
+                    schema = result.target.schema
+                    for offset, key in enumerate(sorted(missing, key=str)):
+                        skeleton: dict[str, object] = {}
+                        for attribute, value in zip(
+                            constraint.referenced_attributes, key
+                        ):
+                            skeleton[attribute] = value
+                        for attr_def in referenced.relation.attributes:
+                            if attr_def.name in skeleton:
+                                continue
+                            if schema.is_not_null(
+                                constraint.referenced, attr_def.name
+                            ):
+                                skeleton[attr_def.name] = self._placeholder(
+                                    attr_def.datatype, offset + 1
+                                )
+                        referenced.insert(skeleton)
+                    self._charge(
+                        result, clock, STRUCTURE, "add referenced values",
+                        constraint.referenced,
+                        model.create_tuple_statement
+                        + model.inspect_and_fill_value * len(missing),
+                        count=len(missing),
+                    )
+                return
+            def is_dangling(row: dict) -> bool:
+                key = tuple(row[a] for a in constraint.attributes)
+                if any(part is None for part in key):
+                    return False
+                return key not in valid_keys
+
+            deleted = table.delete_where(is_dangling)
+            action = "delete dangling tuples"
+        else:  # pragma: no cover - no other constraint kinds exist
+            return
+        if deleted:
+            result.rejected_rows += deleted
+            self._charge(
+                result, clock, STRUCTURE, action, constraint.relation,
+                model.write_fix_statement, count=deleted,
+            )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _dependency_order(target_schema, populated: list[str]) -> list[str]:
+        """Referenced target tables before referencing ones (stable)."""
+        remaining = list(populated)
+        ordered: list[str] = []
+        while remaining:
+            progressed = False
+            for table in list(remaining):
+                depends_on = {
+                    fk.referenced
+                    for fk in target_schema.foreign_keys_of(table)
+                    if fk.referenced in remaining and fk.referenced != table
+                }
+                if not depends_on:
+                    ordered.append(table)
+                    remaining.remove(table)
+                    progressed = True
+            if not progressed:  # FK cycle: fall back to declaration order
+                ordered.extend(remaining)
+                break
+        return ordered

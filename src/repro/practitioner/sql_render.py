@@ -1,0 +1,135 @@
+"""Render the practitioner's mapping queries as actual SQL.
+
+The simulated practitioner "writes SQL" (Section 6.1); this module renders
+those queries for real, from the same information the cost model prices:
+the FK join closure connecting the base relation to every correspondence's
+source relation.  The generated SELECT runs on the embedded SQL engine
+(one row per base tuple, multi-valued attributes collapsed with
+GROUP_CONCAT), and the full INSERT … SELECT script is what a human would
+have typed into pgAdmin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..matching.correspondence import Correspondence
+from ..relational.schema import Schema
+
+
+def _fk_edges(schema: Schema) -> dict[str, list[tuple[str, str, str]]]:
+    """relation → [(neighbour, local attr, neighbour attr)] over unary FKs."""
+    edges: dict[str, list[tuple[str, str, str]]] = {
+        relation.name: [] for relation in schema.relations
+    }
+    for fk in schema.foreign_keys():
+        if len(fk.attributes) != 1:
+            continue
+        edges[fk.relation].append(
+            (fk.referenced, fk.attributes[0], fk.referenced_attributes[0])
+        )
+        edges[fk.referenced].append(
+            (fk.relation, fk.referenced_attributes[0], fk.attributes[0])
+        )
+    return edges
+
+
+def _join_tree(
+    schema: Schema, base: str, targets: set[str]
+) -> list[tuple[str, str, str, str]] | None:
+    """Join steps [(existing rel, new rel, existing attr, new attr)] that
+    connect ``base`` to every relation in ``targets`` via FK edges."""
+    edges = _fk_edges(schema)
+    joined = {base}
+    steps: list[tuple[str, str, str, str]] = []
+    pending = set(targets) - joined
+    # Breadth-first growth of the joined set until all targets are in.
+    while pending:
+        frontier = deque(sorted(joined))
+        parent: dict[str, tuple[str, str, str]] = {}
+        visited = set(joined)
+        found = None
+        while frontier:
+            current = frontier.popleft()
+            for neighbour, local, remote in sorted(edges.get(current, ())):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                parent[neighbour] = (current, local, remote)
+                if neighbour in pending:
+                    found = neighbour
+                    frontier.clear()
+                    break
+                frontier.append(neighbour)
+        if found is None:
+            return None  # disconnected: cannot render a single query
+        # Unwind the path from the found target back into the joined set.
+        chain: list[tuple[str, str, str, str]] = []
+        node = found
+        while node not in joined:
+            origin, local, remote = parent[node]
+            chain.append((origin, node, local, remote))
+            node = origin
+        for origin, new, local, remote in reversed(chain):
+            steps.append((origin, new, local, remote))
+            joined.add(new)
+        pending -= joined
+    return steps
+
+
+def render_mapping_select(
+    schema: Schema,
+    base: str,
+    correspondences: list[Correspondence],
+    group_by_key: str | None,
+) -> str | None:
+    """The SELECT half of the mapping query for one base relation.
+
+    ``group_by_key`` is the base relation's key attribute; when any
+    correspondence reaches beyond the base relation the query groups by
+    it and collapses multi-valued attributes with GROUP_CONCAT.  Returns
+    None when the needed relations are not FK-connected.
+    """
+    relevant = [
+        c
+        for c in correspondences
+        if schema.has_relation(c.source_relation)
+    ]
+    if not relevant:
+        return None
+    targets = {c.source_relation for c in relevant}
+    steps = _join_tree(schema, base, targets - {base})
+    if steps is None:
+        return None
+
+    needs_grouping = group_by_key is not None and any(
+        c.source_relation != base for c in relevant
+    )
+    select_parts = []
+    for c in relevant:
+        column = f"{c.source_relation}.{c.source_attribute}"
+        if needs_grouping and c.source_relation != base:
+            column = f"GROUP_CONCAT(DISTINCT {column})"
+        select_parts.append(f"{column} AS {c.target_attribute}")
+    lines = [f"SELECT {', '.join(select_parts)}", f"FROM {base}"]
+    for origin, new, local, remote in steps:
+        lines.append(f"JOIN {new} ON {origin}.{local} = {new}.{remote}")
+    if needs_grouping:
+        lines.append(f"GROUP BY {base}.{group_by_key}")
+    return "\n".join(lines)
+
+
+def render_mapping_script(
+    schema: Schema,
+    target_table: str,
+    target_attributes: list[str],
+    base: str,
+    correspondences: list[Correspondence],
+    group_by_key: str | None,
+) -> str | None:
+    """The full INSERT … SELECT statement for one mapping connection."""
+    select = render_mapping_select(schema, base, correspondences, group_by_key)
+    if select is None:
+        return None
+    columns = ", ".join(target_attributes)
+    return f"INSERT INTO {target_table} ({columns})\n{select};"

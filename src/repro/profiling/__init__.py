@@ -1,0 +1,75 @@
+"""Data profiling substrate.
+
+EFES's complexity assessment "is aided by the results of schema matching
+and data profiling tools, which analyze the participating databases and
+produce metadata about them" (Section 1.2).  This package provides those
+profiling tools: the column statistics of Section 5.1, dependency
+discovery (UCCs, INDs, FDs), and schema reverse engineering for sources
+that arrive without declared constraints.
+"""
+
+from .dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    UniqueColumnCombination,
+    discover_fds,
+    discover_inds,
+    discover_uccs,
+    ind_graph,
+)
+from .patterns import dominant_pattern, extract_pattern, pattern_distribution
+from .profiler import (
+    NUMERIC_STATISTICS,
+    TEXTUAL_STATISTICS,
+    ColumnProfile,
+    profile_column,
+    profile_database,
+    reverse_engineer,
+    statistic_types_for,
+)
+from .statistics import (
+    CharacterHistogram,
+    Constancy,
+    FillStatus,
+    MeanStatistic,
+    NumericHistogram,
+    Statistic,
+    StringLengthStatistic,
+    TextPatternStatistic,
+    TopKValues,
+    ValueRange,
+    histogram_intersection,
+    shannon_entropy,
+)
+
+__all__ = [
+    "CharacterHistogram",
+    "ColumnProfile",
+    "Constancy",
+    "FillStatus",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "MeanStatistic",
+    "NUMERIC_STATISTICS",
+    "NumericHistogram",
+    "Statistic",
+    "StringLengthStatistic",
+    "TEXTUAL_STATISTICS",
+    "TextPatternStatistic",
+    "TopKValues",
+    "UniqueColumnCombination",
+    "ValueRange",
+    "discover_fds",
+    "discover_inds",
+    "discover_uccs",
+    "dominant_pattern",
+    "extract_pattern",
+    "histogram_intersection",
+    "ind_graph",
+    "pattern_distribution",
+    "profile_column",
+    "profile_database",
+    "reverse_engineer",
+    "shannon_entropy",
+    "statistic_types_for",
+]

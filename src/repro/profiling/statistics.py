@@ -1,0 +1,572 @@
+"""Column statistics of the value fit detector (Section 5.1).
+
+Each statistic type implements a common protocol:
+
+* :meth:`Statistic.compute` (classmethod) — aggregate a column of values,
+* :meth:`Statistic.importance` — how characteristic this statistic is for
+  the *target* attribute (the importance score i(S_t(τ)) ∈ [0, 1]),
+* :meth:`Statistic.fit` — to what extent a *source* statistic fits the
+  target statistic (the fit value f(S_s(τ), S_t(τ)) ∈ [0, 1]).
+
+The statistics mirror the paper's list: fill status, constancy, text
+patterns, character histogram, string length, mean, numeric histogram,
+value range, and top-k values.  Importance and fit are "specific to the
+actual statistics"; the concrete formulas below follow the paper's
+guidance where given (e.g. a single dominating text pattern ⇒ importance
+near 1; many different patterns ⇒ importance near 0) and otherwise use
+standard distribution-overlap measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+from ..relational.datatypes import DataType, can_cast, cast
+from .patterns import extract_pattern, generalize_pattern
+
+__all__ = [
+    "CharacterHistogram",
+    "Constancy",
+    "FillStatus",
+    "MeanStatistic",
+    "NumericHistogram",
+    "Statistic",
+    "StringLengthStatistic",
+    "TextPatternStatistic",
+    "TopKValues",
+    "ValueRange",
+    "histogram_intersection",
+    "shannon_entropy",
+]
+
+
+def shannon_entropy(frequencies: Sequence[float]) -> float:
+    """Shannon entropy (bits) of a discrete distribution."""
+    return -sum(p * math.log2(p) for p in frequencies if p > 0)
+
+
+def histogram_intersection(
+    left: dict[object, float], right: dict[object, float]
+) -> float:
+    """Σ min(p, q) over the union of keys — a standard overlap in [0, 1]."""
+    keys = set(left) | set(right)
+    return sum(min(left.get(key, 0.0), right.get(key, 0.0)) for key in keys)
+
+
+def _bounded(value: float) -> float:
+    return max(0.0, min(1.0, value))
+
+
+class Statistic:
+    """Protocol base class for all statistic types."""
+
+    #: Stable identifier used in reports and configuration.
+    name: str = "statistic"
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "Statistic":
+        raise NotImplementedError
+
+    def importance(self) -> float:
+        """Importance score of this statistic *as a target statistic*."""
+        raise NotImplementedError
+
+    def fit(self, source: "Statistic") -> float:
+        """Fit of ``source`` (same statistic type) into this target statistic."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Fill status
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FillStatus(Statistic):
+    """Null count plus count of values not castable to a target datatype."""
+
+    name = "fill_status"
+
+    total: int
+    nulls: int
+    uncastable: int
+
+    @classmethod
+    def compute(
+        cls, values: Sequence[object], datatype: DataType = DataType.STRING
+    ) -> "FillStatus":
+        nulls = 0
+        uncastable = 0
+        for value in values:
+            if value is None:
+                nulls += 1
+            elif not can_cast(value, datatype):
+                uncastable += 1
+        return cls(total=len(values), nulls=nulls, uncastable=uncastable)
+
+    @property
+    def filled_fraction(self) -> float:
+        """Fraction of values that are non-null *and* castable."""
+        if not self.total:
+            return 0.0
+        return (self.total - self.nulls - self.uncastable) / self.total
+
+    @property
+    def non_null_fraction(self) -> float:
+        """Fraction of values that are present, castable or not."""
+        if not self.total:
+            return 0.0
+        return (self.total - self.nulls) / self.total
+
+    @property
+    def incompatible_fraction(self) -> float:
+        if not self.total:
+            return 0.0
+        return self.uncastable / self.total
+
+    def importance(self) -> float:
+        # A near-complete target column strongly characterises the target.
+        return self.filled_fraction
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, FillStatus)
+        # The source fits if it is at least as complete as the target.
+        if self.filled_fraction == 0.0:
+            return 1.0
+        return _bounded(source.filled_fraction / self.filled_fraction)
+
+
+# ----------------------------------------------------------------------
+# Constancy
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Constancy(Statistic):
+    """Inverse of (normalised) Shannon entropy — detects discrete domains.
+
+    ``constancy`` is 1 for a constant column, 0 for an all-distinct one.
+    """
+
+    name = "constancy"
+
+    constancy: float
+    distinct_count: int
+    total: int
+
+    #: Columns with constancy above this are considered domain-restricted.
+    DOMAIN_THRESHOLD = 0.5
+    #: ... or with at most this many distinct values.
+    DOMAIN_MAX_DISTINCT = 20
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "Constancy":
+        non_null = [value for value in values if value is not None]
+        total = len(non_null)
+        counts = Counter(non_null)
+        distinct = len(counts)
+        if total <= 1 or distinct <= 1:
+            return cls(constancy=1.0, distinct_count=distinct, total=total)
+        frequencies = [count / total for count in counts.values()]
+        entropy = shannon_entropy(frequencies)
+        max_entropy = math.log2(total)
+        return cls(
+            constancy=_bounded(1.0 - entropy / max_entropy),
+            distinct_count=distinct,
+            total=total,
+        )
+
+    @property
+    def is_domain_restricted(self) -> bool:
+        """Whether the values plausibly come from a small discrete domain."""
+        if self.total == 0:
+            return False
+        if self.distinct_count <= self.DOMAIN_MAX_DISTINCT < self.total:
+            return True
+        return self.constancy >= self.DOMAIN_THRESHOLD
+
+    def importance(self) -> float:
+        return self.constancy
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, Constancy)
+        return _bounded(1.0 - abs(source.constancy - self.constancy))
+
+
+# ----------------------------------------------------------------------
+# Text patterns
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TextPatternStatistic(Statistic):
+    """Relative frequencies of string shape patterns."""
+
+    name = "text_pattern"
+
+    distribution: tuple[tuple[str, float], ...]
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "TextPatternStatistic":
+        strings = [str(value) for value in values if value is not None]
+        counts: Counter[str] = Counter(
+            extract_pattern(value) for value in strings
+        )
+        total = sum(counts.values())
+        distribution = tuple(
+            sorted(
+                ((pattern, count / total) for pattern, count in counts.items()),
+                key=lambda item: (-item[1], item[0]),
+            )
+            if total
+            else ()
+        )
+        return cls(distribution=distribution)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.distribution)
+
+    @property
+    def dominant_share(self) -> float:
+        return self.distribution[0][1] if self.distribution else 0.0
+
+    def generalized(self) -> dict[str, float]:
+        """The distribution over word-structure-collapsed patterns."""
+        distribution: dict[str, float] = {}
+        for pattern, share in self.distribution:
+            key = generalize_pattern(pattern)
+            distribution[key] = distribution.get(key, 0.0) + share
+        return distribution
+
+    def importance(self) -> float:
+        # One dominating pattern ("all values look like N:N") is a strong
+        # target characteristic; many patterns make the statistic useless.
+        return self.dominant_share
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, TextPatternStatistic)
+        if not self.distribution or not source.distribution:
+            return 1.0  # nothing to compare — vacuously fitting
+        exact = histogram_intersection(source.as_dict(), self.as_dict())
+        coarse = histogram_intersection(source.generalized(), self.generalized())
+        # Free text fits free text even when word counts differ, so the
+        # word-structure-agnostic overlap carries most of the weight; the
+        # exact overlap rewards truly identical formats.
+        return _bounded(0.2 * exact + 0.8 * coarse)
+
+
+# ----------------------------------------------------------------------
+# Character histogram
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterHistogram(Statistic):
+    """Relative occurrence of characters over all values of a column."""
+
+    name = "char_histogram"
+
+    distribution: tuple[tuple[str, float], ...]
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "CharacterHistogram":
+        counts: Counter[str] = Counter()
+        for value in values:
+            if value is None:
+                continue
+            counts.update(str(value))
+        total = sum(counts.values())
+        distribution = tuple(
+            sorted(
+                ((char, count / total) for char, count in counts.items()),
+                key=lambda item: (-item[1], item[0]),
+            )
+            if total
+            else ()
+        )
+        return cls(distribution=distribution)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.distribution)
+
+    def importance(self) -> float:
+        # Concentrated alphabets (digits + one separator) characterise the
+        # target better than free text; use inverse normalised entropy.
+        distribution = self.as_dict()
+        if len(distribution) <= 1:
+            return 1.0 if distribution else 0.0
+        entropy = shannon_entropy(list(distribution.values()))
+        return _bounded(1.0 - entropy / math.log2(len(distribution)) * 0.5)
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, CharacterHistogram)
+        if not self.distribution or not source.distribution:
+            return 1.0  # nothing to compare — vacuously fitting
+        return _bounded(
+            histogram_intersection(source.as_dict(), self.as_dict())
+        )
+
+
+# ----------------------------------------------------------------------
+# String length
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StringLengthStatistic(Statistic):
+    """Average string length and its standard deviation."""
+
+    name = "string_length"
+
+    mean: float
+    std: float
+    count: int
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "StringLengthStatistic":
+        lengths = [len(str(value)) for value in values if value is not None]
+        if not lengths:
+            return cls(mean=0.0, std=0.0, count=0)
+        mean = sum(lengths) / len(lengths)
+        variance = sum((length - mean) ** 2 for length in lengths) / len(lengths)
+        return cls(mean=mean, std=math.sqrt(variance), count=len(lengths))
+
+    def importance(self) -> float:
+        # A tight length distribution (small coefficient of variation) is a
+        # strong characteristic.
+        if self.count == 0 or self.mean == 0:
+            return 0.0
+        return _bounded(1.0 / (1.0 + self.std / self.mean * 4.0))
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, StringLengthStatistic)
+        if self.count == 0 or source.count == 0:
+            return 1.0
+        tolerance = max(self.std, 0.15 * self.mean, 0.5)
+        deviation = abs(source.mean - self.mean) / tolerance
+        return _bounded(math.exp(-0.5 * deviation))
+
+
+# ----------------------------------------------------------------------
+# Mean (numeric)
+# ----------------------------------------------------------------------
+
+
+def _numeric_values(values: Sequence[object]) -> list[float]:
+    numeric: list[float] = []
+    for value in values:
+        if value is None:
+            continue
+        if can_cast(value, DataType.FLOAT):
+            numeric.append(float(cast(value, DataType.FLOAT)))
+    return numeric
+
+
+@dataclasses.dataclass(frozen=True)
+class MeanStatistic(Statistic):
+    """Mean and standard deviation of a numeric column."""
+
+    name = "mean"
+
+    mean: float
+    std: float
+    count: int
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "MeanStatistic":
+        numeric = _numeric_values(values)
+        if not numeric:
+            return cls(mean=0.0, std=0.0, count=0)
+        mean = sum(numeric) / len(numeric)
+        variance = sum((value - mean) ** 2 for value in numeric) / len(numeric)
+        return cls(mean=mean, std=math.sqrt(variance), count=len(numeric))
+
+    def importance(self) -> float:
+        if self.count == 0:
+            return 0.0
+        scale = abs(self.mean) if self.mean else 1.0
+        return _bounded(1.0 / (1.0 + self.std / scale))
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, MeanStatistic)
+        if self.count == 0 or source.count == 0:
+            return 1.0
+        tolerance = max(self.std, abs(self.mean) * 0.1, 1e-9)
+        deviation = abs(source.mean - self.mean) / tolerance
+        return _bounded(math.exp(-0.5 * deviation))
+
+
+# ----------------------------------------------------------------------
+# Numeric histogram
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class NumericHistogram(Statistic):
+    """Equi-width histogram of a numeric column.
+
+    Bins are anchored on *this* statistic's own range; :meth:`fit` re-bins
+    the source values into the target's bins, so comparing two histograms
+    is meaningful even when the raw ranges differ.
+    """
+
+    name = "histogram"
+
+    lo: float
+    hi: float
+    bins: tuple[float, ...]
+    count: int
+
+    BIN_COUNT = 10
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "NumericHistogram":
+        numeric = _numeric_values(values)
+        if not numeric:
+            return cls(lo=0.0, hi=0.0, bins=(), count=0)
+        lo, hi = min(numeric), max(numeric)
+        counts = [0] * cls.BIN_COUNT
+        for value in numeric:
+            counts[cls._bin_index(value, lo, hi)] += 1
+        total = len(numeric)
+        return cls(
+            lo=lo,
+            hi=hi,
+            bins=tuple(count / total for count in counts),
+            count=total,
+        )
+
+    @staticmethod
+    def _bin_index(value: float, lo: float, hi: float) -> int:
+        if hi == lo:
+            return 0
+        position = (value - lo) / (hi - lo)
+        return min(int(position * NumericHistogram.BIN_COUNT),
+                   NumericHistogram.BIN_COUNT - 1)
+
+    def rebin(self, source: "NumericHistogram") -> tuple[float, ...]:
+        """Project the source distribution onto this histogram's bins;
+        source mass outside this range is dropped (it cannot overlap)."""
+        if not source.count or not self.count:
+            return ()
+        counts = [0.0] * self.BIN_COUNT
+        source_width = (source.hi - source.lo) / max(len(source.bins), 1)
+        for index, share in enumerate(source.bins):
+            midpoint = source.lo + (index + 0.5) * source_width
+            if self.lo <= midpoint <= self.hi:
+                counts[self._bin_index(midpoint, self.lo, self.hi)] += share
+        return tuple(counts)
+
+    def importance(self) -> float:
+        return 0.5 if self.count else 0.0
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, NumericHistogram)
+        if self.count == 0 or source.count == 0:
+            return 1.0
+        projected = self.rebin(source)
+        return _bounded(
+            sum(
+                min(share, projected[index])
+                for index, share in enumerate(self.bins)
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Value range
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ValueRange(Statistic):
+    """Minimum and maximum of a numeric column."""
+
+    name = "value_range"
+
+    lo: float
+    hi: float
+    count: int
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "ValueRange":
+        numeric = _numeric_values(values)
+        if not numeric:
+            return cls(lo=0.0, hi=0.0, count=0)
+        return cls(lo=min(numeric), hi=max(numeric), count=len(numeric))
+
+    def importance(self) -> float:
+        return 0.6 if self.count else 0.0
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, ValueRange)
+        if self.count == 0 or source.count == 0:
+            return 1.0
+        overlap_lo = max(self.lo, source.lo)
+        overlap_hi = min(self.hi, source.hi)
+        source_span = source.hi - source.lo
+        if source_span == 0:
+            return 1.0 if self.lo <= source.lo <= self.hi else 0.0
+        return _bounded((overlap_hi - overlap_lo) / source_span)
+
+
+# ----------------------------------------------------------------------
+# Top-k values
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TopKValues(Statistic):
+    """The k most frequent values with their relative frequencies."""
+
+    name = "top_k"
+
+    entries: tuple[tuple[object, float], ...]
+    coverage: float
+    count: int
+
+    K = 10
+
+    @classmethod
+    def compute(cls, values: Sequence[object]) -> "TopKValues":
+        non_null = [value for value in values if value is not None]
+        counts = Counter(non_null)
+        total = len(non_null)
+        if not total:
+            return cls(entries=(), coverage=0.0, count=0)
+        top = counts.most_common(cls.K)
+        entries = tuple(
+            sorted(
+                ((value, count / total) for value, count in top),
+                key=lambda item: (-item[1], str(item[0])),
+            )
+        )
+        return cls(
+            entries=entries,
+            coverage=_bounded(sum(share for _, share in entries)),
+            count=total,
+        )
+
+    def values(self) -> set[object]:
+        return {value for value, _ in self.entries}
+
+    def importance(self) -> float:
+        # Only meaningful when the top-k actually covers the column, i.e.
+        # for discrete domains; quadratic damping keeps incidental partial
+        # coverage of free-text columns from dragging the overall fit.
+        return self.coverage**2
+
+    def fit(self, source: "Statistic") -> float:
+        assert isinstance(source, TopKValues)
+        if not self.entries or not source.entries or source.coverage == 0:
+            return 1.0
+        target_values = self.values()
+        overlap = sum(
+            share for value, share in source.entries if value in target_values
+        )
+        # Normalise by the source's own top-k mass: "of the source's most
+        # frequent values, how many live in the target's domain?"
+        return _bounded(overlap / source.coverage)

@@ -1,0 +1,190 @@
+"""Minimal relational algebra over dict-shaped rows.
+
+The practitioner simulator "writes SQL" in the paper's ground-truth runs;
+here that corresponds to composing these operators.  All operators consume
+and produce lists of ``dict`` rows, which keeps intermediate results
+schema-free (important when integrated data is temporarily *not* in first
+normal form, e.g. multiple artists per record, Example 3.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+Rows = list[dict[str, object]]
+
+
+def scan(instance) -> Rows:
+    """Materialise a :class:`RelationInstance` as dict rows."""
+    return list(instance.dicts())
+
+
+def select(rows: Iterable[Mapping[str, object]], predicate: Callable) -> Rows:
+    """σ — keep the rows for which ``predicate(row)`` is truthy."""
+    return [dict(row) for row in rows if predicate(row)]
+
+
+def project(
+    rows: Iterable[Mapping[str, object]],
+    mapping: Mapping[str, str | Callable],
+) -> Rows:
+    """π with renaming — build rows with keys from ``mapping``.
+
+    Each value of ``mapping`` is either the name of an input column or a
+    callable receiving the whole input row (for computed columns).
+    """
+    result: Rows = []
+    for row in rows:
+        projected: dict[str, object] = {}
+        for out_name, source in mapping.items():
+            if callable(source):
+                projected[out_name] = source(row)
+            else:
+                projected[out_name] = row.get(source)
+        result.append(projected)
+    return result
+
+
+def rename(rows: Iterable[Mapping[str, object]], renames: Mapping[str, str]) -> Rows:
+    """ρ — rename columns; unmentioned columns pass through."""
+    result: Rows = []
+    for row in rows:
+        result.append({renames.get(key, key): value for key, value in row.items()})
+    return result
+
+
+def natural_join(
+    left: Sequence[Mapping[str, object]],
+    right: Sequence[Mapping[str, object]],
+    left_key: str,
+    right_key: str,
+    how: str = "inner",
+) -> Rows:
+    """⋈ — equi-join on ``left[left_key] == right[right_key]``.
+
+    ``how`` is ``"inner"`` or ``"left"`` (left-outer, padding with NULLs).
+    NULL keys never join, like in SQL.  Column collisions keep the left
+    value and expose the right one under ``<name>_r``.
+    """
+    if how not in ("inner", "left"):
+        raise ValueError(f"unsupported join type: {how!r}")
+    index: dict[object, list[Mapping[str, object]]] = defaultdict(list)
+    for row in right:
+        key = row.get(right_key)
+        if key is not None:
+            index[key].append(row)
+    right_columns = set()
+    for row in right:
+        right_columns.update(row)
+    result: Rows = []
+    for row in left:
+        key = row.get(left_key)
+        matches = index.get(key, []) if key is not None else []
+        if matches:
+            for match in matches:
+                joined = dict(row)
+                for column, value in match.items():
+                    if column in joined and column != left_key:
+                        joined[f"{column}_r"] = value
+                    else:
+                        joined.setdefault(column, value)
+                result.append(joined)
+        elif how == "left":
+            joined = dict(row)
+            for column in right_columns:
+                target = f"{column}_r" if column in joined else column
+                joined.setdefault(target, None)
+            result.append(joined)
+    return result
+
+
+def group_by(
+    rows: Iterable[Mapping[str, object]],
+    keys: Sequence[str],
+    aggregates: Mapping[str, Callable[[list], object]] | None = None,
+) -> Rows:
+    """γ — group rows on ``keys`` and apply per-group aggregates.
+
+    Each aggregate callable receives the list of rows of its group.
+    """
+    groups: dict[tuple, list[Mapping[str, object]]] = defaultdict(list)
+    for row in rows:
+        groups[tuple(row.get(key) for key in keys)].append(row)
+    result: Rows = []
+    for key_values, members in groups.items():
+        out: dict[str, object] = dict(zip(keys, key_values))
+        if aggregates:
+            for name, aggregate in aggregates.items():
+                out[name] = aggregate([dict(member) for member in members])
+        result.append(out)
+    return result
+
+
+def distinct(rows: Iterable[Mapping[str, object]]) -> Rows:
+    """δ — remove exact duplicate rows, preserving first-seen order."""
+    seen: set[tuple] = set()
+    result: Rows = []
+    for row in rows:
+        key = tuple(sorted(row.items(), key=lambda item: item[0]))
+        try:
+            fresh = key not in seen
+        except TypeError:  # unhashable value; fall back to linear scan
+            fresh = dict(row) not in result
+            key = None
+        if fresh:
+            if key is not None:
+                seen.add(key)
+            result.append(dict(row))
+    return result
+
+
+def union_all(*row_sets: Sequence[Mapping[str, object]]) -> Rows:
+    """∪ (bag semantics) — concatenate row sets."""
+    result: Rows = []
+    for rows in row_sets:
+        result.extend(dict(row) for row in rows)
+    return result
+
+
+def aggregate_column(column: str, how: str = "first") -> Callable[[list], object]:
+    """Build a common aggregate for :func:`group_by`.
+
+    ``how`` is one of ``first``, ``count``, ``count_nonnull``, ``min``,
+    ``max``, ``concat`` (comma-separated string of non-null values).
+    """
+    def _first(rows: list) -> object:
+        return rows[0].get(column) if rows else None
+
+    def _count(rows: list) -> object:
+        return len(rows)
+
+    def _count_nonnull(rows: list) -> object:
+        return sum(1 for row in rows if row.get(column) is not None)
+
+    def _min(rows: list) -> object:
+        values = [row.get(column) for row in rows if row.get(column) is not None]
+        return min(values) if values else None
+
+    def _max(rows: list) -> object:
+        values = [row.get(column) for row in rows if row.get(column) is not None]
+        return max(values) if values else None
+
+    def _concat(rows: list) -> object:
+        values = [
+            str(row.get(column)) for row in rows if row.get(column) is not None
+        ]
+        return ", ".join(values) if values else None
+
+    implementations = {
+        "first": _first,
+        "count": _count,
+        "count_nonnull": _count_nonnull,
+        "min": _min,
+        "max": _max,
+        "concat": _concat,
+    }
+    try:
+        return implementations[how]
+    except KeyError:
+        raise ValueError(f"unsupported aggregate: {how!r}") from None

@@ -1,0 +1,196 @@
+"""Schema constraints: primary keys, foreign keys, NOT NULL, UNIQUE.
+
+These are the constraint kinds the paper's running example uses (Fig. 2a)
+and the ones the CSG conversion of Section 4.1 encodes as prescribed
+cardinalities.  Constraints are immutable value objects attached to a
+:class:`~repro.relational.schema.Schema`; checking them against data lives
+in :mod:`repro.relational.validation`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from .errors import ConstraintError
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraint:
+    """Base class of all schema constraints.
+
+    ``relation`` names the constrained relation; subclasses add the
+    attribute-level details.
+    """
+
+    relation: str
+
+    @property
+    def kind(self) -> str:
+        """A short, stable identifier of the constraint family."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """A human-readable one-line description."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class NotNull(Constraint):
+    """``attribute`` of ``relation`` must not contain SQL NULLs."""
+
+    attribute: str
+
+    @property
+    def kind(self) -> str:
+        return "not_null"
+
+    def describe(self) -> str:
+        return f"NOT NULL {self.relation}.{self.attribute}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Unique(Constraint):
+    """The (possibly composite) ``attributes`` of ``relation`` are unique.
+
+    Tuples containing a NULL in any of the attributes are exempt, like in
+    SQL.
+    """
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ConstraintError("a UNIQUE constraint needs >= 1 attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ConstraintError(
+                f"duplicate attribute in UNIQUE({', '.join(self.attributes)})"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "unique"
+
+    def describe(self) -> str:
+        attrs = ", ".join(self.attributes)
+        return f"UNIQUE {self.relation}({attrs})"
+
+
+@dataclasses.dataclass(frozen=True)
+class PrimaryKey(Constraint):
+    """Primary key: unique and not-null over ``attributes``."""
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ConstraintError("a PRIMARY KEY needs >= 1 attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ConstraintError(
+                f"duplicate attribute in PK({', '.join(self.attributes)})"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "primary_key"
+
+    def describe(self) -> str:
+        attrs = ", ".join(self.attributes)
+        return f"PRIMARY KEY {self.relation}({attrs})"
+
+    def implied_constraints(self) -> tuple[Constraint, ...]:
+        """The UNIQUE + NOT NULL constraints a primary key entails."""
+        implied: list[Constraint] = [Unique(self.relation, self.attributes)]
+        implied.extend(
+            NotNull(self.relation, attribute) for attribute in self.attributes
+        )
+        return tuple(implied)
+
+
+@dataclasses.dataclass(frozen=True)
+class ForeignKey(Constraint):
+    """``relation.attributes`` references ``referenced.referenced_attributes``.
+
+    Follows SQL semantics: a referencing tuple with a NULL in any FK
+    attribute is exempt; otherwise the referenced combination must exist.
+    """
+
+    attributes: tuple[str, ...]
+    referenced: str
+    referenced_attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ConstraintError("a FOREIGN KEY needs >= 1 attribute")
+        if len(self.attributes) != len(self.referenced_attributes):
+            raise ConstraintError(
+                "FOREIGN KEY arity mismatch: "
+                f"{len(self.attributes)} referencing vs "
+                f"{len(self.referenced_attributes)} referenced attributes"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "foreign_key"
+
+    def describe(self) -> str:
+        lhs = ", ".join(self.attributes)
+        rhs = ", ".join(self.referenced_attributes)
+        return (
+            f"FOREIGN KEY {self.relation}({lhs}) "
+            f"REFERENCES {self.referenced}({rhs})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionalDependencyConstraint(Constraint):
+    """``determinant → dependent`` within one relation.
+
+    Unary on both sides; n-ary determinants can be expressed through the
+    CSG join operator but are not needed by the shipped modules.  NULL
+    determinant values are exempt, like in most FD semantics over SQL.
+    """
+
+    determinant: str
+    dependent: str
+
+    def __post_init__(self) -> None:
+        if self.determinant == self.dependent:
+            raise ConstraintError("trivial FD: determinant equals dependent")
+
+    @property
+    def kind(self) -> str:
+        return "functional_dependency"
+
+    def describe(self) -> str:
+        return f"FD {self.relation}.{self.determinant} -> {self.dependent}"
+
+
+def foreign_key(
+    relation: str,
+    attributes: Sequence[str] | str,
+    referenced: str,
+    referenced_attributes: Sequence[str] | str,
+) -> ForeignKey:
+    """Convenience factory accepting single attribute names or sequences."""
+    if isinstance(attributes, str):
+        attributes = (attributes,)
+    if isinstance(referenced_attributes, str):
+        referenced_attributes = (referenced_attributes,)
+    return ForeignKey(
+        relation, tuple(attributes), referenced, tuple(referenced_attributes)
+    )
+
+
+def primary_key(relation: str, attributes: Sequence[str] | str) -> PrimaryKey:
+    """Convenience factory accepting a single attribute name or a sequence."""
+    if isinstance(attributes, str):
+        attributes = (attributes,)
+    return PrimaryKey(relation, tuple(attributes))
+
+
+def unique(relation: str, attributes: Sequence[str] | str) -> Unique:
+    """Convenience factory accepting a single attribute name or a sequence."""
+    if isinstance(attributes, str):
+        attributes = (attributes,)
+    return Unique(relation, tuple(attributes))

@@ -1,0 +1,109 @@
+"""CSV import/export for relation instances.
+
+Sources often arrive as plain dumps without schema definitions
+(Section 3.1); :func:`load_relation` pairs with
+:func:`repro.profiling.types.infer_relation_types` and the dependency
+discovery in :mod:`repro.profiling.dependencies` to reverse-engineer a
+usable schema from such dumps.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from .datatypes import DataType, cast, infer_datatype
+from .errors import InstanceError
+from .instance import RelationInstance
+from .schema import Attribute, Relation
+
+NULL_TOKEN = ""
+
+
+def dump_relation(instance: RelationInstance, path: str | Path) -> None:
+    """Write a relation instance as a CSV file with a header row."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        _write(instance, handle)
+
+
+def dumps_relation(instance: RelationInstance) -> str:
+    """Render a relation instance as CSV text."""
+    buffer = io.StringIO()
+    _write(instance, buffer)
+    return buffer.getvalue()
+
+
+def _write(instance: RelationInstance, handle) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(instance.relation.attribute_names)
+    for row in instance:
+        writer.writerow(
+            [NULL_TOKEN if value is None else value for value in row]
+        )
+
+
+def load_relation(
+    path: str | Path,
+    name: str | None = None,
+    relation: Relation | None = None,
+) -> RelationInstance:
+    """Load a CSV file into a relation instance.
+
+    When ``relation`` is given, values are cast to its attribute types;
+    otherwise the attribute types are inferred from the data (schema
+    reverse engineering for dumps).
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        return loads_relation(
+            handle.read(), name=name or Path(path).stem, relation=relation
+        )
+
+
+def loads_relation(
+    text: str,
+    name: str = "relation",
+    relation: Relation | None = None,
+) -> RelationInstance:
+    """Parse CSV text into a relation instance (see :func:`load_relation`)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise InstanceError("CSV input is empty; a header row is required") from None
+    raw_rows = [
+        [None if cell == NULL_TOKEN else cell for cell in row] for row in reader
+    ]
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise InstanceError(
+                f"CSV row arity {len(row)} does not match header arity "
+                f"{len(header)}"
+            )
+    if relation is None:
+        relation = _infer_relation(name, header, raw_rows)
+    instance = RelationInstance(relation)
+    for row in raw_rows:
+        instance.insert(
+            [
+                cast(value, attribute.datatype)
+                for value, attribute in zip(row, relation.attributes)
+            ]
+        )
+    return instance
+
+
+def _infer_relation(
+    name: str, header: list[str], rows: list[list[object]]
+) -> Relation:
+    attributes = []
+    for index, attribute_name in enumerate(header):
+        column = [row[index] for row in rows]
+        datatype = infer_datatype(column)
+        if datatype == DataType.BOOLEAN and all(
+            value is None or str(value) in ("0", "1") for value in column
+        ):
+            # Bare 0/1 columns are far more often numeric codes than flags.
+            datatype = DataType.INTEGER
+        attributes.append(Attribute(attribute_name, datatype))
+    return Relation(name, attributes)

@@ -1,0 +1,184 @@
+"""Datatypes of the relational substrate and the casting rules between them.
+
+The paper's prototype reads PostgreSQL databases; this substrate keeps the
+same small set of SQL-ish datatypes.  Two operations matter for EFES:
+
+* :func:`cast` — convert a raw value to a datatype (the value-fit detector
+  counts values that *cannot* be cast to the target attribute's datatype,
+  Section 5.1 "fill status").
+* :func:`infer_datatype` — guess the datatype of a column of raw values
+  (used by schema reverse engineering when a source arrives as a dump
+  without a schema, Section 3.1 "Completeness").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Iterable
+
+from .errors import TypeCastError
+
+
+class DataType(enum.Enum):
+    """SQL-style datatypes supported by the substrate."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type support arithmetic statistics."""
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @property
+    def is_textual(self) -> bool:
+        """Whether values of this type are compared as character strings."""
+        return self in (DataType.STRING, DataType.DATE)
+
+
+_TRUE_LITERALS = frozenset({"true", "t", "yes", "y", "1"})
+_FALSE_LITERALS = frozenset({"false", "f", "no", "n", "0"})
+
+
+def _cast_integer(value: object) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value) and value == int(value):
+            return int(value)
+        raise TypeCastError(value, DataType.INTEGER)
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise TypeCastError(value, DataType.INTEGER) from exc
+    raise TypeCastError(value, DataType.INTEGER)
+
+
+def _cast_float(value: object) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            result = float(text)
+        except ValueError as exc:
+            raise TypeCastError(value, DataType.FLOAT) from exc
+        if math.isfinite(result):
+            return result
+        raise TypeCastError(value, DataType.FLOAT)
+    raise TypeCastError(value, DataType.FLOAT)
+
+
+def _cast_string(value: object) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    raise TypeCastError(value, DataType.STRING)
+
+
+def _cast_boolean(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text in _TRUE_LITERALS:
+            return True
+        if text in _FALSE_LITERALS:
+            return False
+    raise TypeCastError(value, DataType.BOOLEAN)
+
+
+def _is_date_text(text: str) -> bool:
+    """Check ISO-8601 ``YYYY-MM-DD`` shape without importing datetime."""
+    parts = text.split("-")
+    if len(parts) != 3:
+        return False
+    year, month, day = parts
+    if not (year.isdigit() and month.isdigit() and day.isdigit()):
+        return False
+    if len(year) != 4 or len(month) != 2 or len(day) != 2:
+        return False
+    return 1 <= int(month) <= 12 and 1 <= int(day) <= 31
+
+
+def _cast_date(value: object) -> str:
+    if isinstance(value, str):
+        text = value.strip()
+        if _is_date_text(text):
+            return text
+    raise TypeCastError(value, DataType.DATE)
+
+
+_CASTERS = {
+    DataType.INTEGER: _cast_integer,
+    DataType.FLOAT: _cast_float,
+    DataType.STRING: _cast_string,
+    DataType.BOOLEAN: _cast_boolean,
+    DataType.DATE: _cast_date,
+}
+
+
+def cast(value: object, datatype: DataType) -> object:
+    """Cast ``value`` to ``datatype``.
+
+    ``None`` (SQL NULL) passes through unchanged.  Raises
+    :class:`~repro.relational.errors.TypeCastError` when the value cannot
+    be represented in the target type.
+    """
+    if value is None:
+        return None
+    return _CASTERS[datatype](value)
+
+
+def can_cast(value: object, datatype: DataType) -> bool:
+    """Whether :func:`cast` would succeed for ``value`` and ``datatype``."""
+    try:
+        cast(value, datatype)
+    except TypeCastError:
+        return False
+    return True
+
+
+def infer_datatype(values: Iterable[object]) -> DataType:
+    """Infer the most specific datatype that accommodates all ``values``.
+
+    Nulls are ignored.  The preference order is BOOLEAN < INTEGER < FLOAT <
+    DATE < STRING; an empty (or all-null) column defaults to STRING, the
+    most permissive type.
+    """
+    candidates = [
+        DataType.BOOLEAN,
+        DataType.INTEGER,
+        DataType.FLOAT,
+        DataType.DATE,
+        DataType.STRING,
+    ]
+    seen_any = False
+    for value in values:
+        if value is None:
+            continue
+        seen_any = True
+        candidates = [dt for dt in candidates if can_cast(value, dt)]
+        if candidates == [DataType.STRING]:
+            break
+    if not seen_any or not candidates:
+        return DataType.STRING
+    return candidates[0]

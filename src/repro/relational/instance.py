@@ -1,0 +1,196 @@
+"""Relation and database instances: the tuples behind the schemas.
+
+Instances are deliberately simple — lists of value tuples — because every
+consumer in this library (profiling statistics, CSG cardinality counting,
+practitioner simulation) scans columns or joins relations wholesale rather
+than doing point lookups.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from .datatypes import cast
+from .errors import InstanceError, UnknownRelationError
+from .schema import Relation, Schema
+
+Row = tuple[object, ...]
+
+
+class RelationInstance:
+    """The tuples of one relation."""
+
+    def __init__(self, relation: Relation, rows: Iterable[Sequence[object]] = ()) -> None:
+        self.relation = relation
+        self._rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Sequence[object] | Mapping[str, object]) -> Row:
+        """Insert a tuple, casting values to the attribute datatypes.
+
+        Accepts either a positional sequence or a name→value mapping;
+        missing attributes in a mapping become NULL.
+        """
+        if isinstance(row, Mapping):
+            values = [row.get(name) for name in self.relation.attribute_names]
+            unknown = set(row) - set(self.relation.attribute_names)
+            if unknown:
+                raise InstanceError(
+                    f"unknown attributes for {self.relation.name!r}: "
+                    f"{sorted(unknown)}"
+                )
+        else:
+            values = list(row)
+            if len(values) != self.relation.arity():
+                raise InstanceError(
+                    f"arity mismatch for {self.relation.name!r}: expected "
+                    f"{self.relation.arity()}, got {len(values)}"
+                )
+        typed = tuple(
+            cast(value, attribute.datatype)
+            for value, attribute in zip(values, self.relation.attributes)
+        )
+        self._rows.append(typed)
+        return typed
+
+    def insert_all(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def delete_where(self, predicate) -> int:
+        """Delete tuples matching ``predicate(row_dict)``; returns the count."""
+        keep: list[Row] = []
+        deleted = 0
+        for row in self._rows:
+            if predicate(self.row_dict(row)):
+                deleted += 1
+            else:
+                keep.append(row)
+        self._rows = keep
+        return deleted
+
+    def update_where(self, predicate, updates: Mapping[str, object]) -> int:
+        """Set ``updates`` on tuples matching ``predicate``; returns the count."""
+        indices = [self.relation.index_of(name) for name in updates]
+        new_values = [
+            cast(value, self.relation.attributes[index].datatype)
+            for index, value in zip(indices, updates.values())
+        ]
+        updated = 0
+        for position, row in enumerate(self._rows):
+            if not predicate(self.row_dict(row)):
+                continue
+            mutable = list(row)
+            for index, value in zip(indices, new_values):
+                mutable[index] = value
+            self._rows[position] = tuple(mutable)
+            updated += 1
+        return updated
+
+    def map_column(self, attribute_name: str, transform) -> int:
+        """Apply ``transform(value)`` to every non-null value of a column."""
+        index = self.relation.index_of(attribute_name)
+        datatype = self.relation.attributes[index].datatype
+        changed = 0
+        for position, row in enumerate(self._rows):
+            value = row[index]
+            if value is None:
+                continue
+            new_value = cast(transform(value), datatype)
+            if new_value != value:
+                mutable = list(row)
+                mutable[index] = new_value
+                self._rows[position] = tuple(mutable)
+                changed += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def row_dict(self, row: Row) -> dict[str, object]:
+        return dict(zip(self.relation.attribute_names, row))
+
+    def dicts(self) -> Iterator[dict[str, object]]:
+        for row in self._rows:
+            yield self.row_dict(row)
+
+    def column(self, attribute_name: str) -> list[object]:
+        """All values (including NULLs) of one attribute, in tuple order."""
+        index = self.relation.index_of(attribute_name)
+        return [row[index] for row in self._rows]
+
+    def distinct(self, attribute_name: str) -> set[object]:
+        """The distinct non-null values of one attribute."""
+        return {
+            value for value in self.column(attribute_name) if value is not None
+        }
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationInstance({self.relation.name!r}, {len(self._rows)} rows)"
+        )
+
+
+class DatabaseInstance:
+    """Instances for every relation of a schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._instances: dict[str, RelationInstance] = {
+            relation.name: RelationInstance(relation)
+            for relation in schema.relations
+        }
+
+    def register(self, relation: Relation) -> RelationInstance:
+        """Register a relation added to the schema after construction
+        (e.g. by a SQL ``CREATE TABLE``)."""
+        if relation.name in self._instances:
+            raise InstanceError(
+                f"relation {relation.name!r} is already registered"
+            )
+        instance = RelationInstance(relation)
+        self._instances[relation.name] = instance
+        return instance
+
+    def __getitem__(self, relation_name: str) -> RelationInstance:
+        try:
+            return self._instances[relation_name]
+        except KeyError:
+            raise UnknownRelationError(relation_name) from None
+
+    def __contains__(self, relation_name: str) -> bool:
+        return relation_name in self._instances
+
+    def __iter__(self) -> Iterator[RelationInstance]:
+        return iter(self._instances.values())
+
+    def insert(self, relation_name: str, row: Sequence[object] | Mapping[str, object]) -> Row:
+        return self[relation_name].insert(row)
+
+    def insert_all(self, relation_name: str, rows: Iterable[Sequence[object]]) -> None:
+        self[relation_name].insert_all(rows)
+
+    def total_rows(self) -> int:
+        return sum(len(instance) for instance in self._instances.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseInstance({self.schema.name!r}, "
+            f"{self.total_rows()} rows over {len(self._instances)} relations)"
+        )

@@ -1,0 +1,35 @@
+"""A SQL subset over the in-memory relational engine.
+
+The paper's prototype "relies on simple SQL queries only for the analysis
+of the data" (Section 6.2) and its ground truth was produced with
+hand-written SQL; this package provides that interface for the embedded
+engine: SELECT (joins, WHERE, GROUP BY/HAVING, ORDER BY, LIMIT,
+aggregates incl. GROUP_CONCAT), INSERT, UPDATE, DELETE, and CREATE TABLE
+with inline or table-level constraints.
+
+>>> from repro.relational.sql import query
+>>> query(db, "SELECT artist, COUNT(*) AS n FROM records GROUP BY artist")
+"""
+
+from .ast import Select, Statement
+from .ddl import relation_to_ddl, schema_to_ddl, split_statements
+from .executor import execute, execute_select, query
+from .lexer import SqlError, Token, TokenType, tokenize
+from .parser import Parser, parse
+
+__all__ = [
+    "Parser",
+    "Select",
+    "SqlError",
+    "Statement",
+    "Token",
+    "TokenType",
+    "execute",
+    "relation_to_ddl",
+    "schema_to_ddl",
+    "split_statements",
+    "execute_select",
+    "parse",
+    "query",
+    "tokenize",
+]

@@ -1,0 +1,169 @@
+"""AST nodes for the SQL subset."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Literal(Expression):
+    value: object  # int, float, str, bool, or None
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Star(Expression):
+    table: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class BinaryOp(Expression):
+    operator: str  # =, <>, <, <=, >, >=, AND, OR, +, -, *, /, LIKE, ||
+    left: Expression
+    right: Expression
+
+
+@dataclasses.dataclass(frozen=True)
+class UnaryOp(Expression):
+    operator: str  # NOT, -
+    operand: Expression
+
+
+@dataclasses.dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class InList(Expression):
+    operand: Expression
+    options: tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Aggregate(Expression):
+    function: str  # COUNT, SUM, AVG, MIN, MAX, GROUP_CONCAT
+    argument: Expression | Star
+    distinct: bool = False
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def exposed_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: Expression
+    kind: str = "inner"  # "inner" or "left"
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    source: TableRef | None
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    select: "Select | None" = None  # INSERT ... SELECT form
+
+
+@dataclasses.dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expression | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    datatype: str
+    primary_key: bool = False
+    not_null: bool = False
+    unique: bool = False
+    references: tuple[str, str] | None = None  # (table, column)
+
+
+@dataclasses.dataclass(frozen=True)
+class TableConstraint:
+    kind: str  # primary_key, unique, foreign_key
+    columns: tuple[str, ...]
+    references: tuple[str, tuple[str, ...]] | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    constraints: tuple[TableConstraint, ...] = ()
+
+
+Statement = Select | Insert | Update | Delete | CreateTable

@@ -1,0 +1,155 @@
+"""DDL generation: render a schema as CREATE TABLE statements.
+
+The output is valid input for this package's own parser, so schemas
+round-trip through SQL text (functional dependencies, which standard DDL
+cannot express, are emitted as comments and therefore do not survive the
+round trip — mirror them separately if you need them).
+"""
+
+from __future__ import annotations
+
+from ..constraints import (
+    FunctionalDependencyConstraint,
+    NotNull,
+    Unique,
+)
+from ..datatypes import DataType
+from ..schema import Schema
+
+_TYPE_NAMES = {
+    DataType.INTEGER: "INTEGER",
+    DataType.FLOAT: "FLOAT",
+    DataType.STRING: "TEXT",
+    DataType.BOOLEAN: "BOOLEAN",
+    DataType.DATE: "DATE",
+}
+
+
+def relation_to_ddl(schema: Schema, relation_name: str) -> str:
+    """CREATE TABLE text for one relation of the schema."""
+    relation = schema.relation(relation_name)
+    single_pk = None
+    composite_pk = None
+    primary_key = schema.primary_key_of(relation_name)
+    if primary_key is not None:
+        if len(primary_key.attributes) == 1:
+            single_pk = primary_key.attributes[0]
+        else:
+            composite_pk = primary_key.attributes
+
+    single_fk: dict[str, tuple[str, str]] = {}
+    composite_fks = []
+    for fk in schema.foreign_keys_of(relation_name):
+        if len(fk.attributes) == 1:
+            single_fk[fk.attributes[0]] = (
+                fk.referenced,
+                fk.referenced_attributes[0],
+            )
+        else:
+            composite_fks.append(fk)
+
+    single_uniques = {
+        c.attributes[0]
+        for c in schema.constraints_on(relation_name)
+        if isinstance(c, Unique) and len(c.attributes) == 1
+    }
+    composite_uniques = [
+        c
+        for c in schema.constraints_on(relation_name)
+        if isinstance(c, Unique) and len(c.attributes) > 1
+    ]
+    not_nulls = {
+        c.attribute
+        for c in schema.constraints_on(relation_name)
+        if isinstance(c, NotNull)
+    }
+
+    lines: list[str] = []
+    for attribute in relation.attributes:
+        parts = [f"    {attribute.name} {_TYPE_NAMES[attribute.datatype]}"]
+        if attribute.name == single_pk:
+            parts.append("PRIMARY KEY")
+        elif attribute.name in not_nulls:
+            parts.append("NOT NULL")
+        if attribute.name in single_uniques:
+            parts.append("UNIQUE")
+        if attribute.name in single_fk:
+            referenced, referenced_attribute = single_fk[attribute.name]
+            parts.append(f"REFERENCES {referenced}({referenced_attribute})")
+        lines.append(" ".join(parts))
+    if composite_pk:
+        lines.append(f"    PRIMARY KEY ({', '.join(composite_pk)})")
+    for constraint in composite_uniques:
+        lines.append(f"    UNIQUE ({', '.join(constraint.attributes)})")
+    for fk in composite_fks:
+        lines.append(
+            f"    FOREIGN KEY ({', '.join(fk.attributes)}) REFERENCES "
+            f"{fk.referenced}({', '.join(fk.referenced_attributes)})"
+        )
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {relation_name} (\n{body}\n);"
+
+
+def schema_to_ddl(schema: Schema) -> str:
+    """CREATE TABLE statements for the whole schema, dependency-ordered
+    so every REFERENCES target is created before its referrers."""
+    remaining = list(schema.relation_names)
+    ordered: list[str] = []
+    while remaining:
+        progressed = False
+        for name in list(remaining):
+            depends_on = {
+                fk.referenced
+                for fk in schema.foreign_keys_of(name)
+                if fk.referenced in remaining and fk.referenced != name
+            }
+            if not depends_on:
+                ordered.append(name)
+                remaining.remove(name)
+                progressed = True
+        if not progressed:  # FK cycle: emit the rest in declaration order
+            ordered.extend(remaining)
+            break
+    statements = [relation_to_ddl(schema, name) for name in ordered]
+    comments = [
+        f"-- {c.describe()} (not expressible in this DDL subset)"
+        for c in schema.constraints
+        if isinstance(c, FunctionalDependencyConstraint)
+    ]
+    return "\n\n".join(statements + comments) + "\n"
+
+
+def split_statements(script: str) -> list[str]:
+    """Split a DDL/DML script on top-level semicolons (comment-aware)."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    index = 0
+    while index < len(script):
+        char = script[index]
+        if in_string:
+            current.append(char)
+            if char == "'":
+                if index + 1 < len(script) and script[index + 1] == "'":
+                    current.append("'")
+                    index += 1
+                else:
+                    in_string = False
+        elif script.startswith("--", index):
+            newline = script.find("\n", index)
+            index = len(script) - 1 if newline == -1 else newline
+        elif char == "'":
+            in_string = True
+            current.append(char)
+        elif char == ";":
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements

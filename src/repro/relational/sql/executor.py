@@ -1,0 +1,696 @@
+"""Executor: run parsed SQL statements against a Database.
+
+SELECT statements return lists of dict rows; INSERT/UPDATE/DELETE return
+the number of affected rows; CREATE TABLE returns 0 after registering the
+new relation and its constraints.
+
+Semantics follow SQL where it matters for analysis queries: three-valued
+logic for NULLs in predicates, NULL-exempt aggregates, NULLs sorted
+first, LIKE with ``%``/``_`` wildcards.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..constraints import (
+    NotNull,
+    PrimaryKey,
+    Unique,
+    foreign_key,
+)
+from ..database import Database
+from ..datatypes import DataType
+from ..schema import Attribute, Relation
+from .ast import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    Expression,
+    InList,
+    Insert,
+    IsNull,
+    Literal,
+    Select,
+    Star,
+    Statement,
+    TableRef,
+    UnaryOp,
+    Update,
+)
+from .lexer import SqlError
+from .parser import parse
+
+Row = dict[str, object]
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    pieces: list[str] = []
+    for char in pattern:
+        if char == "%":
+            pieces.append(".*")
+        elif char == "_":
+            pieces.append(".")
+        else:
+            pieces.append(re.escape(char))
+    return re.compile("^" + "".join(pieces) + "$", re.DOTALL)
+
+
+def _logical_and(left, right):
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return bool(left) and bool(right)
+
+
+def _logical_or(left, right):
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return bool(left) or bool(right)
+
+
+class _Scope:
+    """Column resolution over a joined row (bare + qualified names)."""
+
+    def __init__(self, row: Row, ambiguous: frozenset[str]) -> None:
+        self.row = row
+        self.ambiguous = ambiguous
+
+    def lookup(self, column: ColumnRef) -> object:
+        if column.table is not None:
+            key = f"{column.table}.{column.name}"
+            if key not in self.row:
+                raise SqlError(f"unknown column {key!r}")
+            return self.row[key]
+        if column.name in self.ambiguous:
+            raise SqlError(f"ambiguous column {column.name!r}")
+        if column.name not in self.row:
+            raise SqlError(f"unknown column {column.name!r}")
+        return self.row[column.name]
+
+
+def evaluate(expression: Expression, scope: _Scope) -> object:
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        return scope.lookup(expression)
+    if isinstance(expression, UnaryOp):
+        value = evaluate(expression.operand, scope)
+        if expression.operator == "NOT":
+            if value is None:
+                return None
+            return not bool(value)
+        if value is None:
+            return None
+        return -value  # unary minus
+    if isinstance(expression, IsNull):
+        is_null = evaluate(expression.operand, scope) is None
+        return (not is_null) if expression.negated else is_null
+    if isinstance(expression, InList):
+        value = evaluate(expression.operand, scope)
+        if value is None:
+            return None
+        options = [evaluate(option, scope) for option in expression.options]
+        result = value in [option for option in options if option is not None]
+        if not result and any(option is None for option in options):
+            return None
+        return (not result) if expression.negated else result
+    if isinstance(expression, Between):
+        value = evaluate(expression.operand, scope)
+        low = evaluate(expression.low, scope)
+        high = evaluate(expression.high, scope)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return (not result) if expression.negated else result
+    if isinstance(expression, BinaryOp):
+        return _evaluate_binary(expression, scope)
+    if isinstance(expression, Aggregate):
+        raise SqlError(
+            f"aggregate {expression.function} used outside an aggregation "
+            "context"
+        )
+    if isinstance(expression, Star):
+        raise SqlError("'*' is only valid in SELECT lists and COUNT(*)")
+    raise SqlError(f"unsupported expression: {type(expression).__name__}")
+
+
+def _evaluate_binary(expression: BinaryOp, scope: _Scope) -> object:
+    operator = expression.operator
+    if operator == "AND":
+        return _logical_and(
+            evaluate(expression.left, scope), evaluate(expression.right, scope)
+        )
+    if operator == "OR":
+        return _logical_or(
+            evaluate(expression.left, scope), evaluate(expression.right, scope)
+        )
+    left = evaluate(expression.left, scope)
+    right = evaluate(expression.right, scope)
+    if operator == "||":
+        if left is None or right is None:
+            return None
+        return f"{left}{right}"
+    if left is None or right is None:
+        return None
+    if operator == "LIKE":
+        return bool(_like_to_regex(str(right)).match(str(left)))
+    if operator in ("=", "<>"):
+        equal = left == right
+        return equal if operator == "=" else not equal
+    if operator in ("<", "<=", ">", ">="):
+        try:
+            if operator == "<":
+                return left < right
+            if operator == "<=":
+                return left <= right
+            if operator == ">":
+                return left > right
+            return left >= right
+        except TypeError as exc:
+            raise SqlError(
+                f"cannot compare {type(left).__name__} with "
+                f"{type(right).__name__}"
+            ) from exc
+    if operator in ("+", "-", "*", "/"):
+        try:
+            if operator == "+":
+                return left + right
+            if operator == "-":
+                return left - right
+            if operator == "*":
+                return left * right
+            if right == 0:
+                return None  # SQL-ish: division by zero yields NULL here
+            if isinstance(left, int) and isinstance(right, int):
+                # SQLite-style integer division (truncating towards zero).
+                return int(left / right)
+            return left / right
+        except TypeError as exc:
+            raise SqlError(
+                f"bad operands for {operator}: {left!r}, {right!r}"
+            ) from exc
+    raise SqlError(f"unsupported operator {operator!r}")
+
+
+# ----------------------------------------------------------------------
+# SELECT execution
+# ----------------------------------------------------------------------
+
+
+def _scan(database: Database, table: TableRef) -> tuple[list[Row], list[str]]:
+    instance = database.table(table.name)
+    exposed = table.exposed_name
+    columns = list(instance.relation.attribute_names)
+    rows: list[Row] = []
+    for values in instance:
+        row: Row = {}
+        for name, value in zip(columns, values):
+            row[name] = value
+            row[f"{exposed}.{name}"] = value
+        rows.append(row)
+    if not rows:
+        # keep column names known for empty relations
+        rows = []
+    return rows, columns
+
+
+def _equi_join_keys(
+    condition: Expression,
+    left_keys: set[str],
+    right_keys: set[str],
+) -> tuple[str, str] | None:
+    """Detect ``a.x = b.y`` join conditions eligible for a hash join.
+
+    Returns (left row key, right row key) when one side of a qualified
+    equality resolves into the accumulated left rows and the other into
+    the joining table's qualified columns.
+    """
+    if not (
+        isinstance(condition, BinaryOp)
+        and condition.operator == "="
+        and isinstance(condition.left, ColumnRef)
+        and isinstance(condition.right, ColumnRef)
+        and condition.left.table is not None
+        and condition.right.table is not None
+    ):
+        return None
+    first = f"{condition.left.table}.{condition.left.name}"
+    second = f"{condition.right.table}.{condition.right.name}"
+    if first in left_keys and second in right_keys:
+        return (first, second)
+    if second in left_keys and first in right_keys:
+        return (second, first)
+    return None
+
+
+def _join_rows(
+    database: Database, statement: Select
+) -> tuple[list[Row], frozenset[str]]:
+    assert statement.source is not None
+    rows, columns = _scan(database, statement.source)
+    seen: dict[str, int] = {name: 1 for name in columns}
+    all_column_sets = [set(columns)]
+    for join in statement.joins:
+        right_instance = database.table(join.table.name)
+        right_columns = list(right_instance.relation.attribute_names)
+        exposed = join.table.exposed_name
+        right_rows: list[Row] = []
+        for values in right_instance:
+            row: Row = {}
+            for name, value in zip(right_columns, values):
+                row[f"{exposed}.{name}"] = value
+            right_rows.append(row)
+        for name in right_columns:
+            seen[name] = seen.get(name, 0) + 1
+        all_column_sets.append(set(right_columns))
+        ambiguous_now = frozenset(
+            name for name, count in seen.items() if count > 1
+        )
+
+        def merge(left_row: Row, right_row: Row) -> Row:
+            candidate = {**left_row, **right_row}
+            for name in right_columns:
+                if name not in ambiguous_now:
+                    candidate[name] = right_row[f"{exposed}.{name}"]
+            return candidate
+
+        def pad(left_row: Row) -> Row:
+            padded = dict(left_row)
+            for name in right_columns:
+                padded[f"{exposed}.{name}"] = None
+                if name not in ambiguous_now:
+                    padded[name] = None
+            return padded
+
+        equi_keys = _equi_join_keys(
+            join.condition, set(rows[0]) if rows else set(),
+            {f"{exposed}.{name}" for name in right_columns},
+        )
+        joined: list[Row] = []
+        if equi_keys is not None:
+            # Hash join on `left_key = right_key`.
+            left_key, right_key = equi_keys
+            index: dict[object, list[Row]] = {}
+            for right_row in right_rows:
+                value = right_row.get(right_key)
+                if value is not None:
+                    index.setdefault(value, []).append(right_row)
+            for left_row in rows:
+                matches = index.get(left_row.get(left_key), ())
+                if matches:
+                    joined.extend(
+                        merge(left_row, right_row) for right_row in matches
+                    )
+                elif join.kind == "left":
+                    joined.append(pad(left_row))
+        else:
+            for left_row in rows:
+                matched = False
+                for right_row in right_rows:
+                    candidate = merge(left_row, right_row)
+                    verdict = evaluate(
+                        join.condition, _Scope(candidate, ambiguous_now)
+                    )
+                    if verdict is True:
+                        joined.append(candidate)
+                        matched = True
+                if not matched and join.kind == "left":
+                    joined.append(pad(left_row))
+        rows = joined
+    ambiguous = frozenset(name for name, count in seen.items() if count > 1)
+    return rows, ambiguous
+
+
+def _has_aggregates(statement: Select) -> bool:
+    def contains(expression) -> bool:
+        if isinstance(expression, Aggregate):
+            return True
+        if isinstance(expression, BinaryOp):
+            return contains(expression.left) or contains(expression.right)
+        if isinstance(expression, UnaryOp):
+            return contains(expression.operand)
+        if isinstance(expression, (IsNull,)):
+            return contains(expression.operand)
+        return False
+
+    return any(contains(item.expression) for item in statement.items) or (
+        statement.having is not None and contains(statement.having)
+    )
+
+
+def _aggregate_value(
+    aggregate: Aggregate, group: list[Row], ambiguous: frozenset[str]
+) -> object:
+    if isinstance(aggregate.argument, Star):
+        if aggregate.function != "COUNT":
+            raise SqlError(f"{aggregate.function}(*) is not supported")
+        return len(group)
+    values = [
+        evaluate(aggregate.argument, _Scope(row, ambiguous)) for row in group
+    ]
+    values = [value for value in values if value is not None]
+    if aggregate.distinct:
+        unique: list[object] = []
+        for value in values:
+            if value not in unique:
+                unique.append(value)
+        values = unique
+    if aggregate.function == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if aggregate.function == "SUM":
+        return sum(values)
+    if aggregate.function == "AVG":
+        return sum(values) / len(values)
+    if aggregate.function == "MIN":
+        return min(values)
+    if aggregate.function == "MAX":
+        return max(values)
+    if aggregate.function == "GROUP_CONCAT":
+        return ", ".join(str(value) for value in values)
+    raise SqlError(f"unsupported aggregate {aggregate.function!r}")
+
+
+def _evaluate_with_aggregates(
+    expression: Expression,
+    group: list[Row],
+    ambiguous: frozenset[str],
+) -> object:
+    if isinstance(expression, Aggregate):
+        return _aggregate_value(expression, group, ambiguous)
+    if isinstance(expression, BinaryOp):
+        rebuilt = BinaryOp(
+            expression.operator,
+            Literal(_evaluate_with_aggregates(expression.left, group, ambiguous)),
+            Literal(
+                _evaluate_with_aggregates(expression.right, group, ambiguous)
+            ),
+        )
+        return _evaluate_binary(rebuilt, _Scope({}, ambiguous))
+    if isinstance(expression, UnaryOp):
+        inner = _evaluate_with_aggregates(expression.operand, group, ambiguous)
+        if expression.operator == "NOT":
+            return None if inner is None else not bool(inner)
+        return None if inner is None else -inner
+    # Non-aggregate expressions are evaluated on the group's first row
+    # (they must be functionally dependent on the grouping key).
+    representative = group[0] if group else {}
+    return evaluate(expression, _Scope(representative, ambiguous))
+
+
+def _sort_key(value: object):
+    """NULL sorts smallest (first ascending, last descending)."""
+    return (
+        value is not None,
+        str(type(value).__name__),
+        value if value is not None else 0,
+    )
+
+
+def _output_name(item, index: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expression, ColumnRef):
+        return item.expression.name
+    if isinstance(item.expression, Aggregate):
+        return item.expression.function.lower()
+    return f"column{index + 1}"
+
+
+def _unique_output_name(output: Row, item, index: int) -> str:
+    """Duplicate select-list names get numeric suffixes (dict rows cannot
+    carry two columns with the same name)."""
+    name = _output_name(item, index)
+    if name not in output:
+        return name
+    suffix = 2
+    while f"{name}_{suffix}" in output:
+        suffix += 1
+    return f"{name}_{suffix}"
+
+
+def execute_select(database: Database, statement: Select) -> list[Row]:
+    if statement.source is None:
+        rows: list[Row] = [{}]
+        ambiguous: frozenset[str] = frozenset()
+    else:
+        rows, ambiguous = _join_rows(database, statement)
+
+    if statement.where is not None:
+        rows = [
+            row
+            for row in rows
+            if evaluate(statement.where, _Scope(row, ambiguous)) is True
+        ]
+
+    aggregated = bool(_has_aggregates(statement) or statement.group_by)
+    if not aggregated and statement.order_by:
+        # Plain selects sort before projection so any source column works.
+        for order in reversed(statement.order_by):
+            rows.sort(
+                key=lambda row, o=order: _sort_key(
+                    evaluate(o.expression, _Scope(row, ambiguous))
+                ),
+                reverse=order.descending,
+            )
+    if aggregated:
+        groups: dict[tuple, list[Row]] = {}
+        if statement.group_by:
+            for row in rows:
+                key = tuple(
+                    evaluate(expression, _Scope(row, ambiguous))
+                    for expression in statement.group_by
+                )
+                groups.setdefault(key, []).append(row)
+        else:
+            groups[()] = rows
+        result: list[Row] = []
+        for group in groups.values():
+            if statement.having is not None:
+                verdict = _evaluate_with_aggregates(
+                    statement.having, group, ambiguous
+                )
+                if verdict is not True:
+                    continue
+            output: Row = {}
+            for index, item in enumerate(statement.items):
+                if isinstance(item.expression, Star):
+                    raise SqlError("'*' cannot be combined with aggregation")
+                output[
+                    _unique_output_name(output, item, index)
+                ] = _evaluate_with_aggregates(item.expression, group, ambiguous)
+            result.append(output)
+    else:
+        result = []
+        for row in rows:
+            output: Row = {}
+            for index, item in enumerate(statement.items):
+                if isinstance(item.expression, Star):
+                    for key, value in row.items():
+                        if "." not in key or item.expression.table is not None:
+                            prefix = (
+                                f"{item.expression.table}."
+                                if item.expression.table
+                                else None
+                            )
+                            if prefix is None:
+                                if "." not in key:
+                                    output[key] = value
+                            elif key.startswith(prefix):
+                                output[key.split(".", 1)[1]] = value
+                else:
+                    output[_unique_output_name(output, item, index)] = evaluate(
+                        item.expression, _Scope(row, ambiguous)
+                    )
+            result.append(output)
+
+    if aggregated and statement.order_by:
+        # Aggregated selects sort on the output rows (aliases / output
+        # column names), like ordering by a select-list alias in SQL.
+        def output_key(row: Row, order) -> object:
+            if isinstance(order.expression, ColumnRef):
+                name = order.expression.name
+                if name in row:
+                    return row[name]
+            return evaluate(order.expression, _Scope(row, frozenset()))
+
+        for order in reversed(statement.order_by):
+            result.sort(
+                key=lambda row, o=order: _sort_key(output_key(row, o)),
+                reverse=order.descending,
+            )
+
+    if statement.distinct:
+        unique: list[Row] = []
+        seen: set[tuple] = set()
+        for row in result:
+            key = tuple(sorted((k, repr(v)) for k, v in row.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        result = unique
+
+    if statement.limit is not None:
+        result = result[: statement.limit]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Mutations & DDL
+# ----------------------------------------------------------------------
+
+
+def execute_insert(database: Database, statement: Insert) -> int:
+    relation = database.relation(statement.table)
+    columns = statement.columns or relation.attribute_names
+    if statement.select is not None:
+        selected = execute_select(database, statement.select)
+        for output in selected:
+            values = list(output.values())
+            if len(values) != len(columns):
+                raise SqlError(
+                    f"INSERT ... SELECT arity mismatch: {len(columns)} "
+                    f"columns but {len(values)} selected values"
+                )
+            database.insert(statement.table, dict(zip(columns, values)))
+        return len(selected)
+    scope = _Scope({}, frozenset())
+    count = 0
+    for value_tuple in statement.rows:
+        if len(value_tuple) != len(columns):
+            raise SqlError(
+                f"INSERT arity mismatch: {len(columns)} columns but "
+                f"{len(value_tuple)} values"
+            )
+        row = {
+            column: evaluate(expression, scope)
+            for column, expression in zip(columns, value_tuple)
+        }
+        database.insert(statement.table, row)
+        count += 1
+    return count
+
+
+def execute_update(database: Database, statement: Update) -> int:
+    instance = database.table(statement.table)
+    ambiguous: frozenset[str] = frozenset()
+
+    def predicate(row: Row) -> bool:
+        if statement.where is None:
+            return True
+        return evaluate(statement.where, _Scope(row, ambiguous)) is True
+
+    # Evaluate assignment expressions per matching row (they may read the
+    # row, e.g. SET length = length / 1000).
+    updated = 0
+    relation = instance.relation
+    for position, values in enumerate(instance.rows):
+        row = dict(zip(relation.attribute_names, values))
+        if not predicate(row):
+            continue
+        updates = {
+            column: evaluate(expression, _Scope(row, ambiguous))
+            for column, expression in statement.assignments
+        }
+        instance.update_where(
+            lambda candidate, target=row: candidate == target, updates
+        )
+        updated += 1
+    return updated
+
+
+def execute_delete(database: Database, statement: Delete) -> int:
+    instance = database.table(statement.table)
+
+    def predicate(row: Row) -> bool:
+        if statement.where is None:
+            return True
+        return evaluate(statement.where, _Scope(row, frozenset())) is True
+
+    return instance.delete_where(predicate)
+
+
+def execute_create(database: Database, statement: CreateTable) -> int:
+    attributes = [
+        Attribute(column.name, DataType(column.datatype))
+        for column in statement.columns
+    ]
+    relation = Relation(statement.name, attributes)
+    database.schema.add_relation(relation)
+    database.instance.register(relation)
+    for column in statement.columns:
+        if column.primary_key:
+            database.schema.add_constraint(
+                PrimaryKey(statement.name, (column.name,))
+            )
+        if column.not_null:
+            database.schema.add_constraint(NotNull(statement.name, column.name))
+        if column.unique:
+            database.schema.add_constraint(
+                Unique(statement.name, (column.name,))
+            )
+        if column.references is not None:
+            ref_table, ref_column = column.references
+            database.schema.add_constraint(
+                foreign_key(statement.name, column.name, ref_table, ref_column)
+            )
+    for constraint in statement.constraints:
+        if constraint.kind == "primary_key":
+            database.schema.add_constraint(
+                PrimaryKey(statement.name, constraint.columns)
+            )
+        elif constraint.kind == "unique":
+            database.schema.add_constraint(
+                Unique(statement.name, constraint.columns)
+            )
+        else:
+            assert constraint.references is not None
+            ref_table, ref_columns = constraint.references
+            database.schema.add_constraint(
+                foreign_key(
+                    statement.name, constraint.columns, ref_table, ref_columns
+                )
+            )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def execute(database: Database, sql: str):
+    """Execute one SQL statement; SELECTs return rows, others counts."""
+    statement: Statement = parse(sql)
+    if isinstance(statement, Select):
+        return execute_select(database, statement)
+    if isinstance(statement, Insert):
+        return execute_insert(database, statement)
+    if isinstance(statement, Update):
+        return execute_update(database, statement)
+    if isinstance(statement, Delete):
+        return execute_delete(database, statement)
+    if isinstance(statement, CreateTable):
+        return execute_create(database, statement)
+    raise SqlError(f"unsupported statement: {type(statement).__name__}")
+
+
+def query(database: Database, sql: str) -> list[Row]:
+    """Execute a SELECT and return its rows (errors on non-queries)."""
+    statement = parse(sql)
+    if not isinstance(statement, Select):
+        raise SqlError("query() accepts SELECT statements only")
+    return execute_select(database, statement)

@@ -1,0 +1,138 @@
+"""Tokenizer for the SQL subset (see :mod:`repro.relational.sql`)."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class SqlError(ValueError):
+    """Lexing, parsing, or execution of a SQL statement failed."""
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "JOIN", "LEFT", "INNER", "ON",
+        "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT",
+        "AS", "AND", "OR", "NOT", "IS", "NULL", "IN", "LIKE", "BETWEEN",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "CREATE", "TABLE", "PRIMARY", "KEY", "UNIQUE", "FOREIGN",
+        "REFERENCES", "TRUE", "FALSE",
+        "INTEGER", "INT", "FLOAT", "REAL", "TEXT", "STRING", "VARCHAR",
+        "BOOLEAN", "DATE",
+        "COUNT", "SUM", "AVG", "MIN", "MAX", "GROUP_CONCAT",
+    }
+)
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "||")
+_PUNCTUATION = "(),.;"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert SQL text into a token list ending with an END token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if text.startswith("--", index):  # line comment
+            newline = text.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if char == "'":
+            index = _lex_string(text, index, tokens)
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            index = _lex_number(text, index, tokens)
+            continue
+        if char.isalpha() or char == "_":
+            index = _lex_word(text, index, tokens)
+            continue
+        operator = _match_operator(text, index)
+        if operator:
+            tokens.append(Token(TokenType.OPERATOR, operator, index))
+            index += len(operator)
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, index))
+            index += 1
+            continue
+        raise SqlError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _lex_string(text: str, start: int, tokens: list[Token]) -> int:
+    index = start + 1
+    pieces: list[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == "'":
+            if index + 1 < len(text) and text[index + 1] == "'":
+                pieces.append("'")  # escaped quote
+                index += 2
+                continue
+            tokens.append(Token(TokenType.STRING, "".join(pieces), start))
+            return index + 1
+        pieces.append(char)
+        index += 1
+    raise SqlError(f"unterminated string literal at position {start}")
+
+
+def _lex_number(text: str, start: int, tokens: list[Token]) -> int:
+    index = start
+    seen_dot = False
+    while index < len(text) and (
+        text[index].isdigit() or (text[index] == "." and not seen_dot)
+    ):
+        if text[index] == ".":
+            seen_dot = True
+        index += 1
+    tokens.append(Token(TokenType.NUMBER, text[start:index], start))
+    return index
+
+
+def _lex_word(text: str, start: int, tokens: list[Token]) -> int:
+    index = start
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    word = text[start:index]
+    if word.upper() in KEYWORDS:
+        tokens.append(Token(TokenType.KEYWORD, word.upper(), start))
+    else:
+        tokens.append(Token(TokenType.IDENTIFIER, word, start))
+    return index
+
+
+def _match_operator(text: str, index: int) -> str | None:
+    for operator in _OPERATORS:
+        if text.startswith(operator, index):
+            return operator
+    return None

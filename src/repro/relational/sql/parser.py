@@ -1,0 +1,501 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal)::
+
+    statement   := select | insert | update | delete | create ;
+    select      := SELECT [DISTINCT] items FROM table_ref join*
+                   [WHERE expr] [GROUP BY expr_list [HAVING expr]]
+                   [ORDER BY order_list] [LIMIT n]
+    join        := [LEFT | INNER] JOIN table_ref ON expr
+    insert      := INSERT INTO name [(cols)] VALUES tuple (, tuple)*
+    update      := UPDATE name SET col = expr (, col = expr)* [WHERE expr]
+    delete      := DELETE FROM name [WHERE expr]
+    create      := CREATE TABLE name ( column_def | table_constraint , ... )
+
+Expressions support AND/OR/NOT, comparisons, IS [NOT] NULL, [NOT] IN,
+[NOT] BETWEEN, LIKE, arithmetic (+ - * /), string concatenation (||),
+parentheses, qualified column references, literals, and the aggregates
+COUNT / SUM / AVG / MIN / MAX / GROUP_CONCAT.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    ColumnDef,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    Expression,
+    InList,
+    Insert,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    TableConstraint,
+    TableRef,
+    UnaryOp,
+    Update,
+)
+from .lexer import SqlError, Token, TokenType, tokenize
+
+_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX", "GROUP_CONCAT"})
+
+_TYPE_ALIASES = {
+    "INT": "integer",
+    "INTEGER": "integer",
+    "FLOAT": "float",
+    "REAL": "float",
+    "TEXT": "string",
+    "STRING": "string",
+    "VARCHAR": "string",
+    "BOOLEAN": "boolean",
+    "DATE": "date",
+}
+
+
+class Parser:
+    """One-statement parser over a token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def check(self, token_type: TokenType, value: str | None = None) -> bool:
+        return self.current.matches(token_type, value)
+
+    def accept(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.check(token_type, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        if not self.check(token_type, value):
+            raise SqlError(
+                f"expected {value or token_type.value!r}, got "
+                f"{self.current.value!r} at position {self.current.position}"
+            )
+        return self.advance()
+
+    def expect_identifier(self) -> str:
+        if self.check(TokenType.IDENTIFIER):
+            return self.advance().value
+        # Unreserved-ish keywords double as identifiers in column lists.
+        if self.check(TokenType.KEYWORD) and self.current.value in (
+            "KEY",
+            "DATE",
+        ):
+            return self.advance().value.lower()
+        raise SqlError(
+            f"expected identifier, got {self.current.value!r} at position "
+            f"{self.current.position}"
+        )
+
+    # -- entry points -------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.check(TokenType.KEYWORD, "SELECT"):
+            statement = self.parse_select()
+        elif self.check(TokenType.KEYWORD, "INSERT"):
+            statement = self.parse_insert()
+        elif self.check(TokenType.KEYWORD, "UPDATE"):
+            statement = self.parse_update()
+        elif self.check(TokenType.KEYWORD, "DELETE"):
+            statement = self.parse_delete()
+        elif self.check(TokenType.KEYWORD, "CREATE"):
+            statement = self.parse_create()
+        else:
+            raise SqlError(
+                f"unsupported statement starting with {self.current.value!r}"
+            )
+        self.accept(TokenType.PUNCTUATION, ";")
+        if not self.check(TokenType.END):
+            raise SqlError(
+                f"unexpected trailing input at position {self.current.position}"
+            )
+        return statement
+
+    # -- SELECT -------------------------------------------------------------
+
+    def parse_select(self) -> Select:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        distinct = self.accept(TokenType.KEYWORD, "DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept(TokenType.PUNCTUATION, ","):
+            items.append(self.parse_select_item())
+
+        source = None
+        joins: list[Join] = []
+        if self.accept(TokenType.KEYWORD, "FROM"):
+            source = self.parse_table_ref()
+            while True:
+                kind = None
+                if self.accept(TokenType.KEYWORD, "LEFT"):
+                    kind = "left"
+                    self.expect(TokenType.KEYWORD, "JOIN")
+                elif self.accept(TokenType.KEYWORD, "INNER"):
+                    kind = "inner"
+                    self.expect(TokenType.KEYWORD, "JOIN")
+                elif self.accept(TokenType.KEYWORD, "JOIN"):
+                    kind = "inner"
+                if kind is None:
+                    break
+                table = self.parse_table_ref()
+                self.expect(TokenType.KEYWORD, "ON")
+                condition = self.parse_expression()
+                joins.append(Join(table, condition, kind))
+
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_expression()
+
+        group_by: list[Expression] = []
+        having = None
+        if self.accept(TokenType.KEYWORD, "GROUP"):
+            self.expect(TokenType.KEYWORD, "BY")
+            group_by.append(self.parse_expression())
+            while self.accept(TokenType.PUNCTUATION, ","):
+                group_by.append(self.parse_expression())
+            if self.accept(TokenType.KEYWORD, "HAVING"):
+                having = self.parse_expression()
+
+        order_by: list[OrderItem] = []
+        if self.accept(TokenType.KEYWORD, "ORDER"):
+            self.expect(TokenType.KEYWORD, "BY")
+            order_by.append(self.parse_order_item())
+            while self.accept(TokenType.PUNCTUATION, ","):
+                order_by.append(self.parse_order_item())
+
+        limit = None
+        if self.accept(TokenType.KEYWORD, "LIMIT"):
+            token = self.expect(TokenType.NUMBER)
+            limit = int(token.value)
+
+        return Select(
+            items=tuple(items),
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self.expect_identifier()
+        elif self.check(TokenType.IDENTIFIER):
+            alias = self.advance().value
+        return SelectItem(expression, alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expression = self.parse_expression()
+        descending = False
+        if self.accept(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self.accept(TokenType.KEYWORD, "ASC")
+        return OrderItem(expression, descending)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_identifier()
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self.expect_identifier()
+        elif self.check(TokenType.IDENTIFIER):
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    # -- INSERT / UPDATE / DELETE ---------------------------------------------
+
+    def parse_insert(self) -> Insert:
+        self.expect(TokenType.KEYWORD, "INSERT")
+        self.expect(TokenType.KEYWORD, "INTO")
+        table = self.expect_identifier()
+        columns: list[str] = []
+        if self.accept(TokenType.PUNCTUATION, "("):
+            columns.append(self.expect_identifier())
+            while self.accept(TokenType.PUNCTUATION, ","):
+                columns.append(self.expect_identifier())
+            self.expect(TokenType.PUNCTUATION, ")")
+        if self.check(TokenType.KEYWORD, "SELECT"):
+            return Insert(
+                table, tuple(columns), (), select=self.parse_select()
+            )
+        self.expect(TokenType.KEYWORD, "VALUES")
+        rows = [self.parse_value_tuple()]
+        while self.accept(TokenType.PUNCTUATION, ","):
+            rows.append(self.parse_value_tuple())
+        return Insert(table, tuple(columns), tuple(rows))
+
+    def parse_value_tuple(self) -> tuple[Expression, ...]:
+        self.expect(TokenType.PUNCTUATION, "(")
+        values = [self.parse_expression()]
+        while self.accept(TokenType.PUNCTUATION, ","):
+            values.append(self.parse_expression())
+        self.expect(TokenType.PUNCTUATION, ")")
+        return tuple(values)
+
+    def parse_update(self) -> Update:
+        self.expect(TokenType.KEYWORD, "UPDATE")
+        table = self.expect_identifier()
+        self.expect(TokenType.KEYWORD, "SET")
+        assignments = [self.parse_assignment()]
+        while self.accept(TokenType.PUNCTUATION, ","):
+            assignments.append(self.parse_assignment())
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_expression()
+        return Update(table, tuple(assignments), where)
+
+    def parse_assignment(self) -> tuple[str, Expression]:
+        column = self.expect_identifier()
+        self.expect(TokenType.OPERATOR, "=")
+        return (column, self.parse_expression())
+
+    def parse_delete(self) -> Delete:
+        self.expect(TokenType.KEYWORD, "DELETE")
+        self.expect(TokenType.KEYWORD, "FROM")
+        table = self.expect_identifier()
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_expression()
+        return Delete(table, where)
+
+    # -- CREATE TABLE -----------------------------------------------------------
+
+    def parse_create(self) -> CreateTable:
+        self.expect(TokenType.KEYWORD, "CREATE")
+        self.expect(TokenType.KEYWORD, "TABLE")
+        name = self.expect_identifier()
+        self.expect(TokenType.PUNCTUATION, "(")
+        columns: list[ColumnDef] = []
+        constraints: list[TableConstraint] = []
+        while True:
+            if self.check(TokenType.KEYWORD, "PRIMARY") or self.check(
+                TokenType.KEYWORD, "UNIQUE"
+            ) or self.check(TokenType.KEYWORD, "FOREIGN"):
+                constraints.append(self.parse_table_constraint())
+            else:
+                columns.append(self.parse_column_def())
+            if not self.accept(TokenType.PUNCTUATION, ","):
+                break
+        self.expect(TokenType.PUNCTUATION, ")")
+        return CreateTable(name, tuple(columns), tuple(constraints))
+
+    def parse_column_def(self) -> ColumnDef:
+        name = self.expect_identifier()
+        type_token = self.expect(TokenType.KEYWORD)
+        datatype = _TYPE_ALIASES.get(type_token.value)
+        if datatype is None:
+            raise SqlError(f"unknown column type {type_token.value!r}")
+        if self.accept(TokenType.PUNCTUATION, "("):  # VARCHAR(255)
+            self.expect(TokenType.NUMBER)
+            self.expect(TokenType.PUNCTUATION, ")")
+        primary_key = not_null = unique_flag = False
+        references = None
+        while True:
+            if self.accept(TokenType.KEYWORD, "PRIMARY"):
+                self.expect(TokenType.KEYWORD, "KEY")
+                primary_key = True
+            elif self.accept(TokenType.KEYWORD, "NOT"):
+                self.expect(TokenType.KEYWORD, "NULL")
+                not_null = True
+            elif self.accept(TokenType.KEYWORD, "UNIQUE"):
+                unique_flag = True
+            elif self.accept(TokenType.KEYWORD, "REFERENCES"):
+                ref_table = self.expect_identifier()
+                self.expect(TokenType.PUNCTUATION, "(")
+                ref_column = self.expect_identifier()
+                self.expect(TokenType.PUNCTUATION, ")")
+                references = (ref_table, ref_column)
+            else:
+                break
+        return ColumnDef(
+            name, datatype, primary_key, not_null, unique_flag, references
+        )
+
+    def parse_table_constraint(self) -> TableConstraint:
+        if self.accept(TokenType.KEYWORD, "PRIMARY"):
+            self.expect(TokenType.KEYWORD, "KEY")
+            return TableConstraint("primary_key", self.parse_column_list())
+        if self.accept(TokenType.KEYWORD, "UNIQUE"):
+            return TableConstraint("unique", self.parse_column_list())
+        self.expect(TokenType.KEYWORD, "FOREIGN")
+        self.expect(TokenType.KEYWORD, "KEY")
+        columns = self.parse_column_list()
+        self.expect(TokenType.KEYWORD, "REFERENCES")
+        ref_table = self.expect_identifier()
+        ref_columns = self.parse_column_list()
+        return TableConstraint(
+            "foreign_key", columns, (ref_table, ref_columns)
+        )
+
+    def parse_column_list(self) -> tuple[str, ...]:
+        self.expect(TokenType.PUNCTUATION, "(")
+        columns = [self.expect_identifier()]
+        while self.accept(TokenType.PUNCTUATION, ","):
+            columns.append(self.expect_identifier())
+        self.expect(TokenType.PUNCTUATION, ")")
+        return tuple(columns)
+
+    # -- expressions (precedence climbing) ---------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept(TokenType.KEYWORD, "OR"):
+            left = BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept(TokenType.KEYWORD, "AND"):
+            left = BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept(TokenType.KEYWORD, "NOT"):
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        left = self.parse_additive()
+        if self.accept(TokenType.KEYWORD, "IS"):
+            negated = self.accept(TokenType.KEYWORD, "NOT")
+            self.expect(TokenType.KEYWORD, "NULL")
+            return IsNull(left, negated)
+        negated = False
+        if self.check(TokenType.KEYWORD, "NOT"):
+            lookahead = self.tokens[self.position + 1]
+            if lookahead.value in ("IN", "BETWEEN", "LIKE"):
+                self.advance()
+                negated = True
+        if self.accept(TokenType.KEYWORD, "IN"):
+            self.expect(TokenType.PUNCTUATION, "(")
+            options = [self.parse_expression()]
+            while self.accept(TokenType.PUNCTUATION, ","):
+                options.append(self.parse_expression())
+            self.expect(TokenType.PUNCTUATION, ")")
+            return InList(left, tuple(options), negated)
+        if self.accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self.parse_additive()
+            self.expect(TokenType.KEYWORD, "AND")
+            high = self.parse_additive()
+            return Between(left, low, high, negated)
+        if self.accept(TokenType.KEYWORD, "LIKE"):
+            pattern = self.parse_additive()
+            expression = BinaryOp("LIKE", left, pattern)
+            return UnaryOp("NOT", expression) if negated else expression
+        for operator in ("=", "<>", "!=", "<=", ">=", "<", ">"):
+            if self.accept(TokenType.OPERATOR, operator):
+                normalised = "<>" if operator == "!=" else operator
+                return BinaryOp(normalised, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            if self.accept(TokenType.OPERATOR, "+"):
+                left = BinaryOp("+", left, self.parse_multiplicative())
+            elif self.accept(TokenType.OPERATOR, "-"):
+                left = BinaryOp("-", left, self.parse_multiplicative())
+            elif self.accept(TokenType.OPERATOR, "||"):
+                left = BinaryOp("||", left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while True:
+            if self.accept(TokenType.OPERATOR, "*"):
+                left = BinaryOp("*", left, self.parse_unary())
+            elif self.accept(TokenType.OPERATOR, "/"):
+                left = BinaryOp("/", left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expression:
+        if self.accept(TokenType.OPERATOR, "-"):
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self.advance()
+            return Literal(None)
+        if token.matches(TokenType.KEYWORD, "TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.matches(TokenType.KEYWORD, "FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATES:
+            return self.parse_aggregate()
+        if token.matches(TokenType.OPERATOR, "*"):
+            self.advance()
+            return Star()
+        if self.accept(TokenType.PUNCTUATION, "("):
+            inner = self.parse_expression()
+            self.expect(TokenType.PUNCTUATION, ")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            name = self.advance().value
+            if self.accept(TokenType.PUNCTUATION, "."):
+                if self.accept(TokenType.OPERATOR, "*"):
+                    return Star(table=name)
+                column = self.expect_identifier()
+                return ColumnRef(column, table=name)
+            return ColumnRef(name)
+        raise SqlError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+    def parse_aggregate(self) -> Aggregate:
+        function = self.advance().value
+        self.expect(TokenType.PUNCTUATION, "(")
+        distinct = self.accept(TokenType.KEYWORD, "DISTINCT")
+        if self.accept(TokenType.OPERATOR, "*"):
+            argument: Expression | Star = Star()
+        else:
+            argument = self.parse_expression()
+        self.expect(TokenType.PUNCTUATION, ")")
+        return Aggregate(function, argument, distinct)
+
+
+def parse(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return Parser(text).parse_statement()

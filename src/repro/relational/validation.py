@@ -1,0 +1,188 @@
+"""Constraint validation: find every tuple that violates a schema constraint.
+
+The paper assumes "every instance is valid wrt. its schema" (Section 3.1),
+but validation is still needed in three places:
+
+* asserting that generated scenario databases really are locally valid,
+* counting violations that *would* arise when source data is (conceptually)
+  integrated into the target (the structure conflict detector's violation
+  counts, Table 3), and
+* checking that the practitioner simulator's integration result is a valid
+  target instance (the paper's definition of cleaning, Section 3.4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from .constraints import (
+    Constraint,
+    ForeignKey,
+    FunctionalDependencyConstraint,
+    NotNull,
+    PrimaryKey,
+    Unique,
+)
+from .database import Database
+from .errors import IntegrityError
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One constraint violation, with enough detail for a complexity report."""
+
+    constraint: Constraint
+    description: str
+    count: int = 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.constraint.describe()}: {self.description}"
+
+
+def _check_not_null(database: Database, constraint: NotNull) -> list[Violation]:
+    column = database.table(constraint.relation).column(constraint.attribute)
+    nulls = sum(1 for value in column if value is None)
+    if not nulls:
+        return []
+    return [
+        Violation(
+            constraint,
+            f"{nulls} NULL value(s) in {constraint.relation}.{constraint.attribute}",
+            count=nulls,
+        )
+    ]
+
+
+def _key_values(database: Database, relation: str, attributes: tuple[str, ...]):
+    instance = database.table(relation)
+    indices = [instance.relation.index_of(name) for name in attributes]
+    for row in instance:
+        yield tuple(row[index] for index in indices)
+
+
+def _check_unique(
+    database: Database, constraint: Unique | PrimaryKey
+) -> list[Violation]:
+    counts: Counter = Counter()
+    for key in _key_values(database, constraint.relation, constraint.attributes):
+        if any(part is None for part in key):
+            continue  # SQL UNIQUE ignores NULL-containing keys
+        counts[key] += 1
+    duplicates = sum(count - 1 for count in counts.values() if count > 1)
+    if not duplicates:
+        return []
+    return [
+        Violation(
+            constraint,
+            f"{duplicates} duplicate key value(s) in "
+            f"{constraint.relation}({', '.join(constraint.attributes)})",
+            count=duplicates,
+        )
+    ]
+
+
+def _check_primary_key(
+    database: Database, constraint: PrimaryKey
+) -> list[Violation]:
+    violations = _check_unique(database, constraint)
+    for attribute in constraint.attributes:
+        violations.extend(
+            _check_not_null(
+                database, NotNull(constraint.relation, attribute)
+            )
+        )
+    return violations
+
+
+def _check_foreign_key(
+    database: Database, constraint: ForeignKey
+) -> list[Violation]:
+    referenced_keys = set(
+        _key_values(
+            database, constraint.referenced, constraint.referenced_attributes
+        )
+    )
+    dangling = 0
+    for key in _key_values(database, constraint.relation, constraint.attributes):
+        if any(part is None for part in key):
+            continue  # SQL FK semantics: NULL-containing keys are exempt
+        if key not in referenced_keys:
+            dangling += 1
+    if not dangling:
+        return []
+    return [
+        Violation(
+            constraint,
+            f"{dangling} dangling reference(s) from "
+            f"{constraint.relation}({', '.join(constraint.attributes)}) to "
+            f"{constraint.referenced}",
+            count=dangling,
+        )
+    ]
+
+
+def _check_functional_dependency(
+    database: Database, constraint: FunctionalDependencyConstraint
+) -> list[Violation]:
+    instance = database.table(constraint.relation)
+    det_index = instance.relation.index_of(constraint.determinant)
+    dep_index = instance.relation.index_of(constraint.dependent)
+    images: dict[object, set[object]] = {}
+    for row in instance:
+        determinant = row[det_index]
+        if determinant is None:
+            continue
+        images.setdefault(determinant, set()).add(row[dep_index])
+    conflicting = sum(1 for deps in images.values() if len(deps) > 1)
+    if not conflicting:
+        return []
+    return [
+        Violation(
+            constraint,
+            f"{conflicting} determinant value(s) of "
+            f"{constraint.relation}.{constraint.determinant} map to "
+            f"multiple {constraint.dependent} values",
+            count=conflicting,
+        )
+    ]
+
+
+def check_constraint(database: Database, constraint: Constraint) -> list[Violation]:
+    """All violations of one constraint in ``database``."""
+    if isinstance(constraint, NotNull):
+        return _check_not_null(database, constraint)
+    if isinstance(constraint, PrimaryKey):
+        return _check_primary_key(database, constraint)
+    if isinstance(constraint, Unique):
+        return _check_unique(database, constraint)
+    if isinstance(constraint, ForeignKey):
+        return _check_foreign_key(database, constraint)
+    if isinstance(constraint, FunctionalDependencyConstraint):
+        return _check_functional_dependency(database, constraint)
+    raise TypeError(f"unsupported constraint: {type(constraint).__name__}")
+
+
+def validate(database: Database) -> list[Violation]:
+    """All violations of all schema constraints in ``database``."""
+    violations: list[Violation] = []
+    for constraint in database.schema.constraints:
+        violations.extend(check_constraint(database, constraint))
+    return violations
+
+
+def is_valid(database: Database) -> bool:
+    """Whether the instance satisfies every schema constraint."""
+    return not validate(database)
+
+
+def assert_valid(database: Database) -> None:
+    """Raise :class:`IntegrityError` listing violations, if there are any."""
+    violations = validate(database)
+    if violations:
+        summary = "; ".join(str(violation) for violation in violations[:10])
+        if len(violations) > 10:
+            summary += f"; ... ({len(violations) - 10} more)"
+        raise IntegrityError(
+            f"database {database.name!r} violates its constraints: {summary}"
+        )

@@ -1,0 +1,12 @@
+"""Rendering of complexity reports, effort estimates, and figures."""
+
+from .figures import render_bar, render_domain_figure
+from .markdown import render_experiment_markdown
+from .tables import render_table
+
+__all__ = [
+    "render_bar",
+    "render_domain_figure",
+    "render_experiment_markdown",
+    "render_table",
+]

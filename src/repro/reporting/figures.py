@@ -1,0 +1,68 @@
+"""ASCII renderings of Figures 6 and 7: grouped, stacked effort bars.
+
+Each (scenario, quality) cell shows three bars — Efes, Measured, Counting
+— stacked by effort category, exactly like the paper's figures, but as
+horizontal text bars so they render anywhere (benchmark output, logs,
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from ..core.calibration import DomainResult
+
+#: Stable category → glyph mapping for the stacked segments.
+SEGMENT_GLYPHS = {
+    "Mapping": "M",
+    "Cleaning (Structure)": "S",
+    "Cleaning (Values)": "V",
+    "Cleaning": "C",
+}
+
+
+def render_bar(breakdown: dict[str, float], scale: float, width: int) -> str:
+    """One stacked horizontal bar; ``scale`` is minutes per character."""
+    segments: list[str] = []
+    for category in ("Mapping", "Cleaning (Structure)", "Cleaning (Values)", "Cleaning"):
+        minutes = breakdown.get(category, 0.0)
+        if minutes <= 0:
+            continue
+        glyph = SEGMENT_GLYPHS.get(category, "?")
+        length = max(1, round(minutes / scale)) if minutes > 0 else 0
+        segments.append(glyph * length)
+    bar = "".join(segments)[:width]
+    return bar
+
+
+def render_domain_figure(result: DomainResult, width: int = 60) -> str:
+    """The full figure for one domain (Figure 6 or 7)."""
+    peak = max(
+        (
+            max(
+                row.efes.total_minutes,
+                row.measured.total_minutes,
+                row.counting.total_minutes,
+            )
+            for row in result.rows
+        ),
+        default=1.0,
+    )
+    scale = max(peak / width, 1e-9)
+    lines = [
+        f"Effort estimates ({result.domain} domain) — minutes; "
+        f"M=mapping, S=structure cleaning, V=value cleaning, C=cleaning",
+        "",
+    ]
+    for row in result.rows:
+        lines.append(f"{row.scenario_name} ({row.quality_label})")
+        for summary in (row.efes, row.measured, row.counting):
+            bar = render_bar(summary.breakdown, scale, width)
+            lines.append(
+                f"  {summary.estimator:9s} {summary.total_minutes:8.1f} |{bar}"
+            )
+        lines.append("")
+    lines.append(
+        f"rmse: Efes={result.efes_rmse:.2f}  "
+        f"Counting={result.counting_rmse:.2f}  "
+        f"(improvement ×{result.improvement_factor:.1f})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Markdown rendering of a full experiment report.
+
+``efes experiments --output report.md`` uses this to produce a
+shareable, EXPERIMENTS.md-style document from a live run — handy for
+tracking reproduction numbers across machines or code changes.
+"""
+
+from __future__ import annotations
+
+from ..core.calibration import DomainResult
+from .figures import render_domain_figure
+
+
+def _domain_table(result: DomainResult) -> list[str]:
+    lines = [
+        "| Scenario | Quality | Efes [min] | Measured [min] | Counting [min] |",
+        "|---|---|---|---|---|",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"| {row.scenario_name} | {row.quality_label} "
+            f"| {row.efes.total_minutes:.1f} "
+            f"| {row.measured.total_minutes:.1f} "
+            f"| {row.counting.total_minutes:.1f} |"
+        )
+    return lines
+
+
+def render_experiment_markdown(report) -> str:
+    """Render an :class:`~repro.experiments.ExperimentReport` as markdown."""
+    lines: list[str] = [
+        "# EFES experiment report",
+        "",
+        "Cross-domain-calibrated estimates vs simulated ground truth "
+        "(Section 6 of the paper).",
+        "",
+        "## Summary",
+        "",
+        "| Domain | Efes rmse | Counting rmse | Improvement |",
+        "|---|---|---|---|",
+    ]
+    for result in (report.bibliographic, report.music):
+        lines.append(
+            f"| {result.domain} | {result.efes_rmse:.2f} "
+            f"| {result.counting_rmse:.2f} "
+            f"| ×{result.improvement_factor:.1f} |"
+        )
+    lines.append(
+        f"| **overall** | **{report.overall_efes_rmse:.2f}** "
+        f"| **{report.overall_counting_rmse:.2f}** "
+        f"| **×{report.overall_improvement:.1f}** |"
+    )
+    for result, figure_name in (
+        (report.bibliographic, "Figure 6"),
+        (report.music, "Figure 7"),
+    ):
+        lines.extend(
+            [
+                "",
+                f"## {figure_name} — {result.domain} domain",
+                "",
+                *_domain_table(result),
+                "",
+                "```",
+                render_domain_figure(result),
+                "```",
+            ]
+        )
+    lines.append("")
+    return "\n".join(lines)

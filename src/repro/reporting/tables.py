@@ -1,0 +1,50 @@
+"""Plain-text table rendering for reports and benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A minimal fixed-width table (no external dependencies)."""
+    columns = len(headers)
+    normalised_rows = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    for row in normalised_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row arity {len(row)} does not match header arity {columns}"
+            )
+    widths = [
+        max(
+            len(str(headers[index])),
+            *(len(row[index]) for row in normalised_rows),
+        )
+        if normalised_rows
+        else len(str(headers[index]))
+        for index in range(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in normalised_rows:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)

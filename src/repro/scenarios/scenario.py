@@ -1,0 +1,78 @@
+"""Integration scenarios (Section 3.1).
+
+"A data integration scenario comprises: (i) a set of source databases;
+(ii) a target database, into which the source databases shall be
+integrated; and (iii) correspondences to describe how these sources relate
+to the target."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator, Mapping, Sequence
+
+from ..matching.correspondence import CorrespondenceSet
+from ..relational.database import Database
+
+
+@dataclasses.dataclass
+class IntegrationScenario:
+    """A target database, its sources, and per-source correspondences."""
+
+    name: str
+    sources: tuple[Database, ...]
+    target: Database
+    correspondences: dict[str, CorrespondenceSet]
+
+    def __init__(
+        self,
+        name: str,
+        sources: Sequence[Database] | Database,
+        target: Database,
+        correspondences: Mapping[str, CorrespondenceSet] | CorrespondenceSet,
+    ) -> None:
+        if isinstance(sources, Database):
+            sources = (sources,)
+        self.name = name
+        self.sources = tuple(sources)
+        self.target = target
+        if isinstance(correspondences, CorrespondenceSet):
+            if len(self.sources) != 1:
+                raise ValueError(
+                    "a bare CorrespondenceSet is only allowed for a "
+                    "single-source scenario"
+                )
+            correspondences = {self.sources[0].name: correspondences}
+        self.correspondences = dict(correspondences)
+        self._validate()
+
+    def _validate(self) -> None:
+        source_names = {source.name for source in self.sources}
+        if len(source_names) != len(self.sources):
+            raise ValueError("source database names must be unique")
+        unknown = set(self.correspondences) - source_names
+        if unknown:
+            raise ValueError(f"correspondences for unknown sources: {unknown}")
+        for source in self.sources:
+            cset = self.correspondences.get(source.name)
+            if cset is not None:
+                cset.validate_against(source.schema, self.target.schema)
+
+    def source(self, name: str) -> Database:
+        for source in self.sources:
+            if source.name == name:
+                return source
+        raise KeyError(f"unknown source database: {name!r}")
+
+    def pairs(self) -> Iterator[tuple[Database, CorrespondenceSet]]:
+        """Iterate (source database, its correspondences) pairs."""
+        for source in self.sources:
+            yield source, self.correspondences.get(source.name, CorrespondenceSet())
+
+    def total_source_attributes(self) -> int:
+        """Source attribute count — the baseline estimator's driver [14]."""
+        return sum(source.schema.attribute_count() for source in self.sources)
+
+    def __repr__(self) -> str:
+        sources = ", ".join(source.name for source in self.sources)
+        return f"IntegrationScenario({self.name!r}: [{sources}] -> {self.target.name!r})"

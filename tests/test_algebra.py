@@ -1,0 +1,130 @@
+"""Unit tests for repro.relational.algebra."""
+
+import pytest
+
+from repro.relational import DataType, Database, Schema, relation
+from repro.relational.algebra import (
+    aggregate_column,
+    distinct,
+    group_by,
+    natural_join,
+    project,
+    rename,
+    scan,
+    select,
+    union_all,
+)
+
+LEFT = [
+    {"id": 1, "name": "A"},
+    {"id": 2, "name": "B"},
+    {"id": 3, "name": None},
+]
+RIGHT = [
+    {"ref": 1, "value": 10},
+    {"ref": 1, "value": 11},
+    {"ref": 9, "value": 90},
+]
+
+
+class TestScanSelectProject:
+    def test_scan(self):
+        schema = Schema("s", relations=[relation("r", [("a", DataType.INTEGER)])])
+        database = Database(schema)
+        database.insert("r", (1,))
+        assert scan(database.table("r")) == [{"a": 1}]
+
+    def test_select(self):
+        assert select(LEFT, lambda row: row["id"] > 1) == LEFT[1:]
+
+    def test_project_renames(self):
+        result = project(LEFT, {"key": "id"})
+        assert result == [{"key": 1}, {"key": 2}, {"key": 3}]
+
+    def test_project_computed(self):
+        result = project(LEFT, {"double": lambda row: row["id"] * 2})
+        assert [row["double"] for row in result] == [2, 4, 6]
+
+    def test_rename(self):
+        result = rename(LEFT, {"id": "identifier"})
+        assert "identifier" in result[0] and "id" not in result[0]
+
+
+class TestJoin:
+    def test_inner_join(self):
+        result = natural_join(LEFT, RIGHT, "id", "ref")
+        assert len(result) == 2
+        assert {row["value"] for row in result} == {10, 11}
+
+    def test_left_join_pads_nulls(self):
+        result = natural_join(LEFT, RIGHT, "id", "ref", how="left")
+        padded = [row for row in result if row["id"] == 2]
+        assert padded and padded[0]["value"] is None
+
+    def test_null_keys_never_join(self):
+        result = natural_join(
+            [{"id": None}], [{"ref": None, "v": 1}], "id", "ref"
+        )
+        assert result == []
+
+    def test_column_collision_suffixed(self):
+        result = natural_join(
+            [{"id": 1, "name": "L"}],
+            [{"ref": 1, "name": "R"}],
+            "id",
+            "ref",
+        )
+        assert result[0]["name"] == "L"
+        assert result[0]["name_r"] == "R"
+
+    def test_bad_join_type_rejected(self):
+        with pytest.raises(ValueError):
+            natural_join(LEFT, RIGHT, "id", "ref", how="outer")
+
+
+class TestGroupBy:
+    def test_count_aggregate(self):
+        result = group_by(RIGHT, ["ref"], {"n": aggregate_column("value", "count")})
+        by_ref = {row["ref"]: row["n"] for row in result}
+        assert by_ref == {1: 2, 9: 1}
+
+    def test_min_max(self):
+        result = group_by(
+            RIGHT,
+            ["ref"],
+            {
+                "lo": aggregate_column("value", "min"),
+                "hi": aggregate_column("value", "max"),
+            },
+        )
+        row = next(r for r in result if r["ref"] == 1)
+        assert (row["lo"], row["hi"]) == (10, 11)
+
+    def test_concat(self):
+        result = group_by(
+            RIGHT, ["ref"], {"all": aggregate_column("value", "concat")}
+        )
+        row = next(r for r in result if r["ref"] == 1)
+        assert row["all"] == "10, 11"
+
+    def test_count_nonnull(self):
+        rows = [{"g": 1, "v": None}, {"g": 1, "v": 5}]
+        result = group_by(rows, ["g"], {"n": aggregate_column("v", "count_nonnull")})
+        assert result[0]["n"] == 1
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_column("v", "median")
+
+
+class TestSetOperations:
+    def test_distinct(self):
+        rows = [{"a": 1}, {"a": 1}, {"a": 2}]
+        assert distinct(rows) == [{"a": 1}, {"a": 2}]
+
+    def test_distinct_preserves_order(self):
+        rows = [{"a": 2}, {"a": 1}, {"a": 2}]
+        assert distinct(rows) == [{"a": 2}, {"a": 1}]
+
+    def test_union_all_keeps_duplicates(self):
+        assert len(union_all(LEFT, LEFT)) == 6

@@ -1,0 +1,147 @@
+"""Unit tests for the counting baseline and the calibration metrics."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AttributeCountingBaseline,
+    HARDEN_TASKS,
+    HOURS_PER_ATTRIBUTE,
+    MAPPING_SHARE,
+    ResultQuality,
+    optimal_scale,
+    relative_rmse,
+)
+from repro.core.calibration import DomainResult, EstimateSummary, ComparisonRow, combined_rmse
+
+
+class TestHardenTable1:
+    def test_thirteen_subtasks(self):
+        assert len(HARDEN_TASKS) == 13
+
+    def test_total_hours(self):
+        """"slightly more than 8 hours of work for each source attribute"."""
+        assert HOURS_PER_ATTRIBUTE == pytest.approx(8.05)
+
+    def test_requirements_and_mapping_is_biggest(self):
+        biggest = max(HARDEN_TASKS, key=lambda item: item[1])
+        assert biggest == ("Requirements and Mapping", 2.0)
+
+    def test_mapping_share(self):
+        assert 0.0 < MAPPING_SHARE < 1.0
+
+
+class TestBaseline:
+    def test_scales_with_attribute_count(self, example, small_example):
+        baseline = AttributeCountingBaseline(minutes_per_attribute=10.0)
+        estimate = baseline.estimate(example, ResultQuality.HIGH_QUALITY)
+        assert estimate.total_minutes == 10.0 * example.total_source_attributes()
+
+    def test_quality_blind(self, example):
+        baseline = AttributeCountingBaseline(minutes_per_attribute=10.0)
+        low = baseline.estimate(example, ResultQuality.LOW_EFFORT)
+        high = baseline.estimate(example, ResultQuality.HIGH_QUALITY)
+        assert low.total_minutes == high.total_minutes
+
+    def test_breakdown_sums(self, example):
+        baseline = AttributeCountingBaseline(minutes_per_attribute=10.0)
+        estimate = baseline.estimate(example, ResultQuality.HIGH_QUALITY)
+        assert estimate.mapping_minutes + estimate.cleaning_minutes == (
+            pytest.approx(estimate.total_minutes)
+        )
+
+    def test_with_rate(self):
+        baseline = AttributeCountingBaseline().with_rate(5.0)
+        assert baseline.minutes_per_attribute == 5.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeCountingBaseline(minutes_per_attribute=-1.0)
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeCountingBaseline(mapping_share=1.5)
+
+
+class TestRelativeRmse:
+    def test_perfect_estimates(self):
+        assert relative_rmse([10, 20], [10, 20]) == 0.0
+
+    def test_paper_formula(self):
+        # one scenario, estimate off by half → rmse 0.5
+        assert relative_rmse([100], [50]) == pytest.approx(0.5)
+
+    def test_relative_not_absolute(self):
+        # same relative error at different magnitudes → same rmse
+        assert relative_rmse([10], [5]) == pytest.approx(
+            relative_rmse([1000], [500])
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            relative_rmse([1], [1, 2])
+
+    def test_zero_measure_rejected(self):
+        with pytest.raises(ValueError):
+            relative_rmse([0.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            relative_rmse([], [])
+
+
+class TestOptimalScale:
+    def test_exact_recovery(self):
+        measured = [10.0, 40.0, 25.0]
+        raw = [5.0, 20.0, 12.5]
+        assert optimal_scale(measured, raw) == pytest.approx(2.0)
+
+    def test_minimises_rmse(self):
+        measured = [30.0, 50.0, 80.0]
+        raw = [10.0, 20.0, 50.0]
+        best = optimal_scale(measured, raw)
+        best_rmse = relative_rmse(measured, [r * best for r in raw])
+        for delta in (-0.2, -0.05, 0.05, 0.2):
+            worse = relative_rmse(
+                measured, [r * (best + delta) for r in raw]
+            )
+            assert best_rmse <= worse + 1e-12
+
+    def test_zero_estimates_fall_back(self):
+        assert optimal_scale([10.0], [0.0]) == 1.0
+
+
+class TestDomainResult:
+    def _summary(self, estimator, total):
+        return EstimateSummary(estimator, "s", "low eff.", total, {})
+
+    def _row(self, measured, efes, counting):
+        return ComparisonRow(
+            "s",
+            "low eff.",
+            self._summary("Efes", efes),
+            self._summary("Measured", measured),
+            self._summary("Counting", counting),
+        )
+
+    def test_improvement_factor(self):
+        result = DomainResult(
+            "d", (self._row(100, 90, 50),), efes_rmse=0.1, counting_rmse=0.5
+        )
+        assert result.improvement_factor == pytest.approx(5.0)
+
+    def test_infinite_improvement(self):
+        result = DomainResult("d", (), efes_rmse=0.0, counting_rmse=0.5)
+        assert math.isinf(result.improvement_factor)
+
+    def test_combined_rmse_pools_rows(self):
+        a = DomainResult(
+            "a", (self._row(100, 100, 200),), efes_rmse=0.0, counting_rmse=1.0
+        )
+        b = DomainResult(
+            "b", (self._row(100, 50, 100),), efes_rmse=0.5, counting_rmse=0.0
+        )
+        efes, counting = combined_rmse([a, b])
+        assert efes == pytest.approx(math.sqrt(0.25 / 2))
+        assert counting == pytest.approx(math.sqrt(1.0 / 2))

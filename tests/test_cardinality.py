@@ -1,0 +1,280 @@
+"""Unit + property tests for the cardinality algebra (Lemmas 1-4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csg.cardinality import (
+    ANY,
+    AT_LEAST_ONE,
+    AT_MOST_ONE,
+    EXACTLY_ONE,
+    NONE,
+    Cardinality,
+    CardinalityError,
+    Interval,
+)
+
+
+class TestConstruction:
+    def test_of_single(self):
+        assert str(Cardinality.of(1)) == "1"
+
+    def test_of_range(self):
+        assert str(Cardinality.of(0, 1)) == "0..1"
+
+    def test_of_unbounded(self):
+        assert str(Cardinality.of(1, None)) == "1..*"
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", "1"),
+            ("0..1", "0..1"),
+            ("1..*", "1..*"),
+            ("*", "0..*"),
+            ("0, 2..4", "0, 2..4"),
+        ],
+    )
+    def test_parse_round_trip(self, text, expected):
+        assert str(Cardinality.parse(text)) == expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises((CardinalityError, ValueError)):
+            Cardinality.parse("one..two")
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(CardinalityError):
+            Interval(-1, 2)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(CardinalityError):
+            Interval(3, 2)
+
+    def test_normalisation_merges_adjacent(self):
+        merged = Cardinality([Interval(0, 1), Interval(2, 4)])
+        assert str(merged) == "0..4"
+
+    def test_normalisation_keeps_gaps(self):
+        gapped = Cardinality([Interval(0, 0), Interval(2, 4)])
+        assert str(gapped) == "0, 2..4"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            EXACTLY_ONE.intervals = ()
+
+
+class TestMembershipAndSubset:
+    def test_contains(self):
+        assert AT_MOST_ONE.contains(0) and AT_MOST_ONE.contains(1)
+        assert not AT_MOST_ONE.contains(2)
+
+    def test_unbounded_contains_large(self):
+        assert AT_LEAST_ONE.contains(10**9)
+
+    def test_subset_chain(self):
+        assert EXACTLY_ONE.is_subset(AT_MOST_ONE)
+        assert EXACTLY_ONE.is_subset(AT_LEAST_ONE)
+        assert AT_MOST_ONE.is_subset(ANY)
+        assert not ANY.is_subset(AT_MOST_ONE)
+
+    def test_proper_subset_is_strict(self):
+        assert EXACTLY_ONE.is_proper_subset(ANY)
+        assert not EXACTLY_ONE.is_proper_subset(EXACTLY_ONE)
+
+    def test_intersection(self):
+        assert AT_MOST_ONE.intersection(AT_LEAST_ONE) == EXACTLY_ONE
+
+    def test_empty_intersection(self):
+        zero = Cardinality.of(0)
+        assert zero.intersection(AT_LEAST_ONE).is_empty
+
+
+class TestLemma1Composition:
+    """κ(ρ1 ∘ ρ2) = (sgn a1 · a2)..(b1 · b2)."""
+
+    def test_paper_example(self):
+        # 1 ∘ 1 ∘ 0..1 ∘ 1..* ∘ 1 = 0..* (the records→artist path)
+        result = (
+            EXACTLY_ONE.compose(EXACTLY_ONE)
+            .compose(AT_MOST_ONE)
+            .compose(AT_LEAST_ONE)
+            .compose(EXACTLY_ONE)
+        )
+        assert result == ANY
+
+    def test_identity(self):
+        assert AT_LEAST_ONE.compose(EXACTLY_ONE) == AT_LEAST_ONE
+
+    def test_zero_lower_bound_propagates(self):
+        assert AT_MOST_ONE.compose(AT_LEAST_ONE) == ANY
+
+    def test_bounded_product(self):
+        assert Cardinality.of(2, 3).compose(Cardinality.of(2, 4)) == (
+            Cardinality.of(2, 12)
+        )
+
+    def test_empty_absorbs(self):
+        assert NONE.compose(EXACTLY_ONE).is_empty
+        assert EXACTLY_ONE.compose(NONE).is_empty
+
+
+class TestLemma2Union:
+    def test_disjoint_domains_is_set_union(self):
+        result = Cardinality.of(0).union_disjoint_domains(Cardinality.of(2))
+        assert str(result) == "0, 2"
+
+    def test_sum(self):
+        result = EXACTLY_ONE.union_sum(AT_MOST_ONE)
+        assert result == Cardinality.of(1, 2)
+
+    def test_sum_unbounded(self):
+        result = AT_LEAST_ONE.union_sum(EXACTLY_ONE)
+        assert result == Cardinality.of(2, None)
+
+    def test_overlapping(self):
+        # 1 +̂ 1 = {c : 1 <= c <= 2}
+        result = EXACTLY_ONE.union_overlapping(EXACTLY_ONE)
+        assert result == Cardinality.of(1, 2)
+
+    def test_overlapping_lower_bound_is_max(self):
+        result = Cardinality.of(3).union_overlapping(Cardinality.of(1))
+        assert result == Cardinality.of(3, 4)
+
+
+class TestLemma3Join:
+    def test_join_caps_at_smaller_max(self):
+        result = Cardinality.of(1, 3).join(Cardinality.of(1, 5))
+        assert result == Cardinality.of(1, 3)
+
+    def test_join_unbounded_both(self):
+        assert AT_LEAST_ONE.join(AT_LEAST_ONE) == AT_LEAST_ONE
+
+    def test_join_zero_max_is_empty(self):
+        zero = Cardinality.of(0)
+        assert EXACTLY_ONE.join(zero).is_empty
+
+    def test_join_inverse(self):
+        result = Cardinality.of(1, 2).join_inverse(Cardinality.of(2, 3))
+        assert result == Cardinality.of(2, 6)
+
+    def test_join_inverse_unbounded(self):
+        result = AT_LEAST_ONE.join_inverse(Cardinality.of(1, 2))
+        assert result == Cardinality.of(1, None)
+
+
+class TestLemma4Collateral:
+    def test_collateral(self):
+        result = Cardinality.of(1, 2).collateral(Cardinality.of(1, 3))
+        assert result == Cardinality.of(0, 6)
+
+    def test_collateral_unbounded(self):
+        assert EXACTLY_ONE.collateral(AT_LEAST_ONE) == ANY
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+
+intervals = st.builds(
+    lambda lo, extra, unbounded: Interval(lo, None if unbounded else lo + extra),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.booleans(),
+)
+cardinalities = st.lists(intervals, min_size=1, max_size=3).map(Cardinality)
+members = st.integers(min_value=0, max_value=40)
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities, members, members)
+def test_composition_soundness(kappa1, kappa2, a, b):
+    """If a ∈ κ1 and b ∈ κ2 then a·b counts are admissible in κ1 ∘ κ2.
+
+    Soundness of Lemma 1: chasing a elements, each reaching b elements,
+    can produce anywhere between (a>0 ? min κ2 : 0) and a·b distinct
+    end elements; the composed cardinality must contain that whole range's
+    extremes.
+    """
+    if not (kappa1.contains(a) and kappa2.contains(b)):
+        return
+    composed = kappa1.compose(kappa2)
+    assert composed.contains(a * b)
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities)
+def test_composition_preserves_emptiness(kappa1, kappa2):
+    composed = kappa1.compose(kappa2)
+    assert not composed.is_empty  # non-empty inputs compose to non-empty
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities, members, members)
+def test_union_sum_soundness(kappa1, kappa2, a, b):
+    if not (kappa1.contains(a) and kappa2.contains(b)):
+        return
+    assert kappa1.union_sum(kappa2).contains(a + b)
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities, members, members)
+def test_union_overlapping_covers_hull(kappa1, kappa2, a, b):
+    """κ1 +̂ κ2 must admit every c with max(a,b) <= c <= a+b."""
+    if not (kappa1.contains(a) and kappa2.contains(b)):
+        return
+    result = kappa1.union_overlapping(kappa2)
+    assert result.contains(max(a, b))
+    assert result.contains(a + b)
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities)
+def test_union_disjoint_is_superset_of_both(kappa1, kappa2):
+    union = kappa1.union_disjoint_domains(kappa2)
+    assert kappa1.is_subset(union)
+    assert kappa2.is_subset(union)
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities)
+def test_intersection_is_subset_of_both(kappa1, kappa2):
+    intersected = kappa1.intersection(kappa2)
+    assert intersected.is_subset(kappa1)
+    assert intersected.is_subset(kappa2)
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities, members)
+def test_intersection_membership(kappa1, kappa2, value):
+    expected = kappa1.contains(value) and kappa2.contains(value)
+    assert kappa1.intersection(kappa2).contains(value) == expected
+
+
+@settings(max_examples=200)
+@given(cardinalities)
+def test_subset_is_reflexive(kappa):
+    assert kappa.is_subset(kappa)
+    assert not kappa.is_proper_subset(kappa)
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities, cardinalities)
+def test_subset_is_transitive(kappa1, kappa2, kappa3):
+    if kappa1.is_subset(kappa2) and kappa2.is_subset(kappa3):
+        assert kappa1.is_subset(kappa3)
+
+
+@settings(max_examples=200)
+@given(cardinalities)
+def test_normalisation_is_canonical(kappa):
+    """Equal sets have equal representations (hash/eq safety)."""
+    rebuilt = Cardinality(kappa.intervals)
+    assert rebuilt == kappa
+    assert hash(rebuilt) == hash(kappa)
+
+
+@settings(max_examples=200)
+@given(cardinalities, cardinalities)
+def test_collateral_contains_zero(kappa1, kappa2):
+    assert kappa1.collateral(kappa2).contains(0)

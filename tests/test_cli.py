@@ -1,0 +1,69 @@
+"""Tests for the ``efes`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate", "example"])
+        assert args.quality == "high"
+        assert args.seed == 1
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "list"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "example" in out and "s1-s2" in out and "d1-d2" in out
+
+    def test_assess_example(self, capsys):
+        assert main(["assess", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "Mapping complexity report" in out
+        assert "503" in out and "102" in out  # Table 3 counts
+
+    def test_estimate_example_high(self, capsys):
+        assert main(["estimate", "example", "--quality", "high"]) == 0
+        out = capsys.readouterr().out
+        assert "Merge values" in out
+        assert "Total" in out
+
+    def test_estimate_example_low(self, capsys):
+        assert main(["estimate", "example", "--quality", "low"]) == 0
+        out = capsys.readouterr().out
+        assert "Keep any value" in out
+
+    def test_measure_small_scenario(self, capsys):
+        assert main(["measure", "s4-s4", "--quality", "low"]) == 0
+        out = capsys.readouterr().out
+        assert "write mapping query" in out
+
+    def test_curve_example(self, capsys):
+        assert main(["curve", "s4-s4"]) == 0
+        out = capsys.readouterr().out
+        assert "Cost-benefit curve" in out
+        assert "100.0%" in out
+
+    def test_save_then_assess_directory(self, tmp_path, capsys):
+        directory = tmp_path / "exported"
+        assert main(["save", "s4-s4", str(directory)]) == 0
+        assert (directory / "scenario.json").exists()
+        assert (directory / "s4" / "schema.sql").exists()
+        capsys.readouterr()
+        assert main(["assess", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "Mapping complexity report" in out
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            main(["assess", "not-a-scenario"])

@@ -1,0 +1,88 @@
+"""Unit tests for correspondences and correspondence sets."""
+
+import pytest
+
+from repro.matching import (
+    Correspondence,
+    CorrespondenceSet,
+    attribute_correspondence,
+    relation_correspondence,
+)
+from repro.scenarios.example import correspondences, source_schema, target_schema
+
+
+class TestCorrespondence:
+    def test_attribute_level(self):
+        c = attribute_correspondence("albums.name", "records.title")
+        assert c.is_attribute_level
+        assert c.source == "albums.name" and c.target == "records.title"
+
+    def test_relation_level(self):
+        c = relation_correspondence("albums", "records")
+        assert not c.is_attribute_level
+        assert c.source == "albums"
+
+    def test_mixed_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Correspondence("albums", "name", "records", None)
+
+    def test_confidence_range_enforced(self):
+        with pytest.raises(ValueError):
+            Correspondence("a", None, "b", None, confidence=1.5)
+
+
+class TestCorrespondenceSet:
+    @pytest.fixture
+    def cset(self):
+        return correspondences()
+
+    def test_length(self, cset):
+        assert len(cset) == 7
+
+    def test_attribute_correspondences(self, cset):
+        assert len(cset.attribute_correspondences()) == 5
+
+    def test_explicit_relation_correspondences(self, cset):
+        explicit = cset.explicit_relation_correspondences()
+        assert {(c.source_relation, c.target_relation) for c in explicit} == {
+            ("albums", "records"),
+            ("songs", "tracks"),
+        }
+
+    def test_implied_relation_correspondences(self, cset):
+        implied = cset.relation_correspondences()
+        pairs = {(c.source_relation, c.target_relation) for c in implied}
+        assert ("artist_credits", "records") in pairs
+
+    def test_identity_sources_prefer_explicit(self, cset):
+        assert cset.identity_sources_of_relation("records") == ("albums",)
+
+    def test_identity_sources_fallback_to_implied(self):
+        cset = CorrespondenceSet(
+            [attribute_correspondence("articles.authors", "persons.name")]
+        )
+        assert cset.identity_sources_of_relation("persons") == ("articles",)
+
+    def test_sources_of_attribute(self, cset):
+        sources = cset.sources_of_attribute("records", "artist")
+        assert [c.source for c in sources] == ["artist_credits.artist"]
+
+    def test_target_relations_stable_order(self, cset):
+        assert cset.target_relations() == ("records", "tracks")
+
+    def test_mapped_target_attributes(self, cset):
+        assert cset.mapped_target_attributes("tracks") == (
+            "title",
+            "duration",
+            "record",
+        )
+
+    def test_validate_against_passes(self, cset):
+        cset.validate_against(source_schema(), target_schema())
+
+    def test_validate_against_rejects_unknown(self):
+        cset = CorrespondenceSet(
+            [attribute_correspondence("albums.nope", "records.title")]
+        )
+        with pytest.raises(Exception):
+            cset.validate_against(source_schema(), target_schema())

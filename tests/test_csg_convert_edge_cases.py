@@ -1,0 +1,150 @@
+"""Edge-case tests for relational → CSG conversion."""
+
+import pytest
+
+from repro.csg import (
+    AT_MOST_ONE,
+    EXACTLY_ONE,
+    RelationshipKind,
+    database_to_csg,
+    schema_to_csg,
+)
+from repro.relational import (
+    Database,
+    DataType,
+    Schema,
+    foreign_key,
+    primary_key,
+    relation,
+)
+
+
+class TestCompositeForeignKeys:
+    @pytest.fixture
+    def schema(self):
+        built = Schema(
+            "s",
+            relations=[
+                relation(
+                    "child",
+                    [("pk", DataType.INTEGER), ("a", DataType.INTEGER), ("b", DataType.INTEGER)],
+                ),
+                relation(
+                    "parent",
+                    [("a", DataType.INTEGER), ("b", DataType.INTEGER)],
+                ),
+            ],
+            constraints=[
+                primary_key("parent", ("a", "b")),
+                foreign_key("child", ("a", "b"), "parent", ("a", "b")),
+            ],
+        )
+        return built
+
+    def test_one_equality_edge_per_attribute_pair(self, schema):
+        graph = schema_to_csg(schema)
+        equalities = [
+            rel
+            for rel in graph.relationships
+            if rel.kind is RelationshipKind.EQUALITY
+            and rel.start.relation == "child"
+        ]
+        assert {rel.start.name for rel in equalities} == {
+            "child.a",
+            "child.b",
+        }
+
+    def test_equality_links_per_component(self, schema):
+        db = Database(schema)
+        db.insert("parent", (1, 10))
+        db.insert("parent", (2, 20))
+        db.insert("child", (1, 1, 10))
+        graph, instance = database_to_csg(db)
+        rel = graph.relationship("child.a", "parent.a")
+        assert instance.links(rel) == frozenset({(1, 1)})
+
+
+class TestSelfReferencingForeignKey:
+    def test_conversion_succeeds(self):
+        schema = Schema(
+            "s",
+            relations=[
+                relation(
+                    "node",
+                    [("id", DataType.INTEGER), ("parent", DataType.INTEGER)],
+                )
+            ],
+            constraints=[
+                primary_key("node", "id"),
+                foreign_key("node", "parent", "node", "id"),
+            ],
+        )
+        db = Database(schema)
+        db.insert_all("node", [(1, 1), (2, 1), (3, 2)])
+        graph, instance = database_to_csg(db)
+        rel = graph.relationship("node.parent", "node.id")
+        assert rel.kind is RelationshipKind.EQUALITY
+        # parent values {1, 2} both exist among ids
+        assert instance.links(rel) == frozenset({(1, 1), (2, 2)})
+
+
+class TestValueSemantics:
+    def test_duplicate_rows_share_value_elements(self):
+        schema = Schema("s", relations=[relation("r", ["v"])])
+        db = Database(schema)
+        db.insert_all("r", [("x",), ("x",)])
+        graph, instance = database_to_csg(db)
+        assert len(instance.elements("r")) == 2  # tuple identities differ
+        assert len(instance.elements("r.v")) == 1  # values are a set
+
+    def test_mixed_numeric_values_stay_typed(self):
+        schema = Schema(
+            "s", relations=[relation("r", [("v", DataType.FLOAT)])]
+        )
+        db = Database(schema)
+        db.insert_all("r", [(1.5,), (2.0,)])
+        _, instance = database_to_csg(db)
+        assert instance.elements("r.v") == {1.5, 2.0}
+
+    def test_boolean_attributes(self):
+        schema = Schema(
+            "s", relations=[relation("r", [("flag", DataType.BOOLEAN)])]
+        )
+        db = Database(schema)
+        db.insert_all("r", [(True,), (False,), (True,)])
+        _, instance = database_to_csg(db)
+        assert instance.elements("r.flag") == {True, False}
+
+    def test_empty_relation_converts(self):
+        schema = Schema("s", relations=[relation("r", ["v"])])
+        graph, instance = database_to_csg(Database(schema))
+        assert instance.elements("r") == frozenset()
+        assert instance.elements("r.v") == frozenset()
+
+
+class TestPrescribedCardinalityMatrix:
+    """All four (not-null × unique) combinations convert correctly."""
+
+    @pytest.mark.parametrize(
+        "not_null,unique_attr,forward,backward",
+        [
+            (False, False, "0..1", "1..*"),
+            (True, False, "1", "1..*"),
+            (False, True, "0..1", "1"),
+            (True, True, "1", "1"),
+        ],
+    )
+    def test_combination(self, not_null, unique_attr, forward, backward):
+        from repro.relational import NotNull, Unique
+
+        constraints = []
+        if not_null:
+            constraints.append(NotNull("r", "v"))
+        if unique_attr:
+            constraints.append(Unique("r", ("v",)))
+        schema = Schema(
+            "s", relations=[relation("r", ["v"])], constraints=constraints
+        )
+        graph = schema_to_csg(schema)
+        assert str(graph.relationship("r", "r.v").cardinality) == forward
+        assert str(graph.relationship("r.v", "r").cardinality) == backward

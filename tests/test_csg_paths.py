@@ -1,0 +1,136 @@
+"""Unit tests for CSG path search and conciseness-based matching."""
+
+import pytest
+
+from repro.csg import (
+    ANY,
+    AT_LEAST_ONE,
+    AT_MOST_ONE,
+    EXACTLY_ONE,
+    MatchedPath,
+    find_paths,
+    infer_path_cardinality,
+    match_endpoints,
+    most_concise,
+    schema_to_csg,
+)
+from repro.scenarios.example import source_schema
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return schema_to_csg(source_schema())
+
+
+class TestFindPaths:
+    def test_direct_path(self, graph):
+        paths = find_paths(graph, graph.node("albums"), graph.node("albums.name"))
+        assert len(paths) == 1 and len(paths[0]) == 1
+
+    def test_multi_hop_paths(self, graph):
+        paths = find_paths(
+            graph, graph.node("albums"), graph.node("artist_credits.artist")
+        )
+        # Via artist_lists directly, and the long way around via songs.
+        assert len(paths) == 2
+        assert min(len(path) for path in paths) == 5
+
+    def test_paths_are_node_simple(self, graph):
+        paths = find_paths(
+            graph, graph.node("albums"), graph.node("artist_credits.artist")
+        )
+        for path in paths:
+            nodes = [path[0].start.name] + [rel.end.name for rel in path]
+            assert len(nodes) == len(set(nodes))
+
+    def test_max_length_prunes(self, graph):
+        paths = find_paths(
+            graph,
+            graph.node("albums"),
+            graph.node("artist_credits.artist"),
+            max_length=4,
+        )
+        assert paths == []
+
+    def test_same_node_gives_no_paths(self, graph):
+        node = graph.node("albums")
+        assert find_paths(graph, node, node) == []
+
+    def test_shortest_first_order(self, graph):
+        paths = find_paths(
+            graph, graph.node("albums"), graph.node("artist_credits.artist")
+        )
+        lengths = [len(path) for path in paths]
+        assert lengths == sorted(lengths)
+
+
+class TestInferPathCardinality:
+    def test_paper_path(self, graph):
+        paths = find_paths(
+            graph, graph.node("albums"), graph.node("artist_credits.artist")
+        )
+        shortest = min(paths, key=len)
+        assert infer_path_cardinality(shortest) == ANY
+
+    def test_single_edge(self, graph):
+        paths = find_paths(graph, graph.node("albums"), graph.node("albums.name"))
+        assert infer_path_cardinality(paths[0]) == EXACTLY_ONE
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            infer_path_cardinality(())
+
+
+class TestMostConcise:
+    def _candidate(self, graph, cardinality, length):
+        base = find_paths(
+            graph, graph.node("albums"), graph.node("albums.name")
+        )[0]
+        # fabricate a candidate of the requested nominal length by reusing
+        # the same relationship object (only length and κ matter here).
+        return MatchedPath(tuple(base) * length, cardinality)
+
+    def test_proper_subset_wins(self, graph):
+        tight = self._candidate(graph, EXACTLY_ONE, 3)
+        loose = self._candidate(graph, ANY, 1)
+        assert most_concise([loose, tight]) is tight
+
+    def test_tie_broken_by_length(self, graph):
+        short = self._candidate(graph, ANY, 1)
+        long = self._candidate(graph, ANY, 2)
+        assert most_concise([long, short]) is short
+
+    def test_incomparable_falls_back_to_length(self, graph):
+        a = self._candidate(graph, AT_MOST_ONE, 2)
+        b = self._candidate(graph, AT_LEAST_ONE, 1)
+        assert most_concise([a, b]) is b
+
+    def test_conciseness_can_be_disabled(self, graph):
+        tight = self._candidate(graph, EXACTLY_ONE, 3)
+        loose = self._candidate(graph, ANY, 1)
+        assert most_concise([loose, tight], use_conciseness=False) is loose
+
+    def test_empty_candidates(self):
+        assert most_concise([]) is None
+
+
+class TestMatchEndpoints:
+    def test_example_match(self, graph):
+        matched = match_endpoints(graph, ["albums"], ["artist_credits.artist"])
+        assert matched is not None
+        assert matched.cardinality == ANY
+        assert matched.length == 5
+
+    def test_describe_names_the_route(self, graph):
+        matched = match_endpoints(graph, ["albums"], ["artist_credits.artist"])
+        assert matched.describe().startswith("albums ->")
+        assert matched.describe().endswith("artist_credits.artist")
+
+    def test_unknown_nodes_skipped(self, graph):
+        assert match_endpoints(graph, ["nope"], ["albums.name"]) is None
+
+    def test_multiple_start_candidates(self, graph):
+        matched = match_endpoints(
+            graph, ["albums", "songs"], ["artist_credits.artist"]
+        )
+        assert matched is not None

@@ -1,0 +1,65 @@
+"""Unit tests for repro.relational.csv_io."""
+
+import pytest
+
+from repro.relational import DataType, InstanceError, relation
+from repro.relational.csv_io import (
+    dump_relation,
+    dumps_relation,
+    load_relation,
+    loads_relation,
+)
+from repro.relational.instance import RelationInstance
+
+CSV_TEXT = "id,name,length\n1,Sweet Home,215900\n2,Anxiety,\n"
+
+
+class TestLoads:
+    def test_type_inference(self):
+        instance = loads_relation(CSV_TEXT, name="songs")
+        datatypes = [a.datatype for a in instance.relation.attributes]
+        assert datatypes == [DataType.INTEGER, DataType.STRING, DataType.INTEGER]
+
+    def test_empty_cell_becomes_null(self):
+        instance = loads_relation(CSV_TEXT, name="songs")
+        assert instance.rows[1][2] is None
+
+    def test_explicit_relation_casts(self):
+        target = relation("songs", [("id", DataType.STRING), "name", "length"])
+        instance = loads_relation(CSV_TEXT, relation=target)
+        assert instance.rows[0][0] == "1"
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(InstanceError):
+            loads_relation("", name="x")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(InstanceError):
+            loads_relation("a,b\n1\n", name="x")
+
+    def test_binary_column_prefers_integer(self):
+        instance = loads_relation("flag\n0\n1\n0\n", name="x")
+        assert instance.relation.attribute("flag").datatype == DataType.INTEGER
+
+
+class TestRoundTrip:
+    def test_dumps_then_loads(self):
+        original = loads_relation(CSV_TEXT, name="songs")
+        text = dumps_relation(original)
+        reloaded = loads_relation(text, name="songs")
+        assert reloaded.rows == original.rows
+
+    def test_file_round_trip(self, tmp_path):
+        original = loads_relation(CSV_TEXT, name="songs")
+        path = tmp_path / "songs.csv"
+        dump_relation(original, path)
+        reloaded = load_relation(path)
+        assert reloaded.rows == original.rows
+        assert reloaded.relation.name == "songs"
+
+    def test_null_round_trip(self):
+        source = relation("r", [("a", DataType.INTEGER), "b"])
+        instance = RelationInstance(source, [(None, "x")])
+        text = dumps_relation(instance)
+        reloaded = loads_relation(text, relation=source)
+        assert reloaded.rows[0] == (None, "x")

@@ -1,0 +1,142 @@
+"""Unit tests for repro.relational.datatypes."""
+
+import pytest
+
+from repro.relational.datatypes import (
+    DataType,
+    can_cast,
+    cast,
+    infer_datatype,
+)
+from repro.relational.errors import TypeCastError
+
+
+class TestCastInteger:
+    def test_int_passthrough(self):
+        assert cast(7, DataType.INTEGER) == 7
+
+    def test_string_parses(self):
+        assert cast(" 42 ", DataType.INTEGER) == 42
+
+    def test_negative_string(self):
+        assert cast("-13", DataType.INTEGER) == -13
+
+    def test_whole_float_converts(self):
+        assert cast(3.0, DataType.INTEGER) == 3
+
+    def test_fractional_float_fails(self):
+        with pytest.raises(TypeCastError):
+            cast(3.5, DataType.INTEGER)
+
+    def test_text_fails(self):
+        with pytest.raises(TypeCastError):
+            cast("4:43", DataType.INTEGER)
+
+    def test_bool_converts(self):
+        assert cast(True, DataType.INTEGER) == 1
+
+
+class TestCastFloat:
+    def test_string_parses(self):
+        assert cast("2.5", DataType.FLOAT) == 2.5
+
+    def test_int_converts(self):
+        assert cast(3, DataType.FLOAT) == 3.0
+
+    def test_infinity_rejected(self):
+        with pytest.raises(TypeCastError):
+            cast("inf", DataType.FLOAT)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TypeCastError):
+            cast("nan", DataType.FLOAT)
+
+
+class TestCastString:
+    def test_passthrough(self):
+        assert cast("abc", DataType.STRING) == "abc"
+
+    def test_integer_renders(self):
+        assert cast(215900, DataType.STRING) == "215900"
+
+    def test_bool_renders(self):
+        assert cast(False, DataType.STRING) == "false"
+
+
+class TestCastBoolean:
+    @pytest.mark.parametrize("literal", ["true", "T", "yes", "1", "Y"])
+    def test_truthy_literals(self, literal):
+        assert cast(literal, DataType.BOOLEAN) is True
+
+    @pytest.mark.parametrize("literal", ["false", "F", "no", "0", "N"])
+    def test_falsy_literals(self, literal):
+        assert cast(literal, DataType.BOOLEAN) is False
+
+    def test_other_string_fails(self):
+        with pytest.raises(TypeCastError):
+            cast("maybe", DataType.BOOLEAN)
+
+    def test_out_of_range_int_fails(self):
+        with pytest.raises(TypeCastError):
+            cast(2, DataType.BOOLEAN)
+
+
+class TestCastDate:
+    def test_iso_date(self):
+        assert cast("1999-12-31", DataType.DATE) == "1999-12-31"
+
+    def test_bad_month_fails(self):
+        with pytest.raises(TypeCastError):
+            cast("1999-13-01", DataType.DATE)
+
+    def test_non_date_fails(self):
+        with pytest.raises(TypeCastError):
+            cast("yesterday", DataType.DATE)
+
+
+class TestNullHandling:
+    @pytest.mark.parametrize("datatype", list(DataType))
+    def test_null_passes_through(self, datatype):
+        assert cast(None, datatype) is None
+
+    @pytest.mark.parametrize("datatype", list(DataType))
+    def test_null_is_castable(self, datatype):
+        assert can_cast(None, datatype)
+
+
+class TestInferDatatype:
+    def test_integers(self):
+        assert infer_datatype(["1", "2", "3"]) == DataType.INTEGER
+
+    def test_floats(self):
+        assert infer_datatype(["1.5", "2"]) == DataType.FLOAT
+
+    def test_booleans(self):
+        assert infer_datatype(["true", "false"]) == DataType.BOOLEAN
+
+    def test_dates(self):
+        assert infer_datatype(["2001-01-01", "1999-06-15"]) == DataType.DATE
+
+    def test_mixed_falls_back_to_string(self):
+        assert infer_datatype(["1", "two"]) == DataType.STRING
+
+    def test_nulls_ignored(self):
+        assert infer_datatype([None, "7", None]) == DataType.INTEGER
+
+    def test_empty_defaults_to_string(self):
+        assert infer_datatype([]) == DataType.STRING
+
+    def test_all_null_defaults_to_string(self):
+        assert infer_datatype([None, None]) == DataType.STRING
+
+
+class TestDataTypeProperties:
+    def test_numeric_flags(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+
+    def test_textual_flags(self):
+        assert DataType.STRING.is_textual
+        assert DataType.DATE.is_textual
+        assert not DataType.INTEGER.is_textual

@@ -1,0 +1,136 @@
+"""Unit tests for dependency discovery (UCC / IND / FD)."""
+
+import pytest
+
+from repro.profiling.dependencies import (
+    discover_fds,
+    discover_inds,
+    discover_uccs,
+    ind_graph,
+)
+from repro.relational import Database, DataType, Schema, relation
+
+
+@pytest.fixture
+def database():
+    schema = Schema(
+        "db",
+        relations=[
+            relation(
+                "r",
+                [
+                    ("id", DataType.INTEGER),
+                    ("code", DataType.STRING),
+                    ("grp", DataType.STRING),
+                    ("grp_label", DataType.STRING),
+                ],
+            ),
+            relation("s", [("rid", DataType.INTEGER), ("x", DataType.STRING)]),
+        ],
+    )
+    db = Database(schema)
+    db.insert_all(
+        "r",
+        [
+            (1, "a", "g1", "Group One"),
+            (2, "b", "g1", "Group One"),
+            (3, "c", "g2", "Group Two"),
+        ],
+    )
+    db.insert_all("s", [(1, "x"), (2, "y")])
+    return db
+
+
+class TestUccDiscovery:
+    def test_unary_uccs_found(self, database):
+        uccs = discover_uccs(database, max_arity=1)
+        found = {(u.relation, u.attributes) for u in uccs}
+        assert ("r", ("id",)) in found
+        assert ("r", ("code",)) in found
+
+    def test_non_unique_excluded(self, database):
+        uccs = discover_uccs(database, max_arity=1)
+        assert ("r", ("grp",)) not in {(u.relation, u.attributes) for u in uccs}
+
+    def test_binary_uccs_are_minimal(self, database):
+        uccs = discover_uccs(database, max_arity=2)
+        # (id, code) is unique but not minimal — both components are UCCs.
+        assert ("r", ("id", "code")) not in {
+            (u.relation, u.attributes) for u in uccs
+        }
+
+    def test_binary_ucc_found_when_needed(self):
+        schema = Schema("db", relations=[relation("t", ["a", "b"])])
+        db = Database(schema)
+        db.insert_all("t", [("x", "1"), ("x", "2"), ("y", "1")])
+        uccs = discover_uccs(db, max_arity=2)
+        assert {(u.relation, u.attributes) for u in uccs} == {("t", ("a", "b"))}
+
+    def test_null_containing_column_not_unique(self):
+        schema = Schema("db", relations=[relation("t", ["a"])])
+        db = Database(schema)
+        db.insert_all("t", [("x",), (None,)])
+        assert discover_uccs(db, max_arity=1) == []
+
+    def test_empty_relation_yields_nothing(self):
+        schema = Schema("db", relations=[relation("t", ["a"])])
+        assert discover_uccs(Database(schema)) == []
+
+
+class TestIndDiscovery:
+    def test_fk_like_ind_found(self, database):
+        inds = discover_inds(database)
+        assert any(
+            ind.relation == "s"
+            and ind.attribute == "rid"
+            and ind.referenced == "r"
+            and ind.referenced_attribute == "id"
+            for ind in inds
+        )
+
+    def test_reflexive_ind_excluded(self, database):
+        inds = discover_inds(database)
+        assert not any(
+            (ind.relation, ind.attribute)
+            == (ind.referenced, ind.referenced_attribute)
+            for ind in inds
+        )
+
+    def test_non_included_column_excluded(self, database):
+        inds = discover_inds(database)
+        assert not any(
+            ind.relation == "r" and ind.attribute == "id" and ind.referenced == "s"
+            for ind in inds
+        )
+
+    def test_ind_graph_shape(self, database):
+        graph = ind_graph(discover_inds(database))
+        assert ("s", "rid") in graph
+
+
+class TestFdDiscovery:
+    def test_fd_found(self, database):
+        fds = discover_fds(database)
+        assert any(
+            fd.relation == "r"
+            and fd.determinant == "grp"
+            and fd.dependent == "grp_label"
+            for fd in fds
+        )
+
+    def test_violated_fd_excluded(self):
+        schema = Schema("db", relations=[relation("t", ["a", "b"])])
+        db = Database(schema)
+        db.insert_all("t", [("x", "1"), ("x", "2")])
+        assert discover_fds(db) == []
+
+    def test_unique_determinants_skipped(self, database):
+        fds = discover_fds(database)
+        assert not any(fd.determinant == "id" for fd in fds)
+
+    def test_null_determinants_ignored(self):
+        schema = Schema("db", relations=[relation("t", ["a", "b"])])
+        db = Database(schema)
+        db.insert_all("t", [(None, "1"), (None, "2"), ("x", "1"), ("x", "1")])
+        fds = discover_fds(db)
+        assert any(fd.determinant == "a" and fd.dependent == "b" for fd in fds)

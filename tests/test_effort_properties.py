@@ -1,0 +1,95 @@
+"""Property tests for the effort model: monotonicity and scale laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ResultQuality, default_execution_settings
+from repro.core.effort import linear, per_unit, threshold_per_unit
+from repro.core.tasks import Task, TaskType
+
+counts = st.integers(min_value=0, max_value=10_000)
+small_floats = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def make_task(**parameters):
+    return Task(
+        type=TaskType.CONVERT_VALUES,
+        quality=ResultQuality.HIGH_QUALITY,
+        subject="p",
+        parameters=parameters,
+    )
+
+
+@settings(max_examples=100)
+@given(counts, counts)
+def test_per_unit_is_monotone(a, b):
+    function = per_unit(2.0, "values")
+    low, high = sorted((a, b))
+    assert function(make_task(values=low)) <= function(make_task(values=high))
+
+
+@settings(max_examples=100)
+@given(counts, counts)
+def test_threshold_function_is_monotone_above_threshold(a, b):
+    function = threshold_per_unit("values", 120, below=15.0, per_unit_above=0.25)
+    low, high = sorted((value for value in (a, b)), key=int)
+    if low >= 120:
+        assert function(make_task(values=low)) <= function(
+            make_task(values=high)
+        )
+
+
+@settings(max_examples=100)
+@given(counts)
+def test_threshold_function_never_negative(count):
+    function = threshold_per_unit("values", 120, below=15.0, per_unit_above=0.25)
+    assert function(make_task(values=count)) >= 0.0
+
+
+@settings(max_examples=100)
+@given(counts, counts, counts)
+def test_linear_is_additive_in_parameters(tables, attributes, keys):
+    function = linear(tables=3.0, attributes=1.0, primary_keys=3.0)
+    combined = function(
+        make_task(tables=tables, attributes=attributes, primary_keys=keys)
+    )
+    parts = (
+        function(make_task(tables=tables))
+        + function(make_task(attributes=attributes))
+        + function(make_task(primary_keys=keys))
+    )
+    assert abs(combined - parts) < 1e-6
+
+
+@settings(max_examples=50)
+@given(small_floats)
+def test_settings_scale_is_multiplicative(scale):
+    settings_obj = default_execution_settings()
+    scaled = settings_obj.with_scale(scale)
+    task = make_task(representations=500)
+    assert scaled.effort_of(task) == settings_obj.effort_of(task) * scale
+
+
+@settings(max_examples=50)
+@given(counts)
+def test_every_default_function_is_non_negative(count):
+    settings_obj = default_execution_settings()
+    for task_type in TaskType:
+        task = Task(
+            type=task_type,
+            quality=ResultQuality.HIGH_QUALITY,
+            subject="p",
+            parameters={
+                "values": count,
+                "distinct_values": count,
+                "repetitions": count,
+                "representations": count,
+                "tables": count,
+                "attributes": count,
+                "primary_keys": count,
+                "foreign_keys": count,
+            },
+        )
+        assert settings_obj.effort_of(task) >= 0.0

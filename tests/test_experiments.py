@@ -1,0 +1,135 @@
+"""Integration tests for the Section 6 experiment harness (Figures 6/7)."""
+
+import pytest
+
+from repro.core import ResultQuality
+from repro.experiments import (
+    Cell,
+    calibrate_counting_rate,
+    calibrate_efes_scale,
+    cross_validated_results,
+    evaluate_domain,
+    run_experiments,
+)
+from repro.scenarios import bibliographic_scenarios
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_experiments(seed=1)
+
+
+class TestEvaluateDomain:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return evaluate_domain(bibliographic_scenarios(seed=1))
+
+    def test_eight_cells(self, cells):
+        assert len(cells) == 8  # 4 scenarios × 2 qualities
+
+    def test_cells_carry_positive_measurements(self, cells):
+        assert all(cell.measured_total > 0 for cell in cells)
+
+    def test_breakdowns_sum(self, cells):
+        for cell in cells:
+            assert sum(cell.measured_breakdown.values()) == pytest.approx(
+                cell.measured_total
+            )
+            assert sum(cell.efes_breakdown.values()) == pytest.approx(
+                cell.efes_total
+            )
+
+
+class TestCrossValidation:
+    def test_calibrations_are_positive(self):
+        cells = evaluate_domain(bibliographic_scenarios(seed=1))
+        assert calibrate_efes_scale(cells) > 0
+        assert calibrate_counting_rate(cells) > 0
+
+    def test_training_excludes_own_domain(self):
+        cells_a = evaluate_domain(bibliographic_scenarios(seed=1))
+        cells_b = evaluate_domain(bibliographic_scenarios(seed=2))
+        results = cross_validated_results({"a": cells_a, "b": cells_b})
+        assert {result.domain for result in results} == {"a", "b"}
+
+    def test_single_domain_self_calibrates(self):
+        cells = evaluate_domain(bibliographic_scenarios(seed=1))
+        results = cross_validated_results({"only": cells})
+        assert len(results) == 1
+
+
+class TestHeadlineResults:
+    """The paper's headline claims, as shapes (see DESIGN.md §3)."""
+
+    def test_efes_beats_counting_in_both_domains(self, report):
+        assert report.bibliographic.efes_rmse < report.bibliographic.counting_rmse
+        assert report.music.efes_rmse < report.music.counting_rmse
+
+    def test_overall_improvement_at_least_2x(self, report):
+        """§6.2: overall rmse 0.84 vs 1.70 — a factor of two; we require the
+        same magnitude of advantage."""
+        assert report.overall_improvement >= 2.0
+
+    def test_bibliographic_improvement_is_large(self, report):
+        """Figure 6: "an improvement in the effort estimation by a factor
+        of four" — we require at least 2.5× in this domain."""
+        assert report.bibliographic.improvement_factor >= 2.5
+
+    def test_identity_scenarios_show_countings_blind_spot(self, report):
+        """§6.2: in s4-s4 "there are no heterogeneities to deal with.
+        While we can detect this, the counting approach estimates
+        considerable cleaning effort."""
+        for domain, name in (
+            (report.bibliographic, "s4-s4"),
+            (report.music, "d1-d2"),
+        ):
+            rows = [row for row in domain.rows if row.scenario_name == name]
+            assert rows
+            for row in rows:
+                efes_error = abs(
+                    row.efes.total_minutes - row.measured.total_minutes
+                )
+                counting_error = abs(
+                    row.counting.total_minutes - row.measured.total_minutes
+                )
+                assert efes_error < counting_error
+
+    def test_efes_tracks_quality_levels(self, report):
+        """EFES distinguishes low-effort from high-quality cells; the
+        counting baseline cannot."""
+        for domain in (report.bibliographic, report.music):
+            by_cell = {
+                (row.scenario_name, row.quality_label): row
+                for row in domain.rows
+            }
+            for name in {row.scenario_name for row in domain.rows}:
+                counting_low = by_cell[(name, "low eff.")].counting.total_minutes
+                counting_high = by_cell[(name, "high qual.")].counting.total_minutes
+                assert counting_low == pytest.approx(counting_high)
+
+    def test_rows_cover_all_cells(self, report):
+        assert len(report.bibliographic.rows) == 8
+        assert len(report.music.rows) == 8
+
+    def test_efes_breakdown_matches_measured_shape(self, report):
+        """Where measured effort is mapping-dominated, so is the estimate."""
+        for row in report.music.rows:
+            if row.scenario_name == "d1-d2":
+                assert row.efes.breakdown["Mapping"] == pytest.approx(
+                    row.efes.total_minutes
+                )
+
+
+class TestDeterminism:
+    def test_same_seed_same_numbers(self, report):
+        again = run_experiments(seed=1)
+        assert again.overall_efes_rmse == report.overall_efes_rmse
+        assert again.overall_counting_rmse == report.overall_counting_rmse
+
+    def test_headline_shape_is_seed_robust(self):
+        """The EFES-beats-counting conclusion must not hinge on the
+        default seed (guards against accidental cherry-picking)."""
+        for seed in (2, 5):
+            other = run_experiments(seed=seed)
+            assert other.overall_efes_rmse < other.overall_counting_rmse
+            assert other.overall_improvement >= 1.5, seed

@@ -1,0 +1,151 @@
+"""Tests for the future-work extensions (Section 7)."""
+
+import pytest
+
+from repro.core import Efes, ResultQuality, default_efes, default_modules
+from repro.extensions import (
+    CorrespondenceModule,
+    cost_benefit_curve,
+    marginal_gains,
+    predicted_loss,
+)
+from repro.core.reports import (
+    StructureComplexityReport,
+    StructureViolation,
+    ValueComplexityReport,
+)
+from repro.core.tasks import StructuralConflict
+
+
+class TestCorrespondenceModule:
+    @pytest.fixture(scope="class")
+    def report(self, small_example):
+        return CorrespondenceModule().assess(small_example)
+
+    def test_accuracy_in_unit_range_or_negative(self, report):
+        assert report.accuracy <= 1.0
+
+    def test_counts_are_consistent(self, report):
+        # fixes = what the matcher missed plus what it hallucinated
+        assert report.additions >= 0 and report.deletions >= 0
+        assert report.intended == 5  # the example's attribute arrows
+
+    def test_plan_prices_fixes(self, small_example, report):
+        module = CorrespondenceModule(minutes_per_fix=2.0)
+        tasks = module.plan(small_example, report, ResultQuality.HIGH_QUALITY)
+        if report.is_empty():
+            assert tasks == []
+        else:
+            assert len(tasks) == 1
+            assert tasks[0].module == "correspondences"
+
+    def test_perfect_matcher_needs_no_fixes(self, small_example):
+        class OracleMatcher:
+            def match(self, source, target):
+                cset = small_example.correspondences[source.name]
+                return list(cset.attribute_correspondences())
+
+        module = CorrespondenceModule(matcher=OracleMatcher())
+        report = module.assess(small_example)
+        assert report.is_empty()
+        assert report.accuracy == pytest.approx(1.0)
+        assert module.plan(
+            small_example, report, ResultQuality.HIGH_QUALITY
+        ) == []
+
+    def test_pluggable_into_efes(self, small_example):
+        efes = Efes(default_modules() + [CorrespondenceModule()])
+        estimate = efes.estimate(small_example, ResultQuality.HIGH_QUALITY)
+        assert estimate.total_minutes > 0
+
+
+class TestPredictedLoss:
+    def _structure(self, conflict, count):
+        return StructureComplexityReport(
+            [
+                StructureViolation(
+                    source_database="s",
+                    target_relationship="t->t.v",
+                    conflict=conflict,
+                    prescribed="1",
+                    inferred="0..1",
+                    violation_count=count,
+                    scope=100,
+                    target_relation="t",
+                    target_attribute="v",
+                )
+            ]
+        )
+
+    def test_high_quality_loses_nothing(self):
+        structure = self._structure(StructuralConflict.NOT_NULL_VIOLATED, 50)
+        loss = predicted_loss(
+            structure, ValueComplexityReport([]), 100,
+            ResultQuality.HIGH_QUALITY,
+        )
+        assert loss == 0.0
+
+    def test_low_effort_loses_violations(self):
+        structure = self._structure(StructuralConflict.NOT_NULL_VIOLATED, 25)
+        loss = predicted_loss(
+            structure, ValueComplexityReport([]), 100,
+            ResultQuality.LOW_EFFORT,
+        )
+        assert loss == pytest.approx(0.25)
+
+    def test_multi_value_conflicts_are_not_losses(self):
+        structure = self._structure(
+            StructuralConflict.MULTIPLE_ATTRIBUTE_VALUES, 25
+        )
+        loss = predicted_loss(
+            structure, ValueComplexityReport([]), 100,
+            ResultQuality.LOW_EFFORT,
+        )
+        assert loss == 0.0
+
+    def test_loss_is_capped(self):
+        structure = self._structure(StructuralConflict.NOT_NULL_VIOLATED, 500)
+        loss = predicted_loss(
+            structure, ValueComplexityReport([]), 100,
+            ResultQuality.LOW_EFFORT,
+        )
+        assert loss == 1.0
+
+
+class TestCostBenefitCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, small_example, efes):
+        return cost_benefit_curve(efes, small_example)
+
+    def test_two_points_increasing_effort(self, curve):
+        assert len(curve) == 2
+        assert curve[0].effort_minutes <= curve[1].effort_minutes
+
+    def test_more_effort_more_benefit(self, curve):
+        """The paper's motto: "the more effort, the better the quality"."""
+        assert curve[0].benefit <= curve[1].benefit
+
+    def test_high_quality_keeps_everything(self, curve):
+        high = next(
+            p for p in curve if p.quality is ResultQuality.HIGH_QUALITY
+        )
+        assert high.benefit == pytest.approx(1.0)
+
+    def test_low_effort_loses_something_on_example(self, curve):
+        low = next(p for p in curve if p.quality is ResultQuality.LOW_EFFORT)
+        assert low.benefit < 1.0  # the detached artists are dropped
+
+
+class TestMarginalGains:
+    def test_ranking_is_by_gain_per_hour(self, efes):
+        from repro.scenarios import bibliographic_scenarios
+
+        gains = marginal_gains(efes, bibliographic_scenarios())
+        rates = [gain.gain_per_hour for gain in gains]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_identity_scenario_is_best_value(self, efes):
+        from repro.scenarios import bibliographic_scenarios
+
+        gains = marginal_gains(efes, bibliographic_scenarios())
+        assert gains[0].scenario_name == "s4-s4"

@@ -1,0 +1,275 @@
+"""Failure-injection tests: hostile and degenerate inputs.
+
+The paper's *Generality* requirement: "real cases often fail the
+existence of solution tests considered in formal frameworks, but an
+automatic estimation is still desirable for them in practice."  These
+tests feed the pipeline inputs that break formal assumptions — empty
+instances, all-null columns, self-referencing and cyclic foreign keys,
+unicode noise — and require graceful behaviour throughout.
+"""
+
+import pytest
+
+from repro.core import ResultQuality, default_efes
+from repro.matching import (
+    CorrespondenceSet,
+    attribute_correspondence,
+    relation_correspondence,
+)
+from repro.practitioner import PractitionerSimulator
+from repro.relational import (
+    Database,
+    DataType,
+    NotNull,
+    Schema,
+    foreign_key,
+    primary_key,
+    relation,
+)
+from repro.relational.validation import is_valid
+from repro.scenarios.scenario import IntegrationScenario
+
+
+def simple_scenario(source, target, correspondences):
+    return IntegrationScenario("hostile", source, target, correspondences)
+
+
+def run_everything(scenario):
+    efes = default_efes()
+    reports = efes.assess(scenario)
+    low = efes.estimate(scenario, ResultQuality.LOW_EFFORT)
+    high = efes.estimate(scenario, ResultQuality.HIGH_QUALITY)
+    simulator = PractitionerSimulator(seed=1)
+    result = simulator.integrate(scenario, ResultQuality.HIGH_QUALITY)
+    assert is_valid(result.target)
+    assert low.total_minutes >= 0 and high.total_minutes >= 0
+    return reports, low, high, result
+
+
+class TestEmptyInputs:
+    def test_empty_source_instance(self):
+        source = Database(
+            Schema("src", relations=[relation("s", ["v"])])
+        )
+        target = Database(
+            Schema(
+                "tgt",
+                relations=[relation("t", ["v"])],
+                constraints=[NotNull("t", "v")],
+            )
+        )
+        scenario = simple_scenario(
+            source,
+            target,
+            CorrespondenceSet(
+                [
+                    relation_correspondence("s", "t"),
+                    attribute_correspondence("s.v", "t.v"),
+                ]
+            ),
+        )
+        reports, low, high, result = run_everything(scenario)
+        assert reports["structure"].is_empty()
+        assert len(result.target.table("t")) == 0
+
+    def test_empty_target_instance_still_estimates(self):
+        source = Database(Schema("src", relations=[relation("s", ["v"])]))
+        source.insert_all("s", [("4:43",), ("2:59",)])
+        target = Database(Schema("tgt", relations=[relation("t", ["v"])]))
+        scenario = simple_scenario(
+            source,
+            target,
+            CorrespondenceSet(
+                [
+                    relation_correspondence("s", "t"),
+                    attribute_correspondence("s.v", "t.v"),
+                ]
+            ),
+        )
+        run_everything(scenario)
+
+    def test_no_correspondences_at_all(self):
+        source = Database(Schema("src", relations=[relation("s", ["v"])]))
+        source.insert("s", ("x",))
+        target = Database(Schema("tgt", relations=[relation("t", ["v"])]))
+        scenario = simple_scenario(source, target, CorrespondenceSet())
+        reports, low, high, result = run_everything(scenario)
+        assert low.total_minutes == 0.0  # nothing to do, nothing to pay
+
+
+class TestDegenerateColumns:
+    def test_all_null_source_column(self):
+        source = Database(Schema("src", relations=[relation("s", ["v"])]))
+        source.insert_all("s", [(None,)] * 5)
+        target = Database(
+            Schema(
+                "tgt",
+                relations=[relation("t", ["v"])],
+                constraints=[NotNull("t", "v")],
+            )
+        )
+        target.insert("t", ("seed",))
+        scenario = simple_scenario(
+            source,
+            target,
+            CorrespondenceSet(
+                [
+                    relation_correspondence("s", "t"),
+                    attribute_correspondence("s.v", "t.v"),
+                ]
+            ),
+        )
+        reports, _, _, _ = run_everything(scenario)
+        structure = reports["structure"]
+        assert structure.total_violations() == 5  # every tuple violates
+
+    def test_unicode_and_long_strings(self):
+        source = Database(Schema("src", relations=[relation("s", ["v"])]))
+        source.insert_all(
+            "s",
+            [
+                ("héllo wörld 🎵",),
+                ("日本語のテキスト",),
+                ("x" * 10_000,),
+                ("normal",),
+            ],
+        )
+        target = Database(Schema("tgt", relations=[relation("t", ["v"])]))
+        target.insert_all("t", [("plain text",), ("more text",)])
+        scenario = simple_scenario(
+            source,
+            target,
+            CorrespondenceSet(
+                [
+                    relation_correspondence("s", "t"),
+                    attribute_correspondence("s.v", "t.v"),
+                ]
+            ),
+        )
+        run_everything(scenario)
+
+    def test_mixed_type_chaos_column(self):
+        source = Database(
+            Schema("src", relations=[relation("s", [("v", DataType.STRING)])])
+        )
+        source.insert_all(
+            "s", [("1",), ("2.5",), ("true",), ("1999-01-01",), ("x",)]
+        )
+        target = Database(
+            Schema("tgt", relations=[relation("t", [("v", DataType.INTEGER)])])
+        )
+        target.insert_all("t", [(1,), (2,)])
+        scenario = simple_scenario(
+            source,
+            target,
+            CorrespondenceSet(
+                [
+                    relation_correspondence("s", "t"),
+                    attribute_correspondence("s.v", "t.v"),
+                ]
+            ),
+        )
+        reports, _, _, _ = run_everything(scenario)
+        assert not reports["values"].is_empty()  # critical incompatibility
+
+
+class TestHostileForeignKeys:
+    def test_self_referencing_source_fk(self):
+        schema = Schema(
+            "src",
+            relations=[
+                relation(
+                    "s",
+                    [
+                        ("id", DataType.INTEGER),
+                        ("parent", DataType.INTEGER),
+                        ("v", DataType.STRING),
+                    ],
+                )
+            ],
+            constraints=[
+                primary_key("s", "id"),
+                foreign_key("s", "parent", "s", "id"),
+            ],
+        )
+        source = Database(schema)
+        source.insert_all(
+            "s", [(1, 1, "root"), (2, 1, "child"), (3, 2, "leaf")]
+        )
+        target = Database(Schema("tgt", relations=[relation("t", ["v"])]))
+        scenario = simple_scenario(
+            source,
+            target,
+            CorrespondenceSet(
+                [
+                    relation_correspondence("s", "t"),
+                    attribute_correspondence("s.v", "t.v"),
+                ]
+            ),
+        )
+        run_everything(scenario)
+
+    def test_cyclic_target_fks_fall_back_gracefully(self):
+        schema = Schema(
+            "tgt",
+            relations=[
+                relation("a", [("id", DataType.INTEGER), ("b_ref", DataType.INTEGER), "v"]),
+                relation("b", [("id", DataType.INTEGER), ("a_ref", DataType.INTEGER), "w"]),
+            ],
+            constraints=[
+                primary_key("a", "id"),
+                primary_key("b", "id"),
+                foreign_key("a", "b_ref", "b", "id"),
+                foreign_key("b", "a_ref", "a", "id"),
+            ],
+        )
+        target = Database(schema)
+        source = Database(
+            Schema(
+                "src",
+                relations=[relation("s", ["v", "w"])],
+            )
+        )
+        source.insert_all("s", [("x", "y"), ("p", "q")])
+        scenario = simple_scenario(
+            source,
+            target,
+            CorrespondenceSet(
+                [
+                    relation_correspondence("s", "a"),
+                    attribute_correspondence("s.v", "a.v"),
+                    relation_correspondence("s", "b"),
+                    attribute_correspondence("s.w", "b.w"),
+                ]
+            ),
+        )
+        run_everything(scenario)
+
+    def test_duplicate_rows_in_source(self):
+        source = Database(Schema("src", relations=[relation("s", ["v"])]))
+        source.insert_all("s", [("same",)] * 10)
+        target = Database(
+            Schema(
+                "tgt",
+                relations=[relation("t", ["v"])],
+                constraints=[
+                    NotNull("t", "v"),
+                ],
+            )
+        )
+        from repro.relational import Unique
+
+        target.schema.add_constraint(Unique("t", ("v",)))
+        scenario = simple_scenario(
+            source,
+            target,
+            CorrespondenceSet(
+                [
+                    relation_correspondence("s", "t"),
+                    attribute_correspondence("s.v", "t.v"),
+                ]
+            ),
+        )
+        _, _, _, result = run_everything(scenario)
+        # The simulator deduplicated down to the unique constraint.
+        assert len(result.target.table("t")) == 1

@@ -1,0 +1,176 @@
+"""Tests for functional-dependency support (the §4.1 CSG extension)."""
+
+import pytest
+
+from repro.core import ResultQuality, default_efes
+from repro.core.tasks import StructuralConflict, TaskType
+from repro.matching import (
+    CorrespondenceSet,
+    attribute_correspondence,
+    relation_correspondence,
+)
+from repro.practitioner import PractitionerSimulator
+from repro.relational import (
+    Database,
+    FunctionalDependencyConstraint,
+    NotNull,
+    Schema,
+    relation,
+    validate,
+)
+from repro.relational.errors import ConstraintError
+from repro.relational.validation import is_valid
+from repro.scenarios.scenario import IntegrationScenario
+
+
+def fd_scenario(source_rows, extra_target_constraints=()):
+    source_schema = Schema(
+        "src", relations=[relation("s", ["grp", "label", "v"])]
+    )
+    target_schema = Schema(
+        "tgt",
+        relations=[relation("t", ["grp", "label", "v"])],
+        constraints=[
+            FunctionalDependencyConstraint("t", "grp", "label"),
+            *extra_target_constraints,
+        ],
+    )
+    source = Database(source_schema)
+    source.insert_all("s", source_rows)
+    target = Database(target_schema)
+    correspondences = CorrespondenceSet(
+        [
+            relation_correspondence("s", "t"),
+            attribute_correspondence("s.grp", "t.grp"),
+            attribute_correspondence("s.label", "t.label"),
+            attribute_correspondence("s.v", "t.v"),
+        ]
+    )
+    return IntegrationScenario("fd", source, target, correspondences)
+
+
+class TestConstraint:
+    def test_trivial_fd_rejected(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependencyConstraint("t", "a", "a")
+
+    def test_describe(self):
+        fd = FunctionalDependencyConstraint("t", "grp", "label")
+        assert fd.describe() == "FD t.grp -> label"
+
+    def test_schema_checks_attribute_references(self):
+        schema = Schema("s", relations=[relation("r", ["a", "b"])])
+        with pytest.raises(Exception):
+            schema.add_constraint(
+                FunctionalDependencyConstraint("r", "a", "nope")
+            )
+
+
+class TestValidation:
+    def _db(self, rows):
+        schema = Schema(
+            "db",
+            relations=[relation("r", ["grp", "label"])],
+            constraints=[FunctionalDependencyConstraint("r", "grp", "label")],
+        )
+        db = Database(schema)
+        db.insert_all("r", rows)
+        return db
+
+    def test_holding_fd_is_clean(self):
+        assert is_valid(self._db([("g1", "One"), ("g1", "One"), ("g2", "Two")]))
+
+    def test_violating_fd_detected(self):
+        violations = validate(self._db([("g1", "One"), ("g1", "Uno")]))
+        assert violations and violations[0].constraint.kind == (
+            "functional_dependency"
+        )
+
+    def test_null_determinants_exempt(self):
+        assert is_valid(self._db([(None, "One"), (None, "Two")]))
+
+    def test_count_is_per_determinant(self):
+        violations = validate(
+            self._db(
+                [("g1", "a"), ("g1", "b"), ("g1", "c"), ("g2", "x"), ("g2", "y")]
+            )
+        )
+        assert violations[0].count == 2  # two conflicting determinants
+
+
+class TestDetection:
+    def test_violating_source_detected(self):
+        scenario = fd_scenario(
+            [("g1", "One", "a"), ("g1", "Uno", "b"), ("g2", "Two", "c")]
+        )
+        report = default_efes().assess(scenario)["structure"]
+        fd_rows = [
+            v
+            for v in report.violations
+            if v.conflict is StructuralConflict.FD_VIOLATED
+        ]
+        assert len(fd_rows) == 1
+        assert fd_rows[0].violation_count == 1
+        assert fd_rows[0].prescribed == "0..1"
+
+    def test_conforming_source_is_clean(self):
+        scenario = fd_scenario(
+            [("g1", "One", "a"), ("g1", "One", "b"), ("g2", "Two", "c")]
+        )
+        report = default_efes().assess(scenario)["structure"]
+        assert not any(
+            v.conflict is StructuralConflict.FD_VIOLATED
+            for v in report.violations
+        )
+
+    def test_unmapped_fd_attributes_skipped(self):
+        scenario = fd_scenario([("g1", "One", "a"), ("g1", "Uno", "b")])
+        cset = CorrespondenceSet(
+            [
+                relation_correspondence("s", "t"),
+                attribute_correspondence("s.grp", "t.grp"),
+                attribute_correspondence("s.v", "t.v"),
+            ]
+        )
+        partial = IntegrationScenario(
+            "fd-partial", scenario.sources, scenario.target, cset
+        )
+        report = default_efes().assess(partial)["structure"]
+        assert not any(
+            v.conflict is StructuralConflict.FD_VIOLATED
+            for v in report.violations
+        )
+
+
+class TestPlanning:
+    def test_high_quality_aggregates_values(self):
+        scenario = fd_scenario([("g1", "One", "a"), ("g1", "Uno", "b")])
+        efes = default_efes()
+        estimate = efes.estimate(scenario, ResultQuality.HIGH_QUALITY)
+        types = [entry.task.type for entry in estimate.entries]
+        assert TaskType.AGGREGATE_VALUES in types
+
+    def test_low_effort_nulls_then_cleans_cascade(self):
+        """Nulling conflicting dependents breaks a NOT NULL on them."""
+        scenario = fd_scenario(
+            [("g1", "One", "a"), ("g1", "Uno", "b")],
+            extra_target_constraints=[NotNull("t", "label")],
+        )
+        efes = default_efes()
+        estimate = efes.estimate(scenario, ResultQuality.LOW_EFFORT)
+        types = [entry.task.type for entry in estimate.entries]
+        assert TaskType.SET_VALUES_TO_NULL in types
+        assert TaskType.REJECT_TUPLES in types
+        assert types.index(TaskType.SET_VALUES_TO_NULL) < types.index(
+            TaskType.REJECT_TUPLES
+        )
+
+
+class TestSimulation:
+    def test_simulator_reaches_fd_valid_target(self):
+        scenario = fd_scenario(
+            [("g1", "One", "a"), ("g1", "Uno", "b"), ("g2", "Two", "c")]
+        )
+        for quality in (ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY):
+            result = PractitionerSimulator().integrate(scenario, quality)
+            assert is_valid(result.target), quality

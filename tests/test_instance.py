@@ -1,0 +1,136 @@
+"""Unit tests for repro.relational.instance and database."""
+
+import pytest
+
+from repro.relational import (
+    Database,
+    DataType,
+    InstanceError,
+    NotNull,
+    Schema,
+    primary_key,
+    relation,
+)
+
+
+@pytest.fixture
+def database():
+    schema = Schema(
+        "db",
+        relations=[
+            relation(
+                "songs",
+                [
+                    ("id", DataType.INTEGER),
+                    ("name", DataType.STRING),
+                    ("length", DataType.INTEGER),
+                ],
+            )
+        ],
+        constraints=[primary_key("songs", "id"), NotNull("songs", "name")],
+    )
+    return Database(schema)
+
+
+class TestInsert:
+    def test_positional_insert(self, database):
+        database.insert("songs", (1, "Song A", 215900))
+        assert len(database.table("songs")) == 1
+
+    def test_mapping_insert(self, database):
+        database.insert("songs", {"id": 2, "name": "Song B"})
+        row = database.table("songs").rows[0]
+        assert row == (2, "Song B", None)
+
+    def test_values_are_cast(self, database):
+        database.insert("songs", ("3", "Song C", "100"))
+        assert database.table("songs").rows[0] == (3, "Song C", 100)
+
+    def test_arity_mismatch_rejected(self, database):
+        with pytest.raises(InstanceError):
+            database.insert("songs", (1, "X"))
+
+    def test_unknown_mapping_key_rejected(self, database):
+        with pytest.raises(InstanceError):
+            database.insert("songs", {"id": 1, "name": "X", "oops": 2})
+
+    def test_insert_all(self, database):
+        database.insert_all("songs", [(1, "A", 10), (2, "B", 20)])
+        assert len(database.table("songs")) == 2
+
+
+class TestColumnAccess:
+    @pytest.fixture(autouse=True)
+    def rows(self, database):
+        database.insert_all(
+            "songs", [(1, "A", 10), (2, "B", None), (3, "A", 30)]
+        )
+
+    def test_column(self, database):
+        assert database.table("songs").column("length") == [10, None, 30]
+
+    def test_distinct_skips_nulls(self, database):
+        assert database.table("songs").distinct("length") == {10, 30}
+
+    def test_distinct_deduplicates(self, database):
+        assert database.table("songs").distinct("name") == {"A", "B"}
+
+    def test_dicts(self, database):
+        first = next(database.table("songs").dicts())
+        assert first == {"id": 1, "name": "A", "length": 10}
+
+
+class TestMutation:
+    @pytest.fixture(autouse=True)
+    def rows(self, database):
+        database.insert_all(
+            "songs", [(1, "A", 10), (2, "B", 20), (3, "C", 30)]
+        )
+
+    def test_delete_where(self, database):
+        deleted = database.table("songs").delete_where(
+            lambda row: row["length"] > 15
+        )
+        assert deleted == 2
+        assert len(database.table("songs")) == 1
+
+    def test_update_where(self, database):
+        updated = database.table("songs").update_where(
+            lambda row: row["id"] == 2, {"length": 99}
+        )
+        assert updated == 1
+        assert database.table("songs").column("length") == [10, 99, 30]
+
+    def test_map_column(self, database):
+        changed = database.table("songs").map_column(
+            "length", lambda value: value * 2
+        )
+        assert changed == 3
+        assert database.table("songs").column("length") == [20, 40, 60]
+
+    def test_map_column_skips_nulls(self, database):
+        database.insert("songs", (4, "D", None))
+        changed = database.table("songs").map_column(
+            "length", lambda value: value + 1
+        )
+        assert changed == 3  # the NULL row is untouched
+
+
+class TestDatabase:
+    def test_copy_is_deep(self, database):
+        database.insert("songs", (1, "A", 10))
+        clone = database.copy()
+        clone.insert("songs", (2, "B", 20))
+        assert len(database.table("songs")) == 1
+        assert len(clone.table("songs")) == 2
+
+    def test_total_rows(self, database):
+        database.insert_all("songs", [(1, "A", 1), (2, "B", 2)])
+        assert database.total_rows() == 2
+
+    def test_instance_must_match_schema(self, database):
+        from repro.relational import DatabaseInstance
+
+        other_schema = Schema("other", relations=[relation("r", ["a"])])
+        with pytest.raises(ValueError):
+            Database(database.schema, DatabaseInstance(other_schema))

@@ -1,0 +1,134 @@
+"""Unit tests for the mapping estimation module (Table 2, Example 3.8)."""
+
+import pytest
+
+from repro.core import ResultQuality, default_execution_settings
+from repro.core.modules.mapping import MappingModule, join_closure
+from repro.core.tasks import TaskType
+from repro.scenarios.example import source_schema
+
+
+@pytest.fixture(scope="module")
+def module():
+    return MappingModule()
+
+
+class TestJoinClosure:
+    def test_single_relation(self):
+        assert join_closure(source_schema(), {"albums"}) == {"albums"}
+
+    def test_paper_closure(self):
+        closure = join_closure(source_schema(), {"albums", "artist_credits"})
+        assert closure == {"albums", "artist_lists", "artist_credits"}
+
+    def test_unconnected_relations_stay_separate(self):
+        from repro.relational import Schema, relation
+
+        schema = Schema(
+            "s", relations=[relation("a", ["x"]), relation("b", ["y"])]
+        )
+        assert join_closure(schema, {"a", "b"}) == {"a", "b"}
+
+    def test_empty_input(self):
+        assert join_closure(source_schema(), set()) == set()
+
+
+class TestTable2Report:
+    """The mapping complexity report of the running example (Table 2)."""
+
+    @pytest.fixture(scope="class")
+    def report(self, example, module):
+        return module.assess(example)
+
+    def test_two_connections(self, report):
+        assert len(report.connections) == 2
+
+    def test_records_row(self, report):
+        records = next(
+            c for c in report.connections if c.target_table == "records"
+        )
+        assert records.source_tables == 3
+        assert records.attributes == 2
+        assert records.needs_primary_key is True
+
+    def test_tracks_row(self, report):
+        tracks = next(
+            c for c in report.connections if c.target_table == "tracks"
+        )
+        assert tracks.source_tables == 3
+        assert tracks.attributes == 2
+        assert tracks.needs_primary_key is False
+
+    def test_totals(self, report):
+        assert report.total_tables() == 6
+        assert report.total_attributes() == 4
+        assert report.total_primary_keys() == 1
+
+    def test_as_row_shape(self, report):
+        row = report.connections[0].as_row()
+        assert row[3] in ("yes", "no")
+
+
+class TestPlanner:
+    def test_one_task_per_connection(self, example, module):
+        report = module.assess(example)
+        tasks = module.plan(example, report, ResultQuality.HIGH_QUALITY)
+        assert len(tasks) == 2
+        assert all(task.type is TaskType.WRITE_MAPPING for task in tasks)
+
+    def test_quality_does_not_change_mapping(self, example, module):
+        report = module.assess(example)
+        low = module.plan(example, report, ResultQuality.LOW_EFFORT)
+        high = module.plan(example, report, ResultQuality.HIGH_QUALITY)
+        assert len(low) == len(high)
+
+    def test_example_38_manual_formula(self, example, module):
+        """Example 3.8: effort = 3·tables + 1·attributes + 3·PKs = 25 min."""
+        from repro.core.effort import ExecutionSettings, linear, price_tasks
+
+        report = module.assess(example)
+        tasks = module.plan(example, report, ResultQuality.HIGH_QUALITY)
+        settings = ExecutionSettings(
+            {
+                TaskType.WRITE_MAPPING: linear(
+                    tables=3.0, attributes=1.0, primary_keys=3.0
+                )
+            }
+        )
+        estimate = price_tasks(
+            "example", ResultQuality.HIGH_QUALITY, tasks, settings
+        )
+        assert estimate.total_minutes == 25.0  # 18 + 4 + 3
+
+    def test_example_38_tool_assisted(self, example, module):
+        """With a mapping tool the two connections cost 2 minutes each."""
+        from repro.core.effort import ExecutionSettings, constant, price_tasks
+
+        report = module.assess(example)
+        tasks = module.plan(example, report, ResultQuality.HIGH_QUALITY)
+        settings = ExecutionSettings(
+            {TaskType.WRITE_MAPPING: constant(2.0)}
+        )
+        estimate = price_tasks(
+            "example", ResultQuality.HIGH_QUALITY, tasks, settings
+        )
+        assert estimate.total_minutes == 4.0
+
+
+class TestEdgeCases:
+    def test_identity_scenario_needs_no_pk_generation(self):
+        from repro.scenarios import scenario_s4_s4
+
+        scenario = scenario_s4_s4()
+        report = MappingModule().assess(scenario)
+        assert all(not c.needs_primary_key for c in report.connections)
+
+    def test_empty_correspondences_give_empty_report(self, example):
+        from repro.matching import CorrespondenceSet
+        from repro.scenarios.scenario import IntegrationScenario
+
+        bare = IntegrationScenario(
+            "bare", example.sources, example.target, CorrespondenceSet()
+        )
+        report = MappingModule().assess(bare)
+        assert report.is_empty()

@@ -1,0 +1,72 @@
+"""Tests for the markdown experiment report and its CLI integration."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.calibration import ComparisonRow, DomainResult, EstimateSummary
+from repro.reporting import render_experiment_markdown
+
+
+def _summary(estimator, total):
+    return EstimateSummary(
+        estimator, "s1-s2", "low eff.", total, {"Mapping": total}
+    )
+
+
+def _fake_report():
+    row = ComparisonRow(
+        "s1-s2",
+        "low eff.",
+        _summary("Efes", 60.0),
+        _summary("Measured", 70.0),
+        _summary("Counting", 90.0),
+    )
+    bibliographic = DomainResult(
+        "bibliographic", (row,), efes_rmse=0.14, counting_rmse=0.29
+    )
+    music = DomainResult("music", (row,), efes_rmse=0.2, counting_rmse=0.4)
+
+    class FakeExperimentReport:
+        pass
+
+    report = FakeExperimentReport()
+    report.bibliographic = bibliographic
+    report.music = music
+    report.overall_efes_rmse = 0.17
+    report.overall_counting_rmse = 0.34
+    report.overall_improvement = 2.0
+    return report
+
+
+class TestRenderMarkdown:
+    @pytest.fixture(scope="class")
+    def markdown(self):
+        return render_experiment_markdown(_fake_report())
+
+    def test_has_summary_table(self, markdown):
+        assert "| Domain | Efes rmse | Counting rmse | Improvement |" in markdown
+        assert "| bibliographic | 0.14 | 0.29 | ×2.1 |" in markdown
+
+    def test_has_overall_row(self, markdown):
+        assert "| **overall** | **0.17** | **0.34** | **×2.0** |" in markdown
+
+    def test_has_both_figures(self, markdown):
+        assert "## Figure 6 — bibliographic domain" in markdown
+        assert "## Figure 7 — music domain" in markdown
+
+    def test_per_cell_rows_present(self, markdown):
+        assert "| s1-s2 | low eff. | 60.0 | 70.0 | 90.0 |" in markdown
+
+    def test_ascii_figure_embedded(self, markdown):
+        assert "```" in markdown and "rmse: Efes=" in markdown
+
+
+class TestCliOutput:
+    def test_experiments_writes_markdown(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["experiments", "--output", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("# EFES experiment report")
+        assert "| **overall** |" in text
+        out = capsys.readouterr().out
+        assert str(path) in out

@@ -1,0 +1,157 @@
+"""Unit tests for the schema matching substrate."""
+
+import pytest
+
+from repro.matching import (
+    CompositeMatcher,
+    InstanceMatcher,
+    NameMatcher,
+    SimilarityFlooding,
+    levenshtein,
+    match_accuracy,
+    name_similarity,
+    normalise,
+    trigram_similarity,
+)
+from repro.matching.correspondence import attribute_correspondence
+from repro.scenarios.example import (
+    build_source,
+    build_target,
+    correspondences,
+    source_schema,
+    target_schema,
+)
+from repro.scenarios.example import ExampleParameters
+
+
+class TestNameSimilarityPrimitives:
+    def test_normalise(self):
+        assert normalise("artist_list") == "artistlist"
+        assert normalise("ArtistList") == "artistlist"
+
+    def test_levenshtein(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("same", "same") == 0
+
+    def test_trigram_identity(self):
+        assert trigram_similarity("title", "title") == 1.0
+
+    def test_trigram_disjoint(self):
+        assert trigram_similarity("abc", "xyz") == 0.0
+
+    def test_synonym_table(self):
+        assert name_similarity("length", "duration") == pytest.approx(0.9)
+        assert name_similarity("name", "title") == pytest.approx(0.9)
+
+    def test_similar_names_score_high(self):
+        assert name_similarity("artist", "artists") > 0.6
+
+    def test_unrelated_names_score_low(self):
+        assert name_similarity("genre", "position") < 0.4
+
+
+class TestNameMatcher:
+    def test_matches_are_one_to_one(self):
+        matches = NameMatcher().match(source_schema(), target_schema())
+        sources = [(c.source_relation, c.source_attribute) for c in matches]
+        targets = [(c.target_relation, c.target_attribute) for c in matches]
+        assert len(sources) == len(set(sources))
+        assert len(targets) == len(set(targets))
+
+    def test_finds_the_length_duration_pair(self):
+        matches = NameMatcher().match(source_schema(), target_schema())
+        assert any(
+            c.source == "songs.length" and c.target == "tracks.duration"
+            for c in matches
+        )
+
+    def test_threshold_prunes(self):
+        strict = NameMatcher(threshold=0.99).match(
+            source_schema(), target_schema()
+        )
+        loose = NameMatcher(threshold=0.3).match(
+            source_schema(), target_schema()
+        )
+        assert len(strict) < len(loose)
+
+
+class TestInstanceMatcher:
+    @pytest.fixture(scope="class")
+    def databases(self):
+        parameters = ExampleParameters(
+            albums=60, multi_artist_albums=10, detached_artists=4,
+            target_records=40,
+        )
+        return build_source(parameters), build_target(parameters)
+
+    def test_scores_within_unit_interval(self, databases):
+        source, target = databases
+        scores = InstanceMatcher().score(source, target)
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+
+    def test_artist_columns_match(self, databases):
+        source, target = databases
+        scores = InstanceMatcher().score(source, target)
+        assert scores[("artist_credits", "artist", "records", "artist")] > 0.8
+
+    def test_length_duration_scores_low(self, databases):
+        source, target = databases
+        scores = InstanceMatcher().score(source, target)
+        same_type_scores = scores[("songs", "name", "tracks", "title")]
+        mismatch = scores[("songs", "length", "tracks", "duration")]
+        assert mismatch < same_type_scores
+
+
+class TestCompositeMatcher:
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            CompositeMatcher(name_weight=0, instance_weight=0)
+        with pytest.raises(ValueError):
+            CompositeMatcher(name_weight=-1)
+
+    def test_produces_correspondences(self):
+        parameters = ExampleParameters(
+            albums=40, multi_artist_albums=8, detached_artists=3,
+            target_records=30,
+        )
+        source, target = build_source(parameters), build_target(parameters)
+        matches = CompositeMatcher(threshold=0.5).match(source, target)
+        assert matches
+        assert all(c.confidence >= 0.5 for c in matches)
+
+
+class TestSimilarityFlooding:
+    def test_converges(self):
+        result = SimilarityFlooding().run(source_schema(), target_schema())
+        assert result.iterations < 100
+
+    def test_similarities_normalised(self):
+        result = SimilarityFlooding().run(source_schema(), target_schema())
+        assert max(result.similarities.values()) <= 1.0 + 1e-9
+
+    def test_finds_reasonable_correspondences(self):
+        result = SimilarityFlooding().run(source_schema(), target_schema())
+        pairs = {(c.source, c.target) for c in result.correspondences}
+        assert pairs  # produces at least some 1:1 matches
+
+
+class TestMatchAccuracy:
+    def test_perfect_proposal(self):
+        intended = list(correspondences().attribute_correspondences())
+        assert match_accuracy(intended, intended) == 1.0
+
+    def test_empty_proposal(self):
+        intended = list(correspondences().attribute_correspondences())
+        assert match_accuracy([], intended) == 0.0
+
+    def test_wrong_extras_can_go_negative(self):
+        intended = [attribute_correspondence("a.x", "b.y")]
+        proposed = [
+            attribute_correspondence("a.p", "b.q"),
+            attribute_correspondence("a.r", "b.s"),
+        ]
+        assert match_accuracy(proposed, intended) < 0.0
+
+    def test_empty_intended(self):
+        assert match_accuracy([], []) == 1.0

@@ -1,0 +1,85 @@
+"""Tests for multi-source integration scenarios (abstract: "data
+integration projects with multiple sources")."""
+
+import pytest
+
+from repro.core import ResultQuality, default_efes
+from repro.practitioner import PractitionerSimulator
+from repro.relational.validation import is_valid
+from repro.scenarios.bibliographic import scenario_multi_source
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scenario_multi_source()
+
+
+@pytest.fixture(scope="module")
+def reports(scenario):
+    return default_efes().assess(scenario)
+
+
+class TestMultiSourceAssessment:
+    def test_two_sources(self, scenario):
+        assert [source.name for source in scenario.sources] == ["s1", "s3"]
+
+    def test_mapping_connections_per_source(self, reports):
+        connections = reports["mapping"].connections
+        by_source = {}
+        for connection in connections:
+            by_source.setdefault(connection.source_database, []).append(
+                connection
+            )
+        assert set(by_source) == {"s1", "s3"}
+
+    def test_structure_violations_carry_source_provenance(self, reports):
+        sources = {v.source_database for v in reports["structure"].violations}
+        assert sources <= {"s1", "s3"}
+        assert sources  # both sources have NOT NULL venue gaps etc.
+
+    def test_value_findings_from_both_sources(self, reports):
+        sources = {f.source_database for f in reports["values"].findings}
+        # s1 has the year-string and author-list problems; s3 the
+        # inverted-name format.
+        assert "s1" in sources
+        assert "s3" in sources
+
+    def test_attribute_count_sums_sources(self, scenario):
+        assert scenario.total_source_attributes() == 22  # 11 + 11
+
+
+class TestMultiSourceEstimation:
+    def test_estimates_cover_both_sources(self, scenario):
+        efes = default_efes()
+        estimate = efes.estimate(scenario, ResultQuality.HIGH_QUALITY)
+        subjects = " ".join(entry.task.subject for entry in estimate.entries)
+        assert "s1" in subjects and "s3" in subjects
+
+    def test_multi_source_costs_more_than_each_single(self, scenario):
+        from repro.scenarios import scenario_s1_s2
+
+        efes = default_efes()
+        multi = efes.estimate(scenario, ResultQuality.HIGH_QUALITY)
+        single = efes.estimate(scenario_s1_s2(), ResultQuality.HIGH_QUALITY)
+        assert multi.total_minutes > single.mapping_minutes()
+
+
+class TestMultiSourceSimulation:
+    @pytest.mark.parametrize(
+        "quality", [ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY]
+    )
+    def test_integration_reaches_valid_target(self, scenario, quality):
+        result = PractitionerSimulator().integrate(scenario, quality)
+        assert is_valid(result.target)
+
+    def test_both_sources_contribute_rows(self, scenario):
+        result = PractitionerSimulator().integrate(
+            scenario, ResultQuality.HIGH_QUALITY
+        )
+        publications = result.target.table("publications")
+        before = scenario.target.table("publications")
+        added = len(publications) - len(before)
+        articles = len(scenario.source("s1").table("articles"))
+        papers = len(scenario.source("s3").table("papers"))
+        # Most of both sources' records survive high-quality integration.
+        assert added > 0.8 * (articles + papers)

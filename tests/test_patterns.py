@@ -1,0 +1,83 @@
+"""Unit tests for text pattern extraction."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.profiling.patterns import (
+    dominant_pattern,
+    extract_pattern,
+    generalize_pattern,
+    pattern_distribution,
+)
+
+
+class TestExtractPattern:
+    def test_duration_pattern(self):
+        assert extract_pattern("4:43") == "N:N"
+
+    def test_milliseconds_pattern(self):
+        assert extract_pattern("215900") == "N"
+
+    def test_title_pattern(self):
+        assert extract_pattern("Sweet Home Alabama") == "A_A_A"
+
+    def test_inverted_name_pattern(self):
+        assert extract_pattern("Smith, Alex") == "A,_A"
+
+    def test_punctuation_kept_verbatim(self):
+        assert extract_pattern("12-34") == "N-N"
+        assert extract_pattern("(1999)") == "(N)"
+
+    def test_repeated_punctuation_not_collapsed(self):
+        assert extract_pattern("a--b") == "A--A"
+
+    def test_empty_string(self):
+        assert extract_pattern("") == ""
+
+    def test_mixed_alphanumeric(self):
+        assert extract_pattern("A1") == "AN"
+
+
+class TestGeneralizePattern:
+    def test_titles_converge(self):
+        assert generalize_pattern("A_A_A") == generalize_pattern("A_A") == "A"
+
+    def test_duration_formats_stay_distinct(self):
+        assert generalize_pattern("N:N") != generalize_pattern("N")
+
+    def test_inverted_names_stay_distinct(self):
+        assert generalize_pattern("A,_A") == "A,A"
+        assert generalize_pattern("A,_A") != generalize_pattern("A_A")
+
+    def test_vinyl_position(self):
+        assert generalize_pattern(extract_pattern("A1")) == "AN"
+
+
+class TestDistribution:
+    def test_distribution_sums_to_one(self):
+        dist = pattern_distribution(["4:43", "3:26", "215900"])
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+    def test_dominant(self):
+        pattern, share = dominant_pattern(["4:43", "3:26", "215900"])
+        assert pattern == "N:N" and abs(share - 2 / 3) < 1e-9
+
+    def test_empty(self):
+        assert dominant_pattern([]) == (None, 0.0)
+
+
+@given(st.text(max_size=40))
+def test_extract_is_deterministic_and_total(text):
+    assert extract_pattern(text) == extract_pattern(text)
+
+
+@given(st.text(max_size=40))
+def test_digits_never_survive(text):
+    assert not any(char.isdigit() for char in extract_pattern(text))
+
+
+@given(st.text(max_size=40))
+def test_generalize_is_idempotent(text):
+    pattern = extract_pattern(text)
+    generalized = generalize_pattern(pattern)
+    assert generalize_pattern(generalized) == generalized

@@ -1,0 +1,175 @@
+"""Tests for the practitioner simulator (ground-truth effort measurement)."""
+
+import pytest
+
+from repro.core import ResultQuality
+from repro.practitioner import (
+    HumanCostModel,
+    MAPPING,
+    NoisyClock,
+    PractitionerSimulator,
+    STRUCTURE,
+    VALUES,
+)
+from repro.relational.validation import is_valid
+from repro.scenarios import (
+    bibliographic_scenarios,
+    music_scenarios,
+    scenario_s4_s4,
+)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return PractitionerSimulator()
+
+
+@pytest.fixture(scope="module")
+def example_result(simulator, small_example):
+    return simulator.integrate(small_example, ResultQuality.HIGH_QUALITY)
+
+
+class TestNoisyClock:
+    def test_deterministic_per_seed(self):
+        a = NoisyClock(sigma=0.2, seed=5)
+        b = NoisyClock(sigma=0.2, seed=5)
+        assert [a.charge(10) for _ in range(5)] == [
+            b.charge(10) for _ in range(5)
+        ]
+
+    def test_zero_sigma_is_exact(self):
+        clock = NoisyClock(sigma=0.0, seed=1)
+        assert clock.charge(7.5) == 7.5
+
+    def test_zero_minutes_free(self):
+        clock = NoisyClock(sigma=0.2, seed=1)
+        assert clock.charge(0.0) == 0.0
+
+    def test_noise_stays_reasonable(self):
+        clock = NoisyClock(sigma=0.1, seed=1)
+        charges = [clock.charge(10.0) for _ in range(200)]
+        assert all(5.0 < value < 20.0 for value in charges)
+
+
+class TestIntegrationOutcome:
+    def test_result_is_valid_target(self, example_result):
+        assert is_valid(example_result.target)
+
+    def test_new_rows_were_inserted(self, example_result, small_example):
+        before = small_example.target.table("records")
+        after = example_result.target.table("records")
+        assert len(after) > len(before)
+
+    def test_original_target_untouched(self, simulator, small_example):
+        rows_before = small_example.target.total_rows()
+        simulator.integrate(small_example, ResultQuality.LOW_EFFORT)
+        assert small_example.target.total_rows() == rows_before
+
+    def test_breakdown_covers_total(self, example_result):
+        breakdown = example_result.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(
+            example_result.total_minutes
+        )
+        assert set(breakdown) == {MAPPING, STRUCTURE, VALUES}
+
+    def test_detached_artists_integrated_at_high_quality(
+        self, example_result, small_example
+    ):
+        """Every source artist must appear in the integrated records."""
+        source = small_example.sources[0]
+        source_artists = source.table("artist_credits").distinct("artist")
+        integrated = example_result.target.table("records").distinct("artist")
+        merged_blob = " ".join(str(value) for value in integrated)
+        assert all(str(artist) in merged_blob for artist in source_artists)
+
+    def test_durations_converted(self, example_result):
+        durations = [
+            value
+            for value in example_result.target.table("tracks").column(
+                "duration"
+            )
+            if value is not None
+        ]
+        assert durations
+        assert all(":" in str(value) for value in durations)
+
+    def test_low_effort_rejects_instead(self, simulator, small_example):
+        low = simulator.integrate(small_example, ResultQuality.LOW_EFFORT)
+        high = simulator.integrate(small_example, ResultQuality.HIGH_QUALITY)
+        assert len(low.target.table("records")) < len(
+            high.target.table("records")
+        )
+
+
+class TestMeasuredEffort:
+    def test_high_quality_costs_more(self, simulator, small_example):
+        low = simulator.integrate(small_example, ResultQuality.LOW_EFFORT)
+        high = simulator.integrate(small_example, ResultQuality.HIGH_QUALITY)
+        assert high.total_minutes > low.total_minutes
+
+    def test_deterministic(self, small_example):
+        a = PractitionerSimulator(seed=9).integrate(
+            small_example, ResultQuality.HIGH_QUALITY
+        )
+        b = PractitionerSimulator(seed=9).integrate(
+            small_example, ResultQuality.HIGH_QUALITY
+        )
+        assert a.total_minutes == b.total_minutes
+
+    def test_seed_perturbs_measurement(self, small_example):
+        a = PractitionerSimulator(seed=1).integrate(
+            small_example, ResultQuality.HIGH_QUALITY
+        )
+        b = PractitionerSimulator(seed=2).integrate(
+            small_example, ResultQuality.HIGH_QUALITY
+        )
+        assert a.total_minutes != b.total_minutes
+
+    def test_actions_log_is_structured(self, example_result):
+        assert all(record.minutes >= 0 for record in example_result.actions)
+        assert any(
+            record.action == "write mapping query"
+            for record in example_result.actions
+        )
+
+    def test_conversion_charged_once_per_correspondence(self, example_result):
+        scripts = example_result.actions_of("write conversion script")
+        subjects = [record.subject for record in scripts]
+        assert len(subjects) == len(set(subjects))
+
+    def test_cost_model_scales_measurement(self, small_example):
+        cheap = PractitionerSimulator(
+            HumanCostModel(noise_sigma=0.0), seed=1
+        ).integrate(small_example, ResultQuality.HIGH_QUALITY)
+        slow_model = HumanCostModel(
+            study_source_table=22.0,
+            write_query_base=45.0,
+            inspect_and_fill_value=16.0,
+            noise_sigma=0.0,
+        )
+        slow = PractitionerSimulator(slow_model, seed=1).integrate(
+            small_example, ResultQuality.HIGH_QUALITY
+        )
+        assert slow.total_minutes > cheap.total_minutes
+
+
+class TestAllScenariosIntegrate:
+    @pytest.mark.parametrize(
+        "scenario_index", range(8), ids=lambda i: f"scenario{i}"
+    )
+    def test_valid_result_both_qualities(self, simulator, scenario_index):
+        scenarios = bibliographic_scenarios() + music_scenarios()
+        scenario = scenarios[scenario_index]
+        for quality in (ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY):
+            result = simulator.integrate(scenario, quality)
+            assert is_valid(result.target), (scenario.name, quality)
+            assert result.total_minutes > 0
+
+    def test_identity_scenario_needs_no_cleaning(self, simulator):
+        result = simulator.integrate(
+            scenario_s4_s4(), ResultQuality.HIGH_QUALITY
+        )
+        breakdown = result.breakdown()
+        assert breakdown[STRUCTURE] + breakdown[VALUES] < (
+            0.5 * breakdown[MAPPING]
+        )

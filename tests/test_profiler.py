@@ -1,0 +1,198 @@
+"""Unit tests for column profiling and schema reverse engineering."""
+
+import pytest
+
+from repro.profiling import (
+    profile_column,
+    profile_database,
+    reverse_engineer,
+    statistic_types_for,
+)
+from repro.relational import (
+    Database,
+    DataType,
+    ForeignKey,
+    NotNull,
+    PrimaryKey,
+    Schema,
+    Unique,
+    relation,
+)
+
+
+@pytest.fixture
+def database():
+    schema = Schema(
+        "db",
+        relations=[
+            relation(
+                "albums",
+                [("id", DataType.INTEGER), ("name", DataType.STRING)],
+            ),
+            relation(
+                "songs",
+                [
+                    ("album", DataType.INTEGER),
+                    ("title", DataType.STRING),
+                    ("length", DataType.INTEGER),
+                ],
+            ),
+        ],
+    )
+    db = Database(schema)
+    db.insert_all("albums", [(1, "A"), (2, "B"), (3, "C")])
+    db.insert_all(
+        "songs",
+        [(1, "s1", 100), (1, "s2", None), (2, "s3", 300)],
+    )
+    return db
+
+
+class TestProfileColumn:
+    def test_counts(self, database):
+        profile = profile_column(database, "songs", "length")
+        assert profile.row_count == 3
+        assert profile.distinct_count == 2
+
+    def test_numeric_statistics_selected(self, database):
+        profile = profile_column(database, "songs", "length")
+        assert "mean" in profile.statistics
+        assert "text_pattern" not in profile.statistics
+
+    def test_textual_statistics_selected(self, database):
+        profile = profile_column(database, "songs", "title")
+        assert "text_pattern" in profile.statistics
+        assert "mean" not in profile.statistics
+
+    def test_override_datatype(self, database):
+        profile = profile_column(
+            database, "songs", "length", datatype=DataType.STRING
+        )
+        assert "text_pattern" in profile.statistics
+
+    def test_fill_status_counts_nulls(self, database):
+        profile = profile_column(database, "songs", "length")
+        assert profile.fill_status.nulls == 1
+
+    def test_statistic_types_for(self):
+        numeric = statistic_types_for(DataType.INTEGER)
+        textual = statistic_types_for(DataType.STRING)
+        assert numeric != textual
+
+
+class TestProfileDatabase:
+    def test_all_columns_profiled(self, database):
+        profiles = profile_database(database)
+        assert len(profiles) == 5
+        assert ("songs", "title") in profiles
+
+
+class TestReverseEngineer:
+    def test_primary_keys_reconstructed(self, database):
+        constraints = reverse_engineer(database)
+        pks = [c for c in constraints if isinstance(c, PrimaryKey)]
+        assert any(c.relation == "albums" and c.attributes == ("id",) for c in pks)
+
+    def test_extra_unique_becomes_unique(self, database):
+        constraints = reverse_engineer(database)
+        uniques = [c for c in constraints if isinstance(c, Unique)]
+        # albums.name is also unique in the data; id wins PK by name order.
+        assert any(
+            c.relation == "albums" and c.attributes == ("name",)
+            for c in uniques
+        )
+
+    def test_not_null_reconstructed(self, database):
+        constraints = reverse_engineer(database)
+        not_nulls = [c for c in constraints if isinstance(c, NotNull)]
+        assert any(
+            c.relation == "songs" and c.attribute == "album" for c in not_nulls
+        )
+
+    def test_pk_implies_not_null_without_duplication(self, database):
+        """A column promoted to PK must not also get an explicit NOT NULL."""
+        constraints = reverse_engineer(database)
+        pk_columns = {
+            (c.relation, c.attributes[0])
+            for c in constraints
+            if isinstance(c, PrimaryKey)
+        }
+        nn_columns = {
+            (c.relation, c.attribute)
+            for c in constraints
+            if isinstance(c, NotNull)
+        }
+        assert not pk_columns & nn_columns
+
+    def test_nullable_column_not_marked(self, database):
+        constraints = reverse_engineer(database)
+        not_nulls = [c for c in constraints if isinstance(c, NotNull)]
+        assert not any(
+            c.relation == "songs" and c.attribute == "length"
+            for c in not_nulls
+        )
+
+    def test_foreign_key_reconstructed(self, database):
+        constraints = reverse_engineer(database)
+        fks = [c for c in constraints if isinstance(c, ForeignKey)]
+        assert any(
+            c.relation == "songs"
+            and c.attributes == ("album",)
+            and c.referenced == "albums"
+            for c in fks
+        )
+
+    def test_functional_dependency_reconstructed(self):
+        from repro.relational import FunctionalDependencyConstraint
+
+        schema = Schema(
+            "db", relations=[relation("r", ["grp", "label", "v"])]
+        )
+        db = Database(schema)
+        db.insert_all(
+            "r",
+            [
+                ("g1", "One", "a"),
+                ("g1", "One", "b"),
+                ("g2", "Two", "c"),
+                ("g2", "Two", "d"),
+            ],
+        )
+        constraints = reverse_engineer(db)
+        fds = [
+            c
+            for c in constraints
+            if isinstance(c, FunctionalDependencyConstraint)
+        ]
+        assert any(
+            fd.determinant == "grp" and fd.dependent == "label" for fd in fds
+        )
+
+    def test_almost_unique_determinants_skipped(self):
+        from repro.relational import FunctionalDependencyConstraint
+
+        schema = Schema("db", relations=[relation("r", ["a", "b"])])
+        db = Database(schema)
+        # a is distinct on 4 of 5 rows: coincidence-prone, not an FD rule
+        db.insert_all(
+            "r", [("1", "x"), ("2", "y"), ("3", "z"), ("4", "w"), ("1", "x")]
+        )
+        constraints = reverse_engineer(db)
+        fds = [
+            c
+            for c in constraints
+            if isinstance(c, FunctionalDependencyConstraint)
+        ]
+        assert fds == []
+
+    def test_reconstructed_constraints_attachable(self, database):
+        """All reconstructed constraints fit the schema and hold on the data."""
+        from repro.relational.validation import check_constraint
+
+        fresh = Database(database.schema)
+        for row in database.table("albums"):
+            fresh.insert("albums", row)
+        for row in database.table("songs"):
+            fresh.insert("songs", row)
+        for constraint in reverse_engineer(database):
+            assert check_constraint(fresh, constraint) == []

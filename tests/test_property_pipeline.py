@@ -1,0 +1,166 @@
+"""Property-based end-to-end tests: random scenarios through the pipeline.
+
+Hypothesis generates small random integration scenarios (random schemas,
+constraints, instances, correspondences) and checks the system-level
+invariants:
+
+* complexity assessment never crashes and is deterministic,
+* planned estimates are non-negative and quality-monotone in structure,
+* the practitioner simulator always reaches a *valid* target instance,
+* violation counts never exceed the scoped element counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ResultQuality, default_efes
+from repro.core.modules.structure import InfiniteCleaningLoopError
+from repro.matching import (
+    CorrespondenceSet,
+    attribute_correspondence,
+    relation_correspondence,
+)
+from repro.practitioner import PractitionerSimulator
+from repro.relational import (
+    Database,
+    DataType,
+    NotNull,
+    Schema,
+    Unique,
+    primary_key,
+    relation,
+)
+from repro.relational.validation import is_valid
+from repro.scenarios.scenario import IntegrationScenario
+
+ATTRIBUTES = ("v", "w", "x")
+
+values = st.one_of(
+    st.none(),
+    st.integers(min_value=0, max_value=5),
+    st.sampled_from(["a", "b", "4:43", "hello world", "1999"]),
+)
+
+
+@st.composite
+def scenarios(draw):
+    """A one-source, one-target scenario with random data + constraints."""
+    attr_count = draw(st.integers(min_value=1, max_value=3))
+    names = ATTRIBUTES[:attr_count]
+
+    source_schema = Schema(
+        "src",
+        relations=[
+            relation("s", [("id", DataType.INTEGER), *names]),
+        ],
+        constraints=[primary_key("s", "id")],
+    )
+    target_constraints = [primary_key("t", "id")]
+    for name in names:
+        if draw(st.booleans()):
+            target_constraints.append(NotNull("t", name))
+        if draw(st.booleans()):
+            target_constraints.append(Unique("t", (name,)))
+    target_schema = Schema(
+        "tgt",
+        relations=[relation("t", [("id", DataType.INTEGER), *names])],
+        constraints=target_constraints,
+    )
+
+    source = Database(source_schema)
+    row_count = draw(st.integers(min_value=0, max_value=8))
+    for index in range(row_count):
+        row = {"id": index + 1}
+        for name in names:
+            row[name] = draw(values)
+        source.insert("s", row)
+
+    target = Database(target_schema)
+    if draw(st.booleans()):
+        target.insert("t", {"id": 1, **{name: "seed" for name in names}})
+
+    correspondences = [relation_correspondence("s", "t")]
+    for name in names:
+        if draw(st.booleans()):
+            correspondences.append(
+                attribute_correspondence(f"s.{name}", f"t.{name}")
+            )
+    return IntegrationScenario(
+        "random", source, target, CorrespondenceSet(correspondences)
+    )
+
+
+COMMON_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON_SETTINGS
+@given(scenarios())
+def test_assessment_is_deterministic(scenario):
+    efes = default_efes()
+    first = efes.assess(scenario)
+    second = efes.assess(scenario)
+    assert [
+        (v.target_relationship, v.violation_count)
+        for v in first["structure"].violations
+    ] == [
+        (v.target_relationship, v.violation_count)
+        for v in second["structure"].violations
+    ]
+    assert len(first["values"].findings) == len(second["values"].findings)
+
+
+@COMMON_SETTINGS
+@given(scenarios())
+def test_violation_counts_are_bounded_by_scope(scenario):
+    efes = default_efes()
+    report = efes.assess(scenario)["structure"]
+    for violation in report.violations:
+        assert 0 <= violation.violation_count <= max(violation.scope, 1)
+
+
+@COMMON_SETTINGS
+@given(scenarios())
+def test_estimates_are_finite_and_non_negative(scenario):
+    efes = default_efes()
+    for quality in (ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY):
+        try:
+            estimate = efes.estimate(scenario, quality)
+        except InfiniteCleaningLoopError:
+            continue  # a detected contradiction is a legal outcome
+        assert estimate.total_minutes >= 0
+        for entry in estimate.entries:
+            assert entry.minutes >= 0
+
+
+@COMMON_SETTINGS
+@given(scenarios())
+def test_simulator_always_reaches_a_valid_target(scenario):
+    simulator = PractitionerSimulator(seed=3)
+    for quality in (ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY):
+        result = simulator.integrate(scenario, quality)
+        assert is_valid(result.target), quality
+        assert result.total_minutes >= 0
+
+
+@COMMON_SETTINGS
+@given(scenarios())
+def test_source_databases_never_mutated(scenario):
+    source = scenario.sources[0]
+    rows_before = [tuple(row) for row in source.table("s")]
+    efes = default_efes()
+    efes.assess(scenario)
+    try:
+        efes.estimate(scenario, ResultQuality.HIGH_QUALITY)
+    except InfiniteCleaningLoopError:
+        pass
+    PractitionerSimulator(seed=1).integrate(
+        scenario, ResultQuality.HIGH_QUALITY
+    )
+    assert [tuple(row) for row in source.table("s")] == rows_before

@@ -1,0 +1,81 @@
+"""Unit tests for table and figure rendering."""
+
+import pytest
+
+from repro.core.calibration import ComparisonRow, DomainResult, EstimateSummary
+from repro.reporting import render_bar, render_domain_figure, render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        text = render_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_alignment(self):
+        text = render_table(["col", "x"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        separator_positions = {line.index("|") for line in lines if "|" in line}
+        assert len(separator_positions) == 1  # all separators align
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1.5], [2.0]])
+        rows = text.splitlines()[2:]
+        assert rows[0].strip() == "1.5"
+        assert rows[1].strip() == "2"  # trailing zeros stripped
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+def _domain_result():
+    def summary(estimator, total, breakdown):
+        return EstimateSummary(estimator, "s1-s2", "low eff.", total, breakdown)
+
+    row = ComparisonRow(
+        "s1-s2",
+        "low eff.",
+        summary("Efes", 60.0, {"Mapping": 40.0, "Cleaning (Values)": 20.0}),
+        summary("Measured", 70.0, {"Mapping": 50.0, "Cleaning (Structure)": 20.0}),
+        summary("Counting", 90.0, {"Mapping": 40.0, "Cleaning": 50.0}),
+    )
+    return DomainResult("test", (row,), efes_rmse=0.14, counting_rmse=0.29)
+
+
+class TestRenderFigure:
+    def test_bar_glyphs(self):
+        bar = render_bar({"Mapping": 30.0, "Cleaning (Values)": 10.0}, 1.0, 80)
+        assert bar.startswith("M" * 30)
+        assert bar.endswith("V" * 10)
+
+    def test_bar_respects_width(self):
+        bar = render_bar({"Mapping": 500.0}, 1.0, 40)
+        assert len(bar) == 40
+
+    def test_zero_segments_skipped(self):
+        bar = render_bar({"Mapping": 0.0, "Cleaning": 5.0}, 1.0, 40)
+        assert "M" not in bar
+
+    def test_figure_contains_all_estimators(self):
+        figure = render_domain_figure(_domain_result())
+        for token in ("Efes", "Measured", "Counting"):
+            assert token in figure
+
+    def test_figure_reports_rmse(self):
+        figure = render_domain_figure(_domain_result())
+        assert "rmse" in figure
+        assert "0.14" in figure and "0.29" in figure
+
+    def test_figure_reports_improvement(self):
+        figure = render_domain_figure(_domain_result())
+        assert "×2.1" in figure

@@ -1,0 +1,116 @@
+"""Tests for scenario serialization (save/load round trips)."""
+
+import json
+
+import pytest
+
+from repro.core import ResultQuality, default_efes
+from repro.relational import FunctionalDependencyConstraint
+from repro.scenarios.bibliographic import scenario_multi_source
+from repro.scenarios.io import (
+    ScenarioFormatError,
+    constraint_from_dict,
+    constraint_to_dict,
+    load_database,
+    load_scenario,
+    save_database,
+    save_scenario,
+)
+
+
+class TestConstraintRoundTrip:
+    def test_all_kinds_round_trip(self, example):
+        for constraint in (
+            example.sources[0].schema.constraints
+            + example.target.schema.constraints
+        ):
+            restored = constraint_from_dict(constraint_to_dict(constraint))
+            assert restored == constraint
+
+    def test_functional_dependency_round_trip(self):
+        fd = FunctionalDependencyConstraint("r", "a", "b")
+        assert constraint_from_dict(constraint_to_dict(fd)) == fd
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioFormatError):
+            constraint_from_dict({"kind": "check", "relation": "r"})
+
+
+class TestDatabaseRoundTrip:
+    def test_schema_and_rows_survive(self, small_example, tmp_path):
+        source = small_example.sources[0]
+        save_database(source, tmp_path / "db")
+        restored = load_database(tmp_path / "db")
+        assert restored.schema.name == source.schema.name
+        assert restored.schema.relation_names == source.schema.relation_names
+        for rel in source.schema.relations:
+            assert restored.table(rel.name).rows == source.table(rel.name).rows
+
+    def test_constraints_survive(self, small_example, tmp_path):
+        source = small_example.sources[0]
+        save_database(source, tmp_path / "db")
+        restored = load_database(tmp_path / "db")
+        original = {c.describe() for c in source.schema.constraints}
+        assert {c.describe() for c in restored.schema.constraints} == original
+
+    def test_missing_schema_rejected(self, tmp_path):
+        with pytest.raises(ScenarioFormatError):
+            load_database(tmp_path)
+
+
+class TestScenarioRoundTrip:
+    @pytest.fixture(scope="class")
+    def round_tripped(self, small_example, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("scenario")
+        save_scenario(small_example, directory)
+        return load_scenario(directory)
+
+    def test_name_and_structure(self, round_tripped, small_example):
+        assert round_tripped.name == small_example.name
+        assert [s.name for s in round_tripped.sources] == [
+            s.name for s in small_example.sources
+        ]
+        assert round_tripped.target.name == small_example.target.name
+
+    def test_correspondences_survive(self, round_tripped, small_example):
+        original = small_example.correspondences["source"]
+        restored = round_tripped.correspondences["source"]
+        assert {(c.source, c.target) for c in restored} == {
+            (c.source, c.target) for c in original
+        }
+
+    def test_estimates_are_identical(self, round_tripped, small_example, efes):
+        original = efes.estimate(small_example, ResultQuality.HIGH_QUALITY)
+        restored = efes.estimate(round_tripped, ResultQuality.HIGH_QUALITY)
+        assert restored.total_minutes == original.total_minutes
+        assert [e.task.describe() for e in restored.entries] == [
+            e.task.describe() for e in original.entries
+        ]
+
+    def test_multi_source_round_trip(self, tmp_path):
+        scenario = scenario_multi_source()
+        save_scenario(scenario, tmp_path / "multi")
+        restored = load_scenario(tmp_path / "multi")
+        assert [s.name for s in restored.sources] == ["s1", "s3"]
+        efes = default_efes()
+        original_total = efes.estimate(
+            scenario, ResultQuality.LOW_EFFORT
+        ).total_minutes
+        restored_total = efes.estimate(
+            restored, ResultQuality.LOW_EFFORT
+        ).total_minutes
+        assert restored_total == original_total
+
+
+class TestFormatValidation:
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ScenarioFormatError):
+            load_scenario(tmp_path)
+
+    def test_wrong_version_rejected(self, small_example, tmp_path):
+        save_scenario(small_example, tmp_path)
+        manifest = json.loads((tmp_path / "scenario.json").read_text())
+        manifest["version"] = 99
+        (tmp_path / "scenario.json").write_text(json.dumps(manifest))
+        with pytest.raises(ScenarioFormatError):
+            load_scenario(tmp_path)

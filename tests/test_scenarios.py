@@ -1,0 +1,192 @@
+"""Tests for the scenario machinery and both case-study domains."""
+
+import pytest
+
+from repro.matching import CorrespondenceSet, attribute_correspondence
+from repro.relational.validation import assert_valid
+from repro.scenarios import (
+    DataGenerator,
+    IntegrationScenario,
+    bibliographic_scenarios,
+    example_scenario,
+    music_scenarios,
+)
+from repro.scenarios.example import ExampleParameters
+
+
+class TestIntegrationScenario:
+    def test_single_source_shorthand(self, example):
+        assert len(example.sources) == 1
+        assert example.correspondences[example.sources[0].name]
+
+    def test_pairs(self, example):
+        pairs = list(example.pairs())
+        assert len(pairs) == 1
+        source, cset = pairs[0]
+        assert source.name == "source" and len(cset) > 0
+
+    def test_source_lookup(self, example):
+        assert example.source("source") is example.sources[0]
+        with pytest.raises(KeyError):
+            example.source("nope")
+
+    def test_total_source_attributes(self, example):
+        assert example.total_source_attributes() == 11
+
+    def test_duplicate_source_names_rejected(self, example):
+        with pytest.raises(ValueError):
+            IntegrationScenario(
+                "dup",
+                [example.sources[0], example.sources[0]],
+                example.target,
+                {},
+            )
+
+    def test_unknown_correspondence_source_rejected(self, example):
+        with pytest.raises(ValueError):
+            IntegrationScenario(
+                "bad",
+                example.sources,
+                example.target,
+                {"ghost": CorrespondenceSet()},
+            )
+
+    def test_correspondences_validated_against_schemas(self, example):
+        bad = CorrespondenceSet(
+            [attribute_correspondence("albums.nope", "records.title")]
+        )
+        with pytest.raises(Exception):
+            IntegrationScenario(
+                "bad", example.sources, example.target, bad
+            )
+
+
+class TestDataGenerator:
+    def test_deterministic(self):
+        a, b = DataGenerator(7), DataGenerator(7)
+        assert [a.title() for _ in range(5)] == [b.title() for _ in range(5)]
+
+    def test_seeds_differ(self):
+        a, b = DataGenerator(7), DataGenerator(8)
+        assert [a.title() for _ in range(5)] != [b.title() for _ in range(5)]
+
+    def test_distinct_person_names_are_distinct(self):
+        names = DataGenerator(1).distinct_person_names(500)
+        assert len(set(names)) == 500
+
+    def test_inverted_names_have_comma(self):
+        names = DataGenerator(1).distinct_person_names(10, inverted=True)
+        assert all("," in name for name in names)
+
+    def test_distinct_titles(self):
+        titles = DataGenerator(1).distinct_titles(300)
+        assert len(set(titles)) == 300
+
+    def test_ms_to_mss(self):
+        assert DataGenerator.ms_to_mss(283_000) == "4:43"
+        assert DataGenerator.ms_to_mss(60_000) == "1:00"
+
+    def test_seconds_to_mss_pads(self):
+        assert DataGenerator.seconds_to_mss(61) == "1:01"
+
+
+class TestExampleScenario:
+    def test_sources_are_locally_valid(self, example):
+        assert_valid(example.sources[0])
+
+    def test_target_is_locally_valid(self, example):
+        assert_valid(example.target)
+
+    def test_paper_counts_are_exact(self, example):
+        source = example.sources[0]
+        assert len(source.table("albums")) == 2000
+        lists = len(source.table("artist_lists"))
+        assert lists == 2000 + 102
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            example_scenario(
+                ExampleParameters(albums=10, multi_artist_albums=20)
+            )
+
+    def test_known_transformations_attached(self, example):
+        transformation = example.known_transformations[
+            ("songs.length", "tracks.duration")
+        ]
+        assert transformation(283_000) == "4:43"
+
+
+@pytest.mark.parametrize("builder", [bibliographic_scenarios, music_scenarios])
+class TestDomains:
+    def test_four_scenarios(self, builder):
+        assert len(builder()) == 4
+
+    def test_all_locally_valid(self, builder):
+        for scenario in builder():
+            for source in scenario.sources:
+                assert_valid(source)
+            assert_valid(scenario.target)
+
+    def test_deterministic(self, builder):
+        names_a = [
+            (s.name, s.sources[0].total_rows(), s.target.total_rows())
+            for s in builder(seed=3)
+        ]
+        names_b = [
+            (s.name, s.sources[0].total_rows(), s.target.total_rows())
+            for s in builder(seed=3)
+        ]
+        assert names_a == names_b
+
+    def test_seed_changes_instances(self, builder):
+        rows_a = [s.sources[0].total_rows() for s in builder(seed=1)]
+        rows_b = [s.sources[0].total_rows() for s in builder(seed=2)]
+        assert rows_a != rows_b
+
+    def test_identity_scenario_present(self, builder):
+        names = [s.name for s in builder()]
+        assert any(
+            name.split("-")[0].rstrip("0123456789")
+            == name.split("-")[1].rstrip("0123456789")
+            for name in names
+        )
+
+
+class TestDomainHeterogeneities:
+    """Each non-identity scenario must exhibit detectable heterogeneity;
+    identity scenarios must not (the s4-s4 / d1-d2 argument of §6.2)."""
+
+    @pytest.fixture(scope="class")
+    def assessments(self, efes):
+        result = {}
+        for scenario in bibliographic_scenarios() + music_scenarios():
+            result[scenario.name] = efes.assess(scenario)
+        return result
+
+    def test_identity_scenarios_are_clean(self, assessments):
+        for name in ("s4-s4", "d1-d2"):
+            assert assessments[name]["structure"].is_empty()
+            assert assessments[name]["values"].is_empty()
+
+    def test_non_identity_scenarios_have_findings(self, assessments):
+        for name in ("s1-s2", "s1-s3", "s3-s4", "f1-m2", "m1-d2", "m1-f2"):
+            reports = assessments[name]
+            assert (
+                not reports["structure"].is_empty()
+                or not reports["values"].is_empty()
+            ), name
+
+    def test_s3_s4_structure_conflicts(self, assessments):
+        from repro.core.tasks import StructuralConflict
+
+        conflicts = {
+            v.conflict
+            for v in assessments["s3-s4"]["structure"].violations
+        }
+        assert StructuralConflict.MULTIPLE_ATTRIBUTE_VALUES in conflicts
+        assert StructuralConflict.VALUE_WITHOUT_ENCLOSING_TUPLE in conflicts
+
+    def test_value_conflicts_name_the_attributes(self, assessments):
+        findings = assessments["m1-d2"]["values"].findings
+        pairs = {(f.source_attribute, f.target_attribute) for f in findings}
+        assert ("rtracks.length_ms", "tracklist.duration") in pairs

@@ -1,0 +1,156 @@
+"""Unit tests for repro.relational.schema and constraints wiring."""
+
+import pytest
+
+from repro.relational import (
+    Attribute,
+    DataType,
+    NotNull,
+    Relation,
+    Schema,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+    foreign_key,
+    primary_key,
+    relation,
+    unique,
+)
+
+
+@pytest.fixture
+def schema():
+    built = Schema(
+        "test",
+        relations=[
+            relation("records", [("id", DataType.INTEGER), "title", "artist"]),
+            relation("tracks", [("record", DataType.INTEGER), "title"]),
+        ],
+    )
+    built.add_constraint(primary_key("records", "id"))
+    built.add_constraint(NotNull("records", "title"))
+    built.add_constraint(foreign_key("tracks", "record", "records", "id"))
+    return built
+
+
+class TestRelation:
+    def test_attribute_lookup(self, schema):
+        attribute = schema.relation("records").attribute("title")
+        assert attribute.datatype == DataType.STRING
+
+    def test_unknown_attribute_raises(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.relation("records").attribute("nope")
+
+    def test_index_of(self, schema):
+        assert schema.relation("records").index_of("artist") == 2
+
+    def test_arity(self, schema):
+        assert schema.relation("records").arity() == 3
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", [Attribute("a"), Attribute("a")])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("", [Attribute("a")])
+
+
+class TestSchema:
+    def test_unknown_relation_raises(self, schema):
+        with pytest.raises(UnknownRelationError):
+            schema.relation("nope")
+
+    def test_duplicate_relation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_relation(relation("records", ["x"]))
+
+    def test_attribute_count(self, schema):
+        assert schema.attribute_count() == 5
+
+    def test_constraint_referencing_unknown_relation_rejected(self, schema):
+        with pytest.raises(UnknownRelationError):
+            schema.add_constraint(NotNull("nope", "title"))
+
+    def test_constraint_referencing_unknown_attribute_rejected(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.add_constraint(NotNull("records", "nope"))
+
+    def test_fk_referencing_unknown_target_rejected(self, schema):
+        with pytest.raises(UnknownRelationError):
+            schema.add_constraint(foreign_key("tracks", "record", "nope", "id"))
+
+
+class TestConstraintIntrospection:
+    def test_primary_key_of(self, schema):
+        pk = schema.primary_key_of("records")
+        assert pk is not None and pk.attributes == ("id",)
+
+    def test_primary_key_of_missing(self, schema):
+        assert schema.primary_key_of("tracks") is None
+
+    def test_foreign_keys_of(self, schema):
+        fks = schema.foreign_keys_of("tracks")
+        assert len(fks) == 1 and fks[0].referenced == "records"
+
+    def test_is_not_null_direct(self, schema):
+        assert schema.is_not_null("records", "title")
+
+    def test_is_not_null_via_primary_key(self, schema):
+        assert schema.is_not_null("records", "id")
+
+    def test_is_not_null_false(self, schema):
+        assert not schema.is_not_null("records", "artist")
+
+    def test_is_unique_via_primary_key(self, schema):
+        assert schema.is_unique("records", "id")
+
+    def test_is_unique_via_unique_constraint(self, schema):
+        schema.add_constraint(unique("records", "title"))
+        assert schema.is_unique("records", "title")
+
+    def test_is_unique_false(self, schema):
+        assert not schema.is_unique("records", "artist")
+
+    def test_constraints_on(self, schema):
+        assert {c.kind for c in schema.constraints_on("records")} == {
+            "primary_key",
+            "not_null",
+        }
+
+
+class TestConstraintValidation:
+    def test_empty_primary_key_rejected(self):
+        from repro.relational.constraints import PrimaryKey
+        from repro.relational.errors import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            PrimaryKey("r", ())
+
+    def test_duplicate_pk_attribute_rejected(self):
+        from repro.relational.constraints import PrimaryKey
+        from repro.relational.errors import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            PrimaryKey("r", ("a", "a"))
+
+    def test_fk_arity_mismatch_rejected(self):
+        from repro.relational.errors import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            foreign_key("r", ("a", "b"), "s", "c")
+
+    def test_primary_key_implies_unique_and_not_null(self):
+        pk = primary_key("r", ("a", "b"))
+        implied = pk.implied_constraints()
+        kinds = sorted(c.kind for c in implied)
+        assert kinds == ["not_null", "not_null", "unique"]
+
+    def test_describe_renders(self, schema):
+        descriptions = [c.describe() for c in schema.constraints]
+        assert "PRIMARY KEY records(id)" in descriptions
+        assert "NOT NULL records.title" in descriptions
+        assert (
+            "FOREIGN KEY tracks(record) REFERENCES records(id)" in descriptions
+        )

@@ -1,0 +1,166 @@
+"""Unit tests for the practitioner simulator's internal machinery."""
+
+import pytest
+
+from repro.core import ResultQuality
+from repro.practitioner import PractitionerSimulator
+from repro.practitioner.simulator import _Entity
+from repro.relational import (
+    Database,
+    DataType,
+    Schema,
+    foreign_key,
+    primary_key,
+    relation,
+)
+from repro.relational.datatypes import DataType as DT
+
+
+class TestEntity:
+    def test_empty_cell(self):
+        entity = _Entity("key")
+        assert entity.values("x") == []
+        assert entity.first("x") is None
+
+    def test_set_single(self):
+        entity = _Entity("key")
+        entity.set_single("x", 5)
+        assert entity.values("x") == [5]
+        entity.set_single("x", None)
+        assert entity.values("x") == []
+
+    def test_base_tracking(self):
+        entity = _Entity("key", base="albums")
+        assert entity.base == "albums"
+
+
+class TestDependencyOrder:
+    def _schema(self):
+        schema = Schema(
+            "tgt",
+            relations=[
+                relation("a", [("id", DataType.INTEGER)]),
+                relation("b", [("id", DataType.INTEGER), ("a_ref", DataType.INTEGER)]),
+                relation("c", [("b_ref", DataType.INTEGER)]),
+            ],
+            constraints=[
+                primary_key("a", "id"),
+                primary_key("b", "id"),
+                foreign_key("b", "a_ref", "a", "id"),
+                foreign_key("c", "b_ref", "b", "id"),
+            ],
+        )
+        return schema
+
+    def test_referenced_first(self):
+        order = PractitionerSimulator._dependency_order(
+            self._schema(), ["c", "b", "a"]
+        )
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_subset_of_populated_tables(self):
+        order = PractitionerSimulator._dependency_order(
+            self._schema(), ["c", "a"]
+        )
+        # b is not populated, so c has no blocking dependency in the list.
+        assert set(order) == {"a", "c"}
+
+    def test_cycle_falls_back(self):
+        schema = Schema(
+            "tgt",
+            relations=[
+                relation("x", [("id", DataType.INTEGER), ("y_ref", DataType.INTEGER)]),
+                relation("y", [("id", DataType.INTEGER), ("x_ref", DataType.INTEGER)]),
+            ],
+            constraints=[
+                primary_key("x", "id"),
+                primary_key("y", "id"),
+                foreign_key("x", "y_ref", "y", "id"),
+                foreign_key("y", "x_ref", "x", "id"),
+            ],
+        )
+        order = PractitionerSimulator._dependency_order(schema, ["x", "y"])
+        assert set(order) == {"x", "y"}  # no crash, both present
+
+
+class TestPlaceholder:
+    def test_numeric(self):
+        assert PractitionerSimulator._placeholder(DT.INTEGER, 0) == 0
+        assert PractitionerSimulator._placeholder(DT.FLOAT, 3) == 0
+
+    def test_boolean(self):
+        assert PractitionerSimulator._placeholder(DT.BOOLEAN, 0) is False
+
+    def test_date(self):
+        assert PractitionerSimulator._placeholder(DT.DATE, 0) == "1970-01-01"
+
+    def test_string_offsets_stay_distinct(self):
+        first = PractitionerSimulator._placeholder(DT.STRING, 0)
+        second = PractitionerSimulator._placeholder(DT.STRING, 1)
+        assert first != second
+
+
+class TestPatternConflict:
+    def _simulator(self):
+        return PractitionerSimulator()
+
+    def _target(self, values, datatype=DataType.STRING):
+        schema = Schema(
+            "tgt", relations=[relation("t", [("v", datatype)])]
+        )
+        database = Database(schema)
+        database.insert_all("t", [(value,) for value in values])
+        return database
+
+    def test_textual_format_mismatch_detected(self):
+        target = self._target(["4:43", "3:26", "5:01"])
+        conflict = self._simulator()._pattern_conflict(
+            target, "t", "v", DataType.STRING, ["215900", "238100"]
+        )
+        assert conflict
+
+    def test_textual_same_format_accepted(self):
+        target = self._target(["4:43", "3:26"])
+        conflict = self._simulator()._pattern_conflict(
+            target, "t", "v", DataType.STRING, ["9:59", "0:30"]
+        )
+        assert not conflict
+
+    def test_numeric_magnitude_mismatch_detected(self):
+        target = self._target([200, 250, 300], DataType.INTEGER)
+        conflict = self._simulator()._pattern_conflict(
+            target, "t", "v", DataType.INTEGER, [215900, 238100]
+        )
+        assert conflict
+
+    def test_numeric_same_scale_accepted(self):
+        target = self._target([200, 250, 300], DataType.INTEGER)
+        conflict = self._simulator()._pattern_conflict(
+            target, "t", "v", DataType.INTEGER, [210, 260]
+        )
+        assert not conflict
+
+    def test_empty_target_never_conflicts(self):
+        target = self._target([])
+        conflict = self._simulator()._pattern_conflict(
+            target, "t", "v", DataType.STRING, ["anything"]
+        )
+        assert not conflict
+
+
+class TestRejectedRowAccounting:
+    def test_low_effort_rejections_counted(self, small_example):
+        simulator = PractitionerSimulator()
+        result = simulator.integrate(small_example, ResultQuality.LOW_EFFORT)
+        # The multi-artist albums survive (keep-any), nothing else needs
+        # rejecting in the running example at low effort.
+        assert result.rejected_rows == 0
+
+    def test_breakdown_keys_are_stable(self, small_example):
+        simulator = PractitionerSimulator()
+        result = simulator.integrate(small_example, ResultQuality.HIGH_QUALITY)
+        assert list(result.breakdown()) == [
+            "Mapping",
+            "Cleaning (Structure)",
+            "Cleaning (Values)",
+        ]

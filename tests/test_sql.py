@@ -1,0 +1,430 @@
+"""Tests for the SQL subset: lexer, parser, and executor."""
+
+import pytest
+
+from repro.relational import Database, DataType, Schema, primary_key, relation
+from repro.relational.sql import SqlError, TokenType, parse, query, tokenize
+from repro.relational.sql.ast import BinaryOp, ColumnRef, Literal, Select
+
+
+@pytest.fixture
+def db():
+    schema = Schema(
+        "db",
+        relations=[
+            relation(
+                "albums",
+                [
+                    ("id", DataType.INTEGER),
+                    ("name", DataType.STRING),
+                    ("year", DataType.INTEGER),
+                ],
+            ),
+            relation(
+                "songs",
+                [
+                    ("album", DataType.INTEGER),
+                    ("title", DataType.STRING),
+                    ("length", DataType.INTEGER),
+                ],
+            ),
+        ],
+        constraints=[primary_key("albums", "id")],
+    )
+    database = Database(schema)
+    database.insert_all(
+        "albums",
+        [
+            (1, "Sweet Home", 1974),
+            (2, "Anxiety", 1999),
+            (3, "Quiet Nights", None),
+        ],
+    )
+    database.insert_all(
+        "songs",
+        [
+            (1, "Opener", 215),
+            (1, "Closer", 310),
+            (2, "Single", 187),
+            (2, "B-Side", None),
+        ],
+    )
+    return database
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select Name from t")
+        assert tokens[0].value == "SELECT"
+        assert tokens[1].type is TokenType.IDENTIFIER
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5")
+        assert [t.value for t in tokens[:2]] == ["1", "2.5"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n")
+        assert [t.value for t in tokens[:2]] == ["SELECT", "1"]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT #")
+
+
+class TestParser:
+    def test_simple_select_shape(self):
+        statement = parse("SELECT a, b FROM t WHERE a = 1")
+        assert isinstance(statement, Select)
+        assert len(statement.items) == 2
+        assert isinstance(statement.where, BinaryOp)
+
+    def test_operator_precedence(self):
+        statement = parse("SELECT 1 + 2 * 3")
+        expression = statement.items[0].expression
+        assert expression.operator == "+"
+        assert expression.right.operator == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        statement = parse("SELECT 1 WHERE a OR b AND c")
+        assert statement.where.operator == "OR"
+
+    def test_qualified_columns(self):
+        statement = parse("SELECT t.a FROM t")
+        assert statement.items[0].expression == ColumnRef("a", table="t")
+
+    def test_alias_forms(self):
+        explicit = parse("SELECT a AS x FROM t")
+        implicit = parse("SELECT a x FROM t")
+        assert explicit.items[0].alias == "x"
+        assert implicit.items[0].alias == "x"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT 1 FROM t garbage garbage")
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(SqlError):
+            parse("DROP TABLE t")
+
+    def test_literals(self):
+        statement = parse("SELECT NULL, TRUE, FALSE, 'x'")
+        values = [item.expression for item in statement.items]
+        assert values == [
+            Literal(None),
+            Literal(True),
+            Literal(False),
+            Literal("x"),
+        ]
+
+
+class TestSelectBasics:
+    def test_star(self, db):
+        rows = query(db, "SELECT * FROM albums")
+        assert len(rows) == 3
+        assert rows[0] == {"id": 1, "name": "Sweet Home", "year": 1974}
+
+    def test_projection_and_alias(self, db):
+        rows = query(db, "SELECT name AS title FROM albums LIMIT 1")
+        assert rows == [{"title": "Sweet Home"}]
+
+    def test_where_comparison(self, db):
+        rows = query(db, "SELECT id FROM albums WHERE year > 1980")
+        assert [row["id"] for row in rows] == [2]
+
+    def test_null_comparison_excludes(self, db):
+        """year = NULL is never true; IS NULL is the way."""
+        assert query(db, "SELECT id FROM albums WHERE year = NULL") == []
+        rows = query(db, "SELECT id FROM albums WHERE year IS NULL")
+        assert [row["id"] for row in rows] == [3]
+
+    def test_is_not_null(self, db):
+        rows = query(db, "SELECT COUNT(*) AS n FROM albums WHERE year IS NOT NULL")
+        assert rows == [{"n": 2}]
+
+    def test_in_list(self, db):
+        rows = query(db, "SELECT id FROM albums WHERE id IN (1, 3)")
+        assert [row["id"] for row in rows] == [1, 3]
+
+    def test_not_in_list(self, db):
+        rows = query(db, "SELECT id FROM albums WHERE id NOT IN (1, 3)")
+        assert [row["id"] for row in rows] == [2]
+
+    def test_between(self, db):
+        rows = query(db, "SELECT id FROM albums WHERE year BETWEEN 1970 AND 1980")
+        assert [row["id"] for row in rows] == [1]
+
+    def test_like(self, db):
+        rows = query(db, "SELECT name FROM albums WHERE name LIKE 'S%'")
+        assert rows == [{"name": "Sweet Home"}]
+
+    def test_like_underscore(self, db):
+        rows = query(db, "SELECT name FROM albums WHERE name LIKE '_nxiety'")
+        assert rows == [{"name": "Anxiety"}]
+
+    def test_integer_division_is_sqlite_style(self, db):
+        rows = query(db, "SELECT length / 60 AS minutes FROM songs WHERE title = 'Opener'")
+        assert rows[0]["minutes"] == 3  # 215 / 60 truncates for int operands
+
+    def test_float_division(self, db):
+        rows = query(db, "SELECT length / 60.0 AS minutes FROM songs WHERE title = 'Opener'")
+        assert rows[0]["minutes"] == pytest.approx(215 / 60)
+
+    def test_concatenation(self, db):
+        rows = query(db, "SELECT name || '!' AS loud FROM albums LIMIT 1")
+        assert rows == [{"loud": "Sweet Home!"}]
+
+    def test_order_by_desc(self, db):
+        rows = query(db, "SELECT id FROM albums ORDER BY year DESC")
+        # NULLs sort first; DESC reverses → NULL last here
+        assert [row["id"] for row in rows] == [2, 1, 3]
+
+    def test_order_by_source_column_not_selected(self, db):
+        rows = query(db, "SELECT name FROM albums ORDER BY year ASC")
+        assert rows[0]["name"] == "Quiet Nights"  # NULL year first
+
+    def test_limit(self, db):
+        assert len(query(db, "SELECT id FROM albums LIMIT 2")) == 2
+
+    def test_distinct(self, db):
+        rows = query(db, "SELECT DISTINCT album FROM songs")
+        assert len(rows) == 2
+
+    def test_select_without_from(self, db):
+        assert query(db, "SELECT 1 + 1 AS two") == [{"two": 2}]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = query(
+            db,
+            "SELECT a.name, s.title FROM albums a "
+            "JOIN songs s ON a.id = s.album",
+        )
+        assert len(rows) == 4
+
+    def test_left_join_pads(self, db):
+        rows = query(
+            db,
+            "SELECT a.id, s.title FROM albums a "
+            "LEFT JOIN songs s ON a.id = s.album",
+        )
+        padded = [row for row in rows if row["title"] is None]
+        assert [row["id"] for row in padded] == [3]
+
+    def test_anti_join_pattern(self, db):
+        rows = query(
+            db,
+            "SELECT a.id FROM albums a LEFT JOIN songs s ON a.id = s.album "
+            "WHERE s.title IS NULL",
+        )
+        assert [row["id"] for row in rows] == [3]
+
+    def test_ambiguous_bare_column_rejected(self):
+        schema = Schema(
+            "s",
+            relations=[relation("x", ["v"]), relation("y", ["v"])],
+        )
+        database = Database(schema)
+        database.insert("x", ("a",))
+        database.insert("y", ("a",))
+        with pytest.raises(SqlError, match="ambiguous"):
+            query(database, "SELECT v FROM x JOIN y ON x.v = y.v")
+
+    def test_null_keys_never_hash_join(self, db):
+        db.insert("songs", (None, "Orphan", 10))
+        rows = query(
+            db,
+            "SELECT s.title FROM songs s JOIN albums a ON s.album = a.id",
+        )
+        assert "Orphan" not in {row["title"] for row in rows}
+
+    def test_non_equi_join_falls_back(self, db):
+        rows = query(
+            db,
+            "SELECT a.id, s.title FROM albums a "
+            "JOIN songs s ON s.length > a.year",
+        )
+        assert rows == []  # lengths are all smaller than years
+
+    def test_join_with_filter(self, db):
+        rows = query(
+            db,
+            "SELECT s.title FROM albums a JOIN songs s ON a.id = s.album "
+            "WHERE a.year < 1990 ORDER BY s.title",
+        )
+        assert [row["title"] for row in rows] == ["Closer", "Opener"]
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert query(db, "SELECT COUNT(*) AS n FROM songs") == [{"n": 4}]
+
+    def test_count_ignores_nulls(self, db):
+        assert query(db, "SELECT COUNT(length) AS n FROM songs") == [{"n": 3}]
+
+    def test_count_distinct(self, db):
+        rows = query(db, "SELECT COUNT(DISTINCT album) AS n FROM songs")
+        assert rows == [{"n": 2}]
+
+    def test_sum_avg_min_max(self, db):
+        rows = query(
+            db,
+            "SELECT SUM(length) AS s, AVG(length) AS a, "
+            "MIN(length) AS lo, MAX(length) AS hi FROM songs",
+        )
+        assert rows[0]["s"] == 712
+        assert rows[0]["a"] == pytest.approx(712 / 3)
+        assert rows[0]["lo"] == 187 and rows[0]["hi"] == 310
+
+    def test_aggregate_of_empty_group_is_null(self, db):
+        rows = query(db, "SELECT MAX(length) AS m FROM songs WHERE album = 99")
+        assert rows == [{"m": None}]
+
+    def test_group_by(self, db):
+        rows = query(
+            db,
+            "SELECT album, COUNT(*) AS n FROM songs GROUP BY album "
+            "ORDER BY album",
+        )
+        assert rows == [{"album": 1, "n": 2}, {"album": 2, "n": 2}]
+
+    def test_having(self, db):
+        rows = query(
+            db,
+            "SELECT album, COUNT(length) AS n FROM songs GROUP BY album "
+            "HAVING COUNT(length) > 1",
+        )
+        assert rows == [{"album": 1, "n": 2}]
+
+    def test_group_concat(self, db):
+        rows = query(
+            db,
+            "SELECT GROUP_CONCAT(title) AS titles FROM songs WHERE album = 1",
+        )
+        assert rows[0]["titles"] == "Opener, Closer"
+
+    def test_group_key_in_output(self, db):
+        rows = query(
+            db,
+            "SELECT a.name, COUNT(*) AS n FROM albums a "
+            "JOIN songs s ON a.id = s.album GROUP BY a.name ORDER BY n DESC",
+        )
+        assert {row["name"] for row in rows} == {"Sweet Home", "Anxiety"}
+
+
+class TestMutations:
+    def test_insert_returns_count(self, db):
+        count = db.execute("INSERT INTO albums (id, name) VALUES (9, 'New')")
+        assert count == 1
+        assert len(db.table("albums")) == 4
+
+    def test_insert_multiple_tuples(self, db):
+        count = db.execute(
+            "INSERT INTO songs (album, title) VALUES (1, 'x'), (1, 'y')"
+        )
+        assert count == 2
+
+    def test_insert_casts_values(self, db):
+        db.execute("INSERT INTO albums (id, name, year) VALUES (9, 'N', '2001')")
+        rows = db.query("SELECT year FROM albums WHERE id = 9")
+        assert rows == [{"year": 2001}]
+
+    def test_update_with_expression(self, db):
+        updated = db.execute(
+            "UPDATE songs SET length = length / 1000 WHERE length IS NOT NULL"
+        )
+        assert updated == 3
+
+    def test_update_where(self, db):
+        db.execute("UPDATE albums SET year = 2000 WHERE year IS NULL")
+        assert db.query("SELECT COUNT(*) AS n FROM albums WHERE year IS NULL") == [
+            {"n": 0}
+        ]
+
+    def test_delete(self, db):
+        deleted = db.execute("DELETE FROM songs WHERE length IS NULL")
+        assert deleted == 1
+        assert len(db.table("songs")) == 3
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM songs") == 4
+
+
+class TestCreateTable:
+    def test_create_with_inline_constraints(self, db):
+        db.execute(
+            "CREATE TABLE genres ("
+            "id INTEGER PRIMARY KEY, "
+            "name TEXT NOT NULL UNIQUE)"
+        )
+        assert db.schema.has_relation("genres")
+        assert db.schema.primary_key_of("genres") is not None
+        assert db.schema.is_not_null("genres", "name")
+        assert db.schema.is_unique("genres", "name")
+
+    def test_create_with_table_constraints(self, db):
+        db.execute(
+            "CREATE TABLE credits ("
+            "album INTEGER REFERENCES albums(id), "
+            "position INTEGER, "
+            "PRIMARY KEY (album, position))"
+        )
+        pk = db.schema.primary_key_of("credits")
+        assert pk.attributes == ("album", "position")
+        assert db.schema.foreign_keys_of("credits")
+
+    def test_created_table_is_usable(self, db):
+        db.execute("CREATE TABLE t (v TEXT)")
+        db.execute("INSERT INTO t (v) VALUES ('hello')")
+        assert db.query("SELECT v FROM t") == [{"v": "hello"}]
+
+    def test_unknown_type_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("CREATE TABLE t (v BLOB)")
+
+
+class TestPaperCrossChecks:
+    """The SQL layer re-derives Table 3's violation counts independently
+    of the CSG machinery — two implementations, one truth."""
+
+    def test_multi_artist_albums_503(self, example):
+        source = example.sources[0]
+        rows = source.query(
+            "SELECT a.id, COUNT(DISTINCT c.artist) AS artists "
+            "FROM albums a JOIN artist_credits c "
+            "ON a.artist_list = c.artist_list "
+            "GROUP BY a.id HAVING COUNT(DISTINCT c.artist) > 1"
+        )
+        assert len(rows) == 503
+
+    def test_detached_artists_102(self, example):
+        source = example.sources[0]
+        rows = source.query(
+            "SELECT COUNT(DISTINCT c.artist) AS n FROM artist_credits c "
+            "LEFT JOIN albums a ON c.artist_list = a.artist_list "
+            "WHERE a.id IS NULL"
+        )
+        assert rows == [{"n": 102}]
+
+    def test_sql_agrees_with_csg_detector(self, example, example_reports):
+        counts = {
+            violation.target_relationship: violation.violation_count
+            for violation in example_reports["structure"].violations
+        }
+        source = example.sources[0]
+        sql_multi = len(
+            source.query(
+                "SELECT a.id FROM albums a JOIN artist_credits c "
+                "ON a.artist_list = c.artist_list "
+                "GROUP BY a.id HAVING COUNT(DISTINCT c.artist) > 1"
+            )
+        )
+        assert counts["records->records.artist"] == sql_multi

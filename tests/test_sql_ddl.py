@@ -1,0 +1,130 @@
+"""Tests for DDL generation and script splitting."""
+
+import pytest
+
+from repro.relational import (
+    Database,
+    FunctionalDependencyConstraint,
+    Schema,
+)
+from repro.relational.sql import (
+    relation_to_ddl,
+    schema_to_ddl,
+    split_statements,
+)
+from repro.scenarios.bibliographic import schema_s2, schema_s3
+from repro.scenarios.example import source_schema, target_schema
+
+
+def round_trip(schema: Schema) -> Database:
+    database = Database(Schema("fresh"))
+    for statement in split_statements(schema_to_ddl(schema)):
+        database.execute(statement)
+    return database
+
+
+@pytest.mark.parametrize(
+    "schema_builder",
+    [source_schema, target_schema, schema_s2, schema_s3],
+    ids=["example-source", "example-target", "s2", "s3"],
+)
+class TestRoundTrip:
+    def test_relations_survive(self, schema_builder):
+        original = schema_builder()
+        restored = round_trip(original)
+        assert set(restored.schema.relation_names) == set(
+            original.relation_names
+        )
+
+    def test_attributes_and_types_survive(self, schema_builder):
+        original = schema_builder()
+        restored = round_trip(original)
+        for relation in original.relations:
+            restored_relation = restored.schema.relation(relation.name)
+            assert restored_relation.attribute_names == relation.attribute_names
+            assert [
+                a.datatype for a in restored_relation.attributes
+            ] == [a.datatype for a in relation.attributes]
+
+    def test_constraints_survive(self, schema_builder):
+        original = schema_builder()
+        restored = round_trip(original)
+        expected = {
+            c.describe()
+            for c in original.constraints
+            if c.kind != "functional_dependency"
+        }
+        assert {c.describe() for c in restored.schema.constraints} == expected
+
+
+class TestDdlDetails:
+    def test_references_are_dependency_ordered(self):
+        ddl = schema_to_ddl(source_schema())
+        assert ddl.index("CREATE TABLE artist_lists") < ddl.index(
+            "CREATE TABLE albums"
+        )
+        assert ddl.index("CREATE TABLE albums") < ddl.index(
+            "CREATE TABLE songs"
+        )
+
+    def test_composite_pk_rendered_as_table_constraint(self):
+        ddl = relation_to_ddl(source_schema(), "artist_credits")
+        assert "PRIMARY KEY (artist_list, position)" in ddl
+
+    def test_fd_emitted_as_comment(self):
+        from repro.relational import relation as make_relation
+
+        schema = Schema(
+            "s",
+            relations=[make_relation("r", ["a", "b"])],
+            constraints=[FunctionalDependencyConstraint("r", "a", "b")],
+        )
+        ddl = schema_to_ddl(schema)
+        assert "-- FD r.a -> b" in ddl
+
+    def test_fk_cycle_still_renders(self):
+        from repro.relational import (
+            DataType,
+            foreign_key,
+            primary_key,
+            relation as make_relation,
+        )
+
+        schema = Schema(
+            "s",
+            relations=[
+                make_relation("x", [("id", DataType.INTEGER), ("y_ref", DataType.INTEGER)]),
+                make_relation("y", [("id", DataType.INTEGER), ("x_ref", DataType.INTEGER)]),
+            ],
+            constraints=[
+                primary_key("x", "id"),
+                primary_key("y", "id"),
+                foreign_key("x", "y_ref", "y", "id"),
+                foreign_key("y", "x_ref", "x", "id"),
+            ],
+        )
+        ddl = schema_to_ddl(schema)
+        assert "CREATE TABLE x" in ddl and "CREATE TABLE y" in ddl
+
+
+class TestSplitStatements:
+    def test_splits_on_semicolons(self):
+        parts = split_statements("SELECT 1; SELECT 2;")
+        assert parts == ["SELECT 1", "SELECT 2"]
+
+    def test_semicolon_inside_string_kept(self):
+        parts = split_statements("SELECT 'a;b'; SELECT 2")
+        assert parts == ["SELECT 'a;b'", "SELECT 2"]
+
+    def test_comments_stripped(self):
+        parts = split_statements("-- header\nSELECT 1; -- tail\nSELECT 2")
+        assert parts == ["SELECT 1", "\nSELECT 2"] or parts == [
+            "SELECT 1",
+            "SELECT 2",
+        ]
+
+    def test_trailing_statement_without_semicolon(self):
+        assert split_statements("SELECT 1") == ["SELECT 1"]
+
+    def test_empty_script(self):
+        assert split_statements("   \n  ") == []

@@ -1,0 +1,85 @@
+"""Tests for the practitioner's generated SQL mapping scripts."""
+
+import pytest
+
+from repro.core import ResultQuality
+from repro.practitioner import PractitionerSimulator
+from repro.relational.sql import parse, query
+from repro.scenarios import bibliographic_scenarios, music_scenarios
+
+
+@pytest.fixture(scope="module")
+def example_result(small_example):
+    return PractitionerSimulator().integrate(
+        small_example, ResultQuality.HIGH_QUALITY
+    )
+
+
+class TestInsertSelect:
+    """The INSERT ... SELECT statement form the scripts rely on."""
+
+    @pytest.fixture
+    def db(self):
+        from repro.relational import Database, DataType, Schema, relation
+
+        schema = Schema(
+            "db",
+            relations=[
+                relation("src", [("v", DataType.INTEGER)]),
+                relation("dst", [("v", DataType.INTEGER), ("doubled", DataType.INTEGER)]),
+            ],
+        )
+        database = Database(schema)
+        database.insert_all("src", [(1,), (2,), (3,)])
+        return database
+
+    def test_insert_select(self, db):
+        count = db.execute(
+            "INSERT INTO dst (v, doubled) SELECT v, v * 2 FROM src WHERE v > 1"
+        )
+        assert count == 2
+        assert db.query("SELECT doubled FROM dst ORDER BY doubled") == [
+            {"doubled": 4},
+            {"doubled": 6},
+        ]
+
+    def test_arity_mismatch_rejected(self, db):
+        from repro.relational.sql import SqlError
+
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO dst (v) SELECT v, v FROM src")
+
+
+class TestGeneratedScripts:
+    def test_example_produces_scripts(self, example_result):
+        tables = [table for table, _ in example_result.scripts]
+        assert tables == ["records", "tracks"]
+
+    def test_scripts_are_valid_sql(self, example_result):
+        for _, script in example_result.scripts:
+            parse(script)  # must not raise
+
+    def test_records_script_is_the_papers_three_table_join(
+        self, example_result
+    ):
+        script = dict(example_result.scripts)["records"]
+        for table in ("albums", "artist_lists", "artist_credits"):
+            assert table in script
+        assert "GROUP_CONCAT" in script  # multi-artist collapse
+        assert script.startswith("INSERT INTO records")
+
+    def test_records_select_executes_one_row_per_album(
+        self, example_result, small_example
+    ):
+        script = dict(example_result.scripts)["records"]
+        select = script.split("\n", 1)[1].rstrip(";")
+        rows = query(small_example.sources[0], select)
+        assert len(rows) == len(small_example.sources[0].table("albums"))
+        assert set(rows[0]) == {"title", "artist"}
+
+    def test_all_domain_scripts_parse(self):
+        simulator = PractitionerSimulator()
+        for scenario in bibliographic_scenarios() + music_scenarios():
+            result = simulator.integrate(scenario, ResultQuality.LOW_EFFORT)
+            for _, script in result.scripts:
+                parse(script)

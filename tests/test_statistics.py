@@ -1,0 +1,266 @@
+"""Unit + property tests for the value-fit column statistics."""
+
+import math
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.profiling.statistics import (
+    CharacterHistogram,
+    Constancy,
+    FillStatus,
+    MeanStatistic,
+    NumericHistogram,
+    StringLengthStatistic,
+    TextPatternStatistic,
+    TopKValues,
+    ValueRange,
+    histogram_intersection,
+    shannon_entropy,
+)
+from repro.relational.datatypes import DataType
+
+DURATIONS = ["4:43", "6:55", "3:26", "5:01", "2:59"]
+LENGTHS_MS = [215900, 238100, 218200, 301000, 179000]
+
+
+class TestHelpers:
+    def test_entropy_of_uniform(self):
+        assert abs(shannon_entropy([0.5, 0.5]) - 1.0) < 1e-9
+
+    def test_entropy_of_constant(self):
+        assert shannon_entropy([1.0]) == 0.0
+
+    def test_histogram_intersection_identical(self):
+        dist = {"a": 0.7, "b": 0.3}
+        assert abs(histogram_intersection(dist, dist) - 1.0) < 1e-9
+
+    def test_histogram_intersection_disjoint(self):
+        assert histogram_intersection({"a": 1.0}, {"b": 1.0}) == 0.0
+
+
+class TestFillStatus:
+    def test_counts(self):
+        stat = FillStatus.compute([1, None, "x"], DataType.INTEGER)
+        assert stat.total == 3 and stat.nulls == 1 and stat.uncastable == 1
+
+    def test_filled_fraction(self):
+        stat = FillStatus.compute([1, None, "x"], DataType.INTEGER)
+        assert abs(stat.filled_fraction - 1 / 3) < 1e-9
+
+    def test_non_null_fraction_ignores_castability(self):
+        stat = FillStatus.compute([1, None, "x"], DataType.INTEGER)
+        assert abs(stat.non_null_fraction - 2 / 3) < 1e-9
+
+    def test_fit_rewards_completeness(self):
+        target = FillStatus.compute([1, 2, 3], DataType.INTEGER)
+        full = FillStatus.compute([4, 5, 6], DataType.INTEGER)
+        sparse = FillStatus.compute([4, None, None], DataType.INTEGER)
+        assert target.fit(full) > target.fit(sparse)
+
+    def test_empty_column(self):
+        stat = FillStatus.compute([], DataType.STRING)
+        assert stat.filled_fraction == 0.0
+
+
+class TestConstancy:
+    def test_constant_column(self):
+        assert Constancy.compute(["a"] * 10).constancy == 1.0
+
+    def test_all_distinct_column(self):
+        stat = Constancy.compute(list(range(100)))
+        assert stat.constancy < 0.05
+
+    def test_domain_restriction_by_distinct_count(self):
+        stat = Constancy.compute(["x", "y"] * 50)
+        assert stat.is_domain_restricted
+
+    def test_free_text_not_restricted(self):
+        stat = Constancy.compute([f"value {i}" for i in range(100)])
+        assert not stat.is_domain_restricted
+
+    def test_nulls_ignored(self):
+        assert Constancy.compute([None, "a", None]).distinct_count == 1
+
+    def test_empty_not_restricted(self):
+        assert not Constancy.compute([]).is_domain_restricted
+
+
+class TestTextPattern:
+    def test_importance_of_uniform_format(self):
+        stat = TextPatternStatistic.compute(DURATIONS)
+        assert stat.importance() == 1.0
+
+    def test_importance_of_mixed_formats(self):
+        stat = TextPatternStatistic.compute(["4:43", "abc", "1-2", "x y"])
+        assert stat.importance() <= 0.5
+
+    def test_fit_identical_formats(self):
+        target = TextPatternStatistic.compute(DURATIONS)
+        source = TextPatternStatistic.compute(["9:59", "0:01"])
+        assert target.fit(source) == pytest.approx(1.0)
+
+    def test_fit_conflicting_formats(self):
+        target = TextPatternStatistic.compute(DURATIONS)
+        source = TextPatternStatistic.compute([str(v) for v in LENGTHS_MS])
+        assert target.fit(source) == 0.0
+
+    def test_free_text_fits_free_text(self):
+        target = TextPatternStatistic.compute(["Sweet Home", "One Two Three"])
+        source = TextPatternStatistic.compute(["Another Title Here"])
+        assert target.fit(source) >= 0.8
+
+
+class TestStringLength:
+    def test_mean_and_std(self):
+        stat = StringLengthStatistic.compute(["ab", "abcd"])
+        assert stat.mean == 3.0 and stat.std == 1.0
+
+    def test_fit_same_lengths(self):
+        target = StringLengthStatistic.compute(["abcde"] * 5)
+        source = StringLengthStatistic.compute(["fghij"] * 3)
+        assert target.fit(source) == pytest.approx(1.0)
+
+    def test_fit_decays_with_distance(self):
+        target = StringLengthStatistic.compute(["abcd"] * 5)
+        near = StringLengthStatistic.compute(["abcde"] * 5)
+        far = StringLengthStatistic.compute(["a" * 40] * 5)
+        assert target.fit(near) > target.fit(far)
+
+    def test_empty_fits_trivially(self):
+        target = StringLengthStatistic.compute([])
+        source = StringLengthStatistic.compute(["abc"])
+        assert target.fit(source) == 1.0
+
+
+class TestMeanStatistic:
+    def test_computation(self):
+        stat = MeanStatistic.compute([1, 2, 3])
+        assert stat.mean == 2.0 and abs(stat.std - math.sqrt(2 / 3)) < 1e-9
+
+    def test_fit_magnitude_mismatch(self):
+        target = MeanStatistic.compute([200, 250, 300])  # seconds
+        source = MeanStatistic.compute(LENGTHS_MS)  # milliseconds
+        assert target.fit(source) < 0.1
+
+    def test_fit_similar_scale(self):
+        target = MeanStatistic.compute([200, 250, 300])
+        source = MeanStatistic.compute([210, 260, 280])
+        assert target.fit(source) > 0.8
+
+    def test_non_numeric_ignored(self):
+        stat = MeanStatistic.compute(["a", 4])
+        assert stat.count == 1
+
+
+class TestNumericHistogram:
+    def test_bins_sum_to_one(self):
+        stat = NumericHistogram.compute(list(range(100)))
+        assert abs(sum(stat.bins) - 1.0) < 1e-9
+
+    def test_fit_identical_distribution(self):
+        target = NumericHistogram.compute(list(range(100)))
+        source = NumericHistogram.compute(list(range(100)))
+        assert target.fit(source) > 0.9
+
+    def test_fit_disjoint_ranges(self):
+        target = NumericHistogram.compute(list(range(100)))
+        source = NumericHistogram.compute(list(range(10_000, 10_100)))
+        assert target.fit(source) == 0.0
+
+    def test_constant_column(self):
+        stat = NumericHistogram.compute([5, 5, 5])
+        assert stat.lo == stat.hi == 5
+
+
+class TestValueRange:
+    def test_bounds(self):
+        stat = ValueRange.compute([3, 1, 7])
+        assert (stat.lo, stat.hi) == (1, 7)
+
+    def test_fit_contained(self):
+        target = ValueRange.compute([0, 100])
+        source = ValueRange.compute([10, 90])
+        assert target.fit(source) == pytest.approx(1.0)
+
+    def test_fit_disjoint(self):
+        target = ValueRange.compute([0, 100])
+        source = ValueRange.compute([1000, 2000])
+        assert target.fit(source) == 0.0
+
+    def test_fit_partial_overlap(self):
+        target = ValueRange.compute([0, 100])
+        source = ValueRange.compute([50, 150])
+        assert 0.0 < target.fit(source) < 1.0
+
+
+class TestTopK:
+    def test_discrete_domain_coverage(self):
+        stat = TopKValues.compute(["rock", "jazz"] * 50)
+        assert stat.coverage == pytest.approx(1.0)
+        assert stat.importance() == pytest.approx(1.0)
+
+    def test_free_text_low_importance(self):
+        stat = TopKValues.compute([f"title {i}" for i in range(1000)])
+        assert stat.importance() < 0.01
+
+    def test_fit_shared_domain(self):
+        target = TopKValues.compute(["rock", "jazz", "pop"] * 10)
+        source = TopKValues.compute(["rock", "jazz"] * 10)
+        assert target.fit(source) == pytest.approx(1.0)
+
+    def test_fit_disjoint_domain(self):
+        target = TopKValues.compute(["rock"] * 10)
+        source = TopKValues.compute(["metal"] * 10)
+        assert target.fit(source) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Properties: every statistic keeps importance and fit within [0, 1]
+# ----------------------------------------------------------------------
+
+value_columns = st.lists(
+    st.one_of(
+        st.none(),
+        st.integers(min_value=-10**6, max_value=10**6),
+        st.text(max_size=20),
+    ),
+    max_size=60,
+)
+
+STATISTIC_TYPES = [
+    Constancy,
+    TextPatternStatistic,
+    CharacterHistogram,
+    StringLengthStatistic,
+    MeanStatistic,
+    NumericHistogram,
+    ValueRange,
+    TopKValues,
+]
+
+
+@settings(max_examples=60)
+@given(value_columns, value_columns)
+@example(  # regression: float rounding pushed the intersection over 1.0
+    source_values=[-121, 216, 2071, "0001", "1345Á"],
+    target_values=[-121, 216, 2071, "0001", "1345Á"],
+)
+@pytest.mark.parametrize("statistic_type", STATISTIC_TYPES)
+def test_importance_and_fit_bounded(statistic_type, source_values, target_values):
+    source = statistic_type.compute(source_values)
+    target = statistic_type.compute(target_values)
+    assert 0.0 <= target.importance() <= 1.0
+    assert 0.0 <= target.fit(source) <= 1.0
+
+
+@settings(max_examples=60)
+@given(value_columns)
+@example(values=[])  # regression: empty columns must fit vacuously
+@example(values=[str(i) for i in range(30)])  # regression: top-k ties
+@pytest.mark.parametrize("statistic_type", STATISTIC_TYPES)
+def test_self_fit_is_high(statistic_type, values):
+    """A column always fits its own statistics (≥ threshold-level)."""
+    stat = statistic_type.compute(values)
+    assert stat.fit(stat) >= 0.9

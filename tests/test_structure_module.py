@@ -1,0 +1,283 @@
+"""Unit tests for the structure module: detector, planner, loop detection."""
+
+import pytest
+
+from repro.core import ResultQuality
+from repro.core.modules.structure import (
+    InfiniteCleaningLoopError,
+    StructureConflictDetector,
+    StructureModule,
+    StructureRepairPlanner,
+    VirtualRelationship,
+)
+from repro.core.reports import StructureViolation
+from repro.core.tasks import StructuralConflict, TaskType
+from repro.csg.cardinality import Cardinality
+from repro.matching import CorrespondenceSet, attribute_correspondence, relation_correspondence
+from repro.relational import (
+    Database,
+    DataType,
+    NotNull,
+    Schema,
+    Unique,
+    primary_key,
+    relation,
+)
+from repro.scenarios.scenario import IntegrationScenario
+
+
+class TestTable3Detector:
+    """The running example must yield exactly the Table 3 report."""
+
+    @pytest.fixture(scope="class")
+    def violations(self, example):
+        source = example.sources[0]
+        cset = example.correspondences[source.name]
+        return StructureConflictDetector().detect(source, example.target, cset)
+
+    def test_exactly_two_rows(self, violations):
+        assert len(violations) == 2
+
+    def test_multi_artist_row(self, violations):
+        row = next(
+            v
+            for v in violations
+            if v.conflict is StructuralConflict.MULTIPLE_ATTRIBUTE_VALUES
+        )
+        assert row.violation_count == 503
+        assert row.target_relationship == "records->records.artist"
+        assert row.prescribed == "1"
+        assert row.inferred == "0..*"
+
+    def test_detached_artist_row(self, violations):
+        row = next(
+            v
+            for v in violations
+            if v.conflict is StructuralConflict.VALUE_WITHOUT_ENCLOSING_TUPLE
+        )
+        assert row.violation_count == 102
+        assert row.target_relationship == "records.artist->records"
+        assert row.prescribed == "1..*"
+
+    def test_scope_covers_all_elements(self, violations):
+        multi = next(
+            v
+            for v in violations
+            if v.conflict is StructuralConflict.MULTIPLE_ATTRIBUTE_VALUES
+        )
+        assert multi.scope == 2000  # all albums
+
+
+def tiny_scenario(source_rows, target_constraints=(), source_constraints=()):
+    """One-table source and target with a single mapped attribute."""
+    source_schema = Schema(
+        "src",
+        relations=[relation("s", [("k", DataType.INTEGER), "v"])],
+        constraints=list(source_constraints),
+    )
+    target_schema = Schema(
+        "tgt",
+        relations=[relation("t", [("k", DataType.INTEGER), "v"])],
+        constraints=list(target_constraints),
+    )
+    source = Database(source_schema)
+    source.insert_all("s", source_rows)
+    target = Database(target_schema)
+    cset = CorrespondenceSet(
+        [
+            relation_correspondence("s", "t"),
+            attribute_correspondence("s.k", "t.k"),
+            attribute_correspondence("s.v", "t.v"),
+        ]
+    )
+    return IntegrationScenario("tiny", source, target, cset)
+
+
+class TestDetectorConflictClasses:
+    def test_not_null_violation(self):
+        scenario = tiny_scenario(
+            [(1, "a"), (2, None)], target_constraints=[NotNull("t", "v")]
+        )
+        module = StructureModule()
+        report = module.assess(scenario)
+        conflicts = {v.conflict for v in report.violations}
+        assert StructuralConflict.NOT_NULL_VIOLATED in conflicts
+
+    def test_unique_violation(self):
+        scenario = tiny_scenario(
+            [(1, "a"), (2, "a")], target_constraints=[Unique("t", ("v",))]
+        )
+        report = StructureModule().assess(scenario)
+        unique_rows = [
+            v
+            for v in report.violations
+            if v.conflict is StructuralConflict.UNIQUE_VIOLATED
+        ]
+        assert unique_rows and unique_rows[0].violation_count == 1
+
+    def test_clean_source_no_violations(self):
+        scenario = tiny_scenario(
+            [(1, "a"), (2, "b")],
+            target_constraints=[NotNull("t", "v"), Unique("t", ("v",))],
+            source_constraints=[
+                NotNull("s", "v"),
+                Unique("s", ("v",)),
+            ],
+        )
+        report = StructureModule().assess(scenario)
+        assert report.is_empty()
+
+    def test_conciseness_ablation_changes_nothing_on_example(self, example):
+        """On the running example the shortest path is also the most
+        concise, so disabling conciseness must not change the report."""
+        source = example.sources[0]
+        cset = example.correspondences[source.name]
+        with_rule = StructureConflictDetector(use_conciseness=True).detect(
+            source, example.target, cset
+        )
+        without_rule = StructureConflictDetector(use_conciseness=False).detect(
+            source, example.target, cset
+        )
+        assert [(v.target_relationship, v.violation_count) for v in with_rule] == [
+            (v.target_relationship, v.violation_count) for v in without_rule
+        ]
+
+
+class TestTable5Planner:
+    """The high-quality repair plan of the running example (Table 5)."""
+
+    @pytest.fixture(scope="class")
+    def tasks(self, example, efes):
+        module = next(m for m in efes.modules if m.name == "structure")
+        report = module.assess(example)
+        return module.plan(example, report, ResultQuality.HIGH_QUALITY)
+
+    def test_three_tasks(self, tasks):
+        assert len(tasks) == 3
+
+    def test_task_types_match_table5(self, tasks):
+        types = [task.type for task in tasks]
+        assert TaskType.ADD_TUPLES in types
+        assert TaskType.MERGE_VALUES in types
+        assert TaskType.ADD_MISSING_VALUES in types
+
+    def test_repetition_counts_match_table5(self, tasks):
+        by_type = {task.type: task for task in tasks}
+        assert by_type[TaskType.ADD_TUPLES].repetitions == 102
+        assert by_type[TaskType.MERGE_VALUES].repetitions == 503
+        assert by_type[TaskType.ADD_MISSING_VALUES].parameter("values") == 102
+
+    def test_causal_ordering(self, tasks):
+        """Add tuples (the cause) precedes Add missing values (the fix)."""
+        types = [task.type for task in tasks]
+        assert types.index(TaskType.ADD_TUPLES) < types.index(
+            TaskType.ADD_MISSING_VALUES
+        )
+
+    def test_table5_total_effort(self, tasks, efes):
+        from repro.core.effort import price_tasks
+
+        estimate = price_tasks(
+            "example", ResultQuality.HIGH_QUALITY, tasks, efes.settings
+        )
+        assert estimate.total_minutes == 224.0  # 5 + 204 + 15
+
+    def test_low_effort_plan_is_cheaper(self, example, efes):
+        from repro.core.effort import price_tasks
+
+        module = next(m for m in efes.modules if m.name == "structure")
+        report = module.assess(example)
+        low = module.plan(example, report, ResultQuality.LOW_EFFORT)
+        estimate = price_tasks(
+            "example", ResultQuality.LOW_EFFORT, low, efes.settings
+        )
+        assert estimate.total_minutes < 224.0
+        types = {task.type for task in low}
+        assert TaskType.DROP_DETACHED_VALUES in types
+        assert TaskType.KEEP_ANY_VALUE in types
+
+
+class TestVirtualSimulation:
+    def test_side_effect_cascade(self):
+        """SET_VALUES_TO_NULL on a unique attr breaks NOT NULL → two tasks."""
+        scenario = tiny_scenario(
+            [(1, "a"), (2, "a"), (3, "b")],
+            target_constraints=[Unique("t", ("v",)), NotNull("t", "v")],
+            source_constraints=[NotNull("s", "v")],
+        )
+        module = StructureModule()
+        report = module.assess(scenario)
+        tasks = module.plan(scenario, report, ResultQuality.LOW_EFFORT)
+        types = [task.type for task in tasks]
+        assert TaskType.SET_VALUES_TO_NULL in types
+        assert TaskType.REJECT_TUPLES in types
+        assert types.index(TaskType.SET_VALUES_TO_NULL) < types.index(
+            TaskType.REJECT_TUPLES
+        )
+
+    def test_high_quality_aggregation_has_no_null_cascade(self):
+        scenario = tiny_scenario(
+            [(1, "a"), (2, "a"), (3, "b")],
+            target_constraints=[Unique("t", ("v",)), NotNull("t", "v")],
+            source_constraints=[NotNull("s", "v")],
+        )
+        module = StructureModule()
+        report = module.assess(scenario)
+        tasks = module.plan(scenario, report, ResultQuality.HIGH_QUALITY)
+        types = [task.type for task in tasks]
+        assert TaskType.AGGREGATE_TUPLES in types
+        assert TaskType.REJECT_TUPLES not in types
+
+    def test_infinite_loop_detected(self, example):
+        """Re-violating an already-fixed relationship must raise."""
+        planner = StructureRepairPlanner()
+        source = example.sources[0]
+        cset = example.correspondences[source.name]
+        violations = [
+            StructureViolation(
+                source_database=source.name,
+                target_relationship="records->records.artist",
+                conflict=StructuralConflict.NOT_NULL_VIOLATED,
+                prescribed="1",
+                inferred="0..1",
+                violation_count=5,
+                scope=10,
+                target_relation="records",
+                target_attribute="artist",
+            )
+        ]
+
+        class EvilPlanner(StructureRepairPlanner):
+            def _apply(self, states, state, side, task_type):
+                state.below = 5  # the "fix" never fixes anything
+
+        with pytest.raises(InfiniteCleaningLoopError):
+            EvilPlanner().plan(
+                example, cset, violations, ResultQuality.HIGH_QUALITY
+            )
+
+    def test_virtual_relationship_narrowing(self):
+        state = VirtualRelationship(
+            relation="t",
+            attribute="v",
+            direction="forward",
+            prescribed=Cardinality.of(1),
+            actual=Cardinality.of(0, None),
+            below=3,
+            above=2,
+        )
+        state.narrow_to_prescribed()
+        assert not state.is_violated
+        assert state.actual.is_subset(state.prescribed)
+
+    def test_widen_low(self):
+        state = VirtualRelationship(
+            relation="t",
+            attribute="v",
+            direction="forward",
+            prescribed=Cardinality.of(1),
+            actual=Cardinality.of(1),
+        )
+        state.widen_low(7)
+        assert state.below == 7
+        assert state.actual.contains(0)

@@ -1,0 +1,202 @@
+"""Unit tests for the task model and the effort-calculation functions."""
+
+import pytest
+
+from repro.core import (
+    ResultQuality,
+    constant,
+    default_execution_settings,
+    linear,
+    per_unit,
+    price_tasks,
+    threshold_per_unit,
+    tool_assisted_settings,
+)
+from repro.core.tasks import (
+    STRUCTURE_TASK_CATALOGUE,
+    VALUE_TASK_CATALOGUE,
+    StructuralConflict,
+    Task,
+    TaskCategory,
+    TaskType,
+    ValueHeterogeneity,
+)
+
+
+def make_task(task_type, **parameters):
+    return Task(
+        type=task_type,
+        quality=ResultQuality.HIGH_QUALITY,
+        subject="records.title",
+        parameters=parameters,
+    )
+
+
+class TestTask:
+    def test_category_assignment(self):
+        assert make_task(TaskType.WRITE_MAPPING).category is TaskCategory.MAPPING
+        assert (
+            make_task(TaskType.MERGE_VALUES).category
+            is TaskCategory.CLEANING_STRUCTURE
+        )
+        assert (
+            make_task(TaskType.CONVERT_VALUES).category
+            is TaskCategory.CLEANING_VALUES
+        )
+
+    def test_every_task_type_has_a_category(self):
+        for task_type in TaskType:
+            assert make_task(task_type).category is not None
+
+    def test_parameter_defaults(self):
+        task = make_task(TaskType.ADD_VALUES, values=5)
+        assert task.parameter("values") == 5.0
+        assert task.parameter("missing", 7.0) == 7.0
+
+    def test_describe(self):
+        assert make_task(TaskType.MERGE_VALUES).describe() == (
+            "Merge values (records.title)"
+        )
+
+
+class TestCatalogues:
+    def test_structure_catalogue_is_total(self):
+        for conflict in StructuralConflict:
+            for quality in ResultQuality:
+                assert STRUCTURE_TASK_CATALOGUE[conflict][quality] is not None
+
+    def test_value_catalogue_matches_table7(self):
+        # "for a low-effort integration result, value heterogeneities can
+        # in most cases be simply ignored" — only the critical class acts.
+        low = {
+            heterogeneity: VALUE_TASK_CATALOGUE[heterogeneity][
+                ResultQuality.LOW_EFFORT
+            ]
+            for heterogeneity in ValueHeterogeneity
+        }
+        assert low[ValueHeterogeneity.DIFFERENT_REPRESENTATIONS_CRITICAL] is (
+            TaskType.DROP_VALUES
+        )
+        assert low[ValueHeterogeneity.DIFFERENT_REPRESENTATIONS] is None
+        assert low[ValueHeterogeneity.TOO_FEW_ELEMENTS] is None
+
+    def test_table4_pairs(self):
+        catalogue = STRUCTURE_TASK_CATALOGUE
+        assert catalogue[StructuralConflict.NOT_NULL_VIOLATED] == {
+            ResultQuality.LOW_EFFORT: TaskType.REJECT_TUPLES,
+            ResultQuality.HIGH_QUALITY: TaskType.ADD_MISSING_VALUES,
+        }
+        assert catalogue[StructuralConflict.UNIQUE_VIOLATED] == {
+            ResultQuality.LOW_EFFORT: TaskType.SET_VALUES_TO_NULL,
+            ResultQuality.HIGH_QUALITY: TaskType.AGGREGATE_TUPLES,
+        }
+
+
+class TestEffortFunctions:
+    def test_constant(self):
+        assert constant(5.0)(make_task(TaskType.REJECT_TUPLES)) == 5.0
+
+    def test_per_unit(self):
+        function = per_unit(2.0, "values")
+        assert function(make_task(TaskType.ADD_VALUES, values=102)) == 204.0
+
+    def test_linear(self):
+        function = linear(tables=3.0, attributes=1.0, primary_keys=3.0)
+        task = make_task(
+            TaskType.WRITE_MAPPING, tables=3, attributes=2, primary_keys=1
+        )
+        assert function(task) == 14.0
+
+    def test_threshold_below(self):
+        function = threshold_per_unit("distinct_values", 120, 30.0, 0.25)
+        assert function(make_task(TaskType.CONVERT_VALUES, distinct_values=10)) == 30.0
+
+    def test_threshold_above(self):
+        function = threshold_per_unit("distinct_values", 120, 30.0, 0.25)
+        task = make_task(TaskType.CONVERT_VALUES, distinct_values=1000)
+        assert function(task) == 250.0
+
+
+class TestExecutionSettings:
+    def test_table9_defaults(self):
+        settings = default_execution_settings()
+        assert settings.effort_of(make_task(TaskType.REJECT_TUPLES)) == 5.0
+        assert settings.effort_of(make_task(TaskType.DROP_VALUES)) == 10.0
+        assert settings.effort_of(make_task(TaskType.DROP_DETACHED_VALUES)) == 0.0
+        assert (
+            settings.effort_of(make_task(TaskType.ADD_VALUES, values=102))
+            == 204.0
+        )
+
+    def test_every_task_type_priced(self):
+        settings = default_execution_settings()
+        for task_type in TaskType:
+            settings.effort_of(make_task(task_type))  # must not raise
+
+    def test_unknown_task_type_raises(self):
+        settings = default_execution_settings()
+        from repro.core.effort import ExecutionSettings
+
+        empty = ExecutionSettings({})
+        with pytest.raises(KeyError):
+            empty.effort_of(make_task(TaskType.REJECT_TUPLES))
+        del settings
+
+    def test_scale(self):
+        settings = default_execution_settings().with_scale(2.0)
+        assert settings.effort_of(make_task(TaskType.REJECT_TUPLES)) == 10.0
+
+    def test_with_function_replaces(self):
+        settings = default_execution_settings().with_function(
+            TaskType.REJECT_TUPLES, constant(1.0)
+        )
+        assert settings.effort_of(make_task(TaskType.REJECT_TUPLES)) == 1.0
+
+    def test_tool_assisted_mapping_is_constant(self):
+        """Example 3.8: a mapping tool turns the effort into ~2 minutes."""
+        settings = tool_assisted_settings()
+        expensive = make_task(
+            TaskType.WRITE_MAPPING, tables=50, attributes=100, primary_keys=9
+        )
+        assert settings.effort_of(expensive) == 2.0
+
+
+class TestEffortEstimate:
+    def test_price_and_breakdown(self):
+        tasks = [
+            make_task(TaskType.WRITE_MAPPING, tables=3, attributes=2,
+                      primary_keys=1),
+            make_task(TaskType.MERGE_VALUES, repetitions=503),
+            make_task(TaskType.CONVERT_VALUES, representations=1),
+        ]
+        estimate = price_tasks(
+            "example", ResultQuality.HIGH_QUALITY, tasks,
+            default_execution_settings(),
+        )
+        categories = estimate.by_category()
+        assert categories[TaskCategory.CLEANING_STRUCTURE] == 15.0
+        assert categories[TaskCategory.CLEANING_VALUES] == 15.0
+        assert estimate.total_minutes == pytest.approx(
+            sum(categories.values())
+        )
+
+    def test_by_task_type(self):
+        tasks = [
+            make_task(TaskType.REJECT_TUPLES),
+            make_task(TaskType.REJECT_TUPLES),
+        ]
+        estimate = price_tasks(
+            "x", ResultQuality.LOW_EFFORT, tasks, default_execution_settings()
+        )
+        assert estimate.by_task_type()[TaskType.REJECT_TUPLES] == 10.0
+
+    def test_mapping_and_cleaning_split(self):
+        tasks = [
+            make_task(TaskType.WRITE_MAPPING, tables=1),
+            make_task(TaskType.REJECT_TUPLES),
+        ]
+        estimate = price_tasks(
+            "x", ResultQuality.LOW_EFFORT, tasks, default_execution_settings()
+        )
+        assert estimate.mapping_minutes() == 3.0
+        assert estimate.cleaning_minutes() == 5.0

@@ -1,0 +1,120 @@
+"""Unit tests for repro.relational.validation."""
+
+import pytest
+
+from repro.relational import (
+    Database,
+    DataType,
+    IntegrityError,
+    NotNull,
+    Schema,
+    Unique,
+    assert_valid,
+    check_constraint,
+    foreign_key,
+    is_valid,
+    primary_key,
+    relation,
+    validate,
+)
+
+
+@pytest.fixture
+def database():
+    schema = Schema(
+        "db",
+        relations=[
+            relation("records", [("id", DataType.INTEGER), "title"]),
+            relation("tracks", [("record", DataType.INTEGER), "title"]),
+        ],
+        constraints=[
+            primary_key("records", "id"),
+            NotNull("records", "title"),
+            foreign_key("tracks", "record", "records", "id"),
+        ],
+    )
+    return Database(schema)
+
+
+class TestNotNull:
+    def test_clean(self, database):
+        database.insert("records", (1, "A"))
+        assert is_valid(database)
+
+    def test_null_detected(self, database):
+        database.insert("records", (1, None))
+        violations = validate(database)
+        assert any(v.constraint.kind == "not_null" for v in violations)
+
+    def test_count(self, database):
+        database.insert_all("records", [(1, None), (2, None), (3, "ok")])
+        violation = next(
+            v for v in validate(database) if v.constraint.kind == "not_null"
+        )
+        assert violation.count == 2
+
+
+class TestUniqueAndPrimaryKey:
+    def test_duplicate_pk_detected(self, database):
+        database.insert_all("records", [(1, "A"), (1, "B")])
+        assert not is_valid(database)
+
+    def test_null_pk_detected(self, database):
+        database.insert("records", (None, "A"))
+        assert not is_valid(database)
+
+    def test_unique_ignores_nulls(self, database):
+        database.schema.add_constraint(Unique("tracks", ("title",)))
+        database.insert("records", (1, "A"))
+        database.insert_all("tracks", [(1, None), (1, None)])
+        assert is_valid(database)
+
+    def test_unique_counts_extras_only(self, database):
+        database.schema.add_constraint(Unique("tracks", ("title",)))
+        database.insert("records", (1, "A"))
+        database.insert_all("tracks", [(1, "x"), (1, "x"), (1, "x")])
+        violation = next(
+            v for v in validate(database) if v.constraint.kind == "unique"
+        )
+        assert violation.count == 2  # three occurrences, two too many
+
+    def test_composite_unique(self, database):
+        database.schema.add_constraint(Unique("tracks", ("record", "title")))
+        database.insert("records", (1, "A"))
+        database.insert_all("tracks", [(1, "x"), (1, "y"), (1, "x")])
+        assert not is_valid(database)
+
+
+class TestForeignKey:
+    def test_valid_reference(self, database):
+        database.insert("records", (1, "A"))
+        database.insert("tracks", (1, "t"))
+        assert is_valid(database)
+
+    def test_dangling_detected(self, database):
+        database.insert("records", (1, "A"))
+        database.insert("tracks", (99, "t"))
+        violations = validate(database)
+        assert any(v.constraint.kind == "foreign_key" for v in violations)
+
+    def test_null_fk_exempt(self, database):
+        database.insert("records", (1, "A"))
+        database.insert("tracks", (None, "t"))
+        assert is_valid(database)
+
+    def test_check_single_constraint(self, database):
+        database.insert("tracks", (5, "t"))
+        fk = database.schema.foreign_keys()[0]
+        violations = check_constraint(database, fk)
+        assert violations and violations[0].count == 1
+
+
+class TestAssertValid:
+    def test_passes_on_clean(self, database):
+        database.insert("records", (1, "A"))
+        assert_valid(database)
+
+    def test_raises_with_summary(self, database):
+        database.insert("records", (1, None))
+        with pytest.raises(IntegrityError, match="NOT NULL"):
+            assert_valid(database)
