@@ -1,0 +1,128 @@
+"""Runtime micro-benchmark — serial vs threaded vs cached assessment.
+
+Times a full phase-1 assessment of the largest generated scenario (the
+running example at the 2000-album size class, as in
+``bench_runtime_scaling``) on the serial backend, the threaded backend
+(cold cache), and the threaded backend again (warm cache), asserting
+that all three produce byte-identical complexity reports.
+
+Emits ``BENCH_runtime_parallelism.json`` next to the repo root so the
+perf trajectory can be tracked across commits.  On single-core hosts (or
+any CPython, where the GIL serialises this pure-Python workload) the
+thread-level speedup is bounded near 1×; the cache is the reliable win,
+and when neither reaches the 1.5× bar the JSON records the rationale
+instead of failing the bench.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import default_efes
+from repro.reporting import render_table
+from repro.runtime import Runtime, auto_worker_count
+from repro.scenarios.example import ExampleParameters, example_scenario
+from conftest import run_once
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_runtime_parallelism.json"
+
+#: The bar the ISSUE sets; missing it is allowed only with a rationale.
+TARGET_SPEEDUP = 1.5
+
+
+def _timed(function):
+    started = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - started
+
+
+def test_runtime_parallelism(benchmark):
+    scenario = example_scenario(
+        ExampleParameters(
+            albums=2000, multi_artist_albums=500, detached_artists=100
+        )
+    )
+
+    serial_runtime = Runtime(backend="serial")
+    serial_reports, serial_seconds = _timed(
+        lambda: default_efes(runtime=serial_runtime).assess(scenario)
+    )
+
+    threaded_runtime = Runtime(backend="threads")
+    threaded_efes = default_efes(runtime=threaded_runtime)
+    threaded_reports, threaded_seconds = _timed(
+        lambda: threaded_efes.assess(scenario)
+    )
+    warm_reports, warm_seconds = _timed(lambda: threaded_efes.assess(scenario))
+
+    # Determinism: backend and cache state must not change a single byte.
+    assert repr(threaded_reports) == repr(serial_reports)
+    assert repr(warm_reports) == repr(serial_reports)
+
+    # The repeated assessment must be served (partly) from cache.
+    hit_rate = threaded_runtime.metrics.cache_hit_rate
+    assert hit_rate > 0.0
+
+    threaded_speedup = serial_seconds / threaded_seconds
+    warm_speedup = serial_seconds / warm_seconds
+    best_speedup = max(threaded_speedup, warm_speedup)
+
+    rationale = None
+    if best_speedup < TARGET_SPEEDUP:
+        rationale = (
+            f"pure-Python CPU-bound workload on {os.cpu_count()} core(s): "
+            "the GIL bounds thread-level speedup near 1x and this run's "
+            "instance sizes leave little cacheable work; see "
+            "README.md#performance"
+        )
+
+    payload = {
+        "bench": "runtime_parallelism",
+        "scenario": scenario.name,
+        "source_rows": scenario.sources[0].total_rows(),
+        "cpu_count": os.cpu_count(),
+        "workers": auto_worker_count(),
+        "serial_seconds": round(serial_seconds, 4),
+        "threaded_cold_seconds": round(threaded_seconds, 4),
+        "threaded_warm_seconds": round(warm_seconds, 4),
+        "threaded_speedup": round(threaded_speedup, 2),
+        "warm_cache_speedup": round(warm_speedup, 2),
+        "best_speedup": round(best_speedup, 2),
+        "target_speedup": TARGET_SPEEDUP,
+        "cache_hits": threaded_runtime.metrics.cache_hits,
+        "cache_misses": threaded_runtime.metrics.cache_misses,
+        "cache_hit_rate": round(hit_rate, 3),
+        "identical_reports": True,
+        "rationale": rationale,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    run_once(benchmark, threaded_efes.assess, scenario)
+
+    print()
+    print(
+        render_table(
+            ["Configuration", "Seconds", "Speedup"],
+            [
+                ("serial, cold cache", f"{serial_seconds:.3f}", "1.00x"),
+                (
+                    "threads, cold cache",
+                    f"{threaded_seconds:.3f}",
+                    f"{threaded_speedup:.2f}x",
+                ),
+                (
+                    "threads, warm cache",
+                    f"{warm_seconds:.3f}",
+                    f"{warm_speedup:.2f}x",
+                ),
+            ],
+            title="Runtime parallelism/caching on the 2000-album scenario",
+        )
+    )
+    print(f"cache hit rate: {hit_rate:.1%}; wrote {OUTPUT.name}")
+    if rationale:
+        print(f"speedup below {TARGET_SPEEDUP}x target: {rationale}")
+
+    serial_runtime.close()
+    threaded_runtime.close()

@@ -58,3 +58,20 @@ def run_once(benchmark, function, *args, **kwargs):
     return benchmark.pedantic(
         function, args=args, kwargs=kwargs, rounds=1, iterations=1
     )
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print the shared runtime's instrumentation after a bench session.
+
+    Every bench that goes through ``default_efes()`` (or the profiling
+    entry points) executes on the process-wide runtime, so its cache
+    hit/miss counters and stage timings summarise the whole session.
+    """
+    from repro.runtime import default_runtime
+
+    metrics = default_runtime().metrics
+    if metrics.is_empty():
+        return
+    terminalreporter.write_line("")
+    for line in metrics.render().splitlines():
+        terminalreporter.write_line(line)

@@ -35,8 +35,9 @@ from .core import (
     default_modules,
     tool_assisted_settings,
 )
+from .runtime import Runtime, RuntimeMetrics, default_runtime, get_runtime
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttributeCountingBaseline",
@@ -44,9 +45,13 @@ __all__ = [
     "EffortEstimate",
     "ExecutionSettings",
     "ResultQuality",
+    "Runtime",
+    "RuntimeMetrics",
     "__version__",
     "default_efes",
     "default_execution_settings",
     "default_modules",
+    "default_runtime",
+    "get_runtime",
     "tool_assisted_settings",
 ]

@@ -13,12 +13,14 @@ of the shipped scenarios:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core import ResultQuality, default_efes
 from .core.tasks import TaskCategory
 from .practitioner import PractitionerSimulator
 from .reporting import render_domain_figure, render_table
+from .runtime import BACKEND_ENV_VAR, Runtime, set_default_runtime
 from .scenarios import (
     bibliographic_scenarios,
     example_scenario,
@@ -219,6 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
         description="EFES: effort estimation for data integration & cleaning",
     )
     parser.add_argument("--seed", type=int, default=1, help="scenario seed")
+    # $REPRO_RUNTIME_BACKEND sets the default; an unknown value falls
+    # back to serial because argparse only validates explicit arguments.
+    env_backend = os.environ.get(BACKEND_ENV_VAR)
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "threads", "auto"),
+        default=env_backend if env_backend in ("serial", "threads", "auto") else "serial",
+        help=f"assessment runtime backend (default: serial, or ${BACKEND_ENV_VAR})",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread count for the threaded backend (default: auto-sized)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print runtime instrumentation (timings, cache, task counts)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available scenarios")
@@ -261,7 +283,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"argument --workers: must be positive, got {args.workers}")
+    # One runtime per invocation: every command (and the profiling
+    # underneath it) executes on the selected backend and records its
+    # instrumentation here.
+    runtime = Runtime(backend=args.backend, max_workers=args.workers)
+    set_default_runtime(runtime)
     commands = {
         "list": cmd_list,
         "assess": cmd_assess,
@@ -271,7 +301,15 @@ def main(argv: list[str] | None = None) -> int:
         "save": cmd_save,
         "experiments": cmd_experiments,
     }
-    return commands[args.command](args)
+    try:
+        status = commands[args.command](args)
+    finally:
+        set_default_runtime(None)
+        runtime.close()
+    if args.metrics:
+        print()
+        print(runtime.metrics.render())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

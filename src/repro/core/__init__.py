@@ -71,9 +71,17 @@ def default_modules() -> list[EstimationModule]:
     return [MappingModule(), StructureModule(), ValueModule()]
 
 
-def default_efes(settings: ExecutionSettings | None = None) -> Efes:
-    """EFES with the shipped modules and (by default) Table 9 settings."""
-    return Efes(default_modules(), settings)
+def default_efes(
+    settings: ExecutionSettings | None = None,
+    runtime=None,
+) -> Efes:
+    """EFES with the shipped modules and (by default) Table 9 settings.
+
+    ``runtime`` optionally binds a dedicated :class:`repro.runtime.Runtime`
+    (executor backend + profile cache + metrics); by default the
+    process-wide runtime is used.
+    """
+    return Efes(default_modules(), settings, runtime=runtime)
 
 
 __all__ = [

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from ..runtime import Runtime, RuntimeMetrics, get_runtime
 from ..scenarios.scenario import IntegrationScenario
 from .effort import (
     EffortEstimate,
@@ -70,12 +71,24 @@ class Efes:
         self,
         modules: Sequence[EstimationModule],
         settings: ExecutionSettings | None = None,
+        runtime: Runtime | None = None,
     ) -> None:
         names = [module.name for module in modules]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate module names: {names}")
         self.modules = list(modules)
         self.settings = settings or default_execution_settings()
+        #: Optional dedicated runtime; ``None`` resolves to the active
+        #: process runtime at call time (see :mod:`repro.runtime`).
+        self.runtime = runtime
+
+    def _resolve_runtime(self) -> Runtime:
+        return self.runtime if self.runtime is not None else get_runtime()
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        """The instrumentation of the runtime this framework executes on."""
+        return self._resolve_runtime().metrics
 
     # ------------------------------------------------------------------
     # Phase 1: complexity assessment
@@ -84,10 +97,13 @@ class Efes:
     def assess(
         self, scenario: IntegrationScenario
     ) -> dict[str, ComplexityReport]:
-        """Run every module's detector; returns reports keyed by module."""
-        return {
-            module.name: module.assess(scenario) for module in self.modules
-        }
+        """Run every module's detector; returns reports keyed by module.
+
+        Detectors run concurrently on the runtime's executor; the report
+        dict is ordered by module declaration order regardless of task
+        completion order.
+        """
+        return self._resolve_runtime().run_detectors(self.modules, scenario)
 
     # ------------------------------------------------------------------
     # Phase 2: effort estimation
@@ -100,12 +116,14 @@ class Efes:
         reports: dict[str, ComplexityReport] | None = None,
     ) -> list[Task]:
         """Run every module's planner on its report; concatenated tasks."""
+        runtime = self._resolve_runtime()
         if reports is None:
             reports = self.assess(scenario)
         tasks: list[Task] = []
-        for module in self.modules:
-            report = reports[module.name]
-            tasks.extend(module.plan(scenario, report, quality))
+        with runtime.activated(), runtime.metrics.time_stage("plan"):
+            for module in self.modules:
+                report = reports[module.name]
+                tasks.extend(module.plan(scenario, report, quality))
         return tasks
 
     def estimate(
@@ -113,12 +131,26 @@ class Efes:
         scenario: IntegrationScenario,
         quality: ResultQuality,
         adjustments: Iterable[TaskAdjustment] = (),
+        reports: dict[str, ComplexityReport] | None = None,
     ) -> EffortEstimate:
-        """The full pipeline: assess → plan → (adjust) → price."""
-        tasks = self.plan(scenario, quality)
+        """The full pipeline: assess → plan → (adjust) → price.
+
+        Callers that already hold complexity reports (e.g. when pricing
+        several qualities of the same scenario) pass them via ``reports``
+        and the assessment phase is skipped entirely — the detectors run
+        exactly once per scenario, not once per estimate.
+        """
+        runtime = self._resolve_runtime()
+        runtime.metrics.increment("estimates")
+        tasks = self.plan(scenario, quality, reports=reports)
         for adjustment in adjustments:
             tasks = adjustment(tasks)
-        return price_tasks(scenario.name, quality, tasks, self.settings)
+        with runtime.metrics.time_stage("price"):
+            return price_tasks(scenario.name, quality, tasks, self.settings)
 
     def with_settings(self, settings: ExecutionSettings) -> "Efes":
-        return Efes(self.modules, settings)
+        return Efes(self.modules, settings, runtime=self.runtime)
+
+    def with_runtime(self, runtime: Runtime | None) -> "Efes":
+        """The same framework bound to a different execution runtime."""
+        return Efes(self.modules, self.settings, runtime=runtime)

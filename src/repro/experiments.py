@@ -71,9 +71,12 @@ def evaluate_domain(
     simulator = simulator or PractitionerSimulator()
     cells: list[Cell] = []
     for scenario in scenarios:
+        # Assess once per scenario; both quality cells price the same
+        # complexity reports (the detectors are quality-independent).
+        reports = efes.assess(scenario)
         for quality in QUALITIES:
             result = simulator.integrate(scenario, quality)
-            estimate = efes.estimate(scenario, quality)
+            estimate = efes.estimate(scenario, quality, reports=reports)
             cells.append(
                 Cell(
                     scenario=scenario,
@@ -210,9 +213,19 @@ def run_experiments(
     seed: int = 1,
     efes_factory: Callable[[], Efes] | None = None,
     simulator: PractitionerSimulator | None = None,
+    runtime=None,
 ) -> ExperimentReport:
-    """The full Section 6 evaluation (Figures 6 + 7 and the rmse numbers)."""
-    efes = (efes_factory or default_efes)()
+    """The full Section 6 evaluation (Figures 6 + 7 and the rmse numbers).
+
+    ``runtime`` optionally supplies a :class:`repro.runtime.Runtime` for
+    the default framework (parallel backend, shared profile cache); the
+    cross-validation folds then re-profile each scenario from cache
+    instead of from scratch.
+    """
+    if efes_factory is not None:
+        efes = efes_factory()
+    else:
+        efes = default_efes(runtime=runtime)
     simulator = simulator or PractitionerSimulator()
     domains = {
         "bibliographic": evaluate_domain(

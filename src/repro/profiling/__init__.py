@@ -12,6 +12,9 @@ from .dependencies import (
     FunctionalDependency,
     InclusionDependency,
     UniqueColumnCombination,
+    compute_fds,
+    compute_inds,
+    compute_uccs,
     discover_fds,
     discover_inds,
     discover_uccs,
@@ -22,6 +25,7 @@ from .profiler import (
     NUMERIC_STATISTICS,
     TEXTUAL_STATISTICS,
     ColumnProfile,
+    compute_column_profile,
     profile_column,
     profile_database,
     reverse_engineer,
@@ -59,6 +63,10 @@ __all__ = [
     "TopKValues",
     "UniqueColumnCombination",
     "ValueRange",
+    "compute_column_profile",
+    "compute_fds",
+    "compute_inds",
+    "compute_uccs",
     "discover_fds",
     "discover_inds",
     "discover_uccs",

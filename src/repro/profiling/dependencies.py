@@ -66,35 +66,62 @@ def _is_unique(instance: RelationInstance, attributes: tuple[str, ...]) -> bool:
     return True
 
 
+def _serial_map(function, items):
+    return [function(item) for item in items]
+
+
 def discover_uccs(
     database: Database, max_arity: int = 2
 ) -> list[UniqueColumnCombination]:
     """Minimal unique column combinations up to ``max_arity`` per relation.
 
+    Memoised and parallelised through the active runtime; the raw
+    computation is :func:`compute_uccs`.
+    """
+    from ..runtime.engine import get_runtime
+
+    return get_runtime().discover_uccs(database, max_arity)
+
+
+def compute_relation_uccs(
+    database: Database, relation_name: str, max_arity: int = 2
+) -> list[UniqueColumnCombination]:
+    """UCC discovery for a single relation (one unit of parallel work).
+
     Empty relations yield no UCCs: uniqueness of nothing is vacuous and
     would flood downstream consumers with spurious keys.
     """
+    instance = database.table(relation_name)
     results: list[UniqueColumnCombination] = []
-    for relation in database.schema.relations:
-        instance = database.table(relation.name)
-        if not len(instance):
-            continue
-        names = relation.attribute_names
-        unary_uccs: set[str] = set()
-        for name in names:
-            if _is_unique(instance, (name,)):
-                unary_uccs.add(name)
-                results.append(UniqueColumnCombination(relation.name, (name,)))
-        if max_arity < 2:
-            continue
-        for left, right in itertools.combinations(names, 2):
-            if left in unary_uccs or right in unary_uccs:
-                continue  # not minimal
-            if _is_unique(instance, (left, right)):
-                results.append(
-                    UniqueColumnCombination(relation.name, (left, right))
-                )
+    if not len(instance):
+        return results
+    names = database.schema.relation(relation_name).attribute_names
+    unary_uccs: set[str] = set()
+    for name in names:
+        if _is_unique(instance, (name,)):
+            unary_uccs.add(name)
+            results.append(UniqueColumnCombination(relation_name, (name,)))
+    if max_arity < 2:
+        return results
+    for left, right in itertools.combinations(names, 2):
+        if left in unary_uccs or right in unary_uccs:
+            continue  # not minimal
+        if _is_unique(instance, (left, right)):
+            results.append(
+                UniqueColumnCombination(relation_name, (left, right))
+            )
     return results
+
+
+def compute_uccs(
+    database: Database, max_arity: int = 2, mapper=_serial_map
+) -> list[UniqueColumnCombination]:
+    """Uncached UCC discovery; ``mapper`` fans out over relations."""
+    per_relation = mapper(
+        lambda name: compute_relation_uccs(database, name, max_arity),
+        [relation.name for relation in database.schema.relations],
+    )
+    return [ucc for uccs in per_relation for ucc in uccs]
 
 
 def discover_inds(
@@ -102,14 +129,37 @@ def discover_inds(
 ) -> list[InclusionDependency]:
     """All unary inclusion dependencies between distinct attribute columns.
 
-    ``min_values`` guards against vacuous INDs from (near-)empty columns.
-    Trivial reflexive INDs are excluded.
+    Memoised and parallelised through the active runtime; the raw
+    computation is :func:`compute_inds`.
     """
-    value_sets: dict[tuple[str, str], set[object]] = {}
-    for relation in database.schema.relations:
+    from ..runtime.engine import get_runtime
+
+    return get_runtime().discover_inds(database, min_values)
+
+
+def compute_inds(
+    database: Database, min_values: int = 1, mapper=_serial_map
+) -> list[InclusionDependency]:
+    """Uncached IND discovery.
+
+    ``min_values`` guards against vacuous INDs from (near-)empty columns.
+    Trivial reflexive INDs are excluded.  The distinct-value sets are
+    collected per relation via ``mapper`` (the expensive scan); the
+    pairwise subset checks stay serial to keep result order canonical.
+    """
+
+    def relation_value_sets(relation):
         instance = database.table(relation.name)
-        for name in relation.attribute_names:
-            value_sets[(relation.name, name)] = instance.distinct(name)
+        return [
+            ((relation.name, name), instance.distinct(name))
+            for name in relation.attribute_names
+        ]
+
+    value_sets: dict[tuple[str, str], set[object]] = {
+        key: values
+        for chunk in mapper(relation_value_sets, database.schema.relations)
+        for key, values in chunk
+    }
     results: list[InclusionDependency] = []
     for (lhs_rel, lhs_attr), lhs_values in value_sets.items():
         if len(lhs_values) < min_values:
@@ -127,44 +177,65 @@ def discover_inds(
 def discover_fds(database: Database) -> list[FunctionalDependency]:
     """All unary-determinant functional dependencies that hold exactly.
 
+    Memoised and parallelised through the active runtime; the raw
+    computation is :func:`compute_fds`.
+    """
+    from ..runtime.engine import get_runtime
+
+    return get_runtime().discover_fds(database)
+
+
+def compute_relation_fds(
+    database: Database, relation_name: str
+) -> list[FunctionalDependency]:
+    """FD discovery for a single relation (one unit of parallel work).
+
     NULL determinant values are skipped (SQL-style); trivial X→X FDs are
     excluded, as are FDs whose determinant is a UCC (those are implied).
     """
+    instance = database.table(relation_name)
     results: list[FunctionalDependency] = []
-    for relation in database.schema.relations:
-        instance = database.table(relation.name)
-        if not len(instance):
+    if not len(instance):
+        return results
+    names = database.schema.relation(relation_name).attribute_names
+    unique_attrs = {name for name in names if _is_unique(instance, (name,))}
+    for determinant in names:
+        if determinant in unique_attrs:
             continue
-        names = relation.attribute_names
-        unique_attrs = {
-            name for name in names if _is_unique(instance, (name,))
-        }
-        for determinant in names:
-            if determinant in unique_attrs:
+        det_index = instance.relation.index_of(determinant)
+        for dependent in names:
+            if dependent == determinant:
                 continue
-            det_index = instance.relation.index_of(determinant)
-            for dependent in names:
-                if dependent == determinant:
+            dep_index = instance.relation.index_of(dependent)
+            mapping: dict[object, object] = {}
+            holds = True
+            for row in instance:
+                det_value = row[det_index]
+                if det_value is None:
                     continue
-                dep_index = instance.relation.index_of(dependent)
-                mapping: dict[object, object] = {}
-                holds = True
-                for row in instance:
-                    det_value = row[det_index]
-                    if det_value is None:
-                        continue
-                    dep_value = row[dep_index]
-                    if det_value in mapping:
-                        if mapping[det_value] != dep_value:
-                            holds = False
-                            break
-                    else:
-                        mapping[det_value] = dep_value
-                if holds and mapping:
-                    results.append(
-                        FunctionalDependency(relation.name, determinant, dependent)
-                    )
+                dep_value = row[dep_index]
+                if det_value in mapping:
+                    if mapping[det_value] != dep_value:
+                        holds = False
+                        break
+                else:
+                    mapping[det_value] = dep_value
+            if holds and mapping:
+                results.append(
+                    FunctionalDependency(relation_name, determinant, dependent)
+                )
     return results
+
+
+def compute_fds(
+    database: Database, mapper=_serial_map
+) -> list[FunctionalDependency]:
+    """Uncached FD discovery; ``mapper`` fans out over relations."""
+    per_relation = mapper(
+        lambda name: compute_relation_fds(database, name),
+        [relation.name for relation in database.schema.relations],
+    )
+    return [fd for fds in per_relation for fd in fds]
 
 
 def ind_graph(inds: list[InclusionDependency]) -> dict[tuple[str, str], list[tuple[str, str]]]:

@@ -87,12 +87,30 @@ def profile_column(
     attribute_name: str,
     datatype: DataType | None = None,
 ) -> ColumnProfile:
-    """Profile one column.
+    """Profile one column, memoised through the active runtime.
 
     ``datatype`` defaults to the attribute's own type; the value fit
     detector instead passes the *target* attribute's datatype so that both
     sides are profiled in the same value space (Section 5.1).
+
+    Delegates to :meth:`repro.runtime.Runtime.profile_column`, so repeated
+    profiling of unchanged instances is a content-keyed cache hit; the raw
+    computation lives in :func:`compute_column_profile`.
     """
+    from ..runtime.engine import get_runtime
+
+    return get_runtime().profile_column(
+        database, relation_name, attribute_name, datatype
+    )
+
+
+def compute_column_profile(
+    database: Database,
+    relation_name: str,
+    attribute_name: str,
+    datatype: DataType | None = None,
+) -> ColumnProfile:
+    """The uncached profiling computation behind :func:`profile_column`."""
     instance = database.table(relation_name)
     attribute = database.schema.attribute(relation_name, attribute_name)
     if datatype is None:
@@ -115,14 +133,15 @@ def profile_column(
 
 
 def profile_database(database: Database) -> dict[tuple[str, str], ColumnProfile]:
-    """Profile every column of a database, keyed by (relation, attribute)."""
-    profiles: dict[tuple[str, str], ColumnProfile] = {}
-    for relation in database.schema.relations:
-        for attribute in relation.attributes:
-            profiles[(relation.name, attribute.name)] = profile_column(
-                database, relation.name, attribute.name
-            )
-    return profiles
+    """Profile every column of a database, keyed by (relation, attribute).
+
+    Runs through the active runtime: columns are profiled concurrently on
+    its executor and both the per-column profiles and the whole bundle
+    are memoised against the database content.
+    """
+    from ..runtime.engine import get_runtime
+
+    return get_runtime().profile_database(database)
 
 
 def reverse_engineer(database: Database) -> list[Constraint]:

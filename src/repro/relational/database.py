@@ -67,6 +67,11 @@ class Database:
     def total_rows(self) -> int:
         return self.instance.total_rows()
 
+    @property
+    def version(self) -> tuple[tuple[str, int], ...]:
+        """The instance's mutation counters (see ``DatabaseInstance.version``)."""
+        return self.instance.version
+
     def __repr__(self) -> str:
         return (
             f"Database({self.schema.name!r}, "

@@ -23,6 +23,7 @@ class RelationInstance:
     def __init__(self, relation: Relation, rows: Iterable[Sequence[object]] = ()) -> None:
         self.relation = relation
         self._rows: list[Row] = []
+        self._version = 0
         for row in rows:
             self.insert(row)
 
@@ -56,6 +57,7 @@ class RelationInstance:
             for value, attribute in zip(values, self.relation.attributes)
         )
         self._rows.append(typed)
+        self._version += 1
         return typed
 
     def insert_all(self, rows: Iterable[Sequence[object]]) -> None:
@@ -72,6 +74,8 @@ class RelationInstance:
             else:
                 keep.append(row)
         self._rows = keep
+        if deleted:
+            self._version += 1
         return deleted
 
     def update_where(self, predicate, updates: Mapping[str, object]) -> int:
@@ -90,6 +94,8 @@ class RelationInstance:
                 mutable[index] = value
             self._rows[position] = tuple(mutable)
             updated += 1
+        if updated:
+            self._version += 1
         return updated
 
     def map_column(self, attribute_name: str, transform) -> int:
@@ -107,11 +113,24 @@ class RelationInstance:
                 mutable[index] = new_value
                 self._rows[position] = tuple(mutable)
                 changed += 1
+        if changed:
+            self._version += 1
         return changed
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """A counter bumped on every mutation.
+
+        Content-keyed caches (:mod:`repro.runtime`) use it to memoise the
+        expensive content fingerprint of an instance: an unchanged version
+        guarantees unchanged tuples, a bumped version invalidates the
+        memoised fingerprint (and with it every derived cache entry).
+        """
+        return self._version
 
     @property
     def rows(self) -> tuple[Row, ...]:
@@ -188,6 +207,19 @@ class DatabaseInstance:
 
     def total_rows(self) -> int:
         return sum(len(instance) for instance in self._instances.values())
+
+    @property
+    def version(self) -> tuple[tuple[str, int], ...]:
+        """Per-relation mutation counters, sorted by relation name.
+
+        Changes whenever any relation instance mutates or a new relation
+        is registered; cheap to compute and compare, which is all the
+        runtime's fingerprint memoisation needs.
+        """
+        return tuple(
+            (name, self._instances[name].version)
+            for name in sorted(self._instances)
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,50 @@
+"""The shared assessment runtime: parallel execution, content-keyed
+caching, and instrumentation for the EFES estimate pipeline.
+
+Public surface:
+
+* :class:`Runtime` — executor + :class:`ProfileCache` +
+  :class:`RuntimeMetrics` behind one object; pass one to
+  :class:`repro.core.Efes` (or activate it) to control how assessments
+  execute,
+* :func:`default_runtime` / :func:`get_runtime` /
+  :func:`set_default_runtime` — the process-wide default and the
+  active-runtime resolution used by the profiling entry points,
+* :func:`make_executor` — ``serial`` / ``threads`` / ``auto`` backends
+  with deterministic result ordering.
+"""
+
+from .cache import ProfileCache, fingerprint_database
+from .engine import (
+    BACKEND_ENV_VAR,
+    Runtime,
+    default_runtime,
+    get_runtime,
+    set_default_runtime,
+)
+from .executor import (
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    auto_worker_count,
+    make_executor,
+)
+from .metrics import MetricsSnapshot, RuntimeMetrics, StageTiming
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Executor",
+    "MetricsSnapshot",
+    "ProfileCache",
+    "Runtime",
+    "RuntimeMetrics",
+    "SerialExecutor",
+    "StageTiming",
+    "ThreadedExecutor",
+    "auto_worker_count",
+    "default_runtime",
+    "fingerprint_database",
+    "get_runtime",
+    "make_executor",
+    "set_default_runtime",
+]

@@ -1,0 +1,255 @@
+"""The shared assessment runtime: executor + cache + metrics in one place.
+
+Phase-1 complexity assessment (paper Section 3, Figure 3) is
+embarrassingly parallel — module detectors are independent, column
+profiles are independent, per-relation dependency discovery is
+independent — and wholly repeatable, because every result is a pure
+function of immutable instances.  :class:`Runtime` exploits both facts:
+
+* ``run_detectors`` fans the module detectors out on the configured
+  executor while preserving module order in the returned report dict,
+* the cached profiling entry points (``profile_column``,
+  ``profile_database``, ``discover_uccs/inds/fds``) memoise results in a
+  content-keyed :class:`~repro.runtime.cache.ProfileCache`,
+* everything is instrumented on a :class:`RuntimeMetrics` instance that
+  :class:`~repro.core.framework.Efes`, the CLI, and the benchmark
+  conftest can query.
+
+One process-wide default runtime exists (``default_runtime``); code that
+wants a private executor/cache builds its own ``Runtime`` and either
+passes it to :class:`Efes` or activates it with ``with runtime.activated()``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
+
+from .cache import ProfileCache
+from .executor import Executor, make_executor
+from .metrics import RuntimeMetrics
+
+#: Environment variable selecting the default runtime's backend
+#: ("serial", "threads", or "auto").
+BACKEND_ENV_VAR = "REPRO_RUNTIME_BACKEND"
+
+_ACTIVE: contextvars.ContextVar["Runtime | None"] = contextvars.ContextVar(
+    "repro_active_runtime", default=None
+)
+
+
+class Runtime:
+    """An execution engine for EFES assessments and profiling."""
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        executor: Executor | None = None,
+        cache: ProfileCache | None = None,
+        metrics: RuntimeMetrics | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.executor = (
+            executor if executor is not None else make_executor(backend, max_workers)
+        )
+        # An empty ProfileCache is falsy (it has __len__), so never use
+        # `or` here — a caller's fresh cache must not be discarded.
+        self.cache = (
+            cache if cache is not None else ProfileCache(metrics=self.metrics)
+        )
+
+    @property
+    def backend(self) -> str:
+        return self.executor.name
+
+    # -- activation -------------------------------------------------------
+
+    @contextmanager
+    def activated(self):
+        """Make this runtime the one :func:`get_runtime` resolves to."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    # -- execution --------------------------------------------------------
+
+    def map_ordered(
+        self,
+        function: Callable,
+        items: Iterable,
+        stage: str | None = None,
+    ) -> list:
+        """Run ``function`` over ``items`` on the backend, results in
+        submission order; each task sees this runtime as the active one."""
+        items = list(items)
+        self.metrics.increment("tasks_submitted", by=len(items))
+
+        def call(item):
+            with self.activated():
+                if stage is None:
+                    return function(item)
+                with self.metrics.time_stage(stage):
+                    return function(item)
+
+        results = self.executor.map_ordered(call, items)
+        self.metrics.increment("tasks_completed", by=len(items))
+        return results
+
+    def run_detectors(self, modules: Sequence, scenario) -> dict:
+        """Phase 1 for every module concurrently; reports in module order.
+
+        Exceptions from a failing detector propagate to the caller (first
+        module in declaration order wins when several fail).
+        """
+        self.metrics.increment("assessments")
+        self.metrics.increment("detector_runs", by=len(modules))
+        with self.metrics.time_stage("assess"):
+            reports = self.map_ordered(
+                lambda module: module.assess(scenario),
+                modules,
+                stage="assess.detector",
+            )
+        return {
+            module.name: report for module, report in zip(modules, reports)
+        }
+
+    # -- cached profiling -------------------------------------------------
+
+    def profile_column(
+        self, database, relation_name: str, attribute_name: str, datatype=None
+    ):
+        from ..profiling import profiler
+
+        resolved = (
+            datatype
+            if datatype is not None
+            else database.schema.attribute(relation_name, attribute_name).datatype
+        )
+        return self.cache.get_or_compute(
+            database,
+            ("profile_column", relation_name, attribute_name, str(resolved)),
+            lambda: self._timed(
+                "profile",
+                profiler.compute_column_profile,
+                database,
+                relation_name,
+                attribute_name,
+                resolved,
+            ),
+        )
+
+    def profile_database(self, database):
+        def compute():
+            pairs = [
+                (relation.name, attribute.name)
+                for relation in database.schema.relations
+                for attribute in relation.attributes
+            ]
+            profiles = self.map_ordered(
+                lambda pair: self.profile_column(database, pair[0], pair[1]),
+                pairs,
+            )
+            return dict(zip(pairs, profiles))
+
+        return self.cache.get_or_compute(
+            database, ("profile_database",), compute
+        )
+
+    def discover_uccs(self, database, max_arity: int = 2):
+        from ..profiling import dependencies
+
+        return self.cache.get_or_compute(
+            database,
+            ("uccs", max_arity),
+            lambda: self._timed(
+                "dependencies",
+                dependencies.compute_uccs,
+                database,
+                max_arity,
+                self.map_ordered,
+            ),
+        )
+
+    def discover_inds(self, database, min_values: int = 1):
+        from ..profiling import dependencies
+
+        return self.cache.get_or_compute(
+            database,
+            ("inds", min_values),
+            lambda: self._timed(
+                "dependencies",
+                dependencies.compute_inds,
+                database,
+                min_values,
+                self.map_ordered,
+            ),
+        )
+
+    def discover_fds(self, database):
+        from ..profiling import dependencies
+
+        return self.cache.get_or_compute(
+            database,
+            ("fds",),
+            lambda: self._timed(
+                "dependencies",
+                dependencies.compute_fds,
+                database,
+                self.map_ordered,
+            ),
+        )
+
+    def _timed(self, stage: str, function: Callable, *args):
+        with self.metrics.time_stage(stage):
+            return function(*args)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"Runtime(backend={self.backend!r}, "
+            f"workers={self.executor.max_workers}, "
+            f"cache={len(self.cache)} entries)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default + active-runtime resolution
+# ----------------------------------------------------------------------
+
+_default_runtime: Runtime | None = None
+
+
+def default_runtime() -> Runtime:
+    """The lazily created process-wide runtime.
+
+    Backend comes from ``$REPRO_RUNTIME_BACKEND`` (default: serial, the
+    reference behaviour); its cache and metrics are shared by every
+    caller that does not bring a runtime of its own.
+    """
+    global _default_runtime
+    if _default_runtime is None:
+        _default_runtime = Runtime(
+            backend=os.environ.get(BACKEND_ENV_VAR, "serial")
+        )
+    return _default_runtime
+
+
+def set_default_runtime(runtime: Runtime | None) -> None:
+    """Replace the process-wide default (``None`` resets to lazy init)."""
+    global _default_runtime
+    _default_runtime = runtime
+
+
+def get_runtime() -> Runtime:
+    """The active runtime: the innermost ``activated()`` one, else the
+    process default."""
+    return _ACTIVE.get() or default_runtime()

@@ -1,0 +1,142 @@
+"""Pluggable task executors: one interface, serial and threaded backends.
+
+EFES's phase-1 assessment fans out over independent units of work —
+module detectors, per-column statistic bundles, per-relation dependency
+discovery.  :class:`SerialExecutor` runs them inline (the reference
+behaviour); :class:`ThreadedExecutor` runs them on a shared thread pool.
+Both guarantee **deterministic result ordering**: ``map_ordered`` returns
+results in submission order regardless of completion order, and the first
+exception (in submission order) propagates to the caller.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+
+
+def auto_worker_count() -> int:
+    """A sensible default pool size: one worker per core, at least two.
+
+    Capped at 32 so that a many-core host does not spawn hundreds of
+    threads for workloads whose units are small.
+    """
+    return max(2, min(32, os.cpu_count() or 1))
+
+
+class Executor:
+    """The executor interface the runtime engine programs against."""
+
+    #: Stable backend identifier ("serial", "threads").
+    name: str = "executor"
+    #: Number of concurrent workers (1 for the serial backend).
+    max_workers: int = 1
+
+    def map_ordered(self, function: Callable, items: Iterable) -> list:
+        """Apply ``function`` to every item; results in submission order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release pooled resources; the executor stays usable afterwards."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.max_workers})"
+
+
+class SerialExecutor(Executor):
+    """Inline execution — the deterministic reference backend."""
+
+    name = "serial"
+    max_workers = 1
+
+    def map_ordered(self, function: Callable, items: Iterable) -> list:
+        return [function(item) for item in items]
+
+
+class ThreadedExecutor(Executor):
+    """A shared, lazily created thread pool.
+
+    Two properties matter beyond raw fan-out:
+
+    * **Context propagation** — each task runs in a
+      :mod:`contextvars` context copied from the submitting thread, so
+      the active runtime (and with it the cache and metrics) is visible
+      inside workers.
+    * **No nested fan-out** — a task that itself calls ``map_ordered``
+      (e.g. a detector profiling a database column-by-column) runs its
+      inner map serially.  Nested submission to a bounded pool can
+      deadlock when all workers block waiting on sub-tasks that can no
+      longer be scheduled.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be a positive integer, got {max_workers}"
+            )
+        self.max_workers = max_workers or auto_worker_count()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._local = threading.local()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-runtime",
+                )
+            return self._pool
+
+    def _run_task(self, function: Callable, item) -> object:
+        self._local.in_worker = True
+        try:
+            return function(item)
+        finally:
+            self._local.in_worker = False
+
+    def map_ordered(self, function: Callable, items: Iterable) -> list:
+        items = list(items)
+        if len(items) <= 1 or getattr(self._local, "in_worker", False):
+            return [function(item) for item in items]
+        pool = self._ensure_pool()
+        futures: Sequence[Future] = [
+            pool.submit(
+                contextvars.copy_context().run, self._run_task, function, item
+            )
+            for item in items
+        ]
+        # Collect in submission order; .result() re-raises the task's
+        # exception, so the first failure (by submission order) wins.
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+def make_executor(
+    backend: str = "serial", max_workers: int | None = None
+) -> Executor:
+    """Build a backend by name: ``serial``, ``threads``, or ``auto``.
+
+    ``auto`` picks threads on multi-core hosts and serial otherwise —
+    on a single core the pure-Python workload cannot overlap usefully.
+    """
+    if backend == "auto":
+        backend = "threads" if (os.cpu_count() or 1) > 1 else "serial"
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "threads":
+        return ThreadedExecutor(max_workers=max_workers)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; "
+        "expected 'serial', 'threads', or 'auto'"
+    )

@@ -1,0 +1,156 @@
+"""Lightweight runtime instrumentation.
+
+The assessment runtime (ROADMAP: "as fast as the hardware allows") needs
+to be observable before it can be tuned: every :class:`RuntimeMetrics`
+instance collects named counters (cache hits/misses, detector runs, task
+counts) and per-stage wall-clock timings.  All operations are thread-safe
+because the threaded executor updates them from worker threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+
+@dataclasses.dataclass
+class StageTiming:
+    """Accumulated wall-clock time of one named pipeline stage.
+
+    For stages executed concurrently the total sums the per-task times,
+    so it can exceed elapsed wall-clock time — it measures *work*, not
+    latency.
+    """
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable copy of the metrics at one point in time."""
+
+    counters: dict[str, int]
+    stages: dict[str, StageTiming]
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+
+class RuntimeMetrics:
+    """Thread-safe counters and stage timings for the assessment runtime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._stages: dict[str, StageTiming] = {}
+
+    # -- counters --------------------------------------------------------
+
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- cache accounting -------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return self.counter("cache_hits")
+
+    @property
+    def cache_misses(self) -> int:
+        return self.counter("cache_misses")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits, misses = self.cache_hits, self.cache_misses
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    # -- stage timings ----------------------------------------------------
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        with self._lock:
+            timing = self._stages.get(name)
+            if timing is None:
+                timing = self._stages[name] = StageTiming()
+            timing.calls += 1
+            timing.seconds += seconds
+
+    @contextmanager
+    def time_stage(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_stage(name, time.perf_counter() - started)
+
+    def stage(self, name: str) -> StageTiming:
+        with self._lock:
+            timing = self._stages.get(name, StageTiming())
+            return StageTiming(timing.calls, timing.seconds)
+
+    # -- inspection -------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not self._counters and not self._stages
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters),
+                stages={
+                    name: StageTiming(t.calls, t.seconds)
+                    for name, t in self._stages.items()
+                },
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._stages.clear()
+
+    def render(self) -> str:
+        """A plain-text summary, printed by the CLI and bench conftest."""
+        snapshot = self.snapshot()
+        lines = ["Runtime metrics"]
+        if snapshot.counters:
+            lines.append("  counters:")
+            for name in sorted(snapshot.counters):
+                lines.append(f"    {name:24s} {snapshot.counters[name]}")
+            hits = snapshot.counter("cache_hits")
+            misses = snapshot.counter("cache_misses")
+            if hits + misses:
+                lines.append(
+                    f"    {'cache_hit_rate':24s} {hits / (hits + misses):.1%}"
+                )
+        if snapshot.stages:
+            lines.append("  stages (accumulated work, not latency):")
+            for name in sorted(snapshot.stages):
+                timing = snapshot.stages[name]
+                lines.append(
+                    f"    {name:24s} {timing.seconds:8.3f}s over "
+                    f"{timing.calls} call(s)"
+                )
+        if len(lines) == 1:
+            lines.append("  (no activity recorded)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        snapshot = self.snapshot()
+        return (
+            f"RuntimeMetrics({len(snapshot.counters)} counters, "
+            f"{len(snapshot.stages)} stages)"
+        )

@@ -1,0 +1,195 @@
+"""Tests for the content-keyed profile cache: hits on unchanged data,
+invalidation on mutation, and cached-equals-uncached equivalence on
+seeded-random schemas."""
+
+import random
+
+import pytest
+
+from repro.profiling import (
+    compute_column_profile,
+    compute_fds,
+    compute_inds,
+    compute_uccs,
+)
+from repro.relational import Database, DataType, Schema, relation
+from repro.runtime import ProfileCache, Runtime, fingerprint_database
+
+
+def build_database():
+    schema = Schema(
+        "db",
+        relations=[
+            relation(
+                "albums",
+                [("id", DataType.INTEGER), ("name", DataType.STRING)],
+            ),
+            relation(
+                "songs",
+                [
+                    ("album", DataType.INTEGER),
+                    ("title", DataType.STRING),
+                    ("length", DataType.INTEGER),
+                ],
+            ),
+        ],
+    )
+    db = Database(schema)
+    db.insert_all("albums", [(1, "A"), (2, "B"), (3, "C")])
+    db.insert_all("songs", [(1, "s1", 100), (1, "s2", None), (2, "s3", 300)])
+    return db
+
+
+class TestCacheHitsAndMisses:
+    def test_repeated_profiling_hits(self):
+        runtime = Runtime()
+        db = build_database()
+        first = runtime.profile_database(db)
+        misses = runtime.metrics.cache_misses
+        second = runtime.profile_database(db)
+        assert second is first  # the memoised object itself
+        assert runtime.metrics.cache_misses == misses
+        assert runtime.metrics.cache_hits >= 1
+
+    def test_repeated_dependency_discovery_hits(self):
+        runtime = Runtime()
+        db = build_database()
+        assert runtime.discover_uccs(db) == runtime.discover_uccs(db)
+        assert runtime.discover_fds(db) == runtime.discover_fds(db)
+        assert runtime.discover_inds(db) == runtime.discover_inds(db)
+        assert runtime.metrics.cache_hits == 3
+
+    def test_insert_invalidates(self):
+        runtime = Runtime()
+        db = build_database()
+        before = runtime.profile_database(db)
+        db.insert("albums", (4, "D"))
+        after = runtime.profile_database(db)
+        assert after is not before
+        assert after[("albums", "id")].row_count == 4
+        assert runtime.metrics.cache_misses > len(before)
+
+    def test_update_and_delete_invalidate(self):
+        runtime = Runtime()
+        db = build_database()
+        runtime.profile_column(db, "albums", "name")
+        db.table("albums").update_where(
+            lambda row: row["id"] == 1, {"name": "Z"}
+        )
+        updated = runtime.profile_column(db, "albums", "name")
+        assert "Z" in db.table("albums").column("name")
+        db.table("albums").delete_where(lambda row: row["id"] == 2)
+        deleted = runtime.profile_column(db, "albums", "name")
+        assert deleted.row_count == updated.row_count - 1
+
+    def test_identical_content_shares_entries(self):
+        runtime = Runtime()
+        first, second = build_database(), build_database()
+        profile_a = runtime.profile_column(first, "songs", "length")
+        profile_b = runtime.profile_column(second, "songs", "length")
+        assert profile_b is profile_a
+        assert runtime.metrics.cache_hits == 1
+
+
+class TestFingerprints:
+    def test_stable_for_unchanged_content(self):
+        db = build_database()
+        assert fingerprint_database(db) == fingerprint_database(db)
+
+    def test_identical_content_identical_fingerprint(self):
+        assert fingerprint_database(build_database()) == fingerprint_database(
+            build_database()
+        )
+
+    def test_mutation_changes_fingerprint(self):
+        db = build_database()
+        before = fingerprint_database(db)
+        db.insert("songs", (3, "s4", 400))
+        assert fingerprint_database(db) != before
+
+    def test_value_change_changes_fingerprint(self):
+        db = build_database()
+        before = fingerprint_database(db)
+        db.table("songs").map_column("length", lambda v: v + 1)
+        assert fingerprint_database(db) != before
+
+
+class TestCacheMaintenance:
+    def test_explicit_invalidation(self):
+        runtime = Runtime()
+        db = build_database()
+        runtime.profile_database(db)
+        assert len(runtime.cache) > 0
+        dropped = runtime.cache.invalidate(db)
+        assert dropped > 0
+        assert len(runtime.cache) == 0
+
+    def test_eviction_respects_bound(self):
+        cache = ProfileCache(max_entries=2)
+        runtime = Runtime(cache=cache, metrics=cache.metrics)
+        db = build_database()
+        runtime.profile_column(db, "albums", "id")
+        runtime.profile_column(db, "albums", "name")
+        runtime.profile_column(db, "songs", "title")
+        assert len(cache) == 2
+        assert cache.metrics.counter("cache_evictions") == 1
+
+
+def random_database(seed: int) -> Database:
+    """A seeded-random schema + instance for the property check."""
+    rng = random.Random(seed)
+    relations = []
+    for index in range(rng.randint(1, 3)):
+        attributes = [("id", DataType.INTEGER)]
+        for attr_index in range(rng.randint(1, 3)):
+            datatype = rng.choice(
+                [DataType.INTEGER, DataType.STRING, DataType.FLOAT]
+            )
+            attributes.append((f"a{attr_index}", datatype))
+        relations.append(relation(f"r{index}", attributes))
+    schema = Schema(f"random{seed}", relations=relations)
+    db = Database(schema)
+    for rel in schema.relations:
+        for row_index in range(rng.randint(0, 25)):
+            row = [row_index]
+            for _, datatype in [
+                (a.name, a.datatype) for a in rel.attributes[1:]
+            ]:
+                if rng.random() < 0.15:
+                    row.append(None)
+                elif datatype is DataType.INTEGER:
+                    row.append(rng.randint(0, 9))
+                elif datatype is DataType.FLOAT:
+                    row.append(round(rng.uniform(0, 100), 2))
+                else:
+                    row.append(rng.choice(["x", "yy", "z-3", "W 4"]))
+            db.insert(rel.name, row)
+    return db
+
+
+class TestCachedEqualsUncached:
+    """Property: for random schemas, cached results equal fresh computation."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_profiles_equal(self, seed):
+        runtime = Runtime()
+        db = random_database(seed)
+        cached = runtime.profile_database(db)
+        again = runtime.profile_database(db)
+        assert again is cached
+        for (relation_name, attribute_name), profile in cached.items():
+            uncached = compute_column_profile(
+                db, relation_name, attribute_name
+            )
+            assert profile == uncached
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dependencies_equal(self, seed):
+        runtime = Runtime()
+        db = random_database(seed)
+        assert runtime.discover_uccs(db) == compute_uccs(db)
+        assert runtime.discover_inds(db) == compute_inds(db)
+        assert runtime.discover_fds(db) == compute_fds(db)
+        # And the second (cached) round still matches.
+        assert runtime.discover_uccs(db) == compute_uccs(db)
+        assert runtime.metrics.cache_hits >= 1

@@ -1,0 +1,198 @@
+"""Tests for the assessment runtime: determinism under concurrency,
+exception propagation, executor backends, and single-assessment metrics."""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    Efes,
+    EstimationModule,
+    ResultQuality,
+    default_efes,
+)
+from repro.runtime import (
+    Runtime,
+    SerialExecutor,
+    ThreadedExecutor,
+    auto_worker_count,
+    get_runtime,
+    make_executor,
+)
+from repro.scenarios import bibliographic_scenarios, music_scenarios
+
+
+@pytest.fixture(scope="module")
+def domain_scenarios():
+    return bibliographic_scenarios(seed=1) + music_scenarios(seed=1)
+
+
+def _assess_all(scenarios, backend):
+    """Assess every scenario on a fresh runtime; fresh cache per call so
+    the comparison exercises real computation, not shared cache entries."""
+    runtime = Runtime(backend=backend)
+    efes = default_efes(runtime=runtime)
+    try:
+        return [efes.assess(scenario) for scenario in scenarios]
+    finally:
+        runtime.close()
+
+
+def _estimate_all(scenarios, backend):
+    runtime = Runtime(backend=backend)
+    efes = default_efes(runtime=runtime)
+    try:
+        return [
+            efes.estimate(scenario, quality)
+            for scenario in scenarios
+            for quality in (ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY)
+        ]
+    finally:
+        runtime.close()
+
+
+class TestBackendEquivalence:
+    def test_reports_identical_serial_vs_threaded(self, domain_scenarios):
+        serial = _assess_all(domain_scenarios, "serial")
+        threaded = _assess_all(domain_scenarios, "threads")
+        for serial_reports, threaded_reports in zip(serial, threaded):
+            assert list(serial_reports) == list(threaded_reports)
+            assert repr(serial_reports) == repr(threaded_reports)
+
+    def test_estimates_identical_serial_vs_threaded(self, domain_scenarios):
+        serial = _estimate_all(domain_scenarios, "serial")
+        threaded = _estimate_all(domain_scenarios, "threads")
+        for serial_estimate, threaded_estimate in zip(serial, threaded):
+            assert repr(serial_estimate) == repr(threaded_estimate)
+            assert serial_estimate.total_minutes == pytest.approx(
+                threaded_estimate.total_minutes
+            )
+
+    def test_threaded_is_deterministic_across_runs(self, domain_scenarios):
+        scenario = domain_scenarios[0]
+        first = _assess_all([scenario], "threads")[0]
+        second = _assess_all([scenario], "threads")[0]
+        assert repr(first) == repr(second)
+
+    def test_report_order_follows_module_order(self, domain_scenarios):
+        reports = _assess_all([domain_scenarios[0]], "threads")[0]
+        assert list(reports) == ["mapping", "structure", "values"]
+
+
+class FailingModule(EstimationModule):
+    name = "failing"
+
+    def assess(self, scenario):
+        raise ValueError("detector exploded")
+
+    def plan(self, scenario, report, quality):  # pragma: no cover
+        return []
+
+
+class TestExceptionPropagation:
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_detector_exception_reaches_caller(
+        self, backend, domain_scenarios
+    ):
+        runtime = Runtime(backend=backend)
+        efes = Efes([FailingModule()], runtime=runtime)
+        with pytest.raises(ValueError, match="detector exploded"):
+            efes.assess(domain_scenarios[0])
+        runtime.close()
+
+    def test_failure_does_not_poison_the_runtime(self, domain_scenarios):
+        runtime = Runtime(backend="threads")
+        efes = Efes([FailingModule()], runtime=runtime)
+        with pytest.raises(ValueError):
+            efes.assess(domain_scenarios[0])
+        healthy = default_efes(runtime=runtime)
+        reports = healthy.assess(domain_scenarios[0])
+        assert list(reports) == ["mapping", "structure", "values"]
+        runtime.close()
+
+
+class TestExecutors:
+    def test_map_ordered_preserves_submission_order(self):
+        executor = ThreadedExecutor(max_workers=4)
+        barrier = threading.Barrier(4, timeout=5)
+
+        def task(index):
+            # All four tasks rendezvous, so completion order is scrambled
+            # relative to submission order on purpose.
+            barrier.wait()
+            return index
+
+        assert executor.map_ordered(task, range(4)) == [0, 1, 2, 3]
+        executor.shutdown()
+
+    def test_nested_map_runs_serially_instead_of_deadlocking(self):
+        executor = ThreadedExecutor(max_workers=2)
+
+        def inner(index):
+            return index * 10
+
+        def outer(index):
+            return executor.map_ordered(inner, range(3))
+
+        results = executor.map_ordered(outer, range(4))
+        assert results == [[0, 10, 20]] * 4
+        executor.shutdown()
+
+    def test_make_executor_backends(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("threads"), ThreadedExecutor)
+        assert make_executor("auto").name in ("serial", "threads")
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+    def test_auto_worker_count_bounds(self):
+        assert 2 <= auto_worker_count() <= 32
+
+    def test_serial_map_ordered(self):
+        assert SerialExecutor().map_ordered(lambda x: x + 1, [1, 2]) == [2, 3]
+
+
+class TestSingleAssessment:
+    """The Efes.estimate fix: callers holding reports never re-assess."""
+
+    def test_estimate_with_reports_skips_assessment(self, small_example):
+        runtime = Runtime()
+        efes = default_efes(runtime=runtime)
+        reports = efes.assess(small_example)
+        assert runtime.metrics.counter("assessments") == 1
+        efes.estimate(small_example, ResultQuality.HIGH_QUALITY, reports=reports)
+        efes.estimate(small_example, ResultQuality.LOW_EFFORT, reports=reports)
+        assert runtime.metrics.counter("assessments") == 1
+        assert runtime.metrics.counter("estimates") == 2
+
+    def test_estimate_without_reports_assesses_once(self, small_example):
+        runtime = Runtime()
+        efes = default_efes(runtime=runtime)
+        efes.estimate(small_example, ResultQuality.HIGH_QUALITY)
+        assert runtime.metrics.counter("assessments") == 1
+
+    def test_estimate_reuse_matches_fresh_assessment(self, small_example):
+        efes = default_efes(runtime=Runtime())
+        reports = efes.assess(small_example)
+        reused = efes.estimate(
+            small_example, ResultQuality.HIGH_QUALITY, reports=reports
+        )
+        fresh = efes.estimate(small_example, ResultQuality.HIGH_QUALITY)
+        assert repr(reused) == repr(fresh)
+
+
+class TestRuntimeResolution:
+    def test_default_runtime_used_when_unbound(self):
+        efes = default_efes()
+        assert efes.metrics is get_runtime().metrics
+
+    def test_with_runtime_rebinds(self):
+        runtime = Runtime()
+        efes = default_efes().with_runtime(runtime)
+        assert efes.metrics is runtime.metrics
+
+    def test_activated_overrides_default(self):
+        runtime = Runtime()
+        with runtime.activated():
+            assert get_runtime() is runtime
+        assert get_runtime() is not runtime
