@@ -1,0 +1,158 @@
+"""Assessment-service throughput — N concurrent clients over real HTTP.
+
+Drives the full submit -> poll -> result cycle against a running service
+(``$REPRO_SERVICE_URL`` or an in-process server, see ``conftest``) with
+several client threads, twice over the same job set:
+
+* **cold** — the report store is empty, every job runs the pipeline;
+* **warm** — identical content, every job is served from the store.
+
+Records jobs/sec and p50/p95 end-to-end latency for both passes to
+``BENCH_service_throughput.json``.  Backpressure (503 + Retry-After) is
+handled with the advertised retry hint, so the bench also exercises the
+bounded queue under contention.
+"""
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.reporting import render_table
+from repro.service import BackpressureError, ServiceClient
+from conftest import run_once
+
+OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_service_throughput.json"
+)
+
+#: Concurrent client threads.
+CLIENTS = 4
+
+#: The job mix: every bibliographic pairwise scenario at both qualities.
+JOB_SPECS = [
+    (name, "estimate", quality)
+    for name in ("s1-s2", "s1-s3", "s3-s4", "s4-s4")
+    for quality in ("low", "high")
+]
+
+
+def _percentile(latencies, fraction):
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _run_pass(url, specs, clients):
+    """Fan the job specs out over ``clients`` threads; per-job latency."""
+    latencies = []
+    errors = []
+    lock = threading.Lock()
+
+    def worker(worker_specs):
+        client = ServiceClient(url)
+        for name, kind, quality in worker_specs:
+            started = time.perf_counter()
+            try:
+                while True:
+                    try:
+                        job = client.submit(name, kind=kind, quality=quality)
+                        break
+                    except BackpressureError as exc:
+                        time.sleep(min(exc.retry_after, 0.25))
+                client.result(job["id"], deadline=300)
+            except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                with lock:
+                    errors.append(f"{name}/{quality}: {exc}")
+                continue
+            with lock:
+                latencies.append(time.perf_counter() - started)
+
+    threads = [
+        threading.Thread(target=worker, args=(specs[index::clients],))
+        for index in range(clients)
+    ]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - wall_started
+    return latencies, wall_seconds, errors
+
+
+def _summarise(label, latencies, wall_seconds):
+    return {
+        "pass": label,
+        "jobs": len(latencies),
+        "wall_seconds": round(wall_seconds, 4),
+        "jobs_per_second": round(len(latencies) / wall_seconds, 2),
+        "p50_latency_seconds": round(statistics.median(latencies), 4),
+        "p95_latency_seconds": round(_percentile(latencies, 0.95), 4),
+        "mean_latency_seconds": round(statistics.fmean(latencies), 4),
+    }
+
+
+def test_service_throughput(benchmark, service_url):
+    client = ServiceClient(service_url)
+    assert client.healthz()["status"] == "ok"
+
+    cold_latencies, cold_wall, cold_errors = _run_pass(
+        service_url, JOB_SPECS, CLIENTS
+    )
+    assert not cold_errors, cold_errors
+    assert len(cold_latencies) == len(JOB_SPECS)
+
+    # Identical content a second time: served from the report store.
+    warm_latencies, warm_wall, warm_errors = run_once(
+        benchmark, _run_pass, service_url, JOB_SPECS, CLIENTS
+    )
+    assert not warm_errors, warm_errors
+    assert len(warm_latencies) == len(JOB_SPECS)
+
+    metrics = client.metrics()
+    store_hits = metrics["counters"].get("store_hits", 0)
+    assert store_hits >= len(JOB_SPECS), (
+        "warm pass should be served from the report store"
+    )
+
+    cold = _summarise("cold", cold_latencies, cold_wall)
+    warm = _summarise("warm", warm_latencies, warm_wall)
+    payload = {
+        "bench": "service_throughput",
+        "url": service_url,
+        "clients": CLIENTS,
+        "job_mix": [f"{name}:{quality}" for name, _, quality in JOB_SPECS],
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(
+            cold["wall_seconds"] / warm["wall_seconds"], 2
+        ),
+        "store_hits": store_hits,
+        "jobs_from_store": metrics["counters"].get("jobs_from_store", 0),
+        "jobs_rejected": metrics["counters"].get("jobs_rejected", 0),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(
+        render_table(
+            ["Pass", "Jobs", "Jobs/s", "p50 (s)", "p95 (s)"],
+            [
+                (
+                    row["pass"],
+                    str(row["jobs"]),
+                    f"{row['jobs_per_second']:.2f}",
+                    f"{row['p50_latency_seconds']:.3f}",
+                    f"{row['p95_latency_seconds']:.3f}",
+                )
+                for row in (cold, warm)
+            ],
+            title=f"Service throughput, {CLIENTS} concurrent clients",
+        )
+    )
+    print(
+        f"warm-store speedup: {payload['warm_speedup']}x; "
+        f"store hits: {store_hits}; wrote {OUTPUT.name}"
+    )

@@ -10,6 +10,9 @@ them).
 
 from __future__ import annotations
 
+import os
+import threading
+
 import pytest
 
 from repro.core import default_efes
@@ -44,6 +47,34 @@ def bibliographic():
 @pytest.fixture(scope="session")
 def music():
     return music_scenarios(seed=1)
+
+
+@pytest.fixture(scope="session")
+def service_url():
+    """Base URL of an assessment service to benchmark against.
+
+    ``$REPRO_SERVICE_URL`` points the benches at a live ``efes serve``
+    deployment; without it an in-process server is spun up on an
+    ephemeral port (same code path, no network setup required).
+    """
+    url = os.environ.get("REPRO_SERVICE_URL")
+    if url:
+        yield url.rstrip("/")
+        return
+
+    from repro.service import JobScheduler, make_server
+
+    scheduler = JobScheduler(workers=2, max_queue=64)
+    server = make_server(scheduler, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.url
+    finally:
+        server.shutdown()
+        server.server_close()
+        scheduler.close(wait=True, timeout=10.0)
+        thread.join(timeout=5.0)
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,9 @@ of the shipped scenarios:
 * ``efes estimate <scenario>`` — print the task list and effort estimate,
 * ``efes measure <scenario>``  — run the practitioner simulator,
 * ``efes experiments``         — reproduce Figures 6 and 7 + rmse,
-* ``efes list``                — list the available scenarios.
+* ``efes list``                — list the available scenarios,
+* ``efes serve``               — run the HTTP assessment service,
+* ``efes submit <scenario>``   — submit a job to a running service.
 """
 
 from __future__ import annotations
@@ -22,34 +24,16 @@ from .practitioner import PractitionerSimulator
 from .reporting import render_domain_figure, render_table
 from .runtime import BACKEND_ENV_VAR, Runtime, set_default_runtime
 from .scenarios import (
-    bibliographic_scenarios,
-    example_scenario,
-    music_scenarios,
+    UnknownScenarioError,
+    resolve_scenario,
+    scenario_catalogue,
 )
 
+#: Environment variable naming the default target of ``efes submit``.
+SERVICE_URL_ENV_VAR = "REPRO_SERVICE_URL"
 
-def _scenarios(seed: int):
-    catalogue = {"example": example_scenario()}
-    for scenario in bibliographic_scenarios(seed) + music_scenarios(seed):
-        catalogue[scenario.name] = scenario
-    return catalogue
-
-
-def _resolve_scenario(name: str, seed: int):
-    """A shipped scenario by name, or a directory in the on-disk format."""
-    from pathlib import Path
-
-    catalogue = _scenarios(seed)
-    if name in catalogue:
-        return catalogue[name]
-    if Path(name).is_dir():
-        from .scenarios.io import load_scenario
-
-        return load_scenario(name)
-    raise KeyError(
-        f"unknown scenario {name!r}; run `efes list` or pass a scenario "
-        "directory (see repro.scenarios.io)"
-    )
+_scenarios = scenario_catalogue
+_resolve_scenario = resolve_scenario
 
 
 def _quality(name: str) -> ResultQuality:
@@ -215,6 +199,96 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime import get_runtime
+    from .service import JobScheduler, ReportStore, make_server
+
+    runtime = get_runtime()
+    store = ReportStore(directory=args.spool, metrics=runtime.metrics)
+    scheduler = JobScheduler(
+        runtime=runtime,
+        store=store,
+        workers=args.job_workers,
+        max_queue=args.queue_size,
+        default_timeout=args.job_timeout,
+    )
+    server = make_server(scheduler, host=args.host, port=args.port)
+    spool = args.spool or "(memory only)"
+    print(
+        f"efes service listening on {server.url} "
+        f"(runtime backend={runtime.backend}, job workers={args.job_workers}, "
+        f"queue={args.queue_size}, spool={spool})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        scheduler.close(wait=True, timeout=5.0)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import BackpressureError, ServiceClient, ServiceError
+
+    url = args.url or os.environ.get(SERVICE_URL_ENV_VAR) or (
+        "http://127.0.0.1:8765"
+    )
+    client = ServiceClient(url)
+    try:
+        job = client.submit(
+            args.scenario,
+            kind=args.kind,
+            quality=args.quality if args.kind == "estimate" else None,
+            priority=args.priority,
+            timeout=args.timeout,
+            seed=args.seed,
+        )
+    except BackpressureError as exc:
+        print(
+            f"efes: service queue is full; retry in ~{exc.retry_after:g}s",
+            file=sys.stderr,
+        )
+        return 75  # EX_TEMPFAIL
+    except (ServiceError, OSError) as exc:
+        print(f"efes: cannot submit to {url}: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {job['id']} {job['state']} ({args.kind} {args.scenario})")
+    if args.no_wait:
+        return 0
+    try:
+        result = client.result(job["id"], deadline=args.deadline)
+    except ServiceError as exc:
+        print(f"efes: job {job['id']} failed: {exc}", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"efes: {exc}", file=sys.stderr)
+        return 1
+    if args.kind == "estimate":
+        total = result["estimate"]["total_minutes"]
+        tasks = len(result["estimate"]["entries"])
+        print(
+            f"estimate for {result['scenario']} ({result['quality']}): "
+            f"{total:.1f} min across {tasks} task(s)"
+        )
+    else:
+        counts = ", ".join(
+            f"{name}={_report_size(body)}"
+            for name, body in result["reports"].items()
+        )
+        print(f"assessed {result['scenario']}: {counts}")
+    return 0
+
+
+def _report_size(body: dict) -> int:
+    for field in ("connections", "violations", "findings"):
+        if field in body:
+            return len(body[field])
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="efes",
@@ -279,6 +353,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a markdown report to this path instead of printing",
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP assessment service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port")
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="concurrent job slots (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded queue capacity before backpressure (default: 64)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="default per-job timeout in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--spool",
+        default=None,
+        help="report-store spool directory (default: in-memory only)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a job to a running service"
+    )
+    submit.add_argument("scenario", help="scenario name or directory")
+    submit.add_argument(
+        "--url",
+        default=None,
+        help=f"service URL (default: ${SERVICE_URL_ENV_VAR} or "
+        "http://127.0.0.1:8765)",
+    )
+    submit.add_argument(
+        "--kind",
+        choices=("assess", "estimate"),
+        default="estimate",
+        help="job kind (default: estimate)",
+    )
+    submit.add_argument(
+        "--quality",
+        choices=("low", "high"),
+        default="high",
+        help="expected result quality for estimate jobs",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="job priority (higher first)"
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job timeout in seconds",
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the result (default: 120)",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting for the result",
+    )
     return parser
 
 
@@ -300,9 +446,16 @@ def main(argv: list[str] | None = None) -> int:
         "curve": cmd_curve,
         "save": cmd_save,
         "experiments": cmd_experiments,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }
     try:
         status = commands[args.command](args)
+    except UnknownScenarioError as exc:
+        # A one-line diagnostic, not a traceback: unknown names are a
+        # user error, not a crash.
+        print(f"efes: {exc}", file=sys.stderr)
+        status = 2
     finally:
         set_default_runtime(None)
         runtime.close()

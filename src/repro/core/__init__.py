@@ -37,7 +37,12 @@ from .effort import (
     threshold_per_unit,
     tool_assisted_settings,
 )
-from .framework import Efes, EstimationModule, TaskAdjustment
+from .framework import (
+    AssessmentOutcome,
+    Efes,
+    EstimationModule,
+    TaskAdjustment,
+)
 from .modules import (
     InfiniteCleaningLoopError,
     MappingModule,
@@ -47,6 +52,7 @@ from .modules import (
 )
 from .quality import ResultQuality
 from .reports import (
+    REPORT_TYPES,
     ComplexityReport,
     MappingComplexityReport,
     MappingConnection,
@@ -54,6 +60,19 @@ from .reports import (
     StructureViolation,
     ValueComplexityReport,
     ValueHeterogeneityFinding,
+)
+from .serialize import (
+    SerializationError,
+    estimate_from_dict,
+    estimate_to_dict,
+    report_from_dict,
+    report_to_dict,
+    reports_from_dict,
+    reports_to_dict,
+    task_from_dict,
+    task_to_dict,
+    tasks_from_dicts,
+    tasks_to_dicts,
 )
 from .tasks import (
     STRUCTURE_TASK_CATALOGUE,
@@ -85,6 +104,7 @@ def default_efes(
 
 
 __all__ = [
+    "AssessmentOutcome",
     "AttributeCountingBaseline",
     "BaselineEstimate",
     "ComparisonRow",
@@ -102,8 +122,10 @@ __all__ = [
     "MappingComplexityReport",
     "MappingConnection",
     "MappingModule",
+    "REPORT_TYPES",
     "ResultQuality",
     "STRUCTURE_TASK_CATALOGUE",
+    "SerializationError",
     "StructuralConflict",
     "StructureComplexityReport",
     "StructureModule",
@@ -123,12 +145,22 @@ __all__ = [
     "default_efes",
     "default_execution_settings",
     "default_modules",
+    "estimate_from_dict",
+    "estimate_to_dict",
     "linear",
     "make_drop_instead_of_add",
     "optimal_scale",
     "per_unit",
     "price_tasks",
     "relative_rmse",
+    "report_from_dict",
+    "report_to_dict",
+    "reports_from_dict",
+    "reports_to_dict",
+    "task_from_dict",
+    "task_to_dict",
+    "tasks_from_dicts",
+    "tasks_to_dicts",
     "threshold_per_unit",
     "tool_assisted_settings",
 ]

@@ -11,6 +11,7 @@ estimation).
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Iterable, Sequence
 
 from ..runtime import Runtime, RuntimeMetrics, get_runtime
@@ -58,6 +59,25 @@ class TaskAdjustment:
 
     def __call__(self, tasks: list[Task]) -> list[Task]:  # pragma: no cover
         raise NotImplementedError
+
+
+@dataclasses.dataclass
+class AssessmentOutcome:
+    """Everything one full pipeline run produces, kept together.
+
+    The assessment service stores/ships this as one document: the phase-1
+    reports plus the phase-2 estimate (whose entries carry the planned
+    task list).  ``quality`` is the estimate's expected result quality.
+    """
+
+    scenario_name: str
+    quality: ResultQuality
+    reports: dict[str, ComplexityReport]
+    estimate: EffortEstimate
+
+    @property
+    def tasks(self) -> list[Task]:
+        return [entry.task for entry in self.estimate.entries]
 
 
 class Efes:
@@ -147,6 +167,23 @@ class Efes:
             tasks = adjustment(tasks)
         with runtime.metrics.time_stage("price"):
             return price_tasks(scenario.name, quality, tasks, self.settings)
+
+    def run(
+        self,
+        scenario: IntegrationScenario,
+        quality: ResultQuality,
+        adjustments: Iterable[TaskAdjustment] = (),
+    ) -> AssessmentOutcome:
+        """Both phases as one deliverable: reports + tasks + estimate.
+
+        This is the unit of work the assessment service executes and
+        stores; :func:`repro.core.serialize` round-trips every part.
+        """
+        reports = self.assess(scenario)
+        estimate = self.estimate(
+            scenario, quality, adjustments=adjustments, reports=reports
+        )
+        return AssessmentOutcome(scenario.name, quality, reports, estimate)
 
     def with_settings(self, settings: ExecutionSettings) -> "Efes":
         return Efes(self.modules, settings, runtime=self.runtime)

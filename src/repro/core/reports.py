@@ -184,3 +184,18 @@ class ValueComplexityReport(ComplexityReport):
                 totals.get(finding.heterogeneity, 0) + 1
             )
         return totals
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: Report-kind registry used by :mod:`repro.core.serialize` to dispatch
+#: deserialisation.  Keys are stable kind identifiers (for the shipped
+#: modules they coincide with the module names); custom report classes
+#: register through :func:`repro.core.serialize.register_report_codec`.
+REPORT_TYPES: dict[str, type[ComplexityReport]] = {
+    "mapping": MappingComplexityReport,
+    "structure": StructureComplexityReport,
+    "values": ValueComplexityReport,
+}

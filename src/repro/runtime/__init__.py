@@ -14,7 +14,7 @@ Public surface:
   with deterministic result ordering.
 """
 
-from .cache import ProfileCache, fingerprint_database
+from .cache import ProfileCache, fingerprint_database, fingerprint_scenario
 from .engine import (
     BACKEND_ENV_VAR,
     Runtime,
@@ -44,6 +44,7 @@ __all__ = [
     "auto_worker_count",
     "default_runtime",
     "fingerprint_database",
+    "fingerprint_scenario",
     "get_runtime",
     "make_executor",
     "set_default_runtime",

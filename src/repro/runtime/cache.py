@@ -94,6 +94,34 @@ def fingerprint_database(database: Database) -> str:
     return result
 
 
+def fingerprint_scenario(scenario) -> str:
+    """A stable content hash of a whole integration scenario.
+
+    Combines the content fingerprints of every source database (in
+    declaration order), the target database, and the correspondences —
+    but, like :func:`fingerprint_database`, not the scenario *name*, so
+    identically shaped scenarios share report-store entries.  This is the
+    key the assessment service's :class:`~repro.service.ReportStore`
+    addresses results by.
+    """
+    digest = hashlib.sha1()
+    for source in scenario.sources:
+        digest.update(_ROW)
+        digest.update(fingerprint_database(source).encode())
+        correspondences = scenario.correspondences.get(source.name)
+        for correspondence in sorted(
+            correspondences or (),
+            key=lambda c: (c.source, c.target, c.confidence),
+        ):
+            digest.update(_FIELD)
+            digest.update(
+                repr(correspondence).encode("utf-8", "backslashreplace")
+            )
+    digest.update(_ROW)
+    digest.update(fingerprint_database(scenario.target).encode())
+    return digest.hexdigest()
+
+
 class ProfileCache:
     """An LRU cache of profiling results keyed by database content.
 

@@ -43,6 +43,16 @@ class MetricsSnapshot:
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
 
+    def to_dict(self) -> dict:
+        """A JSON-compatible rendering (used by the service's /metrics)."""
+        return {
+            "counters": dict(self.counters),
+            "stages": {
+                name: {"calls": timing.calls, "seconds": timing.seconds}
+                for name, timing in self.stages.items()
+            },
+        }
+
 
 class RuntimeMetrics:
     """Thread-safe counters and stage timings for the assessment runtime."""

@@ -1,0 +1,65 @@
+"""The concurrent assessment service: job queue, report store, HTTP API.
+
+EFES is consulted *repeatedly* — "to decide about the feasibility of such
+a project before its start" — so the library needs a long-running shape:
+many callers sharing one runtime, queued work with backpressure, and past
+estimates retrievable without recomputation.  This subsystem provides it:
+
+* :class:`JobScheduler` — submitted assess/estimate jobs with states
+  (queued/running/done/failed/cancelled), priorities, a bounded queue
+  that rejects with an explicit retry-after hint when full, per-job
+  timeout + cancellation, executed on worker slots over the shared
+  :class:`repro.runtime.Runtime`,
+* :class:`ReportStore` — content-addressed persistence of serialised
+  results (``repro.core.serialize``), keyed by the same content
+  fingerprints the profile cache uses, with an on-disk spool that
+  survives restarts,
+* :mod:`~repro.service.http_api` — a stdlib ``ThreadingHTTPServer``
+  exposing submit/status/result/cancel plus ``/healthz`` and
+  ``/metrics``, with :class:`ServiceClient` as the Python counterpart.
+
+``efes serve`` / ``efes submit`` are the CLI entry points.
+"""
+
+from .client import (
+    BackpressureError,
+    JobFailedError,
+    ServiceClient,
+    ServiceError,
+)
+from .http_api import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ServiceServer,
+    make_server,
+    serve,
+)
+from .jobs import (
+    Job,
+    JobCancelled,
+    JobState,
+    QueueFullError,
+    SchedulerClosedError,
+)
+from .scheduler import JobScheduler
+from .store import ReportStore, job_key
+
+__all__ = [
+    "BackpressureError",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Job",
+    "JobCancelled",
+    "JobFailedError",
+    "JobScheduler",
+    "JobState",
+    "QueueFullError",
+    "ReportStore",
+    "SchedulerClosedError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "job_key",
+    "make_server",
+    "serve",
+]

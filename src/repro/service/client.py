@@ -1,0 +1,150 @@
+"""A small stdlib HTTP client for the assessment service.
+
+Wraps :mod:`urllib.request` — no dependencies — and mirrors the service
+resources one method each.  Backpressure (503 + Retry-After) surfaces as
+:class:`BackpressureError` so callers can implement retry loops::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit("s1-s2", kind="estimate", quality="high")
+    doc = client.result(job["id"])          # polls until terminal
+    print(doc["estimate"]["total_minutes"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level error from the assessment service."""
+
+    def __init__(self, status: int, payload: dict | None = None) -> None:
+        message = (payload or {}).get("error") or f"HTTP {status}"
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class BackpressureError(ServiceError):
+    """The service rejected a submission because its queue is full."""
+
+    def __init__(self, status: int, payload: dict, retry_after: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class JobFailedError(ServiceError):
+    """The polled job reached FAILED or CANCELLED instead of DONE."""
+
+
+class ServiceClient:
+    """Typed access to a running assessment service."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except ValueError:
+                payload = {}
+            if exc.code == 503 and "retry_after" in payload:
+                raise BackpressureError(
+                    exc.code, payload, float(payload["retry_after"])
+                ) from None
+            raise ServiceError(exc.code, payload) from None
+
+    # -- resources --------------------------------------------------------
+
+    def submit(
+        self,
+        scenario: str,
+        kind: str = "estimate",
+        quality: str | None = None,
+        *,
+        priority: int = 0,
+        timeout: float | None = None,
+        seed: int = 1,
+    ) -> dict:
+        """Submit a job; returns its status snapshot (``job["id"]``...)."""
+        body: dict = {"scenario": scenario, "kind": kind, "seed": seed}
+        if quality is not None:
+            body["quality"] = quality
+        if priority:
+            body["priority"] = priority
+        if timeout is not None:
+            body["timeout"] = timeout
+        _, doc = self._request("POST", "/jobs", body)
+        return doc["job"]
+
+    def status(self, job_id: str) -> dict:
+        _, doc = self._request("GET", f"/jobs/{job_id}")
+        return doc["job"]
+
+    def jobs(self) -> list[dict]:
+        _, doc = self._request("GET", "/jobs")
+        return doc["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        _, doc = self._request("DELETE", f"/jobs/{job_id}")
+        return doc["job"]
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        wait: bool = True,
+        deadline: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> dict:
+        """The job's result document; polls until terminal by default.
+
+        Raises :class:`JobFailedError` when the job failed or was
+        cancelled, ``TimeoutError`` when ``deadline`` elapses first.
+        """
+        limit = time.monotonic() + deadline
+        while True:
+            try:
+                status, doc = self._request("GET", f"/jobs/{job_id}/result")
+            except ServiceError as exc:
+                if exc.status in (410, 500):  # cancelled / failed
+                    raise JobFailedError(exc.status, exc.payload) from None
+                raise
+            if status == 200:
+                return doc["result"]
+            if not wait:
+                raise TimeoutError(f"job {job_id} not finished yet")
+            if time.monotonic() >= limit:
+                raise TimeoutError(
+                    f"job {job_id} not finished within {deadline:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def healthz(self) -> dict:
+        _, doc = self._request("GET", "/healthz")
+        return doc
+
+    def metrics(self) -> dict:
+        _, doc = self._request("GET", "/metrics")
+        return doc

@@ -1,0 +1,245 @@
+"""The stdlib-only HTTP front end of the assessment service.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no dependencies
+beyond the standard library.  Resources::
+
+    POST   /jobs             submit {"scenario", "kind", "quality",
+                             "priority", "timeout", "seed"}  -> 202 job
+                             (503 + Retry-After on queue saturation)
+    GET    /jobs             all known jobs (newest last)
+    GET    /jobs/<id>        one job's status
+    GET    /jobs/<id>/result 200 result doc | 202 still pending |
+                             410 cancelled | 500 failed
+    DELETE /jobs/<id>        cancel; returns the job status
+    GET    /healthz          liveness + queue depth
+    GET    /metrics          RuntimeMetrics counters/stages + scheduler
+                             queue stats + report-store totals
+
+Scenario references are either shipped catalogue names (``efes list``)
+or scenario directories in the on-disk format; resolution is cached per
+``(name, seed)`` so repeated submissions do not regenerate instances.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..scenarios import UnknownScenarioError, resolve_scenario
+from .jobs import JobState, QueueFullError, SchedulerClosedError
+from .scheduler import JobScheduler
+
+#: Default bind address of ``efes serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`JobScheduler`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, scheduler: JobScheduler) -> None:
+        super().__init__(address, ServiceHandler)
+        self.scheduler = scheduler
+        self._scenario_cache: dict[tuple[str, int], object] = {}
+        self._scenario_lock = threading.Lock()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def resolve_scenario(self, name: str, seed: int):
+        with self._scenario_lock:
+            cached = self._scenario_cache.get((name, seed))
+        if cached is not None:
+            return cached
+        scenario = resolve_scenario(name, seed)
+        with self._scenario_lock:
+            self._scenario_cache[(name, seed)] = scenario
+        return scenario
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the service logs
+    # nothing (metrics are the observability surface).
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def scheduler(self) -> JobScheduler:
+        return self.server.scheduler
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _send_json(self, status: int, doc: dict, headers: dict | None = None):
+        body = json.dumps(doc, ensure_ascii=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    def _segments(self) -> list[str]:
+        path = self.path.split("?", 1)[0]
+        return [segment for segment in path.split("/") if segment]
+
+    # -- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        segments = self._segments()
+        if segments == ["healthz"]:
+            stats = self.scheduler.stats()
+            self._send_json(
+                200,
+                {
+                    "status": "ok" if stats["open"] else "closing",
+                    "backend": self.scheduler.runtime.backend,
+                    "queue_depth": stats["queue_depth"],
+                    "running": stats["running"],
+                },
+            )
+            return
+        if segments == ["metrics"]:
+            stats = self.scheduler.stats()
+            snapshot = self.scheduler.metrics.snapshot()
+            self._send_json(
+                200,
+                {
+                    **snapshot.to_dict(),
+                    "scheduler": stats,
+                    "store": {
+                        "entries": len(self.scheduler.store),
+                        "spooled": self.scheduler.store.spooled_count(),
+                    },
+                },
+            )
+            return
+        if segments == ["jobs"]:
+            self._send_json(
+                200,
+                {"jobs": [job.snapshot() for job in self.scheduler.jobs()]},
+            )
+            return
+        if len(segments) == 2 and segments[0] == "jobs":
+            job = self.scheduler.job(segments[1])
+            if job is None:
+                self._send_json(404, {"error": f"unknown job {segments[1]!r}"})
+            else:
+                self._send_json(200, {"job": job.snapshot()})
+            return
+        if (
+            len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "result"
+        ):
+            self._get_result(segments[1])
+            return
+        self._send_json(404, {"error": f"no such resource: {self.path}"})
+
+    def _get_result(self, job_id: str) -> None:
+        job = self.scheduler.job(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+        elif job.state is JobState.DONE:
+            self._send_json(200, {"job": job.snapshot(), "result": job.result})
+        elif job.state is JobState.FAILED:
+            self._send_json(500, {"job": job.snapshot(), "error": job.error})
+        elif job.state is JobState.CANCELLED:
+            self._send_json(410, {"job": job.snapshot(), "error": "cancelled"})
+        else:  # queued or running: not ready yet
+            self._send_json(202, {"job": job.snapshot()})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self._segments() != ["jobs"]:
+            self._send_json(404, {"error": f"no such resource: {self.path}"})
+            return
+        try:
+            body = self._read_body()
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        name = body.get("scenario")
+        if not name:
+            self._send_json(400, {"error": "missing required field 'scenario'"})
+            return
+        kind = body.get("kind", "estimate")
+        try:
+            scenario = self.server.resolve_scenario(
+                str(name), int(body.get("seed", 1))
+            )
+            job = self.scheduler.submit(
+                scenario,
+                kind=kind,
+                quality=body.get("quality"),
+                priority=int(body.get("priority", 0)),
+                timeout=body.get("timeout"),
+            )
+        except UnknownScenarioError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except QueueFullError as exc:
+            self._send_json(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+        except SchedulerClosedError as exc:
+            self._send_json(503, {"error": str(exc)})
+        except (TypeError, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        else:
+            self._send_json(202, {"job": job.snapshot()})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        segments = self._segments()
+        if len(segments) != 2 or segments[0] != "jobs":
+            self._send_json(404, {"error": f"no such resource: {self.path}"})
+            return
+        try:
+            job = self.scheduler.cancel(segments[1])
+        except KeyError:
+            self._send_json(404, {"error": f"unknown job {segments[1]!r}"})
+            return
+        self._send_json(200, {"job": job.snapshot()})
+
+
+def make_server(
+    scheduler: JobScheduler,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> ServiceServer:
+    """Bind a service server; ``port=0`` picks an ephemeral port."""
+    return ServiceServer((host, port), scheduler)
+
+
+def serve(
+    scheduler: JobScheduler,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> None:
+    """Blocking entry point used by ``efes serve``."""
+    server = make_server(scheduler, host, port)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

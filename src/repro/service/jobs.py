@@ -1,0 +1,140 @@
+"""The assessment-service job model.
+
+A *job* is one unit of effort-estimation work submitted to the
+:class:`~repro.service.scheduler.JobScheduler`: a full pipeline run
+(``estimate``), a phase-1-only run (``assess``), or an arbitrary callable
+(``callable``, used by tests and extensions).  Jobs carry a priority, an
+optional per-job timeout, and a cancellation event that detectors and
+custom payloads can observe cooperatively.
+
+State machine::
+
+    QUEUED ──> RUNNING ──> DONE
+       │          ├──────> FAILED     (exception or timeout)
+       └──────────┴──────> CANCELLED
+
+``DONE`` jobs submitted for content already in the report store never
+enter the queue at all — they are born ``DONE`` with ``from_store=True``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import threading
+import time
+import uuid
+from collections.abc import Callable
+
+#: The job kinds the scheduler knows how to execute.
+JOB_KINDS = ("assess", "estimate", "callable")
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SchedulerClosedError(RuntimeError):
+    """The scheduler is shut down and accepts no further submissions."""
+
+
+class QueueFullError(RuntimeError):
+    """Backpressure: the bounded job queue is at capacity.
+
+    Carries an explicit ``retry_after`` hint (seconds) derived from the
+    queue depth and observed job durations; the HTTP API surfaces it as a
+    ``Retry-After`` header on a 503 response.
+    """
+
+    def __init__(self, depth: int, retry_after: float) -> None:
+        super().__init__(
+            f"job queue is full ({depth} queued); retry in ~{retry_after:g}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class JobCancelled(Exception):
+    """Raised inside a payload that observes its cancellation event."""
+
+
+@dataclasses.dataclass
+class Job:
+    """One submitted assessment/estimation job and its lifecycle record.
+
+    Mutable fields are only written while holding the owning scheduler's
+    lock; payload code must treat jobs as read-only apart from checking
+    ``cancel_event``.
+    """
+
+    kind: str
+    scenario_name: str = ""
+    quality: str | None = None
+    priority: int = 0
+    timeout: float | None = None
+    #: Content-address in the report store (``None`` for callable jobs).
+    store_key: str | None = None
+    id: str = dataclasses.field(default_factory=lambda: uuid.uuid4().hex[:12])
+    state: JobState = JobState.QUEUED
+    result: dict | None = None
+    error: str | None = None
+    from_store: bool = False
+    created_at: float = dataclasses.field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Monotonic deadline, set when the job starts running with a timeout.
+    deadline: float | None = None
+    cancel_event: threading.Event = dataclasses.field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+    #: The work itself; set by the scheduler for assess/estimate jobs and
+    #: by the submitter for callable jobs.  Receives the job, returns the
+    #: result document.
+    payload: Callable[["Job"], dict] | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    #: Released-slot guard: a timed-out/cancelled running job frees its
+    #: worker slot exactly once even though the abandoned payload thread
+    #: finishes later.
+    slot_released: bool = dataclasses.field(default=False, repr=False)
+
+    def check_cancelled(self) -> None:
+        """Cooperative cancellation point for payloads."""
+        if self.cancel_event.is_set():
+            raise JobCancelled(self.id)
+
+    @property
+    def duration_seconds(self) -> float | None:
+        if self.started_at is None:
+            return None
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return end - self.started_at
+
+    def snapshot(self) -> dict:
+        """A JSON-compatible status view (the HTTP API's job resource)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "scenario": self.scenario_name,
+            "quality": self.quality,
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "state": self.state.value,
+            "error": self.error,
+            "from_store": self.from_store,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "duration_seconds": self.duration_seconds,
+        }

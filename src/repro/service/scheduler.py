@@ -1,0 +1,473 @@
+"""The concurrent job scheduler of the assessment service.
+
+Submissions enter a **bounded priority queue** (higher ``priority`` runs
+first, FIFO within a priority); when the queue is at capacity the
+scheduler rejects with :class:`~repro.service.jobs.QueueFullError`
+carrying an explicit retry-after hint — callers experience backpressure,
+never a hang.  A dispatcher thread pops jobs into at most ``workers``
+concurrent slots; each job executes with the scheduler's
+:class:`~repro.runtime.Runtime` activated, so detector fan-out, profile
+caching, and instrumentation all go through the shared runtime layer.
+
+Per-job **timeouts** are enforced by the dispatcher: an overdue job is
+marked ``FAILED``, its cancellation event is set (cooperative payloads
+stop at their next check), its slot is released immediately, and the
+abandoned payload thread is left to drain in the background — a stuck
+detector cannot wedge the service.  **Cancellation** works on queued jobs
+(they simply never start) and on running jobs (event + immediate slot
+release, result discarded).
+
+Results of assess/estimate jobs are serialised documents
+(:mod:`repro.core.serialize`) and are written to the content-addressed
+:class:`~repro.service.store.ReportStore`; a later submission with
+identical scenario content completes instantly from the store.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections.abc import Callable
+
+from ..core import default_efes
+from ..core.framework import Efes
+from ..core.quality import ResultQuality
+from ..core.serialize import estimate_to_dict, reports_to_dict
+from ..runtime import Runtime
+from .jobs import (
+    Job,
+    JobCancelled,
+    JobState,
+    QueueFullError,
+    SchedulerClosedError,
+)
+from .store import ReportStore, job_key
+
+#: Fallback per-job duration estimate (seconds) for the retry-after hint
+#: before any job has completed.
+_DEFAULT_JOB_SECONDS = 1.0
+
+
+def _parse_quality(quality: ResultQuality | str | None) -> ResultQuality:
+    if isinstance(quality, ResultQuality):
+        return quality
+    if quality in ("low", "low_effort"):
+        return ResultQuality.LOW_EFFORT
+    return ResultQuality.HIGH_QUALITY
+
+
+class JobScheduler:
+    """Queue + worker slots + report store over one assessment runtime."""
+
+    def __init__(
+        self,
+        efes: Efes | None = None,
+        runtime: Runtime | None = None,
+        store: ReportStore | None = None,
+        *,
+        workers: int = 2,
+        max_queue: int = 64,
+        default_timeout: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self._owns_runtime = runtime is None and (
+            efes is None or efes.runtime is None
+        )
+        if runtime is None:
+            runtime = efes.runtime if efes and efes.runtime else Runtime()
+        self.runtime = runtime
+        self.efes = efes if efes is not None else default_efes(runtime=runtime)
+        self.store = (
+            store if store is not None else ReportStore(metrics=runtime.metrics)
+        )
+        self.workers = workers
+        self.max_queue = max_queue
+        self.default_timeout = default_timeout
+
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)  # dispatcher wake-ups
+        self._finished = threading.Condition(self._lock)  # waiters on jobs
+        self._queue: list[tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+        self._jobs: dict[str, Job] = {}
+        self._running: dict[str, Job] = {}
+        self._free_slots = workers
+        self._open = True
+        self._completed_jobs = 0
+        self._completed_seconds = 0.0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    @property
+    def metrics(self):
+        return self.runtime.metrics
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        scenario,
+        kind: str = "estimate",
+        quality: ResultQuality | str | None = None,
+        *,
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> Job:
+        """Queue an assess/estimate job for ``scenario``; returns the job.
+
+        Raises :class:`QueueFullError` (with ``retry_after``) when the
+        bounded queue is at capacity, :class:`SchedulerClosedError` after
+        shutdown.  Identical scenario content with a stored result
+        completes immediately (``from_store=True``) without queueing.
+        """
+        if kind not in ("assess", "estimate"):
+            raise ValueError(
+                f"unknown job kind {kind!r}; expected 'assess' or 'estimate'"
+            )
+        resolved_quality = _parse_quality(quality)
+        key = job_key(
+            scenario,
+            kind,
+            resolved_quality.value if kind == "estimate" else None,
+        )
+        job = Job(
+            kind=kind,
+            scenario_name=scenario.name,
+            quality=resolved_quality.value if kind == "estimate" else None,
+            priority=priority,
+            timeout=timeout if timeout is not None else self.default_timeout,
+            store_key=key,
+        )
+        self.metrics.increment("jobs_submitted")
+        stored = self.store.get(key)
+        if stored is not None:
+            job.state = JobState.DONE
+            job.result = stored
+            job.from_store = True
+            job.finished_at = time.time()
+            self.metrics.increment("jobs_from_store")
+            with self._lock:
+                self._jobs[job.id] = job
+            return job
+        job.payload = self._payload_for(job, scenario, resolved_quality)
+        self._enqueue(job)
+        return job
+
+    def submit_callable(
+        self,
+        payload: Callable[[Job], dict],
+        *,
+        name: str = "callable",
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> Job:
+        """Queue an arbitrary payload (tests, extensions, maintenance).
+
+        The payload receives the job (use ``job.check_cancelled()`` at
+        convenient points) and returns the result document.
+        """
+        job = Job(
+            kind="callable",
+            scenario_name=name,
+            priority=priority,
+            timeout=timeout if timeout is not None else self.default_timeout,
+            payload=payload,
+        )
+        self.metrics.increment("jobs_submitted")
+        self._enqueue(job)
+        return job
+
+    def _payload_for(
+        self, job: Job, scenario, quality: ResultQuality
+    ) -> Callable[[Job], dict]:
+        if job.kind == "assess":
+
+            def assess_payload(job: Job) -> dict:
+                reports = self.efes.assess(scenario)
+                job.check_cancelled()
+                return {
+                    "kind": "assess",
+                    "scenario": scenario.name,
+                    "reports": reports_to_dict(reports),
+                }
+
+            return assess_payload
+
+        def estimate_payload(job: Job) -> dict:
+            reports = self.efes.assess(scenario)
+            job.check_cancelled()
+            estimate = self.efes.estimate(scenario, quality, reports=reports)
+            job.check_cancelled()
+            return {
+                "kind": "estimate",
+                "scenario": scenario.name,
+                "quality": quality.value,
+                "reports": reports_to_dict(reports),
+                "estimate": estimate_to_dict(estimate),
+            }
+
+        return estimate_payload
+
+    def _enqueue(self, job: Job) -> None:
+        with self._lock:
+            if not self._open:
+                raise SchedulerClosedError("scheduler is shut down")
+            depth = self._queue_depth_locked()
+            if depth >= self.max_queue:
+                self.metrics.increment("jobs_rejected")
+                raise QueueFullError(depth, self._retry_after_locked(depth))
+            heapq.heappush(
+                self._queue, (-job.priority, next(self._sequence), job)
+            )
+            self._jobs[job.id] = job
+            self._wake.notify_all()
+
+    # ------------------------------------------------------------------
+    # Dispatch + execution
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        with self._lock:
+            while True:
+                now = time.monotonic()
+                self._reap_expired_locked(now)
+                if not self._open and not self._queue and not self._running:
+                    return
+                job = self._pop_runnable_locked()
+                if job is not None:
+                    self._free_slots -= 1
+                    job.state = JobState.RUNNING
+                    job.started_at = time.time()
+                    if job.timeout is not None:
+                        job.deadline = now + job.timeout
+                    self._running[job.id] = job
+                    threading.Thread(
+                        target=self._run_job,
+                        args=(job,),
+                        name=f"repro-service-job-{job.id}",
+                        daemon=True,
+                    ).start()
+                    continue
+                self._wake.wait(timeout=self._next_deadline_delay_locked())
+
+    def _pop_runnable_locked(self) -> Job | None:
+        if self._free_slots <= 0:
+            return None
+        while self._queue:
+            _, _, job = heapq.heappop(self._queue)
+            if job.state is JobState.QUEUED:
+                return job
+            # Cancelled while queued: already terminal, skip the husk.
+        return None
+
+    def _next_deadline_delay_locked(self) -> float | None:
+        deadlines = [
+            job.deadline
+            for job in self._running.values()
+            if job.deadline is not None
+        ]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic()) + 0.005
+
+    def _reap_expired_locked(self, now: float) -> None:
+        for job in list(self._running.values()):
+            if job.deadline is not None and now >= job.deadline:
+                job.cancel_event.set()
+                job.state = JobState.FAILED
+                job.error = f"timed out after {job.timeout:g}s"
+                job.finished_at = time.time()
+                self._release_slot_locked(job)
+                del self._running[job.id]
+                self.metrics.increment("jobs_timeout")
+                self.metrics.increment("jobs_failed")
+                self._record_duration_locked(job)
+                self._finished.notify_all()
+
+    def _run_job(self, job: Job) -> None:
+        result: dict | None = None
+        error: str | None = None
+        cancelled = False
+        try:
+            with self.runtime.activated():
+                job.check_cancelled()
+                result = job.payload(job)
+        except JobCancelled:
+            cancelled = True
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            error = f"{type(exc).__name__}: {exc}"
+        self._finish(job, result, error, cancelled)
+
+    def _finish(
+        self, job: Job, result: dict | None, error: str | None, cancelled: bool
+    ) -> None:
+        with self._lock:
+            self._running.pop(job.id, None)
+            if job.state is JobState.RUNNING:
+                job.finished_at = time.time()
+                if cancelled or job.cancel_event.is_set():
+                    job.state = JobState.CANCELLED
+                    self.metrics.increment("jobs_cancelled")
+                elif error is not None:
+                    job.state = JobState.FAILED
+                    job.error = error
+                    self.metrics.increment("jobs_failed")
+                else:
+                    job.state = JobState.DONE
+                    job.result = result
+                    self.metrics.increment("jobs_completed")
+                    if job.store_key is not None and result is not None:
+                        self.store.put(job.store_key, result)
+                self._record_duration_locked(job)
+            # else: the dispatcher (timeout) or cancel() already settled
+            # the job and released its slot; this is the abandoned payload
+            # thread draining — its result is discarded.
+            self._release_slot_locked(job)
+            self._wake.notify_all()
+            self._finished.notify_all()
+
+    def _release_slot_locked(self, job: Job) -> None:
+        if not job.slot_released:
+            job.slot_released = True
+            self._free_slots += 1
+            self._wake.notify_all()
+
+    def _record_duration_locked(self, job: Job) -> None:
+        duration = job.duration_seconds
+        if duration is not None:
+            self._completed_jobs += 1
+            self._completed_seconds += duration
+
+    # ------------------------------------------------------------------
+    # Inspection + control
+    # ------------------------------------------------------------------
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created_at)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job; terminal jobs are left as-is."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state is JobState.QUEUED:
+                job.cancel_event.set()
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self.metrics.increment("jobs_cancelled")
+                self._finished.notify_all()
+            elif job.state is JobState.RUNNING:
+                job.cancel_event.set()
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self._running.pop(job.id, None)
+                self._release_slot_locked(job)
+                self.metrics.increment("jobs_cancelled")
+                self._record_duration_locked(job)
+                self._finished.notify_all()
+            return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state (or timeout)."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._lock:
+            job = self._jobs[job_id]
+            while not job.state.is_terminal:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._finished.wait(timeout=remaining)
+            return job
+
+    def _queue_depth_locked(self) -> int:
+        return sum(
+            1 for _, _, job in self._queue if job.state is JobState.QUEUED
+        )
+
+    def _retry_after_locked(self, depth: int) -> float:
+        average = (
+            self._completed_seconds / self._completed_jobs
+            if self._completed_jobs
+            else _DEFAULT_JOB_SECONDS
+        )
+        waves = (depth + self.workers) / self.workers
+        return round(max(1.0, waves * average), 1)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "open": self._open,
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+                "queue_depth": self._queue_depth_locked(),
+                "running": len(self._running),
+                "jobs_total": len(self._jobs),
+                "completed_jobs": self._completed_jobs,
+                "average_job_seconds": (
+                    self._completed_seconds / self._completed_jobs
+                    if self._completed_jobs
+                    else None
+                ),
+            }
+
+    def close(self, *, wait: bool = True, timeout: float | None = 10.0) -> None:
+        """Stop accepting work; cancel the queue; optionally drain runners."""
+        with self._lock:
+            if not self._open:
+                return
+            self._open = False
+            for _, _, job in self._queue:
+                if job.state is JobState.QUEUED:
+                    job.cancel_event.set()
+                    job.state = JobState.CANCELLED
+                    job.finished_at = time.time()
+                    self.metrics.increment("jobs_cancelled")
+            self._queue.clear()
+            self._wake.notify_all()
+            self._finished.notify_all()
+        if wait:
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            with self._lock:
+                while self._running:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                    self._finished.wait(timeout=remaining)
+        self._dispatcher.join(timeout=1.0)
+        if self._owns_runtime:
+            self.runtime.close()
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"JobScheduler(workers={self.workers}, "
+            f"queued={stats['queue_depth']}/{self.max_queue}, "
+            f"running={stats['running']})"
+        )

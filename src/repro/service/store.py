@@ -1,0 +1,146 @@
+"""Content-addressed persistence for assessment results.
+
+The :class:`ReportStore` maps a *content key* — a SHA-1 over the scenario
+fingerprint (:func:`repro.runtime.fingerprint_scenario`), the job kind,
+and the expected result quality — to the job's serialised result
+document.  Because the key covers data content rather than scenario
+names, a job submitted twice for identical scenario content is served
+from the store the second time, across processes if a spool directory is
+configured.
+
+Layout of the spool directory: one ``<key>.json`` file per entry,
+written atomically (temp file + rename) so a crashed writer never leaves
+a torn document behind.  Hits/misses/puts are counted on the attached
+:class:`~repro.runtime.metrics.RuntimeMetrics` (``store_hits``,
+``store_misses``, ``store_puts``), which is how the service's
+``/metrics`` endpoint exposes store effectiveness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+from ..runtime import RuntimeMetrics, fingerprint_scenario
+
+#: Store format marker embedded in every spooled document.
+STORE_VERSION = 1
+
+
+def job_key(scenario, kind: str, quality: str | None = None) -> str:
+    """The content address of one (scenario content, kind, quality) job."""
+    digest = hashlib.sha1()
+    digest.update(fingerprint_scenario(scenario).encode())
+    digest.update(b"\x1f")
+    digest.update(kind.encode("utf-8"))
+    digest.update(b"\x1f")
+    digest.update((quality or "").encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ReportStore:
+    """An in-memory + optional on-disk map of content key -> result doc.
+
+    ``directory=None`` keeps the store purely in memory; with a directory
+    every put is spooled to disk and misses fall back to the spool, so
+    results survive process restarts.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        metrics: RuntimeMetrics | None = None,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict] = {}
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- core protocol ----------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The stored document, or ``None``; counts a hit or a miss."""
+        with self._lock:
+            doc = self._entries.get(key)
+        if doc is None and self.directory is not None:
+            doc = self._read_spool(key)
+            if doc is not None:
+                with self._lock:
+                    self._entries[key] = doc
+        if doc is None:
+            self.metrics.increment("store_misses")
+            return None
+        self.metrics.increment("store_hits")
+        return doc
+
+    def contains(self, key: str) -> bool:
+        """Membership without touching the hit/miss counters."""
+        with self._lock:
+            if key in self._entries:
+                return True
+        return (
+            self.directory is not None and (self._spool_path(key)).exists()
+        )
+
+    def put(self, key: str, doc: dict) -> None:
+        with self._lock:
+            self._entries[key] = doc
+        self.metrics.increment("store_puts")
+        if self.directory is not None:
+            self._write_spool(key, doc)
+
+    # -- spool ------------------------------------------------------------
+
+    def _spool_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _read_spool(self, key: str) -> dict | None:
+        path = self._spool_path(key)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None  # missing or torn entry: treat as a miss
+        if envelope.get("version") != STORE_VERSION:
+            return None
+        return envelope.get("document")
+
+    def _write_spool(self, key: str, doc: dict) -> None:
+        envelope = {"version": STORE_VERSION, "key": key, "document": doc}
+        path = self._spool_path(key)
+        temporary = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        temporary.write_text(
+            json.dumps(envelope, sort_keys=True, ensure_ascii=False),
+            encoding="utf-8",
+        )
+        temporary.replace(path)
+
+    # -- maintenance ------------------------------------------------------
+
+    def clear(self, *, spool: bool = False) -> None:
+        """Drop the in-memory entries (and, optionally, the spool files)."""
+        with self._lock:
+            self._entries.clear()
+        if spool and self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+    def spooled_count(self) -> int:
+        if self.directory is None:
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        where = str(self.directory) if self.directory else "memory"
+        return f"ReportStore({len(self)} entries, spool={where})"

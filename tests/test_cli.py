@@ -1,5 +1,11 @@
 """Tests for the ``efes`` command-line interface."""
 
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,6 +24,19 @@ class TestParser:
     def test_seed_flag(self):
         args = build_parser().parse_args(["--seed", "7", "list"])
         assert args.seed == 7
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.spool is None
+        assert args.job_workers == 2
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "s1-s2"])
+        assert args.kind == "estimate"
+        assert args.quality == "high"
+        assert args.url is None
 
 
 class TestCommands:
@@ -64,6 +83,70 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Mapping complexity report" in out
 
-    def test_unknown_scenario_raises(self):
-        with pytest.raises(KeyError):
-            main(["assess", "not-a-scenario"])
+    def test_unknown_scenario_exits_with_one_line_error(self, capsys):
+        for command in ("assess", "estimate"):
+            assert main([command, "not-a-scenario"]) == 2
+            captured = capsys.readouterr()
+            assert captured.out == ""
+            assert captured.err.count("\n") == 1
+            assert "unknown scenario 'not-a-scenario'" in captured.err
+            assert "Traceback" not in captured.err
+
+
+class TestServiceCommands:
+    def test_serve_and_submit_round_trip(self, capsys, monkeypatch):
+        from repro.service import JobScheduler, make_server
+
+        scheduler = JobScheduler(workers=1, max_queue=8)
+        server = make_server(scheduler, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            monkeypatch.setenv("REPRO_SERVICE_URL", server.url)
+            assert main(["submit", "s4-s4", "--quality", "high"]) == 0
+            out = capsys.readouterr().out
+            assert "estimate for s4-s4" in out
+            assert "min across" in out
+
+            assert main(["submit", "s4-s4", "--kind", "assess"]) == 0
+            assert "assessed s4-s4" in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            server.server_close()
+            scheduler.close(wait=True, timeout=5.0)
+            thread.join(timeout=5.0)
+
+    def test_submit_unknown_scenario_fails_cleanly(self, capsys, monkeypatch):
+        from repro.service import JobScheduler, make_server
+
+        scheduler = JobScheduler(workers=1)
+        server = make_server(scheduler, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            monkeypatch.setenv("REPRO_SERVICE_URL", server.url)
+            assert main(["submit", "not-a-scenario"]) == 1
+            err = capsys.readouterr().err
+            assert "unknown scenario" in err
+        finally:
+            server.shutdown()
+            server.server_close()
+            scheduler.close(wait=True, timeout=5.0)
+            thread.join(timeout=5.0)
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self):
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=repo_root,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "example" in completed.stdout

@@ -1,0 +1,113 @@
+"""Round-trip tests for the JSON codecs of reports, tasks, estimates."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ResultQuality,
+    SerializationError,
+    default_efes,
+    estimate_from_dict,
+    estimate_to_dict,
+    report_from_dict,
+    report_to_dict,
+    reports_from_dict,
+    reports_to_dict,
+    task_from_dict,
+    task_to_dict,
+    tasks_from_dicts,
+    tasks_to_dicts,
+)
+from repro.core.reports import ComplexityReport
+from repro.core.tasks import Task, TaskType
+
+
+def through_json(doc):
+    """Force a real JSON round trip, not just dict identity."""
+    return json.loads(json.dumps(doc))
+
+
+class TestReportRoundTrip:
+    def test_every_shipped_report_shape(self, example_reports):
+        for name, report in example_reports.items():
+            doc = through_json(report_to_dict(report))
+            restored = report_from_dict(doc)
+            assert restored == report, name
+            assert restored.module == report.module
+
+    def test_reports_dict_preserves_module_order(self, example_reports):
+        doc = through_json(reports_to_dict(example_reports))
+        restored = reports_from_dict(doc)
+        assert list(restored) == list(example_reports)
+        assert restored == example_reports
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            report_from_dict({"kind": "sentiment", "findings": []})
+
+    def test_unregistered_report_type_rejected(self):
+        class CustomReport(ComplexityReport):
+            module = "custom"
+
+        with pytest.raises(SerializationError):
+            report_to_dict(CustomReport())
+
+
+class TestTaskRoundTrip:
+    def test_plain_task(self):
+        task = Task(
+            TaskType.CONVERT_VALUES,
+            ResultQuality.HIGH_QUALITY,
+            "albums.length -> records.length",
+            {"values": 1000.0, "representations": 2.0},
+            module="values",
+        )
+        assert task_from_dict(through_json(task_to_dict(task))) == task
+
+    def test_planned_task_list(self, small_example, efes):
+        outcome = efes.run(small_example, ResultQuality.HIGH_QUALITY)
+        docs = through_json(tasks_to_dicts(outcome.tasks))
+        assert tasks_from_dicts(docs) == outcome.tasks
+
+    def test_malformed_task_rejected(self):
+        with pytest.raises(SerializationError):
+            task_from_dict({"type": "Not a task", "quality": "high_quality"})
+
+
+class TestEstimateRoundTrip:
+    @pytest.mark.parametrize(
+        "quality", [ResultQuality.LOW_EFFORT, ResultQuality.HIGH_QUALITY]
+    )
+    def test_estimate(self, small_example, efes, quality):
+        estimate = efes.estimate(small_example, quality)
+        doc = through_json(estimate_to_dict(estimate))
+        restored = estimate_from_dict(doc)
+        assert restored == estimate
+        assert restored.total_minutes == pytest.approx(estimate.total_minutes)
+        assert restored.by_category() == estimate.by_category()
+
+    def test_headline_total_matches_entries(self, small_example, efes):
+        estimate = efes.estimate(small_example, ResultQuality.HIGH_QUALITY)
+        doc = estimate_to_dict(estimate)
+        assert doc["total_minutes"] == pytest.approx(
+            sum(entry["minutes"] for entry in doc["entries"])
+        )
+
+    def test_malformed_estimate_rejected(self):
+        with pytest.raises(SerializationError):
+            estimate_from_dict({"scenario_name": "x", "quality": "nope"})
+
+
+class TestOutcome:
+    def test_run_bundles_reports_and_estimate(self, small_example):
+        efes = default_efes()
+        outcome = efes.run(small_example, ResultQuality.HIGH_QUALITY)
+        assert set(outcome.reports) == {"mapping", "structure", "values"}
+        assert outcome.scenario_name == small_example.name
+        assert outcome.tasks == [e.task for e in outcome.estimate.entries]
+        # The bundled estimate equals a standalone one over the same reports.
+        standalone = efes.estimate(
+            small_example, ResultQuality.HIGH_QUALITY, reports=outcome.reports
+        )
+        assert outcome.estimate == standalone
