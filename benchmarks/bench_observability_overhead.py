@@ -1,0 +1,179 @@
+"""Observability overhead benchmark — untraced vs traced assessment.
+
+Tracing is off by default; this bench guards the price of that default.
+It times a full ``Efes.run`` of a mid-size generated scenario with
+tracing disabled (the no-op span fast path) and with tracing enabled
+(spans recorded for every stage, detector, and profile call), takes the
+minimum of several fresh-runtime repetitions of each, and gates the
+enabled-over-disabled overhead at ``OVERHEAD_GATE`` (5%).
+
+Per the ISSUE the hard requirement is the *disabled* path: when tracing
+is off the pipeline must run within 5% of a build that never heard of
+spans.  Since the no-op path is a single ContextVar read returning a
+shared singleton, the honest proxy measured here is enabled-vs-disabled;
+if even full recording fits in the gate, the disabled path trivially
+does.  On noisy CI hosts timing jitter can exceed the gate for this
+sub-second workload, so the JSON records a rationale instead of failing
+when the absolute delta is below ``NOISE_FLOOR_SECONDS``.
+
+Emits ``BENCH_observability_overhead.json`` next to the repo root.
+``REPRO_BENCH_SMOKE=1`` shrinks the scenario and repetition count so CI
+can exercise the gate in seconds.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import default_efes
+from repro.core.quality import ResultQuality
+from repro.reporting import render_table
+from repro.runtime import Runtime
+from repro.scenarios.example import ExampleParameters, example_scenario
+from conftest import run_once
+
+OUTPUT = (
+    Path(__file__).resolve().parent.parent
+    / "BENCH_observability_overhead.json"
+)
+
+#: Enabled-tracing overhead must stay below this fraction of the
+#: untraced time (the ISSUE's <5% acceptance gate).
+OVERHEAD_GATE = 0.05
+
+#: Absolute deltas below this are indistinguishable from scheduler noise
+#: on shared CI runners; the gate then records a rationale instead of
+#: failing.
+NOISE_FLOOR_SECONDS = 0.050
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _scenario():
+    if SMOKE:
+        return example_scenario(
+            ExampleParameters(
+                albums=200, multi_artist_albums=50, detached_artists=10
+            )
+        )
+    return example_scenario(
+        ExampleParameters(
+            albums=1000, multi_artist_albums=250, detached_artists=50
+        )
+    )
+
+
+def _min_run_seconds(scenario, repetitions, trace):
+    """Best-of-N full pipeline runs, each on a fresh (cold) runtime."""
+    best = float("inf")
+    outcome = None
+    for _ in range(repetitions):
+        runtime = Runtime(backend="serial")
+        efes = default_efes(runtime=runtime)
+        started = time.perf_counter()
+        outcome = efes.run(
+            scenario, ResultQuality.HIGH_QUALITY, trace=trace
+        )
+        best = min(best, time.perf_counter() - started)
+        runtime.close()
+    return best, outcome
+
+
+def test_observability_overhead(benchmark):
+    scenario = _scenario()
+    repetitions = 3 if SMOKE else 5
+
+    untraced_seconds, untraced = _min_run_seconds(
+        scenario, repetitions, trace=False
+    )
+    traced_seconds, traced = _min_run_seconds(
+        scenario, repetitions, trace=True
+    )
+
+    # Tracing must never change the answer, only observe it.
+    assert untraced.trace is None
+    assert traced.trace is not None
+    assert (
+        traced.estimate.total_minutes == untraced.estimate.total_minutes
+    )
+
+    # The recorded tree covers the whole run: every detector and planner
+    # appears exactly once and the root total approximates the wall time.
+    names = [span.name for span in traced.trace.walk()]
+    for stage in (
+        "assess",
+        "estimate",
+        "plan",
+        "price",
+        "detector:mapping",
+        "detector:structure",
+        "detector:values",
+        "planner:mapping",
+        "planner:structure",
+        "planner:values",
+    ):
+        assert names.count(stage) == 1, (stage, names)
+
+    overhead = traced_seconds / untraced_seconds - 1.0
+    delta_seconds = traced_seconds - untraced_seconds
+
+    rationale = None
+    within_gate = overhead < OVERHEAD_GATE
+    if not within_gate and delta_seconds < NOISE_FLOOR_SECONDS:
+        rationale = (
+            f"absolute delta {delta_seconds * 1e3:.1f}ms is below the "
+            f"{NOISE_FLOOR_SECONDS * 1e3:.0f}ms noise floor for this "
+            "sub-second workload; relative gate waived"
+        )
+    assert within_gate or rationale is not None, (
+        f"tracing overhead {overhead:.1%} exceeds the "
+        f"{OVERHEAD_GATE:.0%} gate "
+        f"({untraced_seconds:.4f}s -> {traced_seconds:.4f}s)"
+    )
+
+    payload = {
+        "bench": "observability_overhead",
+        "scenario": scenario.name,
+        "smoke": SMOKE,
+        "repetitions": repetitions,
+        "untraced_seconds": round(untraced_seconds, 4),
+        "traced_seconds": round(traced_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_gate": OVERHEAD_GATE,
+        "within_gate": within_gate,
+        "spans_recorded": len(names),
+        "rationale": rationale,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    bench_runtime = Runtime(backend="serial")
+    bench_efes = default_efes(runtime=bench_runtime)
+    run_once(
+        benchmark,
+        bench_efes.run,
+        scenario,
+        ResultQuality.HIGH_QUALITY,
+        trace=True,
+    )
+    bench_runtime.close()
+
+    print()
+    print(
+        render_table(
+            ["Configuration", "Seconds", "Overhead"],
+            [
+                ("tracing disabled", f"{untraced_seconds:.4f}", "—"),
+                (
+                    "tracing enabled",
+                    f"{traced_seconds:.4f}",
+                    f"{overhead:+.1%}",
+                ),
+            ],
+            title=f"Tracing overhead on {scenario.name} "
+            f"({'smoke' if SMOKE else 'full'} mode)",
+        )
+    )
+    print(f"{len(names)} spans recorded; wrote {OUTPUT.name}")
+    if rationale:
+        print(f"gate waived: {rationale}")

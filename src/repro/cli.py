@@ -6,6 +6,8 @@ of the shipped scenarios:
 * ``efes assess <scenario>``   — print the data complexity reports,
 * ``efes estimate <scenario>`` — print the task list and effort estimate,
 * ``efes measure <scenario>``  — run the practitioner simulator,
+* ``efes trace <scenario>``    — run the full pipeline traced and print
+  the span tree (accepts the domain aliases ``bibliographic``/``music``),
 * ``efes experiments``         — reproduce Figures 6 and 7 + rmse,
 * ``efes list``                — list the available scenarios,
 * ``efes serve``               — run the HTTP assessment service,
@@ -146,6 +148,51 @@ def cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_targets(name: str, seed: int) -> list:
+    """Scenarios to trace: one catalogue/directory entry, or a whole
+    domain via the ``bibliographic``/``music`` aliases."""
+    from .scenarios import bibliographic_scenarios, music_scenarios
+
+    if name == "bibliographic":
+        return list(bibliographic_scenarios(seed))
+    if name == "music":
+        return list(music_scenarios(seed))
+    return [_resolve_scenario(name, seed)]
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .core.serialize import span_to_dict
+    from .observability import render_span_tree
+
+    efes = default_efes()
+    quality = _quality(args.quality)
+    documents = []
+    for index, scenario in enumerate(_trace_targets(args.scenario, args.seed)):
+        if index:
+            print()
+        started = time.perf_counter()
+        outcome = efes.run(scenario, quality, trace=True)
+        wall_seconds = time.perf_counter() - started
+        root = outcome.trace
+        print(
+            f"Trace of {scenario.name} ({args.quality}): "
+            f"wall-clock {wall_seconds:.4f}s, "
+            f"estimate {outcome.estimate.total_minutes:.1f} min"
+        )
+        print(render_span_tree(root))
+        documents.append(span_to_dict(root))
+    if args.output:
+        payload = documents[0] if len(documents) == 1 else documents
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_curve(args: argparse.Namespace) -> int:
     from .extensions import cost_benefit_curve
 
@@ -181,7 +228,9 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import run_experiments
     from .reporting import render_experiment_markdown
 
-    report = run_experiments(seed=args.seed)
+    report = run_experiments(seed=args.seed, trace_dir=args.trace_dir)
+    if args.trace_dir:
+        print(f"wrote per-scenario trace files to {args.trace_dir}/")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(render_experiment_markdown(report))
@@ -334,6 +383,27 @@ def build_parser() -> argparse.ArgumentParser:
                 help="expected result quality",
             )
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="run the pipeline traced and print the span tree",
+    )
+    trace.add_argument(
+        "scenario",
+        help="scenario name, directory, or domain alias "
+        "(bibliographic, music)",
+    )
+    trace.add_argument(
+        "--quality",
+        choices=("low", "high"),
+        default="high",
+        help="expected result quality",
+    )
+    trace.add_argument(
+        "--output",
+        default=None,
+        help="also write the span tree(s) as JSON to this path",
+    )
+
     curve = subparsers.add_parser(
         "curve", help="cost-benefit curve of a scenario (§7 extension)"
     )
@@ -352,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="write a markdown report to this path instead of printing",
+    )
+    experiments.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write one <scenario>.trace.json span tree per scenario "
+        "into this directory",
     )
 
     serve = subparsers.add_parser(
@@ -443,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
         "assess": cmd_assess,
         "estimate": cmd_estimate,
         "measure": cmd_measure,
+        "trace": cmd_trace,
         "curve": cmd_curve,
         "save": cmd_save,
         "experiments": cmd_experiments,

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Iterable, Sequence
 
+from ..observability import Span, Tracer, tracing
 from ..runtime import Runtime, RuntimeMetrics, get_runtime
 from ..scenarios.scenario import IntegrationScenario
 from .effort import (
@@ -74,6 +75,9 @@ class AssessmentOutcome:
     quality: ResultQuality
     reports: dict[str, ComplexityReport]
     estimate: EffortEstimate
+    #: Root span of the traced run (``Efes.run(..., trace=True)``), else
+    #: ``None``; serialisable via :func:`repro.core.serialize.span_to_dict`.
+    trace: Span | None = None
 
     @property
     def tasks(self) -> list[Task]:
@@ -140,10 +144,13 @@ class Efes:
         if reports is None:
             reports = self.assess(scenario)
         tasks: list[Task] = []
-        with runtime.activated(), runtime.metrics.time_stage("plan"):
+        with runtime.activated(), tracing.span("plan"), \
+                runtime.metrics.time_stage("plan"):
             for module in self.modules:
                 report = reports[module.name]
-                tasks.extend(module.plan(scenario, report, quality))
+                with tracing.span(f"planner:{module.name}"):
+                    planned = module.plan(scenario, report, quality)
+                tasks.extend(planned)
         return tasks
 
     def estimate(
@@ -162,28 +169,48 @@ class Efes:
         """
         runtime = self._resolve_runtime()
         runtime.metrics.increment("estimates")
-        tasks = self.plan(scenario, quality, reports=reports)
-        for adjustment in adjustments:
-            tasks = adjustment(tasks)
-        with runtime.metrics.time_stage("price"):
-            return price_tasks(scenario.name, quality, tasks, self.settings)
+        with tracing.span("estimate", scenario=scenario.name):
+            tasks = self.plan(scenario, quality, reports=reports)
+            for adjustment in adjustments:
+                tasks = adjustment(tasks)
+            with tracing.span("price"), runtime.metrics.time_stage("price"):
+                return price_tasks(
+                    scenario.name, quality, tasks, self.settings
+                )
 
     def run(
         self,
         scenario: IntegrationScenario,
         quality: ResultQuality,
         adjustments: Iterable[TaskAdjustment] = (),
+        trace: bool = False,
     ) -> AssessmentOutcome:
         """Both phases as one deliverable: reports + tasks + estimate.
 
         This is the unit of work the assessment service executes and
         stores; :func:`repro.core.serialize` round-trips every part.
+        With ``trace=True`` the whole run executes under a fresh
+        :class:`~repro.observability.Tracer` and the outcome carries the
+        completed root span (``run:<scenario>``) — detectors, profiling,
+        planning, and pricing appear as its descendants.
         """
-        reports = self.assess(scenario)
-        estimate = self.estimate(
-            scenario, quality, adjustments=adjustments, reports=reports
+        if not trace:
+            reports = self.assess(scenario)
+            estimate = self.estimate(
+                scenario, quality, adjustments=adjustments, reports=reports
+            )
+            return AssessmentOutcome(scenario.name, quality, reports, estimate)
+        tracer = Tracer()
+        with tracer.activated(), tracing.span(
+            f"run:{scenario.name}", quality=quality.value
+        ):
+            reports = self.assess(scenario)
+            estimate = self.estimate(
+                scenario, quality, adjustments=adjustments, reports=reports
+            )
+        return AssessmentOutcome(
+            scenario.name, quality, reports, estimate, trace=tracer.root
         )
-        return AssessmentOutcome(scenario.name, quality, reports, estimate)
 
     def with_settings(self, settings: ExecutionSettings) -> "Efes":
         return Efes(self.modules, settings, runtime=self.runtime)

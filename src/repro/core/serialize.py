@@ -19,6 +19,9 @@ from __future__ import annotations
 import json
 from collections.abc import Callable, Mapping
 
+from ..observability import Span
+from ..observability import span_from_dict as _span_from_dict
+from ..observability import span_to_dict as _span_to_dict
 from .effort import EffortEstimate, TaskEffort
 from .quality import ResultQuality
 from .reports import (
@@ -269,6 +272,25 @@ def estimate_from_dict(doc: Mapping) -> EffortEstimate:
         )
     except (KeyError, ValueError) as exc:
         raise SerializationError(f"malformed estimate document: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Trace spans
+# ----------------------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> dict:
+    """Encode a trace span tree (``Efes.run(trace=True)``, service job
+    traces) as plain JSON-compatible data."""
+    return _span_to_dict(span)
+
+
+def span_from_dict(doc: Mapping) -> Span:
+    """Restore a span tree; the inverse of :func:`span_to_dict`."""
+    try:
+        return _span_from_dict(dict(doc))
+    except ValueError as exc:
+        raise SerializationError(str(exc)) from exc
 
 
 # ----------------------------------------------------------------------

@@ -15,8 +15,11 @@ Every number is deterministic given the seeds.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import json
 from collections.abc import Callable, Sequence
+from pathlib import Path
 
 from .core import (
     AttributeCountingBaseline,
@@ -86,41 +89,72 @@ def evaluate_domain(
     efes: Efes | None = None,
     simulator: PractitionerSimulator | None = None,
     scheduler=None,
+    trace_dir: str | Path | None = None,
 ) -> list[Cell]:
     """Measure + raw-estimate every (scenario, quality) cell of a domain.
 
     ``scheduler`` optionally routes phase-1 assessment through a
     :class:`repro.service.JobScheduler` (and thus its report store); the
     serialisation round-trip is lossless, so the cells are identical.
+    ``trace_dir`` enables tracing and writes one span tree per scenario
+    to ``<trace_dir>/<scenario>.trace.json``.
     """
+    from .observability import Tracer, tracing
+
     efes = efes or default_efes()
     simulator = simulator or PractitionerSimulator()
     cells: list[Cell] = []
     for scenario in scenarios:
-        # Assess once per scenario; both quality cells price the same
-        # complexity reports (the detectors are quality-independent).
-        if scheduler is not None:
-            reports = _assess_via_scheduler(scheduler, scenario)
-        else:
-            reports = efes.assess(scenario)
-        for quality in QUALITIES:
-            result = simulator.integrate(scenario, quality)
-            estimate = efes.estimate(scenario, quality, reports=reports)
-            cells.append(
-                Cell(
-                    scenario=scenario,
-                    quality=quality,
-                    measured_total=result.total_minutes,
-                    measured_breakdown=result.breakdown(),
-                    efes_total=estimate.total_minutes,
-                    efes_breakdown={
-                        category.value: minutes
-                        for category, minutes in estimate.by_category().items()
-                    },
-                    counting_attributes=scenario.total_source_attributes(),
+        tracer = Tracer() if trace_dir is not None else None
+        scope = (
+            contextlib.nullcontext()
+            if tracer is None
+            else tracer.activated()
+        )
+        with scope, tracing.span(f"scenario:{scenario.name}"):
+            # Assess once per scenario; both quality cells price the
+            # same complexity reports (the detectors are
+            # quality-independent).
+            if scheduler is not None:
+                reports = _assess_via_scheduler(scheduler, scenario)
+            else:
+                reports = efes.assess(scenario)
+            for quality in QUALITIES:
+                result = simulator.integrate(scenario, quality)
+                estimate = efes.estimate(scenario, quality, reports=reports)
+                cells.append(
+                    Cell(
+                        scenario=scenario,
+                        quality=quality,
+                        measured_total=result.total_minutes,
+                        measured_breakdown=result.breakdown(),
+                        efes_total=estimate.total_minutes,
+                        efes_breakdown={
+                            category.value: minutes
+                            for category, minutes in (
+                                estimate.by_category().items()
+                            )
+                        },
+                        counting_attributes=(
+                            scenario.total_source_attributes()
+                        ),
+                    )
                 )
-            )
+        if tracer is not None and tracer.root is not None:
+            _write_trace(trace_dir, scenario.name, tracer.root)
     return cells
+
+
+def _write_trace(trace_dir: str | Path, name: str, root) -> None:
+    """Persist one scenario's span tree as pretty-printed JSON."""
+    from .observability import span_to_dict
+
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.trace.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(span_to_dict(root), handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def calibrate_efes_scale(training: Sequence[Cell]) -> float:
@@ -244,6 +278,7 @@ def run_experiments(
     simulator: PractitionerSimulator | None = None,
     runtime=None,
     scheduler=None,
+    trace_dir: str | Path | None = None,
 ) -> ExperimentReport:
     """The full Section 6 evaluation (Figures 6 + 7 and the rmse numbers).
 
@@ -253,6 +288,8 @@ def run_experiments(
     instead of from scratch.  ``scheduler`` additionally routes phase-1
     assessment through a :class:`repro.service.JobScheduler`, so repeated
     harness runs against a spooled report store skip assessment entirely.
+    ``trace_dir`` enables per-scenario tracing; one
+    ``<scenario>.trace.json`` span tree lands there per scenario.
     """
     if efes_factory is not None:
         efes = efes_factory()
@@ -261,10 +298,12 @@ def run_experiments(
     simulator = simulator or PractitionerSimulator()
     domains = {
         "bibliographic": evaluate_domain(
-            bibliographic_scenarios(seed), efes, simulator, scheduler
+            bibliographic_scenarios(seed), efes, simulator, scheduler,
+            trace_dir=trace_dir,
         ),
         "music": evaluate_domain(
-            music_scenarios(seed), efes, simulator, scheduler
+            music_scenarios(seed), efes, simulator, scheduler,
+            trace_dir=trace_dir,
         ),
     }
     results = {

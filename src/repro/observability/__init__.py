@@ -1,0 +1,69 @@
+"""Observability for the assessment pipeline and service.
+
+Three stdlib-only instruments, designed to compose with (not replace)
+the aggregate counters of :class:`repro.runtime.RuntimeMetrics`:
+
+* **Tracing** (:mod:`~repro.observability.tracing`) — hierarchical span
+  trees (``assess → detector:<name> → profile/ucc/ind/fd``, ``plan``,
+  ``estimate``, ``service.job:<id>``) with :mod:`contextvars`-based
+  propagation, so spans opened on thread-pool workers attach to the
+  span that submitted the work.  Disabled by default; activating a
+  :class:`Tracer` turns every instrumentation point on for that context.
+* **Histograms** (:mod:`~repro.observability.histograms`) — fixed
+  log-scale latency distributions with p50/p95/p99 summaries, recorded
+  per stage, per detector, and per service-job phase.
+* **Event logs** (:mod:`~repro.observability.events`) — structured JSONL
+  lifecycle events with per-job correlation IDs bound to the calling
+  context, plus a :mod:`logging` adapter.
+
+Exporters (:mod:`~repro.observability.export`) turn spans into JSON and
+aligned text trees, and metrics snapshots into Prometheus exposition.
+"""
+
+from .events import (
+    EventLog,
+    EventLogHandler,
+    correlation_scope,
+    current_correlation_id,
+)
+from .export import (
+    escape_label_value,
+    prometheus_text,
+    render_span_tree,
+    span_from_dict,
+    span_to_dict,
+)
+from .histograms import (
+    DEFAULT_BOUNDS,
+    Histogram,
+    HistogramSnapshot,
+)
+from .tracing import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    is_tracing,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "EventLog",
+    "EventLogHandler",
+    "Histogram",
+    "HistogramSnapshot",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "correlation_scope",
+    "current_correlation_id",
+    "current_span",
+    "escape_label_value",
+    "is_tracing",
+    "prometheus_text",
+    "render_span_tree",
+    "span",
+    "span_from_dict",
+    "span_to_dict",
+]

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import contextvars
 import os
+import time
 from collections.abc import Callable, Iterable, Sequence
 from contextlib import contextmanager
 
+from ..observability import tracing
 from .cache import ProfileCache
 from .executor import Executor, make_executor
 from .metrics import RuntimeMetrics
@@ -104,15 +106,30 @@ class Runtime:
         """Phase 1 for every module concurrently; reports in module order.
 
         Exceptions from a failing detector propagate to the caller (first
-        module in declaration order wins when several fail).
+        module in declaration order wins when several fail).  Each
+        detector runs under a ``detector:<name>`` span and records its
+        latency into the ``detector_seconds`` histogram, so per-detector
+        p50/p95/p99 survive the fan-out.
         """
         self.metrics.increment("assessments")
         self.metrics.increment("detector_runs", by=len(modules))
-        with self.metrics.time_stage("assess"):
+
+        def run_one(module):
+            with tracing.span(f"detector:{module.name}"):
+                started = time.perf_counter()
+                try:
+                    return module.assess(scenario)
+                finally:
+                    self.metrics.observe(
+                        "detector_seconds",
+                        time.perf_counter() - started,
+                        detector=module.name,
+                    )
+
+        with tracing.span("assess", scenario=scenario.name), \
+                self.metrics.time_stage("assess"):
             reports = self.map_ordered(
-                lambda module: module.assess(scenario),
-                modules,
-                stage="assess.detector",
+                run_one, modules, stage="assess.detector"
             )
         return {
             module.name: report for module, report in zip(modules, reports)
@@ -130,21 +147,29 @@ class Runtime:
             if datatype is not None
             else database.schema.attribute(relation_name, attribute_name).datatype
         )
-        return self.cache.get_or_compute(
-            database,
-            ("profile_column", relation_name, attribute_name, str(resolved)),
-            lambda: self._timed(
-                "profile",
-                profiler.compute_column_profile,
+        with tracing.span(
+            "profile",
+            relation=relation_name,
+            attribute=attribute_name,
+            cache_hit=True,
+        ) as span:
+            return self.cache.get_or_compute(
                 database,
-                relation_name,
-                attribute_name,
-                resolved,
-            ),
-        )
+                ("profile_column", relation_name, attribute_name, str(resolved)),
+                lambda: self._timed(
+                    "profile",
+                    profiler.compute_column_profile,
+                    database,
+                    relation_name,
+                    attribute_name,
+                    resolved,
+                    span=span,
+                ),
+            )
 
     def profile_database(self, database):
         def compute():
+            span.set_attribute("cache_hit", False)
             pairs = [
                 (relation.name, attribute.name)
                 for relation in database.schema.relations
@@ -156,55 +181,74 @@ class Runtime:
             )
             return dict(zip(pairs, profiles))
 
-        return self.cache.get_or_compute(
-            database, ("profile_database",), compute
-        )
+        with tracing.span(
+            "profile", scope="database", database=database.name, cache_hit=True
+        ) as span:
+            return self.cache.get_or_compute(
+                database, ("profile_database",), compute
+            )
 
     def discover_uccs(self, database, max_arity: int = 2):
         from ..profiling import dependencies
 
-        return self.cache.get_or_compute(
-            database,
-            ("uccs", max_arity),
-            lambda: self._timed(
-                "dependencies",
-                dependencies.compute_uccs,
+        with tracing.span(
+            "ucc", database=database.name, cache_hit=True
+        ) as span:
+            return self.cache.get_or_compute(
                 database,
-                max_arity,
-                self.map_ordered,
-            ),
-        )
+                ("uccs", max_arity),
+                lambda: self._timed(
+                    "dependencies",
+                    dependencies.compute_uccs,
+                    database,
+                    max_arity,
+                    self.map_ordered,
+                    span=span,
+                ),
+            )
 
     def discover_inds(self, database, min_values: int = 1):
         from ..profiling import dependencies
 
-        return self.cache.get_or_compute(
-            database,
-            ("inds", min_values),
-            lambda: self._timed(
-                "dependencies",
-                dependencies.compute_inds,
+        with tracing.span(
+            "ind", database=database.name, cache_hit=True
+        ) as span:
+            return self.cache.get_or_compute(
                 database,
-                min_values,
-                self.map_ordered,
-            ),
-        )
+                ("inds", min_values),
+                lambda: self._timed(
+                    "dependencies",
+                    dependencies.compute_inds,
+                    database,
+                    min_values,
+                    self.map_ordered,
+                    span=span,
+                ),
+            )
 
     def discover_fds(self, database):
         from ..profiling import dependencies
 
-        return self.cache.get_or_compute(
-            database,
-            ("fds",),
-            lambda: self._timed(
-                "dependencies",
-                dependencies.compute_fds,
+        with tracing.span(
+            "fd", database=database.name, cache_hit=True
+        ) as span:
+            return self.cache.get_or_compute(
                 database,
-                self.map_ordered,
-            ),
-        )
+                ("fds",),
+                lambda: self._timed(
+                    "dependencies",
+                    dependencies.compute_fds,
+                    database,
+                    self.map_ordered,
+                    span=span,
+                ),
+            )
 
-    def _timed(self, stage: str, function: Callable, *args):
+    def _timed(self, stage: str, function: Callable, *args, span=None):
+        # Reaching the compute callback means the cache did not have the
+        # entry; flip the span's optimistic cache_hit annotation.
+        if span is not None:
+            span.set_attribute("cache_hit", False)
         with self.metrics.time_stage(stage):
             return function(*args)
 

@@ -50,7 +50,11 @@ class ServiceClient:
     # -- plumbing ---------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: dict | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
     ) -> tuple[int, dict]:
         data = (
             json.dumps(body).encode("utf-8") if body is not None else None
@@ -59,7 +63,10 @@ class ServiceClient:
             f"{self.base_url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers={
+                **({"Content-Type": "application/json"} if data else {}),
+                **(headers or {}),
+            },
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -86,6 +93,7 @@ class ServiceClient:
         priority: int = 0,
         timeout: float | None = None,
         seed: int = 1,
+        correlation_id: str | None = None,
     ) -> dict:
         """Submit a job; returns its status snapshot (``job["id"]``...)."""
         body: dict = {"scenario": scenario, "kind": kind, "seed": seed}
@@ -95,16 +103,25 @@ class ServiceClient:
             body["priority"] = priority
         if timeout is not None:
             body["timeout"] = timeout
-        _, doc = self._request("POST", "/jobs", body)
+        headers = (
+            {"X-Correlation-ID": correlation_id} if correlation_id else None
+        )
+        _, doc = self._request("POST", "/jobs", body, headers=headers)
         return doc["job"]
 
     def status(self, job_id: str) -> dict:
         _, doc = self._request("GET", f"/jobs/{job_id}")
         return doc["job"]
 
-    def jobs(self) -> list[dict]:
-        _, doc = self._request("GET", "/jobs")
+    def jobs(self, state: str | None = None) -> list[dict]:
+        path = f"/jobs?state={state}" if state else "/jobs"
+        _, doc = self._request("GET", path)
         return doc["jobs"]
+
+    def trace(self, job_id: str) -> dict:
+        """The job's serialised span tree (``GET /trace/<id>``)."""
+        _, doc = self._request("GET", f"/trace/{job_id}")
+        return doc["trace"]
 
     def cancel(self, job_id: str) -> dict:
         _, doc = self._request("DELETE", f"/jobs/{job_id}")
@@ -148,3 +165,11 @@ class ServiceClient:
     def metrics(self) -> dict:
         _, doc = self._request("GET", "/metrics")
         return doc
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of ``GET /metrics``."""
+        request = urllib.request.Request(
+            f"{self.base_url}/metrics", headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")

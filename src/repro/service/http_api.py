@@ -4,16 +4,25 @@ Built on :class:`http.server.ThreadingHTTPServer` — no dependencies
 beyond the standard library.  Resources::
 
     POST   /jobs             submit {"scenario", "kind", "quality",
-                             "priority", "timeout", "seed"}  -> 202 job
-                             (503 + Retry-After on queue saturation)
-    GET    /jobs             all known jobs (newest last)
+                             "priority", "timeout", "seed",
+                             "correlation_id"}  -> 202 job
+                             (503 + Retry-After on queue saturation;
+                             the X-Correlation-ID header also binds the
+                             job's correlation ID)
+    GET    /jobs             all known jobs (newest last); ``?state=``
+                             filters by lifecycle state
     GET    /jobs/<id>        one job's status
     GET    /jobs/<id>/result 200 result doc | 202 still pending |
                              410 cancelled | 500 failed
     DELETE /jobs/<id>        cancel; returns the job status
-    GET    /healthz          liveness + queue depth
-    GET    /metrics          RuntimeMetrics counters/stages + scheduler
-                             queue stats + report-store totals
+    GET    /trace/<id>       the job's span tree (service.job:<id> root)
+    GET    /healthz          liveness + queue depth + worker-slot
+                             utilisation + report-store spool size
+    GET    /metrics          RuntimeMetrics counters/stages/histograms +
+                             scheduler queue stats + report-store totals;
+                             ``Accept: text/plain`` (or
+                             ``?format=prometheus``) switches to
+                             Prometheus text exposition
 
 Scenario references are either shipped catalogue names (``efes list``)
 or scenario directories in the on-disk format; resolution is cached per
@@ -24,8 +33,10 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..observability import prometheus_text
 from ..scenarios import UnknownScenarioError, resolve_scenario
 from .jobs import JobState, QueueFullError, SchedulerClosedError
 from .scheduler import JobScheduler
@@ -100,9 +111,26 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return doc
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        raw = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
     def _segments(self) -> list[str]:
         path = self.path.split("?", 1)[0]
         return [segment for segment in path.split("/") if segment]
+
+    def _query(self) -> dict[str, str]:
+        parts = self.path.split("?", 1)
+        if len(parts) < 2:
+            return {}
+        return {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(parts[1]).items()
+        }
 
     # -- routes -----------------------------------------------------------
 
@@ -110,6 +138,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         segments = self._segments()
         if segments == ["healthz"]:
             stats = self.scheduler.stats()
+            store = self.scheduler.store
             self._send_json(
                 200,
                 {
@@ -117,29 +146,30 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     "backend": self.scheduler.runtime.backend,
                     "queue_depth": stats["queue_depth"],
                     "running": stats["running"],
-                },
-            )
-            return
-        if segments == ["metrics"]:
-            stats = self.scheduler.stats()
-            snapshot = self.scheduler.metrics.snapshot()
-            self._send_json(
-                200,
-                {
-                    **snapshot.to_dict(),
-                    "scheduler": stats,
+                    "workers": {
+                        "busy": stats["busy_workers"],
+                        "total": stats["workers"],
+                        "utilisation": stats["worker_utilisation"],
+                    },
                     "store": {
-                        "entries": len(self.scheduler.store),
-                        "spooled": self.scheduler.store.spooled_count(),
+                        "entries": len(store),
+                        "spooled": store.spooled_count(),
                     },
                 },
             )
             return
+        if segments == ["metrics"]:
+            self._get_metrics()
+            return
         if segments == ["jobs"]:
-            self._send_json(
-                200,
-                {"jobs": [job.snapshot() for job in self.scheduler.jobs()]},
-            )
+            jobs = self.scheduler.jobs()
+            state = self._query().get("state")
+            if state is not None:
+                jobs = [job for job in jobs if job.state.value == state]
+            self._send_json(200, {"jobs": [job.snapshot() for job in jobs]})
+            return
+        if len(segments) == 2 and segments[0] == "trace":
+            self._get_trace(segments[1])
             return
         if len(segments) == 2 and segments[0] == "jobs":
             job = self.scheduler.job(segments[1])
@@ -156,6 +186,67 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._get_result(segments[1])
             return
         self._send_json(404, {"error": f"no such resource: {self.path}"})
+
+    def _get_metrics(self) -> None:
+        """JSON by default; Prometheus exposition under text/plain.
+
+        Content negotiation keys on the ``Accept`` header (any
+        ``text/plain`` preference) or an explicit ``?format=prometheus``.
+        """
+        stats = self.scheduler.stats()
+        store = self.scheduler.store
+        snapshot = self.scheduler.metrics.snapshot()
+        accept = self.headers.get("Accept", "")
+        wants_text = (
+            "text/plain" in accept
+            or self._query().get("format") == "prometheus"
+        )
+        if wants_text:
+            gauges = {
+                "queue_depth": float(stats["queue_depth"]),
+                "queue_capacity": float(stats["max_queue"]),
+                "workers_busy": float(stats["busy_workers"]),
+                "workers_total": float(stats["workers"]),
+                "jobs_running": float(stats["running"]),
+                "store_entries": float(len(store)),
+                "store_spooled": float(store.spooled_count()),
+            }
+            self._send_text(
+                200,
+                prometheus_text(snapshot, extra_gauges=gauges),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
+        self._send_json(
+            200,
+            {
+                **snapshot.to_dict(),
+                "scheduler": stats,
+                "store": {
+                    "entries": len(store),
+                    "spooled": store.spooled_count(),
+                },
+            },
+        )
+
+    def _get_trace(self, job_id: str) -> None:
+        job = self.scheduler.job(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+        elif job.trace is not None:
+            self._send_json(200, {"job": job.snapshot(), "trace": job.trace})
+        elif not job.state.is_terminal:
+            self._send_json(202, {"job": job.snapshot()})
+        else:
+            self._send_json(
+                404,
+                {
+                    "job": job.snapshot(),
+                    "error": f"no trace recorded for job {job_id!r} "
+                    "(from-store results and tracing-disabled schedulers "
+                    "produce none)",
+                },
+            )
 
     def _get_result(self, job_id: str) -> None:
         job = self.scheduler.job(job_id)
@@ -188,12 +279,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
             scenario = self.server.resolve_scenario(
                 str(name), int(body.get("seed", 1))
             )
+            correlation = body.get("correlation_id") or self.headers.get(
+                "X-Correlation-ID"
+            )
             job = self.scheduler.submit(
                 scenario,
                 kind=kind,
                 quality=body.get("quality"),
                 priority=int(body.get("priority", 0)),
                 timeout=body.get("timeout"),
+                correlation_id=correlation,
             )
         except UnknownScenarioError as exc:
             self._send_json(404, {"error": str(exc)})

@@ -86,10 +86,20 @@ class Job:
     #: Content-address in the report store (``None`` for callable jobs).
     store_key: str | None = None
     id: str = dataclasses.field(default_factory=lambda: uuid.uuid4().hex[:12])
+    #: Correlation ID stamped on every event-log record and span the job
+    #: produces; defaults to the job id, overridable at submission (the
+    #: HTTP API maps the ``X-Correlation-ID`` request header here).
+    correlation_id: str = ""
     state: JobState = JobState.QUEUED
     result: dict | None = None
     error: str | None = None
     from_store: bool = False
+    #: Serialised root span (``service.job:<id>``) of the executed job,
+    #: set when the owning scheduler traces jobs; served by
+    #: ``GET /trace/<job_id>``.
+    trace: dict | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
     created_at: float = dataclasses.field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -109,6 +119,10 @@ class Job:
     #: finishes later.
     slot_released: bool = dataclasses.field(default=False, repr=False)
 
+    def __post_init__(self) -> None:
+        if not self.correlation_id:
+            self.correlation_id = self.id
+
     def check_cancelled(self) -> None:
         """Cooperative cancellation point for payloads."""
         if self.cancel_event.is_set():
@@ -120,6 +134,13 @@ class Job:
             return None
         end = self.finished_at if self.finished_at is not None else time.time()
         return end - self.started_at
+
+    @property
+    def queued_seconds(self) -> float | None:
+        """Time spent waiting in the queue before a slot picked the job."""
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.created_at)
 
     def snapshot(self) -> dict:
         """A JSON-compatible status view (the HTTP API's job resource)."""
@@ -133,8 +154,11 @@ class Job:
             "state": self.state.value,
             "error": self.error,
             "from_store": self.from_store,
+            "correlation_id": self.correlation_id,
+            "has_trace": self.trace is not None,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queued_seconds": self.queued_seconds,
             "duration_seconds": self.duration_seconds,
         }

@@ -30,11 +30,19 @@ import itertools
 import threading
 import time
 from collections.abc import Callable
+from contextlib import contextmanager
 
 from ..core import default_efes
 from ..core.framework import Efes
 from ..core.quality import ResultQuality
 from ..core.serialize import estimate_to_dict, reports_to_dict
+from ..observability import (
+    EventLog,
+    Tracer,
+    correlation_scope,
+    span_to_dict,
+    tracing,
+)
 from ..runtime import Runtime
 from .jobs import (
     Job,
@@ -70,6 +78,8 @@ class JobScheduler:
         workers: int = 2,
         max_queue: int = 64,
         default_timeout: float | None = None,
+        trace: bool = True,
+        event_log: EventLog | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -88,6 +98,11 @@ class JobScheduler:
         self.workers = workers
         self.max_queue = max_queue
         self.default_timeout = default_timeout
+        #: Per-job tracing: each executed job runs under its own tracer
+        #: and keeps its serialised ``service.job:<id>`` span tree.
+        self.trace = trace
+        #: Structured lifecycle events, correlated per job.
+        self.events = event_log if event_log is not None else EventLog()
 
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)  # dispatcher wake-ups
@@ -121,6 +136,7 @@ class JobScheduler:
         *,
         priority: int = 0,
         timeout: float | None = None,
+        correlation_id: str | None = None,
     ) -> Job:
         """Queue an assess/estimate job for ``scenario``; returns the job.
 
@@ -128,6 +144,8 @@ class JobScheduler:
         bounded queue is at capacity, :class:`SchedulerClosedError` after
         shutdown.  Identical scenario content with a stored result
         completes immediately (``from_store=True``) without queueing.
+        ``correlation_id`` stamps every event-log record and span the job
+        produces (default: the job id).
         """
         if kind not in ("assess", "estimate"):
             raise ValueError(
@@ -146,8 +164,17 @@ class JobScheduler:
             priority=priority,
             timeout=timeout if timeout is not None else self.default_timeout,
             store_key=key,
+            correlation_id=correlation_id or "",
         )
         self.metrics.increment("jobs_submitted")
+        self.events.emit(
+            "job.submitted",
+            correlation_id=job.correlation_id,
+            job_id=job.id,
+            kind=job.kind,
+            scenario=job.scenario_name,
+            priority=job.priority,
+        )
         stored = self.store.get(key)
         if stored is not None:
             job.state = JobState.DONE
@@ -157,6 +184,13 @@ class JobScheduler:
             self.metrics.increment("jobs_from_store")
             with self._lock:
                 self._jobs[job.id] = job
+            self.events.emit(
+                "job.finished",
+                correlation_id=job.correlation_id,
+                job_id=job.id,
+                state=job.state.value,
+                from_store=True,
+            )
             return job
         job.payload = self._payload_for(job, scenario, resolved_quality)
         self._enqueue(job)
@@ -194,11 +228,12 @@ class JobScheduler:
             def assess_payload(job: Job) -> dict:
                 reports = self.efes.assess(scenario)
                 job.check_cancelled()
-                return {
-                    "kind": "assess",
-                    "scenario": scenario.name,
-                    "reports": reports_to_dict(reports),
-                }
+                with self._serialize_phase():
+                    return {
+                        "kind": "assess",
+                        "scenario": scenario.name,
+                        "reports": reports_to_dict(reports),
+                    }
 
             return assess_payload
 
@@ -207,15 +242,28 @@ class JobScheduler:
             job.check_cancelled()
             estimate = self.efes.estimate(scenario, quality, reports=reports)
             job.check_cancelled()
-            return {
-                "kind": "estimate",
-                "scenario": scenario.name,
-                "quality": quality.value,
-                "reports": reports_to_dict(reports),
-                "estimate": estimate_to_dict(estimate),
-            }
+            with self._serialize_phase():
+                return {
+                    "kind": "estimate",
+                    "scenario": scenario.name,
+                    "quality": quality.value,
+                    "reports": reports_to_dict(reports),
+                    "estimate": estimate_to_dict(estimate),
+                }
 
         return estimate_payload
+
+    @contextmanager
+    def _serialize_phase(self):
+        """Span + histogram around result-document serialisation."""
+        started = time.perf_counter()
+        with tracing.span("serialize"), self.metrics.time_stage("serialize"):
+            yield
+        self.metrics.observe(
+            "job_phase_seconds",
+            time.perf_counter() - started,
+            phase="serialize",
+        )
 
     def _enqueue(self, job: Job) -> None:
         with self._lock:
@@ -291,21 +339,66 @@ class JobScheduler:
                 self.metrics.increment("jobs_timeout")
                 self.metrics.increment("jobs_failed")
                 self._record_duration_locked(job)
+                self.events.emit(
+                    "job.timeout",
+                    correlation_id=job.correlation_id,
+                    job_id=job.id,
+                    timeout=job.timeout,
+                )
                 self._finished.notify_all()
 
     def _run_job(self, job: Job) -> None:
         result: dict | None = None
         error: str | None = None
         cancelled = False
-        try:
-            with self.runtime.activated():
-                job.check_cancelled()
-                result = job.payload(job)
-        except JobCancelled:
-            cancelled = True
-        except Exception as exc:  # noqa: BLE001 - job isolation boundary
-            error = f"{type(exc).__name__}: {exc}"
-        self._finish(job, result, error, cancelled)
+        tracer = Tracer() if self.trace else None
+        with correlation_scope(job.correlation_id):
+            self.events.emit(
+                "job.started",
+                job_id=job.id,
+                kind=job.kind,
+                scenario=job.scenario_name,
+                queued_seconds=job.queued_seconds,
+            )
+            if job.queued_seconds is not None:
+                self.metrics.observe(
+                    "job_phase_seconds", job.queued_seconds, phase="queued"
+                )
+            started = time.perf_counter()
+            try:
+                with self.runtime.activated():
+                    if tracer is None:
+                        job.check_cancelled()
+                        result = job.payload(job)
+                    else:
+                        with tracer.activated(), tracing.span(
+                            f"service.job:{job.id}",
+                            kind=job.kind,
+                            scenario=job.scenario_name,
+                            correlation_id=job.correlation_id,
+                        ):
+                            job.check_cancelled()
+                            result = job.payload(job)
+            except JobCancelled:
+                cancelled = True
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                error = f"{type(exc).__name__}: {exc}"
+            self.metrics.observe(
+                "job_phase_seconds",
+                time.perf_counter() - started,
+                phase="running",
+            )
+            if tracer is not None and tracer.root is not None:
+                job.trace = span_to_dict(tracer.root)
+            self._finish(job, result, error, cancelled)
+            self.events.emit(
+                "job.finished",
+                job_id=job.id,
+                state=job.state.value,
+                error=job.error,
+                duration_seconds=job.duration_seconds,
+                from_store=False,
+            )
 
     def _finish(
         self, job: Job, result: dict | None, error: str | None, cancelled: bool
@@ -326,7 +419,13 @@ class JobScheduler:
                     job.result = result
                     self.metrics.increment("jobs_completed")
                     if job.store_key is not None and result is not None:
+                        store_started = time.perf_counter()
                         self.store.put(job.store_key, result)
+                        self.metrics.observe(
+                            "job_phase_seconds",
+                            time.perf_counter() - store_started,
+                            phase="store",
+                        )
                 self._record_duration_locked(job)
             # else: the dispatcher (timeout) or cancel() already settled
             # the job and released its slot; this is the abandoned payload
@@ -378,6 +477,12 @@ class JobScheduler:
                 self.metrics.increment("jobs_cancelled")
                 self._record_duration_locked(job)
                 self._finished.notify_all()
+            if job.state is JobState.CANCELLED:
+                self.events.emit(
+                    "job.cancelled",
+                    correlation_id=job.correlation_id,
+                    job_id=job.id,
+                )
             return job
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
@@ -412,9 +517,13 @@ class JobScheduler:
 
     def stats(self) -> dict:
         with self._lock:
+            busy = self.workers - self._free_slots
             return {
                 "open": self._open,
                 "workers": self.workers,
+                "busy_workers": busy,
+                "free_workers": self._free_slots,
+                "worker_utilisation": busy / self.workers,
                 "max_queue": self.max_queue,
                 "queue_depth": self._queue_depth_locked(),
                 "running": len(self._running),

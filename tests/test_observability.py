@@ -1,0 +1,549 @@
+"""Tracing, histograms, event logs, and their exporters."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import ResultQuality, default_efes
+from repro.core.serialize import (
+    SerializationError,
+    span_from_dict,
+    span_to_dict,
+)
+from repro.observability import (
+    EventLog,
+    Histogram,
+    Tracer,
+    correlation_scope,
+    current_correlation_id,
+    escape_label_value,
+    prometheus_text,
+    render_span_tree,
+    span,
+)
+from repro.runtime import Runtime, RuntimeMetrics
+
+
+# ----------------------------------------------------------------------
+# Spans and tracers
+# ----------------------------------------------------------------------
+
+
+class TestTracing:
+    def test_disabled_by_default_returns_shared_noop(self):
+        first = span("anything")
+        second = span("anything else")
+        assert first is second
+        assert not first.is_recording
+        with first as handle:
+            handle.set_attribute("ignored", True)  # must not raise
+
+    def test_span_tree_nesting(self):
+        tracer = Tracer()
+        with tracer.activated():
+            with span("root"):
+                with span("child-a"):
+                    with span("grandchild"):
+                        pass
+                with span("child-b"):
+                    pass
+        root = tracer.root
+        assert root.name == "root"
+        assert [child.name for child in root.children] == [
+            "child-a",
+            "child-b",
+        ]
+        assert root.children[0].children[0].name == "grandchild"
+        assert all(
+            node.duration_seconds is not None for node in root.walk()
+        )
+        assert all(
+            node.trace_id == root.trace_id for node in root.walk()
+        )
+
+    def test_spans_opened_on_worker_threads_attach_to_submitter(self):
+        """The threaded executor copies the context, so a span opened on
+        a worker becomes a child of the span that submitted the work."""
+        runtime = Runtime(backend="threads", max_workers=4)
+        tracer = Tracer()
+
+        def work(index):
+            with span(f"task-{index}"):
+                time.sleep(0.001)
+            return index
+
+        try:
+            with tracer.activated(), span("fan-out"):
+                results = runtime.executor.map_ordered(work, range(8))
+        finally:
+            runtime.close()
+        assert results == list(range(8))
+        root = tracer.root
+        assert root.name == "fan-out"
+        assert sorted(child.name for child in root.children) == sorted(
+            f"task-{index}" for index in range(8)
+        )
+        assert all(
+            child.parent_id == root.span_id for child in root.children
+        )
+
+    def test_exception_recorded_as_error_attribute(self):
+        tracer = Tracer()
+        with tracer.activated():
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        assert tracer.root.attributes["error"] == "ValueError: boom"
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.activated():
+            with span("invisible"):
+                pass
+        assert tracer.root is None
+
+
+class TestRunTraced:
+    def test_untraced_run_has_no_trace(self, small_example):
+        outcome = default_efes().run(
+            small_example, ResultQuality.HIGH_QUALITY
+        )
+        assert outcome.trace is None
+
+    def test_traced_run_covers_the_pipeline_once(self, small_example):
+        started = time.perf_counter()
+        outcome = default_efes().run(
+            small_example, ResultQuality.HIGH_QUALITY, trace=True
+        )
+        wall = time.perf_counter() - started
+        root = outcome.trace
+        assert root is not None
+        assert root.name == f"run:{small_example.name}"
+        # The root total approximates the observed wall-clock (5% plus a
+        # small absolute allowance for interpreter noise on tiny runs).
+        assert abs(root.total_seconds - wall) <= 0.05 * wall + 0.010
+        names = [node.name for node in root.walk()]
+        for stage in (
+            "assess",
+            "estimate",
+            "plan",
+            "price",
+            "detector:mapping",
+            "detector:structure",
+            "detector:values",
+            "planner:mapping",
+            "planner:structure",
+            "planner:values",
+        ):
+            assert names.count(stage) == 1, stage
+
+    def test_profile_spans_annotate_cache_hits(self, small_example):
+        runtime = Runtime(backend="serial")
+        efes = default_efes(runtime=runtime)
+        try:
+            cold = efes.run(
+                small_example, ResultQuality.HIGH_QUALITY, trace=True
+            )
+            warm = efes.run(
+                small_example, ResultQuality.HIGH_QUALITY, trace=True
+            )
+        finally:
+            runtime.close()
+        cold_profiles = cold.trace.find("profile")
+        warm_profiles = warm.trace.find("profile")
+        assert cold_profiles and warm_profiles
+        assert not any(
+            node.attributes["cache_hit"] for node in cold_profiles
+        )
+        assert all(node.attributes["cache_hit"] for node in warm_profiles)
+
+
+# ----------------------------------------------------------------------
+# Span serialisation + rendering
+# ----------------------------------------------------------------------
+
+
+class TestSpanCodec:
+    def test_round_trip_through_core_serialize(self, small_example):
+        outcome = default_efes().run(
+            small_example, ResultQuality.HIGH_QUALITY, trace=True
+        )
+        doc = span_to_dict(outcome.trace)
+        json.dumps(doc)  # JSON-compatible all the way down
+        restored = span_from_dict(doc)
+        assert span_to_dict(restored) == doc
+        assert [node.name for node in restored.walk()] == [
+            node.name for node in outcome.trace.walk()
+        ]
+
+    def test_malformed_document_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            span_from_dict({"name": "orphan"})  # missing ids/duration
+
+    def test_render_span_tree_alignment_and_annotations(self):
+        tracer = Tracer()
+        with tracer.activated():
+            with span("root"):
+                with span("hit", cache_hit=True):
+                    pass
+                with span("miss", cache_hit=False):
+                    pass
+        text = render_span_tree(tracer.root)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "├─ hit" in lines[1] and "[cache hit]" in lines[1]
+        assert "└─ miss" in lines[2] and "[cache hit]" not in lines[2]
+        # Every row carries aligned total/self columns.
+        columns = {line.index("total ") for line in lines}
+        assert len(columns) == 1
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+
+
+class TestHistograms:
+    def test_quantiles_bracket_the_data(self):
+        histogram = Histogram("latency_seconds")
+        for value in (0.001, 0.002, 0.004, 0.008, 0.100):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot.count == 5
+        assert snapshot.min == 0.001
+        assert snapshot.max == 0.100
+        assert snapshot.p50 <= snapshot.p95 <= snapshot.p99
+        assert 0.001 <= snapshot.p50 <= 0.100
+        assert snapshot.quantile(1.0) == pytest.approx(0.100)
+
+    def test_cumulative_buckets_are_monotone_and_end_at_count(self):
+        histogram = Histogram("latency_seconds")
+        for exponent in range(12):
+            histogram.observe(1e-6 * (3**exponent % 97))
+        pairs = histogram.snapshot().cumulative_buckets()
+        counts = [cumulative for _, cumulative in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1][0] == float("inf")
+        assert pairs[-1][1] == 12
+
+    def test_labelled_series_are_distinct(self):
+        metrics = RuntimeMetrics()
+        metrics.observe("detector_seconds", 0.1, detector="mapping")
+        metrics.observe("detector_seconds", 0.2, detector="values")
+        metrics.observe("detector_seconds", 0.3, detector="values")
+        mapping = metrics.histogram("detector_seconds", detector="mapping")
+        values = metrics.histogram("detector_seconds", detector="values")
+        assert mapping.count == 1
+        assert values.count == 2
+        assert metrics.histogram("detector_seconds", detector="nope") is None
+
+    def test_to_dict_reports_quantiles_and_sparse_buckets(self):
+        histogram = Histogram("x", labels=(("stage", "assess"),))
+        histogram.observe(0.5)
+        doc = histogram.snapshot().to_dict()
+        assert doc["labels"] == {"stage": "assess"}
+        assert doc["count"] == 1
+        assert set(doc["quantiles"]) == {"p50", "p95", "p99"}
+        assert len(doc["buckets"]) == 1  # only the non-empty bucket
+
+
+# ----------------------------------------------------------------------
+# Stage timings: work vs wall vs max
+# ----------------------------------------------------------------------
+
+
+class TestStageTimings:
+    def test_wall_clock_below_summed_work_under_concurrency(self):
+        metrics = RuntimeMetrics()
+
+        def busy():
+            with metrics.time_stage("overlap"):
+                time.sleep(0.05)
+
+        threads = [threading.Thread(target=busy) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        timing = metrics.stage("overlap")
+        assert timing.calls == 4
+        assert timing.seconds >= 0.9 * 4 * 0.05  # summed work
+        assert timing.wall_seconds < timing.seconds  # overlapped latency
+        assert timing.max_seconds <= timing.seconds
+        assert timing.mean_seconds == pytest.approx(
+            timing.seconds / 4
+        )
+
+    def test_snapshot_to_dict_includes_mean_and_timestamp(self):
+        metrics = RuntimeMetrics()
+        metrics.record_stage("assess", 2.0)
+        metrics.record_stage("assess", 4.0)
+        before = time.time()
+        doc = metrics.snapshot().to_dict()
+        assert doc["stages"]["assess"]["mean_seconds"] == pytest.approx(3.0)
+        assert doc["stages"]["assess"]["max_seconds"] == pytest.approx(4.0)
+        assert before - 1.0 <= doc["timestamp"] <= time.time() + 1.0
+        # record_stage feeds the stage_seconds histogram family too.
+        assert any(
+            h["name"] == "stage_seconds" and h["count"] == 2
+            for h in doc["histograms"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+
+class TestPrometheusText:
+    def test_label_values_are_escaped(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        metrics = RuntimeMetrics()
+        metrics.observe("weird_seconds", 0.1, label='quo"te\nnl')
+        text = prometheus_text(metrics.snapshot())
+        assert 'label="quo\\"te\\nnl"' in text
+
+    def test_histogram_exposition_is_valid(self):
+        metrics = RuntimeMetrics()
+        for value in (0.001, 0.010, 0.100):
+            metrics.observe("stage_seconds", value, stage="assess")
+        text = prometheus_text(metrics.snapshot())
+        assert "# TYPE repro_stage_seconds histogram" in text
+        bucket_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_stage_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert bucket_lines[-1].rsplit(" ", 1)[1] == "3"
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert 'repro_stage_seconds_count{stage="assess"} 3' in text
+        assert "repro_stage_seconds_sum" in text
+        assert 'quantile="0.5"' in text
+        assert "repro_metrics_snapshot_timestamp_seconds" in text
+
+    def test_counters_stages_and_extra_gauges(self):
+        metrics = RuntimeMetrics()
+        metrics.increment("cache_hits", 3)
+        metrics.record_stage("assess", 1.5)
+        text = prometheus_text(
+            metrics.snapshot(), extra_gauges={"queue_depth": 2.0}
+        )
+        assert "repro_cache_hits_total 3" in text
+        assert 'repro_stage_work_seconds{stage="assess"} 1.5' in text
+        assert 'repro_stage_calls_total{stage="assess"} 1' in text
+        assert "repro_queue_depth 2.0" in text
+
+
+# ----------------------------------------------------------------------
+# Event log + correlation IDs
+# ----------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_binds_the_context_correlation_id(self):
+        log = EventLog()
+        assert current_correlation_id() is None
+        with correlation_scope("req-42"):
+            assert current_correlation_id() == "req-42"
+            log.emit("job.started", job_id="j1")
+        log.emit("job.started", job_id="j2")
+        records = log.records(correlation_id="req-42")
+        assert len(records) == 1
+        assert records[0]["job_id"] == "j1"
+        assert records[0]["seq"] == 1
+
+    def test_jsonl_file_sink(self, tmp_path):
+        path = tmp_path / "events" / "service.jsonl"
+        log = EventLog(path=path)
+        log.emit("a", n=1)
+        log.emit("b", n=2)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+    def test_logging_adapter_routes_stdlib_records(self):
+        import logging
+
+        log = EventLog()
+        logger = logging.getLogger("repro.test.observability")
+        logger.setLevel(logging.INFO)
+        handler = log.logging_handler()
+        logger.addHandler(handler)
+        try:
+            with correlation_scope("req-log"):
+                logger.info("hello %s", "world")
+        finally:
+            logger.removeHandler(handler)
+        (record,) = log.records(event="log")
+        assert record["message"] == "hello world"
+        assert record["correlation_id"] == "req-log"
+
+    def test_memory_ring_is_bounded(self):
+        log = EventLog(max_memory_events=3)
+        for index in range(10):
+            log.emit("tick", index=index)
+        records = log.records()
+        assert len(records) == 3
+        assert [record["index"] for record in records] == [7, 8, 9]
+
+
+# ----------------------------------------------------------------------
+# Service-level observability (HTTP -> scheduler -> event log)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def service():
+    from repro.service import JobScheduler, make_server
+
+    scheduler = JobScheduler(workers=2, max_queue=8)
+    server = make_server(scheduler, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, scheduler
+    finally:
+        server.shutdown()
+        server.server_close()
+        scheduler.close(wait=True, timeout=5.0)
+        thread.join(timeout=5.0)
+
+
+class TestServiceObservability:
+    def test_correlation_id_flows_from_http_to_event_log(self, service):
+        from repro.service import ServiceClient
+
+        server, scheduler = service
+        client = ServiceClient(server.url)
+        job = client.submit(
+            "s4-s4", kind="assess", correlation_id="req-e2e"
+        )
+        assert job["correlation_id"] == "req-e2e"
+        client.result(job["id"], deadline=120)
+        events = scheduler.events.records(correlation_id="req-e2e")
+        kinds = [record["event"] for record in events]
+        assert kinds[0] == "job.submitted"
+        assert "job.started" in kinds
+        assert kinds[-1] == "job.finished"
+        assert all(
+            record["correlation_id"] == "req-e2e" for record in events
+        )
+
+    def test_correlation_id_defaults_to_the_job_id(self, service):
+        from repro.service import ServiceClient
+
+        server, scheduler = service
+        client = ServiceClient(server.url)
+        job = client.submit("s4-s4", kind="assess", seed=2)
+        assert job["correlation_id"] == job["id"]
+
+    def test_trace_endpoint_returns_the_job_span_tree(self, service):
+        from repro.service import ServiceClient
+
+        server, _ = service
+        client = ServiceClient(server.url)
+        job = client.submit("s4-s4", kind="estimate", quality="low")
+        client.result(job["id"], deadline=120)
+        doc = client.trace(job["id"])
+        root = span_from_dict(doc)
+        assert root.name == f"service.job:{job['id']}"
+        names = [node.name for node in root.walk()]
+        assert "assess" in names
+        assert "serialize" in names
+
+    def test_trace_endpoint_unknown_job_is_404(self, service):
+        from repro.service import ServiceClient, ServiceError
+
+        server, _ = service
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace("nope")
+        assert excinfo.value.status == 404
+
+    def test_healthz_reports_workers_and_store(self, service):
+        from repro.service import ServiceClient
+
+        server, _ = service
+        client = ServiceClient(server.url)
+        doc = client.healthz()
+        assert doc["workers"]["total"] == 2
+        assert 0 <= doc["workers"]["busy"] <= 2
+        assert 0.0 <= doc["workers"]["utilisation"] <= 1.0
+        assert doc["store"] == {"entries": 0, "spooled": 0}
+
+    def test_metrics_content_negotiation(self, service):
+        from repro.service import ServiceClient
+
+        server, _ = service
+        client = ServiceClient(server.url)
+        job = client.submit("s4-s4", kind="assess", seed=3)
+        client.result(job["id"], deadline=120)
+        text = client.metrics_text()
+        assert "# TYPE repro_job_phase_seconds histogram" in text
+        assert 'phase="running"' in text
+        assert "repro_queue_depth" in text
+        assert "repro_workers_total 2.0" in text
+        # The default JSON face carries the same snapshot.
+        doc = client.metrics()
+        assert doc["counters"]["jobs_completed"] >= 1
+        assert any(
+            h["name"] == "job_phase_seconds" for h in doc["histograms"]
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI surfacing
+# ----------------------------------------------------------------------
+
+
+class TestTraceCli:
+    def test_trace_prints_span_tree_and_writes_json(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        output = tmp_path / "trace.json"
+        assert main(["trace", "s4-s4", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace of s4-s4" in out
+        assert "run:s4-s4" in out
+        for stage in ("assess", "estimate", "plan", "price"):
+            assert stage in out
+        for name in ("mapping", "structure", "values"):
+            assert f"detector:{name}" in out
+            assert f"planner:{name}" in out
+        doc = json.loads(output.read_text(encoding="utf-8"))
+        assert doc["name"] == "run:s4-s4"
+
+    def test_trace_domain_alias_covers_every_scenario(self, capsys):
+        from repro.cli import main
+        from repro.scenarios import music_scenarios
+
+        assert main(["trace", "music", "--quality", "low"]) == 0
+        out = capsys.readouterr().out
+        for scenario in music_scenarios(1):
+            assert f"run:{scenario.name}" in out
+
+
+class TestExperimentTraces:
+    def test_evaluate_domain_writes_one_trace_file_per_scenario(
+        self, tmp_path
+    ):
+        from repro.experiments import evaluate_domain
+        from repro.scenarios import bibliographic_scenarios
+
+        scenarios = bibliographic_scenarios(1)[:2]
+        evaluate_domain(scenarios, trace_dir=tmp_path)
+        for scenario in scenarios:
+            path = tmp_path / f"{scenario.name}.trace.json"
+            assert path.exists()
+            root = span_from_dict(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+            assert root.name == f"scenario:{scenario.name}"
+            assert root.find("assess")
