@@ -24,6 +24,11 @@ from .core import ResultQuality, default_efes
 from .core.tasks import TaskCategory
 from .practitioner import PractitionerSimulator
 from .reporting import render_domain_figure, render_table
+from .resilience import (
+    FAULT_PLAN_ENV_VAR,
+    FaultError,
+    fault_plan_from_env,
+)
 from .runtime import BACKEND_ENV_VAR, Runtime, set_default_runtime
 from .scenarios import (
     UnknownScenarioError,
@@ -33,6 +38,12 @@ from .scenarios import (
 
 #: Environment variable naming the default target of ``efes submit``.
 SERVICE_URL_ENV_VAR = "REPRO_SERVICE_URL"
+
+#: Exit code for a run that completed but with degraded (partial)
+#: results — distinct from 0 (complete success), 1 (hard failure), and
+#: 2 (usage/unknown-scenario error), so scripts can tell "usable but
+#: partial" from both success and crash.
+EXIT_DEGRADED = 3
 
 _scenarios = scenario_catalogue
 _resolve_scenario = resolve_scenario
@@ -52,59 +63,91 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_degradations(degradations) -> None:
+    """One table naming every module whose stage failed this run."""
+    print()
+    print(
+        render_table(
+            ["Module", "Phase", "Scenario", "Error"],
+            [
+                (d.module, d.phase, d.scenario or "-", d.error)
+                for d in degradations
+            ],
+            title="Degraded modules (partial results)",
+        )
+    )
+
+
 def cmd_assess(args: argparse.Namespace) -> int:
+    from .resilience import split_degraded
+
     scenario = _resolve_scenario(args.scenario, args.seed)
     efes = default_efes()
-    reports = efes.assess(scenario)
-    mapping = reports["mapping"]
-    print(
-        render_table(
-            ["Target table", "Source tables", "Attributes", "Primary key"],
-            [connection.as_row() for connection in mapping.connections],
-            title="Mapping complexity report",
-        )
+    reports, degradations = split_degraded(
+        efes.assess(scenario, strict=args.strict)
     )
-    print()
-    structure = reports["structure"]
-    print(
-        render_table(
-            ["Constraint in target schema", "Conflict", "Violations"],
-            [
-                (
-                    f"κ({v.target_relationship}) = {v.prescribed}",
-                    v.conflict.value,
-                    v.violation_count,
-                )
-                for v in structure.violations
-            ],
-            title="Structure conflict report",
+    sections = 0
+    mapping = reports.get("mapping")
+    if mapping is not None:
+        print(
+            render_table(
+                ["Target table", "Source tables", "Attributes", "Primary key"],
+                [connection.as_row() for connection in mapping.connections],
+                title="Mapping complexity report",
+            )
         )
-    )
-    print()
-    values = reports["values"]
-    print(
-        render_table(
-            ["Value heterogeneity", "Attributes", "Parameters"],
-            [
-                (
-                    f.heterogeneity.value,
-                    f"{f.source_attribute} -> {f.target_attribute}",
-                    ", ".join(
-                        f"{k}={v:g}" for k, v in sorted(f.parameters.items())
-                    ),
-                )
-                for f in values.findings
-            ],
-            title="Value heterogeneity report",
+        sections += 1
+    structure = reports.get("structure")
+    if structure is not None:
+        if sections:
+            print()
+        print(
+            render_table(
+                ["Constraint in target schema", "Conflict", "Violations"],
+                [
+                    (
+                        f"κ({v.target_relationship}) = {v.prescribed}",
+                        v.conflict.value,
+                        v.violation_count,
+                    )
+                    for v in structure.violations
+                ],
+                title="Structure conflict report",
+            )
         )
-    )
+        sections += 1
+    values = reports.get("values")
+    if values is not None:
+        if sections:
+            print()
+        print(
+            render_table(
+                ["Value heterogeneity", "Attributes", "Parameters"],
+                [
+                    (
+                        f.heterogeneity.value,
+                        f"{f.source_attribute} -> {f.target_attribute}",
+                        ", ".join(
+                            f"{k}={v:g}"
+                            for k, v in sorted(f.parameters.items())
+                        ),
+                    )
+                    for f in values.findings
+                ],
+                title="Value heterogeneity report",
+            )
+        )
+    if degradations:
+        _print_degradations(degradations)
+        return EXIT_DEGRADED
     return 0
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
     scenario = _resolve_scenario(args.scenario, args.seed)
     efes = default_efes()
-    estimate = efes.estimate(scenario, _quality(args.quality))
+    outcome = efes.run(scenario, _quality(args.quality), strict=args.strict)
+    estimate = outcome.estimate
     print(
         render_table(
             ["Task", "Category", "Effort [min]"],
@@ -124,6 +167,9 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     for category in TaskCategory:
         print(f"{category.value:22s} {totals[category]:8.1f} min")
     print(f"{'Total':22s} {estimate.total_minutes:8.1f} min")
+    if outcome.degradations:
+        _print_degradations(outcome.degradations)
+        return EXIT_DEGRADED
     return 0
 
 
@@ -170,11 +216,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
     efes = default_efes()
     quality = _quality(args.quality)
     documents = []
+    degraded = False
     for index, scenario in enumerate(_trace_targets(args.scenario, args.seed)):
         if index:
             print()
         started = time.perf_counter()
-        outcome = efes.run(scenario, quality, trace=True)
+        outcome = efes.run(scenario, quality, trace=True, strict=args.strict)
         wall_seconds = time.perf_counter() - started
         root = outcome.trace
         print(
@@ -183,6 +230,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
             f"estimate {outcome.estimate.total_minutes:.1f} min"
         )
         print(render_span_tree(root))
+        if outcome.degradations:
+            _print_degradations(outcome.degradations)
+            degraded = True
         documents.append(span_to_dict(root))
     if args.output:
         payload = documents[0] if len(documents) == 1 else documents
@@ -190,7 +240,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output}")
-    return 0
+    return EXIT_DEGRADED if degraded else 0
 
 
 def cmd_curve(args: argparse.Namespace) -> int:
@@ -228,23 +278,36 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import run_experiments
     from .reporting import render_experiment_markdown
 
-    report = run_experiments(seed=args.seed, trace_dir=args.trace_dir)
+    report = run_experiments(
+        seed=args.seed, trace_dir=args.trace_dir, strict=bool(args.strict)
+    )
     if args.trace_dir:
         print(f"wrote per-scenario trace files to {args.trace_dir}/")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(render_experiment_markdown(report))
         print(f"wrote {args.output}")
-        return 0
-    print(render_domain_figure(report.bibliographic))
-    print()
-    print(render_domain_figure(report.music))
-    print()
-    print(
-        f"Overall rmse: Efes={report.overall_efes_rmse:.2f} "
-        f"Counting={report.overall_counting_rmse:.2f} "
-        f"(improvement ×{report.overall_improvement:.1f})"
-    )
+    else:
+        print(render_domain_figure(report.bibliographic))
+        print()
+        print(render_domain_figure(report.music))
+        print()
+        print(
+            f"Overall rmse: Efes={report.overall_efes_rmse:.2f} "
+            f"Counting={report.overall_counting_rmse:.2f} "
+            f"(improvement ×{report.overall_improvement:.1f})"
+        )
+    if report.is_degraded:
+        for scenario_name in sorted(report.degradations):
+            for item in report.degradations[scenario_name]:
+                print(f"degraded: {item.describe()}", file=sys.stderr)
+        total = sum(len(v) for v in report.degradations.values())
+        print(
+            f"efes: experiments completed with {total} degraded module "
+            f"run(s) across {len(report.degradations)} scenario(s)",
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
     return 0
 
 
@@ -363,6 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print runtime instrumentation (timings, cache, task counts)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast on the first detector/planner error instead of "
+        f"degrading the module and exiting {EXIT_DEGRADED}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -509,6 +578,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"argument --workers: must be positive, got {args.workers}")
+    try:
+        # Validate the fault plan up front: a typo in a chaos run must be
+        # a one-line error, not a silently disabled injection campaign.
+        fault_plan_from_env()
+    except ValueError as exc:
+        print(f"efes: invalid ${FAULT_PLAN_ENV_VAR}: {exc}", file=sys.stderr)
+        return 2
     # One runtime per invocation: every command (and the profiling
     # underneath it) executes on the selected backend and records its
     # instrumentation here.
@@ -533,6 +609,11 @@ def main(argv: list[str] | None = None) -> int:
         # user error, not a crash.
         print(f"efes: {exc}", file=sys.stderr)
         status = 2
+    except FaultError as exc:
+        # Strict mode turns an injected fault into fail-fast: report it
+        # as one line (chaos CI asserts this exit), not a traceback.
+        print(f"efes: aborted by injected fault: {exc}", file=sys.stderr)
+        status = 1
     finally:
         set_default_runtime(None)
         runtime.close()

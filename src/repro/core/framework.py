@@ -14,7 +14,10 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Iterable, Sequence
 
+import time
+
 from ..observability import Span, Tracer, tracing
+from ..resilience import DegradedResult, format_exception, split_degraded
 from ..runtime import Runtime, RuntimeMetrics, get_runtime
 from ..scenarios.scenario import IntegrationScenario
 from .effort import (
@@ -78,10 +81,21 @@ class AssessmentOutcome:
     #: Root span of the traced run (``Efes.run(..., trace=True)``), else
     #: ``None``; serialisable via :func:`repro.core.serialize.span_to_dict`.
     trace: Span | None = None
+    #: Modules whose detector or planner failed during a non-strict run;
+    #: empty on a fully successful pipeline.  A non-empty list means
+    #: ``reports``/``estimate`` are *partial* — usable, but missing the
+    #: named modules' contributions.
+    degradations: list[DegradedResult] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def tasks(self) -> list[Task]:
         return [entry.task for entry in self.estimate.entries]
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degradations)
 
 
 class Efes:
@@ -96,6 +110,7 @@ class Efes:
         modules: Sequence[EstimationModule],
         settings: ExecutionSettings | None = None,
         runtime: Runtime | None = None,
+        strict: bool | None = None,
     ) -> None:
         names = [module.name for module in modules]
         if len(set(names)) != len(names):
@@ -105,9 +120,22 @@ class Efes:
         #: Optional dedicated runtime; ``None`` resolves to the active
         #: process runtime at call time (see :mod:`repro.runtime`).
         self.runtime = runtime
+        #: Failure policy: ``True`` = fail-fast everywhere, ``False`` =
+        #: degrade everywhere, ``None`` (default) = fail-fast for the
+        #: fine-grained entry points (``assess``/``plan``/``estimate``,
+        #: the historical contract) but graceful degradation for the
+        #: deliverable-producing :meth:`run`.
+        self.strict = strict
 
     def _resolve_runtime(self) -> Runtime:
         return self.runtime if self.runtime is not None else get_runtime()
+
+    def _strictness(self, override: bool | None, default: bool) -> bool:
+        if override is not None:
+            return override
+        if self.strict is not None:
+            return self.strict
+        return default
 
     @property
     def metrics(self) -> RuntimeMetrics:
@@ -119,15 +147,23 @@ class Efes:
     # ------------------------------------------------------------------
 
     def assess(
-        self, scenario: IntegrationScenario
+        self, scenario: IntegrationScenario, strict: bool | None = None
     ) -> dict[str, ComplexityReport]:
         """Run every module's detector; returns reports keyed by module.
 
         Detectors run concurrently on the runtime's executor; the report
         dict is ordered by module declaration order regardless of task
-        completion order.
+        completion order.  In strict mode (the default here) a failing
+        detector's exception propagates; with ``strict=False`` the failed
+        module's slot holds a :class:`~repro.resilience.DegradedResult`
+        instead and the other reports survive.
         """
-        return self._resolve_runtime().run_detectors(self.modules, scenario)
+        on_error = (
+            "raise" if self._strictness(strict, default=True) else "degrade"
+        )
+        return self._resolve_runtime().run_detectors(
+            self.modules, scenario, on_error=on_error
+        )
 
     # ------------------------------------------------------------------
     # Phase 2: effort estimation
@@ -138,18 +174,63 @@ class Efes:
         scenario: IntegrationScenario,
         quality: ResultQuality,
         reports: dict[str, ComplexityReport] | None = None,
+        strict: bool | None = None,
+        degradations: list[DegradedResult] | None = None,
     ) -> list[Task]:
-        """Run every module's planner on its report; concatenated tasks."""
+        """Run every module's planner on its report; concatenated tasks.
+
+        In strict mode (default) a missing report raises ``KeyError`` and
+        a failing planner propagates.  With ``strict=False`` degraded or
+        missing modules are skipped and a planner failure becomes a
+        :class:`~repro.resilience.DegradedResult` — appended to the
+        ``degradations`` accumulator when the caller provides one, along
+        with any assess-phase tombstones found in ``reports``.
+        """
+        strict_mode = self._strictness(strict, default=True)
         runtime = self._resolve_runtime()
         if reports is None:
-            reports = self.assess(scenario)
+            reports = self.assess(scenario, strict=strict_mode)
         tasks: list[Task] = []
         with runtime.activated(), tracing.span("plan"), \
                 runtime.metrics.time_stage("plan"):
             for module in self.modules:
-                report = reports[module.name]
-                with tracing.span(f"planner:{module.name}"):
-                    planned = module.plan(scenario, report, quality)
+                report = (
+                    reports[module.name]
+                    if strict_mode
+                    else reports.get(module.name)
+                )
+                if isinstance(report, DegradedResult):
+                    # The detector already failed; its tombstone belongs
+                    # to the caller's degradation record.
+                    if degradations is not None:
+                        degradations.append(report)
+                    continue
+                if report is None:
+                    continue  # non-strict: module absent, nothing to plan
+                with tracing.span(f"planner:{module.name}") as span:
+                    started = time.perf_counter()
+                    try:
+                        planned = module.plan(scenario, report, quality)
+                    except Exception as exc:  # noqa: BLE001 - degradation
+                        if strict_mode:
+                            raise
+                        error = format_exception(exc)
+                        span.set_attribute("error", error)
+                        runtime.metrics.increment("degraded_total")
+                        runtime.metrics.increment("planners_degraded")
+                        if degradations is not None:
+                            degradations.append(
+                                DegradedResult(
+                                    module=module.name,
+                                    phase="plan",
+                                    error=error,
+                                    elapsed_seconds=(
+                                        time.perf_counter() - started
+                                    ),
+                                    scenario=scenario.name,
+                                )
+                            )
+                        continue
                 tasks.extend(planned)
         return tasks
 
@@ -159,18 +240,28 @@ class Efes:
         quality: ResultQuality,
         adjustments: Iterable[TaskAdjustment] = (),
         reports: dict[str, ComplexityReport] | None = None,
+        strict: bool | None = None,
+        degradations: list[DegradedResult] | None = None,
     ) -> EffortEstimate:
         """The full pipeline: assess → plan → (adjust) → price.
 
         Callers that already hold complexity reports (e.g. when pricing
         several qualities of the same scenario) pass them via ``reports``
         and the assessment phase is skipped entirely — the detectors run
-        exactly once per scenario, not once per estimate.
+        exactly once per scenario, not once per estimate.  ``strict`` and
+        ``degradations`` flow through to :meth:`plan`; a degraded
+        estimate prices only the surviving modules' tasks.
         """
         runtime = self._resolve_runtime()
         runtime.metrics.increment("estimates")
         with tracing.span("estimate", scenario=scenario.name):
-            tasks = self.plan(scenario, quality, reports=reports)
+            tasks = self.plan(
+                scenario,
+                quality,
+                reports=reports,
+                strict=strict,
+                degradations=degradations,
+            )
             for adjustment in adjustments:
                 tasks = adjustment(tasks)
             with tracing.span("price"), runtime.metrics.time_stage("price"):
@@ -184,6 +275,7 @@ class Efes:
         quality: ResultQuality,
         adjustments: Iterable[TaskAdjustment] = (),
         trace: bool = False,
+        strict: bool | None = None,
     ) -> AssessmentOutcome:
         """Both phases as one deliverable: reports + tasks + estimate.
 
@@ -193,28 +285,57 @@ class Efes:
         :class:`~repro.observability.Tracer` and the outcome carries the
         completed root span (``run:<scenario>``) — detectors, profiling,
         planning, and pricing appear as its descendants.
+
+        Unless ``strict`` resolves to ``True``, a failing detector or
+        planner no longer aborts the run: the failed module is skipped,
+        recorded on ``outcome.degradations``, counted on the runtime's
+        ``degraded_total``, and annotated on its span — the returned
+        outcome covers every module that survived.
         """
-        if not trace:
-            reports = self.assess(scenario)
+        strict_mode = self._strictness(strict, default=False)
+
+        def execute() -> AssessmentOutcome:
+            degradations: list[DegradedResult] = []
+            reports = self.assess(scenario, strict=strict_mode)
+            clean_reports, assess_degraded = split_degraded(reports)
+            degradations.extend(assess_degraded)
             estimate = self.estimate(
-                scenario, quality, adjustments=adjustments, reports=reports
+                scenario,
+                quality,
+                adjustments=adjustments,
+                reports=clean_reports,
+                strict=strict_mode,
+                degradations=degradations,
             )
-            return AssessmentOutcome(scenario.name, quality, reports, estimate)
+            return AssessmentOutcome(
+                scenario.name,
+                quality,
+                clean_reports,
+                estimate,
+                degradations=degradations,
+            )
+
+        if not trace:
+            return execute()
         tracer = Tracer()
         with tracer.activated(), tracing.span(
             f"run:{scenario.name}", quality=quality.value
-        ):
-            reports = self.assess(scenario)
-            estimate = self.estimate(
-                scenario, quality, adjustments=adjustments, reports=reports
-            )
-        return AssessmentOutcome(
-            scenario.name, quality, reports, estimate, trace=tracer.root
-        )
+        ) as root_span:
+            outcome = execute()
+            if outcome.degradations:
+                root_span.set_attribute(
+                    "degraded", len(outcome.degradations)
+                )
+        outcome.trace = tracer.root
+        return outcome
 
     def with_settings(self, settings: ExecutionSettings) -> "Efes":
-        return Efes(self.modules, settings, runtime=self.runtime)
+        return Efes(
+            self.modules, settings, runtime=self.runtime, strict=self.strict
+        )
 
     def with_runtime(self, runtime: Runtime | None) -> "Efes":
         """The same framework bound to a different execution runtime."""
-        return Efes(self.modules, self.settings, runtime=runtime)
+        return Efes(
+            self.modules, self.settings, runtime=runtime, strict=self.strict
+        )

@@ -37,6 +37,7 @@ from .core.calibration import (
 )
 from .core.tasks import TaskCategory
 from .practitioner import PractitionerSimulator
+from .resilience import DegradedResult, split_degraded
 from .scenarios import bibliographic_scenarios, music_scenarios
 from .scenarios.scenario import IntegrationScenario
 
@@ -64,12 +65,15 @@ class Cell:
         return (self.scenario.name, self.quality.label)
 
 
-def _assess_via_scheduler(scheduler, scenario):
+def _assess_via_scheduler(scheduler, scenario, degradations=None):
     """Phase 1 through the assessment service's scheduler + report store.
 
     Repeated runs (cross-validation folds, repeated harness invocations
     against a spooled store) are served from the store instead of
-    re-running the detectors.
+    re-running the detectors.  Result documents produced by a non-strict
+    service may carry ``degradations``; they are decoded into the
+    caller's accumulator so a partially failed remote assessment is
+    reported exactly like a local one.
     """
     from .core.serialize import reports_from_dict
     from .service.jobs import JobState
@@ -81,6 +85,9 @@ def _assess_via_scheduler(scheduler, scenario):
             f"assessment job for {scenario.name!r} ended "
             f"{job.state.value}: {job.error}"
         )
+    if degradations is not None:
+        for doc in job.result.get("degradations", ()):
+            degradations.append(DegradedResult.from_dict(doc))
     return reports_from_dict(job.result["reports"])
 
 
@@ -90,6 +97,8 @@ def evaluate_domain(
     simulator: PractitionerSimulator | None = None,
     scheduler=None,
     trace_dir: str | Path | None = None,
+    strict: bool | None = None,
+    degradations: dict[str, list[DegradedResult]] | None = None,
 ) -> list[Cell]:
     """Measure + raw-estimate every (scenario, quality) cell of a domain.
 
@@ -97,7 +106,10 @@ def evaluate_domain(
     :class:`repro.service.JobScheduler` (and thus its report store); the
     serialisation round-trip is lossless, so the cells are identical.
     ``trace_dir`` enables tracing and writes one span tree per scenario
-    to ``<trace_dir>/<scenario>.trace.json``.
+    to ``<trace_dir>/<scenario>.trace.json``.  With ``strict=False``, a
+    failing detector or planner degrades the affected module instead of
+    aborting the whole evaluation; the tombstones land in the
+    ``degradations`` accumulator keyed by scenario name.
     """
     from .observability import Tracer, tracing
 
@@ -111,17 +123,28 @@ def evaluate_domain(
             if tracer is None
             else tracer.activated()
         )
+        scenario_degraded: list[DegradedResult] = []
         with scope, tracing.span(f"scenario:{scenario.name}"):
             # Assess once per scenario; both quality cells price the
             # same complexity reports (the detectors are
             # quality-independent).
             if scheduler is not None:
-                reports = _assess_via_scheduler(scheduler, scenario)
+                reports = _assess_via_scheduler(
+                    scheduler, scenario, degradations=scenario_degraded
+                )
             else:
-                reports = efes.assess(scenario)
+                reports = efes.assess(scenario, strict=strict)
+            reports, assess_degraded = split_degraded(reports)
+            scenario_degraded.extend(assess_degraded)
             for quality in QUALITIES:
                 result = simulator.integrate(scenario, quality)
-                estimate = efes.estimate(scenario, quality, reports=reports)
+                estimate = efes.estimate(
+                    scenario,
+                    quality,
+                    reports=reports,
+                    strict=strict,
+                    degradations=scenario_degraded,
+                )
                 cells.append(
                     Cell(
                         scenario=scenario,
@@ -140,6 +163,10 @@ def evaluate_domain(
                         ),
                     )
                 )
+        if degradations is not None and scenario_degraded:
+            degradations.setdefault(scenario.name, []).extend(
+                scenario_degraded
+            )
         if tracer is not None and tracer.root is not None:
             _write_trace(trace_dir, scenario.name, tracer.root)
     return cells
@@ -264,6 +291,16 @@ class ExperimentReport:
     music: DomainResult
     overall_efes_rmse: float
     overall_counting_rmse: float
+    #: Per-scenario degradation records from a non-strict run; empty when
+    #: every detector and planner succeeded.  A non-empty dict means the
+    #: rmse numbers were computed over *partial* module coverage.
+    degradations: dict[str, list[DegradedResult]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degradations)
 
     @property
     def overall_improvement(self) -> float:
@@ -279,6 +316,7 @@ def run_experiments(
     runtime=None,
     scheduler=None,
     trace_dir: str | Path | None = None,
+    strict: bool = False,
 ) -> ExperimentReport:
     """The full Section 6 evaluation (Figures 6 + 7 and the rmse numbers).
 
@@ -290,20 +328,26 @@ def run_experiments(
     harness runs against a spooled report store skip assessment entirely.
     ``trace_dir`` enables per-scenario tracing; one
     ``<scenario>.trace.json`` span tree lands there per scenario.
+
+    By default (``strict=False``) a crashing detector or planner costs
+    its module's contribution to the affected scenario, not the whole
+    evaluation; the report's ``degradations`` dict names every casualty
+    per scenario.  ``strict=True`` restores fail-fast semantics.
     """
     if efes_factory is not None:
         efes = efes_factory()
     else:
         efes = default_efes(runtime=runtime)
     simulator = simulator or PractitionerSimulator()
+    degradations: dict[str, list[DegradedResult]] = {}
     domains = {
         "bibliographic": evaluate_domain(
             bibliographic_scenarios(seed), efes, simulator, scheduler,
-            trace_dir=trace_dir,
+            trace_dir=trace_dir, strict=strict, degradations=degradations,
         ),
         "music": evaluate_domain(
             music_scenarios(seed), efes, simulator, scheduler,
-            trace_dir=trace_dir,
+            trace_dir=trace_dir, strict=strict, degradations=degradations,
         ),
     }
     results = {
@@ -315,4 +359,5 @@ def run_experiments(
         music=results["music"],
         overall_efes_rmse=overall_efes,
         overall_counting_rmse=overall_counting,
+        degradations=degradations,
     )

@@ -21,6 +21,7 @@ aligned text trees, and metrics snapshots into Prometheus exposition.
 """
 
 from .events import (
+    EVENT_LOG_ENV_VAR,
     EventLog,
     EventLogHandler,
     correlation_scope,
@@ -49,6 +50,7 @@ from .tracing import (
 
 __all__ = [
     "DEFAULT_BOUNDS",
+    "EVENT_LOG_ENV_VAR",
     "EventLog",
     "EventLogHandler",
     "Histogram",

@@ -34,6 +34,10 @@ _CORRELATION: contextvars.ContextVar[str | None] = contextvars.ContextVar(
 #: Default in-memory ring capacity; old events fall off the front.
 DEFAULT_MEMORY_EVENTS = 2048
 
+#: Environment variable naming a JSONL sink for default-constructed
+#: event logs (the chaos CI job sets it to capture an artifact).
+EVENT_LOG_ENV_VAR = "REPRO_EVENT_LOG"
+
 
 def current_correlation_id() -> str | None:
     """The correlation ID bound to the calling context, if any."""

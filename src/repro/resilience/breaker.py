@@ -1,0 +1,210 @@
+"""A classic three-state circuit breaker, thread-safe and clock-injectable.
+
+State machine::
+
+              failure_threshold consecutive failures
+    CLOSED ────────────────────────────────────────────> OPEN
+      ^                                                   │
+      │ probe succeeds                 reset_timeout      │
+      │                                 elapsed           v
+    HALF_OPEN <───────────────────────────────────────────┘
+      │
+      └── probe fails ──> OPEN (timer restarts)
+
+While **open**, :meth:`CircuitBreaker.allow` raises
+:class:`CircuitOpenError` carrying an explicit ``retry_after`` (the
+remaining cool-down), which the HTTP API converts into a 503 +
+``Retry-After`` — callers experience backpressure, never a pile-up of
+doomed work.  **Half-open** admits at most ``half_open_max`` concurrent
+probes; one success closes the breaker, one failure re-opens it.
+
+The scheduler guards job execution with one breaker per service and
+reports its state through ``/healthz``; the watchdog records stuck
+workers as failures, so a wedged runtime trips the breaker without a
+single exception ever surfacing.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CircuitOpenError(RuntimeError):
+    """The guarded operation was rejected because the circuit is open."""
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit {name!r} is open; retry in ~{retry_after:g}s"
+        )
+        self.name = name
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Failure accounting + admission control around one dependency."""
+
+    def __init__(
+        self,
+        name: str = "service",
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        listener: Callable[[CircuitState, CircuitState], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_max = half_open_max
+        self._clock = clock
+        self._listener = listener
+        self._lock = threading.Lock()
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._half_open_probes = 0
+        self._opened_total = 0
+        self._rejected_total = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> CircuitState:
+        with self._lock:
+            return self._effective_state_locked()
+
+    def _effective_state_locked(self) -> CircuitState:
+        """OPEN decays to HALF_OPEN once the cool-down has elapsed."""
+        if (
+            self._state is CircuitState.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition_locked(CircuitState.HALF_OPEN)
+            self._half_open_probes = 0
+        return self._state
+
+    def _transition_locked(self, state: CircuitState) -> None:
+        previous, self._state = self._state, state
+        if state is CircuitState.OPEN:
+            self._opened_at = self._clock()
+            self._opened_total += 1
+        if previous is not state and self._listener is not None:
+            self._listener(previous, state)
+
+    # -- admission --------------------------------------------------------
+
+    def allow(self) -> None:
+        """Admit one guarded operation or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            state = self._effective_state_locked()
+            if state is CircuitState.CLOSED:
+                return
+            if state is CircuitState.HALF_OPEN:
+                if self._half_open_probes < self.half_open_max:
+                    self._half_open_probes += 1
+                    return
+                self._rejected_total += 1
+                raise CircuitOpenError(self.name, self._retry_after_locked())
+            self._rejected_total += 1
+            raise CircuitOpenError(self.name, self._retry_after_locked())
+
+    def _retry_after_locked(self) -> float:
+        if self._state is CircuitState.HALF_OPEN or self._opened_at is None:
+            # Probes in flight: a short, bounded wait is honest.
+            return round(max(0.1, self.reset_timeout / 10.0), 1)
+        remaining = self.reset_timeout - (self._clock() - self._opened_at)
+        return round(max(0.1, remaining), 1)
+
+    # -- outcome accounting -----------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state is not CircuitState.CLOSED:
+                self._transition_locked(CircuitState.CLOSED)
+                self._half_open_probes = 0
+                self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._effective_state_locked()
+            if state is CircuitState.HALF_OPEN:
+                # The probe failed: straight back to open, timer restarts.
+                self._transition_locked(CircuitState.OPEN)
+                self._half_open_probes = 0
+                return
+            self._consecutive_failures += 1
+            if (
+                state is CircuitState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition_locked(CircuitState.OPEN)
+
+    def add_listener(
+        self, listener: Callable[[CircuitState, CircuitState], None]
+    ) -> None:
+        """Chain a transition listener after any already registered."""
+        with self._lock:
+            existing = self._listener
+            if existing is None:
+                self._listener = listener
+                return
+
+            def chained(previous: CircuitState, state: CircuitState) -> None:
+                existing(previous, state)
+                listener(previous, state)
+
+            self._listener = chained
+
+    @contextmanager
+    def guard(self) -> Iterator[None]:
+        """``allow()`` + automatic outcome accounting around a block."""
+        self.allow()
+        try:
+            yield
+        except Exception:
+            self.record_failure()
+            raise
+        else:
+            self.record_success()
+
+    # -- inspection -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            state = self._effective_state_locked()
+            doc = {
+                "name": self.name,
+                "state": state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "opened_total": self._opened_total,
+                "rejected_total": self._rejected_total,
+            }
+            if state is CircuitState.OPEN:
+                doc["retry_after"] = self._retry_after_locked()
+            return doc
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state.value}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

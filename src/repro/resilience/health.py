@@ -1,0 +1,96 @@
+"""The service health state machine: healthy / degraded / draining.
+
+``/healthz`` needs more nuance than alive-or-dead: a service whose
+circuit breaker is open, whose report store has quarantined entries, or
+whose watchdog found stuck workers is *up* but *degraded* — load
+balancers should prefer other replicas without killing this one.  A
+service that has begun graceful shutdown is *draining* — it finishes
+running jobs but accepts nothing new.
+
+State machine::
+
+    HEALTHY <──────> DEGRADED          (reasons flagged / cleared)
+       │                │
+       └──> DRAINING <──┘              (terminal: shutdown has begun)
+
+:class:`HealthMonitor` tracks a set of named *reasons*; the state is
+``degraded`` while any reason is flagged, and ``draining`` permanently
+once :meth:`start_draining` is called.  Reasons are part of the snapshot
+so operators see *why* a replica is degraded, not just that it is.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+
+class HealthState(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DRAINING = "draining"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class HealthMonitor:
+    """A thread-safe reason-set with a derived three-state health."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._reasons: set[str] = set()
+        self._draining = False
+
+    def flag(self, reason: str) -> None:
+        """Mark a degradation reason active (idempotent)."""
+        with self._lock:
+            self._reasons.add(reason)
+
+    def clear(self, reason: str) -> None:
+        """Retire a degradation reason (idempotent)."""
+        with self._lock:
+            self._reasons.discard(reason)
+
+    def set_reason(self, reason: str, active: bool) -> None:
+        if active:
+            self.flag(reason)
+        else:
+            self.clear(reason)
+
+    def start_draining(self) -> None:
+        """Enter the terminal draining state (graceful shutdown began)."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def state(self) -> HealthState:
+        with self._lock:
+            if self._draining:
+                return HealthState.DRAINING
+            if self._reasons:
+                return HealthState.DEGRADED
+            return HealthState.HEALTHY
+
+    @property
+    def reasons(self) -> list[str]:
+        with self._lock:
+            return sorted(self._reasons)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            state = (
+                HealthState.DRAINING
+                if self._draining
+                else (
+                    HealthState.DEGRADED
+                    if self._reasons
+                    else HealthState.HEALTHY
+                )
+            )
+            return {"state": state.value, "reasons": sorted(self._reasons)}
+
+    def __repr__(self) -> str:
+        snapshot = self.snapshot()
+        reasons = ",".join(snapshot["reasons"]) or "-"
+        return f"HealthMonitor({snapshot['state']}, reasons={reasons})"

@@ -29,6 +29,7 @@ from collections.abc import Callable, Iterable, Sequence
 from contextlib import contextmanager
 
 from ..observability import tracing
+from ..resilience import DegradedResult, fault_point, format_exception
 from .cache import ProfileCache
 from .executor import Executor, make_executor
 from .metrics import RuntimeMetrics
@@ -102,23 +103,53 @@ class Runtime:
         self.metrics.increment("tasks_completed", by=len(items))
         return results
 
-    def run_detectors(self, modules: Sequence, scenario) -> dict:
+    def run_detectors(
+        self, modules: Sequence, scenario, on_error: str = "raise"
+    ) -> dict:
         """Phase 1 for every module concurrently; reports in module order.
 
-        Exceptions from a failing detector propagate to the caller (first
-        module in declaration order wins when several fail).  Each
-        detector runs under a ``detector:<name>`` span and records its
-        latency into the ``detector_seconds`` histogram, so per-detector
-        p50/p95/p99 survive the fan-out.
+        With ``on_error="raise"`` (the default), exceptions from a
+        failing detector propagate to the caller (first module in
+        declaration order wins when several fail).  With
+        ``on_error="degrade"`` a failing detector yields a
+        :class:`~repro.resilience.DegradedResult` in the report dict
+        instead — the other modules' reports survive, the failure is
+        counted on ``degraded_total``, and the detector's span carries an
+        ``error`` annotation.  Each detector runs under a
+        ``detector:<name>`` span and records its latency into the
+        ``detector_seconds`` histogram, so per-detector p50/p95/p99
+        survive the fan-out.
         """
+        if on_error not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'degrade', got {on_error!r}"
+            )
         self.metrics.increment("assessments")
         self.metrics.increment("detector_runs", by=len(modules))
 
         def run_one(module):
-            with tracing.span(f"detector:{module.name}"):
+            with tracing.span(f"detector:{module.name}") as span:
                 started = time.perf_counter()
                 try:
+                    fault_point(
+                        "detector", name=module.name, scenario=scenario.name
+                    )
                     return module.assess(scenario)
+                except Exception as exc:  # noqa: BLE001 - degradation boundary
+                    if on_error == "raise":
+                        raise
+                    elapsed = time.perf_counter() - started
+                    error = format_exception(exc)
+                    span.set_attribute("error", error)
+                    self.metrics.increment("degraded_total")
+                    self.metrics.increment("detectors_degraded")
+                    return DegradedResult(
+                        module=module.name,
+                        phase="assess",
+                        error=error,
+                        elapsed_seconds=elapsed,
+                        scenario=scenario.name,
+                    )
                 finally:
                     self.metrics.observe(
                         "detector_seconds",
@@ -147,6 +178,20 @@ class Runtime:
             if datatype is not None
             else database.schema.attribute(relation_name, attribute_name).datatype
         )
+        def compute():
+            fault_point(
+                "profile", relation=relation_name, attribute=attribute_name
+            )
+            return self._timed(
+                "profile",
+                profiler.compute_column_profile,
+                database,
+                relation_name,
+                attribute_name,
+                resolved,
+                span=span,
+            )
+
         with tracing.span(
             "profile",
             relation=relation_name,
@@ -156,15 +201,7 @@ class Runtime:
             return self.cache.get_or_compute(
                 database,
                 ("profile_column", relation_name, attribute_name, str(resolved)),
-                lambda: self._timed(
-                    "profile",
-                    profiler.compute_column_profile,
-                    database,
-                    relation_name,
-                    attribute_name,
-                    resolved,
-                    span=span,
-                ),
+                compute,
             )
 
     def profile_database(self, database):

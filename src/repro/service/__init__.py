@@ -13,10 +13,20 @@ estimates retrievable without recomputation.  This subsystem provides it:
 * :class:`ReportStore` — content-addressed persistence of serialised
   results (``repro.core.serialize``), keyed by the same content
   fingerprints the profile cache uses, with an on-disk spool that
-  survives restarts,
+  survives restarts — checksummed, quarantining damaged entries on a
+  startup recovery scan instead of serving them,
 * :mod:`~repro.service.http_api` — a stdlib ``ThreadingHTTPServer``
   exposing submit/status/result/cancel plus ``/healthz`` and
-  ``/metrics``, with :class:`ServiceClient` as the Python counterpart.
+  ``/metrics``, with :class:`ServiceClient` as the Python counterpart
+  (retrying transient unavailability under a
+  :class:`~repro.resilience.RetryPolicy`).
+
+The scheduler embeds the resilience layer: a
+:class:`~repro.resilience.CircuitBreaker` guards job admission, a
+:class:`~repro.resilience.HealthMonitor` drives ``/healthz``'s
+healthy/degraded/draining state, and :meth:`JobScheduler.close` drains
+gracefully — running jobs finish, queued jobs fail with a
+``retry_after`` hint.
 
 ``efes serve`` / ``efes submit`` are the CLI entry points.
 """
@@ -26,6 +36,7 @@ from .client import (
     JobFailedError,
     ServiceClient,
     ServiceError,
+    ServiceUnavailableError,
 )
 from .http_api import (
     DEFAULT_HOST,
@@ -41,13 +52,19 @@ from .jobs import (
     QueueFullError,
     SchedulerClosedError,
 )
-from .scheduler import JobScheduler
-from .store import ReportStore, job_key
+from .scheduler import DRAINING_ERROR, JobScheduler
+from .store import (
+    ReportStore,
+    StoreCorruptionError,
+    document_checksum,
+    job_key,
+)
 
 __all__ = [
     "BackpressureError",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DRAINING_ERROR",
     "Job",
     "JobCancelled",
     "JobFailedError",
@@ -59,6 +76,9 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ServiceUnavailableError",
+    "StoreCorruptionError",
+    "document_checksum",
     "job_key",
     "make_server",
     "serve",

@@ -1,8 +1,21 @@
 """A small stdlib HTTP client for the assessment service.
 
 Wraps :mod:`urllib.request` — no dependencies — and mirrors the service
-resources one method each.  Backpressure (503 + Retry-After) surfaces as
-:class:`BackpressureError` so callers can implement retry loops::
+resources one method each.  Error taxonomy:
+
+* :class:`BackpressureError` — the queue is full (503 + ``retry_after``);
+  **not retried by default** (the caller decides whether to shed or wait;
+  pass ``retry_backpressure=True`` to opt in),
+* :class:`ServiceUnavailableError` — the service is unreachable
+  (connection refused/reset, timeout) or answered 503 for a non-queue
+  reason (draining, open circuit breaker).  Carries the last
+  ``retry_after`` hint the service sent, and **is retried** under the
+  client's :class:`~repro.resilience.RetryPolicy` (exponential backoff,
+  full jitter, ``Retry-After`` honoured) before surfacing,
+* :class:`ServiceError` — any other HTTP-level error, raised as-is.
+
+No bare :class:`urllib.error.URLError` ever escapes.  ``sleep`` is
+injectable so retry behaviour is testable in virtual time::
 
     client = ServiceClient("http://127.0.0.1:8765")
     job = client.submit("s1-s2", kind="estimate", quality="high")
@@ -12,10 +25,14 @@ resources one method each.  Backpressure (503 + Retry-After) surfaces as
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 import urllib.error
 import urllib.request
+from collections.abc import Callable
+
+from ..resilience import RetryPolicy, call_with_retry
 
 
 class ServiceError(RuntimeError):
@@ -36,20 +53,104 @@ class BackpressureError(ServiceError):
         self.retry_after = retry_after
 
 
+class ServiceUnavailableError(ServiceError):
+    """The service could not serve the request at all right now.
+
+    Raised for transport failures (connection refused/reset, timeouts)
+    and for 503 responses that are not queue backpressure — a draining
+    scheduler or an open circuit breaker.  ``retry_after`` carries the
+    service's hint when one was sent (``None`` for transport failures),
+    and the retry combinator honours it as a minimum backoff.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 503,
+        payload: dict | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(status, {"error": message, **(payload or {})})
+        self.retry_after = retry_after
+
+
 class JobFailedError(ServiceError):
     """The polled job reached FAILED or CANCELLED instead of DONE."""
+
+
+#: Default client-side retry: a few quick attempts on unavailability
+#: only; deterministic jitter so tests are reproducible.
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3,
+    base_delay=0.05,
+    max_delay=1.0,
+    retry_on=(ServiceUnavailableError,),
+    seed=0,
+)
+
+
+def _retry_after_hint(payload: dict, headers) -> float | None:
+    value = payload.get("retry_after")
+    if value is None and headers is not None:
+        value = headers.get("Retry-After")
+    try:
+        return float(value) if value is not None else None
+    except (TypeError, ValueError):
+        return None
 
 
 class ServiceClient:
     """Typed access to a running assessment service."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        retry_backpressure: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
+        if retry_backpressure and BackpressureError not in policy.retry_on:
+            policy = dataclasses.replace(
+                policy, retry_on=(*policy.retry_on, BackpressureError)
+            )
+        self.retry_policy = policy
+        self._sleep = sleep
+        self.retries_total = 0
 
     # -- plumbing ---------------------------------------------------------
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict]:
+        """One HTTP exchange, retried on :class:`ServiceUnavailableError`."""
+
+        def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
+            self.retries_total += 1
+
+        return call_with_retry(
+            self._request_once,
+            method,
+            path,
+            body,
+            headers,
+            policy=self.retry_policy,
+            sleep=self._sleep,
+            on_retry=on_retry,
+        )
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -76,11 +177,27 @@ class ServiceClient:
                 payload = json.loads(exc.read() or b"{}")
             except ValueError:
                 payload = {}
-            if exc.code == 503 and "retry_after" in payload:
-                raise BackpressureError(
-                    exc.code, payload, float(payload["retry_after"])
+            hint = _retry_after_hint(payload, exc.headers)
+            if exc.code == 503:
+                if "retry_after" in payload:
+                    raise BackpressureError(
+                        exc.code, payload, float(payload["retry_after"])
+                    ) from None
+                raise ServiceUnavailableError(
+                    payload.get("error") or "service unavailable",
+                    status=exc.code,
+                    payload=payload,
+                    retry_after=hint,
                 ) from None
             raise ServiceError(exc.code, payload) from None
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailableError(
+                f"service at {self.base_url} is unreachable: {exc.reason}"
+            ) from None
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ServiceUnavailableError(
+                f"service at {self.base_url} is unreachable: {exc}"
+            ) from None
 
     # -- resources --------------------------------------------------------
 
@@ -156,7 +273,7 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id} not finished within {deadline:g}s"
                 )
-            time.sleep(poll_interval)
+            self._sleep(poll_interval)
 
     def healthz(self) -> dict:
         _, doc = self._request("GET", "/healthz")
@@ -171,5 +288,13 @@ class ServiceClient:
         request = urllib.request.Request(
             f"{self.base_url}/metrics", headers={"Accept": "text/plain"}
         )
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            return response.read().decode("utf-8")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailableError(
+                f"service at {self.base_url} is unreachable: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from None

@@ -37,6 +37,7 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..observability import prometheus_text
+from ..resilience import CircuitOpenError, fault_point
 from ..scenarios import UnknownScenarioError, resolve_scenario
 from .jobs import JobState, QueueFullError, SchedulerClosedError
 from .scheduler import JobScheduler
@@ -135,6 +136,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- routes -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            fault_point("http.handler", method="GET", path=self.path)
+        except OSError as exc:
+            self._send_json(500, {"error": f"internal fault: {exc}"})
+            return
         segments = self._segments()
         if segments == ["healthz"]:
             stats = self.scheduler.stats()
@@ -144,6 +150,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 {
                     "status": "ok" if stats["open"] else "closing",
                     "backend": self.scheduler.runtime.backend,
+                    "health": self.scheduler.health_snapshot(),
                     "queue_depth": stats["queue_depth"],
                     "running": stats["running"],
                     "workers": {
@@ -154,6 +161,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     "store": {
                         "entries": len(store),
                         "spooled": store.spooled_count(),
+                        "quarantined": store.quarantined_count(),
                     },
                 },
             )
@@ -210,6 +218,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "jobs_running": float(stats["running"]),
                 "store_entries": float(len(store)),
                 "store_spooled": float(store.spooled_count()),
+                "store_quarantined": float(store.quarantined_count()),
             }
             self._send_text(
                 200,
@@ -225,6 +234,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "store": {
                     "entries": len(store),
                     "spooled": store.spooled_count(),
+                    "quarantined": store.quarantined_count(),
                 },
             },
         )
@@ -262,6 +272,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(202, {"job": job.snapshot()})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            fault_point("http.handler", method="POST", path=self.path)
+        except OSError as exc:
+            self._send_json(500, {"error": f"internal fault: {exc}"})
+            return
         if self._segments() != ["jobs"]:
             self._send_json(404, {"error": f"no such resource: {self.path}"})
             return
@@ -296,6 +311,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(
                 503,
                 {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+        except CircuitOpenError as exc:
+            # The breaker is shedding load: explicit backoff, no body of
+            # doomed work.  Unlike queue backpressure, the payload has no
+            # ``retry_after`` key, so clients classify it as
+            # ServiceUnavailableError and apply their retry policy.
+            self._send_json(
+                503,
+                {"error": str(exc), "circuit": exc.name},
                 headers={"Retry-After": f"{exc.retry_after:g}"},
             )
         except SchedulerClosedError as exc:

@@ -118,6 +118,12 @@ class Job:
     #: worker slot exactly once even though the abandoned payload thread
     #: finishes later.
     slot_released: bool = dataclasses.field(default=False, repr=False)
+    #: Set by the watchdog when the job overran the stuck threshold while
+    #: still running; diagnostic only (the job may yet finish).
+    stuck: bool = dataclasses.field(default=False, repr=False)
+    #: Retry hint (seconds) attached when the job failed for a transient
+    #: reason — e.g. it was queued when a graceful drain began.
+    retry_after: float | None = dataclasses.field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.correlation_id:
@@ -154,6 +160,8 @@ class Job:
             "state": self.state.value,
             "error": self.error,
             "from_store": self.from_store,
+            "stuck": self.stuck,
+            "retry_after": self.retry_after,
             "correlation_id": self.correlation_id,
             "has_trace": self.trace is not None,
             "created_at": self.created_at,

@@ -17,16 +17,39 @@ detector cannot wedge the service.  **Cancellation** works on queued jobs
 (they simply never start) and on running jobs (event + immediate slot
 release, result discarded).
 
+Resilience layer (see :mod:`repro.resilience`):
+
+* every terminal transition funnels through ``_settle_locked`` — a job
+  settles exactly once; late settle attempts (an abandoned payload
+  finishing after its timeout fired) are counted on
+  ``jobs_double_settle_averted`` instead of clobbering the record,
+* a per-scheduler :class:`~repro.resilience.CircuitBreaker` trips after
+  consecutive job failures; while open, new submissions are rejected
+  with :class:`~repro.resilience.CircuitOpenError` (503 + Retry-After
+  over HTTP) — but results already in the report store are still served,
+* an optional **watchdog** (``stuck_after``) marks jobs that overrun the
+  threshold, records breaker failures for them, and flags the
+  ``stuck_workers`` health reason,
+* :meth:`close` is a **graceful drain**: the health state machine enters
+  ``draining``, running jobs finish, queued jobs fail with an explicit
+  ``retry_after`` hint instead of silently disappearing,
+* ``scheduler.dispatch`` is a named fault-injection site: an injected
+  dispatch fault fails the popped job but never kills the dispatcher.
+
 Results of assess/estimate jobs are serialised documents
 (:mod:`repro.core.serialize`) and are written to the content-addressed
 :class:`~repro.service.store.ReportStore`; a later submission with
-identical scenario content completes instantly from the store.
+identical scenario content completes instantly from the store.  With the
+default ``strict=False``, a failing detector or planner degrades its
+module instead of failing the job — the result document then carries a
+``degradations`` list alongside the surviving reports.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import threading
 import time
 from collections.abc import Callable
@@ -37,11 +60,21 @@ from ..core.framework import Efes
 from ..core.quality import ResultQuality
 from ..core.serialize import estimate_to_dict, reports_to_dict
 from ..observability import (
+    EVENT_LOG_ENV_VAR,
     EventLog,
     Tracer,
     correlation_scope,
     span_to_dict,
     tracing,
+)
+from ..resilience import (
+    CircuitBreaker,
+    CircuitState,
+    DegradedResult,
+    HealthMonitor,
+    fault_point,
+    format_exception,
+    split_degraded,
 )
 from ..runtime import Runtime
 from .jobs import (
@@ -56,6 +89,9 @@ from .store import ReportStore, job_key
 #: Fallback per-job duration estimate (seconds) for the retry-after hint
 #: before any job has completed.
 _DEFAULT_JOB_SECONDS = 1.0
+
+#: Error message of jobs failed by a graceful drain.
+DRAINING_ERROR = "scheduler is draining; job was not started"
 
 
 def _parse_quality(quality: ResultQuality | str | None) -> ResultQuality:
@@ -80,11 +116,18 @@ class JobScheduler:
         default_timeout: float | None = None,
         trace: bool = True,
         event_log: EventLog | None = None,
+        breaker: CircuitBreaker | None = None,
+        stuck_after: float | None = None,
+        strict: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         if max_queue < 0:
             raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if stuck_after is not None and stuck_after <= 0:
+            raise ValueError(
+                f"stuck_after must be positive, got {stuck_after}"
+            )
         self._owns_runtime = runtime is None and (
             efes is None or efes.runtime is None
         )
@@ -98,11 +141,32 @@ class JobScheduler:
         self.workers = workers
         self.max_queue = max_queue
         self.default_timeout = default_timeout
+        #: Pipeline failure policy for assess/estimate payloads:
+        #: ``False`` (default) degrades failed modules into the result
+        #: document's ``degradations`` list; ``True`` fails the job.
+        self.strict = strict
         #: Per-job tracing: each executed job runs under its own tracer
         #: and keeps its serialised ``service.job:<id>`` span tree.
         self.trace = trace
-        #: Structured lifecycle events, correlated per job.
-        self.events = event_log if event_log is not None else EventLog()
+        #: Structured lifecycle events, correlated per job.  Default
+        #: logs honour ``$REPRO_EVENT_LOG`` as a JSONL sink, so chaos CI
+        #: runs capture the lifecycle stream as an artifact.
+        if event_log is not None:
+            self.events = event_log
+        else:
+            self.events = EventLog(
+                path=os.environ.get(EVENT_LOG_ENV_VAR) or None
+            )
+        #: Health state machine surfaced by ``/healthz``.
+        self.health = HealthMonitor()
+        #: Consecutive-failure breaker guarding job admission.
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(name="jobs")
+        )
+        self.breaker.add_listener(self._breaker_transition)
+        self.stuck_after = stuck_after
 
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)  # dispatcher wake-ups
@@ -115,10 +179,19 @@ class JobScheduler:
         self._open = True
         self._completed_jobs = 0
         self._completed_seconds = 0.0
+        self._watchdog_stop = threading.Event()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
         )
         self._dispatcher.start()
+        self._watchdog: threading.Thread | None = None
+        if stuck_after is not None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name="repro-service-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
 
     @property
     def metrics(self):
@@ -142,10 +215,12 @@ class JobScheduler:
 
         Raises :class:`QueueFullError` (with ``retry_after``) when the
         bounded queue is at capacity, :class:`SchedulerClosedError` after
-        shutdown.  Identical scenario content with a stored result
-        completes immediately (``from_store=True``) without queueing.
-        ``correlation_id`` stamps every event-log record and span the job
-        produces (default: the job id).
+        shutdown, :class:`~repro.resilience.CircuitOpenError` while the
+        breaker is open.  Identical scenario content with a stored result
+        completes immediately (``from_store=True``) without queueing —
+        even through an open breaker, because serving the store costs no
+        execution.  ``correlation_id`` stamps every event-log record and
+        span the job produces (default: the job id).
         """
         if kind not in ("assess", "estimate"):
             raise ValueError(
@@ -192,6 +267,10 @@ class JobScheduler:
                 from_store=True,
             )
             return job
+        # Admission control happens after the store check on purpose:
+        # cached answers are free, so an open breaker only blocks work
+        # that would actually execute.
+        self.breaker.allow()
         job.payload = self._payload_for(job, scenario, resolved_quality)
         self._enqueue(job)
         return job
@@ -209,6 +288,7 @@ class JobScheduler:
         The payload receives the job (use ``job.check_cancelled()`` at
         convenient points) and returns the result document.
         """
+        self.breaker.allow()
         job = Job(
             kind="callable",
             scenario_name=name,
@@ -226,30 +306,48 @@ class JobScheduler:
         if job.kind == "assess":
 
             def assess_payload(job: Job) -> dict:
-                reports = self.efes.assess(scenario)
+                reports = self.efes.assess(scenario, strict=self.strict)
                 job.check_cancelled()
+                clean, degraded = split_degraded(reports)
                 with self._serialize_phase():
-                    return {
+                    doc = {
                         "kind": "assess",
                         "scenario": scenario.name,
-                        "reports": reports_to_dict(reports),
+                        "reports": reports_to_dict(clean),
                     }
+                    if degraded:
+                        doc["degradations"] = [d.to_dict() for d in degraded]
+                    return doc
 
             return assess_payload
 
         def estimate_payload(job: Job) -> dict:
-            reports = self.efes.assess(scenario)
+            degradations: list[DegradedResult] = []
+            reports = self.efes.assess(scenario, strict=self.strict)
             job.check_cancelled()
-            estimate = self.efes.estimate(scenario, quality, reports=reports)
+            clean, assess_degraded = split_degraded(reports)
+            degradations.extend(assess_degraded)
+            estimate = self.efes.estimate(
+                scenario,
+                quality,
+                reports=clean,
+                strict=self.strict,
+                degradations=degradations,
+            )
             job.check_cancelled()
             with self._serialize_phase():
-                return {
+                doc = {
                     "kind": "estimate",
                     "scenario": scenario.name,
                     "quality": quality.value,
-                    "reports": reports_to_dict(reports),
+                    "reports": reports_to_dict(clean),
                     "estimate": estimate_to_dict(estimate),
                 }
+                if degradations:
+                    doc["degradations"] = [
+                        d.to_dict() for d in degradations
+                    ]
+                return doc
 
         return estimate_payload
 
@@ -280,6 +378,45 @@ class JobScheduler:
             self._wake.notify_all()
 
     # ------------------------------------------------------------------
+    # Settling: every terminal transition goes through here, exactly once
+    # ------------------------------------------------------------------
+
+    def _settle_locked(
+        self,
+        job: Job,
+        state: JobState,
+        *,
+        error: str | None = None,
+        result: dict | None = None,
+        retry_after: float | None = None,
+    ) -> bool:
+        """Move ``job`` to a terminal ``state``; the ONLY place that may.
+
+        Returns ``False`` — and counts ``jobs_double_settle_averted`` —
+        when the job already settled (e.g. its timeout fired while the
+        payload was still serialising its result, and the abandoned
+        payload thread now reports in late).  The first settle wins; a
+        late attempt never clobbers state, result, or metrics.
+        """
+        if job.state.is_terminal:
+            self.metrics.increment("jobs_double_settle_averted")
+            return False
+        job.state = state
+        job.finished_at = time.time()
+        if error is not None:
+            job.error = error
+        if result is not None:
+            job.result = result
+        if retry_after is not None:
+            job.retry_after = retry_after
+        self._running.pop(job.id, None)
+        if job.started_at is not None:
+            self._release_slot_locked(job)
+            self._record_duration_locked(job)
+        self._finished.notify_all()
+        return True
+
+    # ------------------------------------------------------------------
     # Dispatch + execution
     # ------------------------------------------------------------------
 
@@ -292,6 +429,30 @@ class JobScheduler:
                     return
                 job = self._pop_runnable_locked()
                 if job is not None:
+                    try:
+                        fault_point(
+                            "scheduler.dispatch",
+                            job_id=job.id,
+                            kind=job.kind,
+                            scenario=job.scenario_name,
+                        )
+                    except OSError as exc:
+                        # An injected (or real) dispatch failure costs
+                        # this job, never the dispatcher.
+                        if self._settle_locked(
+                            job,
+                            JobState.FAILED,
+                            error=format_exception(exc),
+                        ):
+                            self.metrics.increment("jobs_failed")
+                            self.breaker.record_failure()
+                            self.events.emit(
+                                "job.dispatch_failed",
+                                correlation_id=job.correlation_id,
+                                job_id=job.id,
+                                error=job.error,
+                            )
+                        continue
                     self._free_slots -= 1
                     job.state = JobState.RUNNING
                     job.started_at = time.time()
@@ -331,21 +492,21 @@ class JobScheduler:
         for job in list(self._running.values()):
             if job.deadline is not None and now >= job.deadline:
                 job.cancel_event.set()
-                job.state = JobState.FAILED
-                job.error = f"timed out after {job.timeout:g}s"
-                job.finished_at = time.time()
-                self._release_slot_locked(job)
-                del self._running[job.id]
+                if not self._settle_locked(
+                    job,
+                    JobState.FAILED,
+                    error=f"timed out after {job.timeout:g}s",
+                ):
+                    continue
                 self.metrics.increment("jobs_timeout")
                 self.metrics.increment("jobs_failed")
-                self._record_duration_locked(job)
+                self.breaker.record_failure()
                 self.events.emit(
                     "job.timeout",
                     correlation_id=job.correlation_id,
                     job_id=job.id,
                     timeout=job.timeout,
                 )
-                self._finished.notify_all()
 
     def _run_job(self, job: Job) -> None:
         result: dict | None = None
@@ -404,35 +565,44 @@ class JobScheduler:
         self, job: Job, result: dict | None, error: str | None, cancelled: bool
     ) -> None:
         with self._lock:
-            self._running.pop(job.id, None)
-            if job.state is JobState.RUNNING:
-                job.finished_at = time.time()
-                if cancelled or job.cancel_event.is_set():
-                    job.state = JobState.CANCELLED
+            if cancelled or job.cancel_event.is_set():
+                if self._settle_locked(job, JobState.CANCELLED):
                     self.metrics.increment("jobs_cancelled")
-                elif error is not None:
-                    job.state = JobState.FAILED
-                    job.error = error
+            elif error is not None:
+                if self._settle_locked(job, JobState.FAILED, error=error):
                     self.metrics.increment("jobs_failed")
-                else:
-                    job.state = JobState.DONE
-                    job.result = result
+                    self.breaker.record_failure()
+            else:
+                if self._settle_locked(job, JobState.DONE, result=result):
                     self.metrics.increment("jobs_completed")
+                    self.breaker.record_success()
                     if job.store_key is not None and result is not None:
-                        store_started = time.perf_counter()
-                        self.store.put(job.store_key, result)
-                        self.metrics.observe(
-                            "job_phase_seconds",
-                            time.perf_counter() - store_started,
-                            phase="store",
-                        )
-                self._record_duration_locked(job)
-            # else: the dispatcher (timeout) or cancel() already settled
-            # the job and released its slot; this is the abandoned payload
-            # thread draining — its result is discarded.
+                        self._store_result_locked(job, result)
+            # A late arrival (the job settled by timeout or cancel while
+            # the payload drained) still releases its slot idempotently.
             self._release_slot_locked(job)
             self._wake.notify_all()
             self._finished.notify_all()
+
+    def _store_result_locked(self, job: Job, result: dict) -> None:
+        """Spool the result; a failing spool never fails a DONE job."""
+        store_started = time.perf_counter()
+        try:
+            self.store.put(job.store_key, result)
+        except OSError as exc:
+            # The in-memory result stands; persistence is best-effort.
+            self.metrics.increment("store_put_failures")
+            self.events.emit(
+                "store.write_failed",
+                correlation_id=job.correlation_id,
+                job_id=job.id,
+                error=format_exception(exc),
+            )
+        self.metrics.observe(
+            "job_phase_seconds",
+            time.perf_counter() - store_started,
+            phase="store",
+        )
 
     def _release_slot_locked(self, job: Job) -> None:
         if not job.slot_released:
@@ -445,6 +615,64 @@ class JobScheduler:
         if duration is not None:
             self._completed_jobs += 1
             self._completed_seconds += duration
+
+    # ------------------------------------------------------------------
+    # Watchdog + breaker + health
+    # ------------------------------------------------------------------
+
+    def _breaker_transition(
+        self, previous: CircuitState, state: CircuitState
+    ) -> None:
+        self.metrics.increment("breaker_transitions")
+        self.events.emit(
+            "breaker.state",
+            previous=previous.value,
+            state=state.value,
+        )
+        # Half-open still means "recovering": the replica stays flagged
+        # until a probe succeeds and the breaker closes.
+        self.health.set_reason(
+            "circuit_open", state is not CircuitState.CLOSED
+        )
+
+    def _watchdog_loop(self) -> None:
+        interval = max(0.02, min(self.stuck_after / 2.0, 1.0))
+        while not self._watchdog_stop.wait(interval):
+            now = time.time()
+            newly_stuck: list[Job] = []
+            any_stuck = False
+            with self._lock:
+                for job in self._running.values():
+                    if (
+                        job.started_at is not None
+                        and now - job.started_at >= self.stuck_after
+                    ):
+                        any_stuck = True
+                        if not job.stuck:
+                            job.stuck = True
+                            newly_stuck.append(job)
+            for job in newly_stuck:
+                self.metrics.increment("jobs_stuck")
+                self.events.emit(
+                    "job.stuck",
+                    correlation_id=job.correlation_id,
+                    job_id=job.id,
+                    running_seconds=now - (job.started_at or now),
+                    stuck_after=self.stuck_after,
+                )
+                # A wedged worker is a failure the breaker must see even
+                # though no exception ever surfaces.
+                self.breaker.record_failure()
+            self.health.set_reason("stuck_workers", any_stuck)
+
+    def health_snapshot(self) -> dict:
+        """Health + breaker + store damage, as ``/healthz`` reports it."""
+        self.health.set_reason(
+            "store_quarantine", self.store.quarantined_count() > 0
+        )
+        doc = self.health.snapshot()
+        doc["breaker"] = self.breaker.snapshot()
+        return doc
 
     # ------------------------------------------------------------------
     # Inspection + control
@@ -462,27 +690,15 @@ class JobScheduler:
         """Cancel a queued or running job; terminal jobs are left as-is."""
         with self._lock:
             job = self._jobs[job_id]
-            if job.state is JobState.QUEUED:
+            if job.state in (JobState.QUEUED, JobState.RUNNING):
                 job.cancel_event.set()
-                job.state = JobState.CANCELLED
-                job.finished_at = time.time()
-                self.metrics.increment("jobs_cancelled")
-                self._finished.notify_all()
-            elif job.state is JobState.RUNNING:
-                job.cancel_event.set()
-                job.state = JobState.CANCELLED
-                job.finished_at = time.time()
-                self._running.pop(job.id, None)
-                self._release_slot_locked(job)
-                self.metrics.increment("jobs_cancelled")
-                self._record_duration_locked(job)
-                self._finished.notify_all()
-            if job.state is JobState.CANCELLED:
-                self.events.emit(
-                    "job.cancelled",
-                    correlation_id=job.correlation_id,
-                    job_id=job.id,
-                )
+                if self._settle_locked(job, JobState.CANCELLED):
+                    self.metrics.increment("jobs_cancelled")
+                    self.events.emit(
+                        "job.cancelled",
+                        correlation_id=job.correlation_id,
+                        job_id=job.id,
+                    )
             return job
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
@@ -518,6 +734,7 @@ class JobScheduler:
     def stats(self) -> dict:
         with self._lock:
             busy = self.workers - self._free_slots
+            stuck = sum(1 for job in self._running.values() if job.stuck)
             return {
                 "open": self._open,
                 "workers": self.workers,
@@ -527,6 +744,7 @@ class JobScheduler:
                 "max_queue": self.max_queue,
                 "queue_depth": self._queue_depth_locked(),
                 "running": len(self._running),
+                "stuck": stuck,
                 "jobs_total": len(self._jobs),
                 "completed_jobs": self._completed_jobs,
                 "average_job_seconds": (
@@ -534,20 +752,40 @@ class JobScheduler:
                     if self._completed_jobs
                     else None
                 ),
+                "breaker": self.breaker.snapshot(),
             }
 
     def close(self, *, wait: bool = True, timeout: float | None = 10.0) -> None:
-        """Stop accepting work; cancel the queue; optionally drain runners."""
+        """Graceful drain: finish running jobs, fail queued ones.
+
+        The health state machine enters ``draining`` (terminal); queued
+        jobs settle ``FAILED`` with :data:`DRAINING_ERROR` and an
+        explicit ``retry_after`` hint so clients know to resubmit, while
+        running jobs get up to ``timeout`` seconds to complete.
+        """
         with self._lock:
             if not self._open:
                 return
             self._open = False
+            self.health.start_draining()
+            depth = self._queue_depth_locked()
+            hint = self._retry_after_locked(depth) if depth else None
             for _, _, job in self._queue:
                 if job.state is JobState.QUEUED:
                     job.cancel_event.set()
-                    job.state = JobState.CANCELLED
-                    job.finished_at = time.time()
-                    self.metrics.increment("jobs_cancelled")
+                    if self._settle_locked(
+                        job,
+                        JobState.FAILED,
+                        error=DRAINING_ERROR,
+                        retry_after=hint,
+                    ):
+                        self.metrics.increment("jobs_drained")
+                        self.events.emit(
+                            "job.drained",
+                            correlation_id=job.correlation_id,
+                            job_id=job.id,
+                            retry_after=hint,
+                        )
             self._queue.clear()
             self._wake.notify_all()
             self._finished.notify_all()
@@ -563,6 +801,9 @@ class JobScheduler:
                         if remaining <= 0:
                             break
                     self._finished.wait(timeout=remaining)
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=1.0)
         self._dispatcher.join(timeout=1.0)
         if self._owns_runtime:
             self.runtime.close()

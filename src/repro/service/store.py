@@ -1,4 +1,4 @@
-"""Content-addressed persistence for assessment results.
+"""Content-addressed, crash-safe persistence for assessment results.
 
 The :class:`ReportStore` maps a *content key* — a SHA-1 over the scenario
 fingerprint (:func:`repro.runtime.fingerprint_scenario`), the job kind,
@@ -9,11 +9,26 @@ from the store the second time, across processes if a spool directory is
 configured.
 
 Layout of the spool directory: one ``<key>.json`` file per entry,
-written atomically (temp file + rename) so a crashed writer never leaves
-a torn document behind.  Hits/misses/puts are counted on the attached
+written atomically (temp file + fsync + rename) so a crashed writer
+never leaves a torn document behind.  Every spooled envelope carries a
+SHA-256 checksum of its document; an entry that fails to parse or whose
+checksum does not verify is **quarantined** — moved into
+``<spool>/quarantine/`` rather than deleted, so operators can inspect
+what went wrong — and treated as a miss.  A recovery scan runs on
+startup (and on demand via :meth:`recover`), sweeping damaged entries
+aside before they can poison reads.
+
+Writes retry under a small :class:`~repro.resilience.RetryPolicy`
+(transient ``OSError`` only); ``store.read`` / ``store.write`` /
+``store.fsync`` are named fault-injection sites, and spooled text passes
+through :func:`~repro.resilience.corrupt_text` so chaos tests can
+manufacture exactly the torn files the quarantine machinery exists for.
+
+Hits/misses/puts/quarantines are counted on the attached
 :class:`~repro.runtime.metrics.RuntimeMetrics` (``store_hits``,
-``store_misses``, ``store_puts``), which is how the service's
-``/metrics`` endpoint exposes store effectiveness.
+``store_misses``, ``store_puts``, ``store_quarantined``,
+``store_write_retries``), which is how the service's ``/metrics``
+endpoint exposes store effectiveness and damage.
 """
 
 from __future__ import annotations
@@ -24,10 +39,29 @@ import os
 import threading
 from pathlib import Path
 
+from ..resilience import RetryPolicy, call_with_retry, corrupt_text, fault_point
 from ..runtime import RuntimeMetrics, fingerprint_scenario
 
 #: Store format marker embedded in every spooled document.
-STORE_VERSION = 1
+STORE_VERSION = 2
+
+#: Spool versions this reader accepts.  Version-1 envelopes predate the
+#: checksum field and are readable (trusted as-written); version-2
+#: envelopes must verify.
+READABLE_VERSIONS = (1, STORE_VERSION)
+
+#: Subdirectory of the spool where damaged entries are set aside.
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Spool writes retry transient I/O errors a few times with short
+#: backoff; deterministic (seeded) so chaos tests are reproducible.
+SPOOL_RETRY_POLICY = RetryPolicy(
+    max_attempts=3,
+    base_delay=0.01,
+    max_delay=0.1,
+    retry_on=(OSError,),
+    seed=0,
+)
 
 
 def job_key(scenario, kind: str, quality: str | None = None) -> str:
@@ -41,25 +75,42 @@ def job_key(scenario, kind: str, quality: str | None = None) -> str:
     return digest.hexdigest()
 
 
+def document_checksum(doc: dict) -> str:
+    """Canonical SHA-256 of a result document (sorted-key JSON)."""
+    canonical = json.dumps(doc, sort_keys=True, ensure_ascii=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class StoreCorruptionError(ValueError):
+    """A spooled envelope failed validation (parse or checksum)."""
+
+
 class ReportStore:
     """An in-memory + optional on-disk map of content key -> result doc.
 
     ``directory=None`` keeps the store purely in memory; with a directory
     every put is spooled to disk and misses fall back to the spool, so
-    results survive process restarts.
+    results survive process restarts.  Damaged spool entries are
+    quarantined, never silently served.
     """
 
     def __init__(
         self,
         directory: str | Path | None = None,
         metrics: RuntimeMetrics | None = None,
+        *,
+        recover_on_start: bool = True,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
         self._lock = threading.Lock()
         self._entries: dict[str, dict] = {}
+        self._quarantined_total = 0
+        self.last_recovery: dict | None = None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            if recover_on_start:
+                self.recover()
 
     # -- core protocol ----------------------------------------------------
 
@@ -92,32 +143,139 @@ class ReportStore:
             self._entries[key] = doc
         self.metrics.increment("store_puts")
         if self.directory is not None:
-            self._write_spool(key, doc)
+            call_with_retry(
+                self._write_spool,
+                key,
+                doc,
+                policy=SPOOL_RETRY_POLICY,
+                on_retry=lambda attempt, delay, exc: self.metrics.increment(
+                    "store_write_retries"
+                ),
+            )
 
     # -- spool ------------------------------------------------------------
+
+    @property
+    def quarantine_directory(self) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / QUARANTINE_DIRNAME
 
     def _spool_path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _decode_envelope(self, text: str) -> dict | None:
+        """The document inside a spooled envelope, validated.
+
+        Returns ``None`` for foreign versions (not readable, not an
+        error), raises :class:`StoreCorruptionError` for anything torn:
+        bad JSON, missing document, or a checksum mismatch.
+        """
+        try:
+            envelope = json.loads(text)
+        except ValueError as exc:
+            raise StoreCorruptionError(f"not valid JSON: {exc}") from exc
+        if not isinstance(envelope, dict):
+            raise StoreCorruptionError("envelope is not an object")
+        version = envelope.get("version")
+        if version not in READABLE_VERSIONS:
+            return None
+        document = envelope.get("document")
+        if not isinstance(document, dict):
+            raise StoreCorruptionError("envelope has no document")
+        if version >= 2:
+            expected = envelope.get("checksum")
+            actual = document_checksum(document)
+            if expected != actual:
+                raise StoreCorruptionError(
+                    f"checksum mismatch: envelope says {expected!r}, "
+                    f"document hashes to {actual!r}"
+                )
+        return document
+
     def _read_spool(self, key: str) -> dict | None:
         path = self._spool_path(key)
         try:
-            envelope = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None  # missing or torn entry: treat as a miss
-        if envelope.get("version") != STORE_VERSION:
+            fault_point("store.read", key=key)
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # missing entry (or injected read fault): a miss
+        try:
+            return self._decode_envelope(text)
+        except StoreCorruptionError:
+            self._quarantine(path)
             return None
-        return envelope.get("document")
 
     def _write_spool(self, key: str, doc: dict) -> None:
-        envelope = {"version": STORE_VERSION, "key": key, "document": doc}
+        envelope = {
+            "version": STORE_VERSION,
+            "key": key,
+            "checksum": document_checksum(doc),
+            "document": doc,
+        }
+        text = json.dumps(envelope, sort_keys=True, ensure_ascii=False)
+        text = corrupt_text("store.write", text, key=key)
         path = self._spool_path(key)
-        temporary = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-        temporary.write_text(
-            json.dumps(envelope, sort_keys=True, ensure_ascii=False),
-            encoding="utf-8",
+        temporary = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}"
         )
+        fault_point("store.write", key=key)
+        with temporary.open("w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            fault_point("store.fsync", key=key)
+            os.fsync(handle.fileno())
         temporary.replace(path)
+
+    def _quarantine(self, path: Path) -> None:
+        """Set a damaged spool file aside (never served, never deleted)."""
+        quarantine = self.quarantine_directory
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            path.replace(quarantine / path.name)
+        except OSError:  # pragma: no cover - racing cleanup/permissions
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self._quarantined_total += 1
+        self.metrics.increment("store_quarantined")
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self) -> dict:
+        """Scan the spool, quarantining every damaged entry.
+
+        Runs automatically on startup for directory-backed stores, so a
+        crash mid-write (or bit rot between runs) costs exactly the
+        damaged entries — the healthy remainder keeps serving.  Returns
+        and remembers a summary: ``{"scanned", "valid", "quarantined"}``.
+        """
+        summary = {"scanned": 0, "valid": 0, "quarantined": 0}
+        if self.directory is None:
+            self.last_recovery = summary
+            return summary
+        for path in sorted(self.directory.glob("*.json")):
+            summary["scanned"] += 1
+            try:
+                text = path.read_text(encoding="utf-8")
+                self._decode_envelope(text)
+            except StoreCorruptionError:
+                self._quarantine(path)
+                summary["quarantined"] += 1
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            else:
+                summary["valid"] += 1
+        # Stale temp files from a crashed writer are garbage, not data:
+        # they were never renamed into place, so nothing references them.
+        for stale in self.directory.glob("*.tmp.*"):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+        self.last_recovery = summary
+        return summary
 
     # -- maintenance ------------------------------------------------------
 
@@ -136,6 +294,20 @@ class ReportStore:
         if self.directory is None:
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
+
+    def quarantined_count(self) -> int:
+        """Damaged entries currently set aside in the quarantine dir."""
+        quarantine = self.quarantine_directory
+        if quarantine is None or not quarantine.is_dir():
+            return 0
+        return sum(1 for _ in quarantine.glob("*.json"))
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self),
+            "spooled": self.spooled_count(),
+            "quarantined": self.quarantined_count(),
+        }
 
     def __len__(self) -> int:
         with self._lock:

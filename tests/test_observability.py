@@ -474,7 +474,8 @@ class TestServiceObservability:
         assert doc["workers"]["total"] == 2
         assert 0 <= doc["workers"]["busy"] <= 2
         assert 0.0 <= doc["workers"]["utilisation"] <= 1.0
-        assert doc["store"] == {"entries": 0, "spooled": 0}
+        assert doc["store"] == {"entries": 0, "spooled": 0, "quarantined": 0}
+        assert doc["health"]["state"] == "healthy"
 
     def test_metrics_content_negotiation(self, service):
         from repro.service import ServiceClient
