@@ -10,14 +10,20 @@ of the shipped scenarios:
   the span tree (accepts the domain aliases ``bibliographic``/``music``),
 * ``efes experiments``         — reproduce Figures 6 and 7 + rmse,
 * ``efes list``                — list the available scenarios,
-* ``efes serve``               — run the HTTP assessment service,
-* ``efes submit <scenario>``   — submit a job to a running service.
+* ``efes serve``               — run the HTTP assessment service
+  (``--journal-dir`` makes every acknowledged job survive a crash;
+  SIGTERM drains gracefully, flushes the journal, and exits 0),
+* ``efes submit <scenario>``   — submit a job to a running service,
+* ``efes recover <journal>``   — replay a job journal offline:
+  ``--dry-run`` prints what recovery would do, without it the journal
+  is checkpointed and compacted.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 
 from .core import ResultQuality, default_efes
@@ -35,6 +41,7 @@ from .scenarios import (
     resolve_scenario,
     scenario_catalogue,
 )
+from .scenarios.io import ScenarioFormatError
 
 #: Environment variable naming the default target of ``efes submit``.
 SERVICE_URL_ENV_VAR = "REPRO_SERVICE_URL"
@@ -311,34 +318,114 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+class _Terminated(Exception):
+    """SIGTERM arrived: unwind ``serve_forever`` into a graceful drain."""
+
+
+def _raise_terminated(signum, frame):  # pragma: no cover - signal plumbing
+    raise _Terminated()
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    from .durability import FlushPolicy, JobJournal
     from .runtime import get_runtime
     from .service import JobScheduler, ReportStore, make_server
 
     runtime = get_runtime()
     store = ReportStore(directory=args.spool, metrics=runtime.metrics)
+    journal = None
+    if args.journal_dir:
+        try:
+            policy = FlushPolicy.parse(args.journal_fsync)
+        except ValueError as exc:
+            print(f"efes: {exc}", file=sys.stderr)
+            return 2
+        journal = JobJournal(
+            args.journal_dir, flush=policy, metrics=runtime.metrics
+        )
     scheduler = JobScheduler(
         runtime=runtime,
         store=store,
         workers=args.job_workers,
         max_queue=args.queue_size,
         default_timeout=args.job_timeout,
+        journal=journal,
     )
     server = make_server(scheduler, host=args.host, port=args.port)
     spool = args.spool or "(memory only)"
     print(
         f"efes service listening on {server.url} "
         f"(runtime backend={runtime.backend}, job workers={args.job_workers}, "
-        f"queue={args.queue_size}, spool={spool})"
+        f"queue={args.queue_size}, spool={spool})",
+        flush=True,
     )
+    if scheduler.recovery_summary is not None:
+        summary = scheduler.recovery_summary
+        print(
+            f"journal recovery: {summary['records']} record(s) in "
+            f"{summary['segments']} segment(s), "
+            f"{summary['resubmitted']} requeued "
+            f"({summary['interrupted']} interrupted), "
+            f"{summary['completed_from_store']} completed from store, "
+            f"{summary['torn_records']} torn record(s) skipped",
+            flush=True,
+        )
+    # SIGTERM (the orchestrator's "please stop") must not drop queued
+    # work on the floor: raising out of serve_forever funnels into the
+    # same graceful drain + journal flush as Ctrl-C, and exits 0.
+    try:
+        previous_handler = signal.signal(signal.SIGTERM, _raise_terminated)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        previous_handler = None
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
+    except _Terminated:
+        print("received SIGTERM; draining", flush=True)
     finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
         server.shutdown()
         server.server_close()
         scheduler.close(wait=True, timeout=5.0)
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .durability import JobJournal, RecoveryManager
+    from .service import ReportStore
+
+    directory = pathlib.Path(args.journal_dir)
+    if not directory.is_dir():
+        print(
+            f"efes: journal directory {args.journal_dir!r} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    journal = JobJournal(directory)
+    store = ReportStore(directory=args.spool) if args.spool else None
+    manager = RecoveryManager(journal, store)
+    summary = manager.inspect() if args.dry_run else manager.compact_offline()
+    journal.close()
+    mode = "dry run" if args.dry_run else "compacted"
+    print(f"journal {args.journal_dir} ({mode}):")
+    for field in (
+        "segments",
+        "records",
+        "torn_records",
+        "jobs_seen",
+        "settled",
+        "resubmitted",
+        "interrupted",
+        "completed_from_store",
+        "results_lost",
+        "checkpointed",
+        "compacted_segments",
+    ):
+        print(f"  {field:22s} {summary[field]}")
     return 0
 
 
@@ -527,6 +614,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="report-store spool directory (default: in-memory only)",
     )
+    serve.add_argument(
+        "--journal-dir",
+        default=None,
+        help="write-ahead job journal directory: acknowledged jobs "
+        "survive crashes and are recovered on restart (default: off)",
+    )
+    serve.add_argument(
+        "--journal-fsync",
+        default="batch",
+        help="journal flush policy: strict, batch, batch:N, or none "
+        "(default: batch — acks fsync, advisory records group-commit)",
+    )
+
+    recover = subparsers.add_parser(
+        "recover", help="replay a job journal offline (inspect or compact)"
+    )
+    recover.add_argument("journal_dir", help="journal directory to replay")
+    recover.add_argument(
+        "--spool",
+        default=None,
+        help="report-store spool to check results against (optional)",
+    )
+    recover.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what recovery would do without writing anything",
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit a job to a running service"
@@ -601,12 +715,14 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": cmd_experiments,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "recover": cmd_recover,
     }
     try:
         status = commands[args.command](args)
-    except UnknownScenarioError as exc:
-        # A one-line diagnostic, not a traceback: unknown names are a
-        # user error, not a crash.
+    except (UnknownScenarioError, ScenarioFormatError) as exc:
+        # A one-line diagnostic, not a traceback: unknown names and
+        # malformed scenario data (the message carries file:line) are
+        # user errors, not crashes.
         print(f"efes: {exc}", file=sys.stderr)
         status = 2
     except FaultError as exc:

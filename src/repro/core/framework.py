@@ -291,11 +291,31 @@ class Efes:
         recorded on ``outcome.degradations``, counted on the runtime's
         ``degraded_total``, and annotated on its span — the returned
         outcome covers every module that survived.
+
+        Scenarios loaded leniently from disk may carry ``phase="load"``
+        tombstones (``scenario.load_degradations``, see
+        :func:`repro.scenarios.io.load_scenario`): malformed relation
+        CSVs that loaded empty.  Those merge into the outcome's
+        ``degradations`` too — and under strict mode the first one is
+        upgraded back to a :class:`~repro.scenarios.io.ScenarioFormatError`.
         """
         strict_mode = self._strictness(strict, default=False)
+        load_degraded = list(getattr(scenario, "load_degradations", ()) or ())
+        if load_degraded and strict_mode:
+            from ..scenarios.io import ScenarioFormatError
+
+            raise ScenarioFormatError(load_degraded[0].error)
 
         def execute() -> AssessmentOutcome:
-            degradations: list[DegradedResult] = []
+            degradations: list[DegradedResult] = list(load_degraded)
+            if load_degraded:
+                runtime = self._resolve_runtime()
+                runtime.metrics.increment(
+                    "degraded_total", len(load_degraded)
+                )
+                runtime.metrics.increment(
+                    "loads_degraded", len(load_degraded)
+                )
             reports = self.assess(scenario, strict=strict_mode)
             clean_reports, assess_degraded = split_degraded(reports)
             degradations.extend(assess_degraded)

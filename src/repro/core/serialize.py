@@ -17,6 +17,7 @@ Report dispatch is open: custom report classes register themselves in
 from __future__ import annotations
 
 import json
+import zlib
 from collections.abc import Callable, Mapping
 
 from ..observability import Span
@@ -291,6 +292,96 @@ def span_from_dict(doc: Mapping) -> Span:
         return _span_from_dict(dict(doc))
     except ValueError as exc:
         raise SerializationError(str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# Journal records (write-ahead log lines of repro.durability)
+# ----------------------------------------------------------------------
+#
+# The job journal is a JSONL write-ahead log: one record per line, each
+# line self-verifying so a torn write (process killed mid-append) is
+# detectable without trusting file length.  Line format::
+#
+#     <crc32 as 8 hex chars> <compact JSON object>\n
+#
+# The checksum covers exactly the JSON body.  A line is *complete* only
+# when its trailing newline is present — a checksum that happens to
+# survive truncation cannot make a partial record look whole.
+
+#: Record types the job journal knows how to replay.
+JOURNAL_RECORD_TYPES = ("submitted", "dispatched", "settled")
+
+
+def journal_record_to_line(record: Mapping) -> str:
+    """Encode one journal record as a checksummed JSONL line."""
+    body = json.dumps(
+        dict(record), sort_keys=True, ensure_ascii=False,
+        separators=(",", ":"),
+    )
+    if "\n" in body or "\r" in body:  # json.dumps never emits raw newlines
+        raise SerializationError("journal record serialised with a newline")
+    checksum = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{checksum:08x} {body}\n"
+
+
+def journal_record_from_line(line: str) -> dict:
+    """Decode one complete journal line; raises on any damage.
+
+    The caller strips nothing: the line must carry its checksum prefix,
+    a single space, the JSON body, and (optionally) the trailing
+    newline the encoder wrote.
+    """
+    text = line.rstrip("\n")
+    if len(text) < 10 or text[8] != " ":
+        raise SerializationError(
+            f"journal line has no checksum prefix: {text[:32]!r}"
+        )
+    prefix, body = text[:8], text[9:]
+    try:
+        expected = int(prefix, 16)
+    except ValueError as exc:
+        raise SerializationError(
+            f"journal checksum is not hex: {prefix!r}"
+        ) from exc
+    actual = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    if actual != expected:
+        raise SerializationError(
+            f"journal checksum mismatch: line says {prefix}, body hashes "
+            f"to {actual:08x}"
+        )
+    try:
+        record = json.loads(body)
+    except ValueError as exc:  # pragma: no cover - crc already caught it
+        raise SerializationError(
+            f"journal body is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(record, dict):
+        raise SerializationError("journal record is not an object")
+    return record
+
+
+def decode_journal_text(text: str) -> tuple[list[dict], int]:
+    """Decode a journal segment with write-ahead-log truncation semantics.
+
+    Returns ``(records, torn_lines)``: every record up to the first
+    damaged or incomplete line, plus how many trailing lines were
+    skipped.  Nothing after the first bad line is trusted — a torn or
+    corrupted record invalidates the tail of its segment, exactly like a
+    database WAL replay stopping at the first bad LSN.
+    """
+    records: list[dict] = []
+    pieces = text.split("\n")
+    # A well-formed segment ends with "\n", so the final piece is empty;
+    # a non-empty final piece is a mid-append torn write.
+    complete, tail = pieces[:-1], pieces[-1]
+    torn = 1 if tail else 0
+    for index, line in enumerate(complete):
+        try:
+            records.append(journal_record_from_line(line))
+        except SerializationError:
+            torn += len(complete) - index
+            break
+    return records, torn
 
 
 # ----------------------------------------------------------------------

@@ -53,33 +53,57 @@ def load_relation(
     When ``relation`` is given, values are cast to its attribute types;
     otherwise the attribute types are inferred from the data (schema
     reverse engineering for dumps).
+
+    Malformed input raises :class:`InstanceError` with a one-line
+    ``file:line`` diagnostic — a row whose arity disagrees with the
+    header, or bytes that are not UTF-8 — instead of a raw traceback
+    from deep inside the parser.
     """
-    with open(path, newline="", encoding="utf-8") as handle:
-        return loads_relation(
-            handle.read(), name=name or Path(path).stem, relation=relation
-        )
+    raw = Path(path).read_bytes()
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        line = raw.count(b"\n", 0, exc.start) + 1
+        raise InstanceError(
+            f"{path}:{line}: undecodable byte 0x{raw[exc.start]:02x} at "
+            f"offset {exc.start}: CSV input must be UTF-8"
+        ) from None
+    return loads_relation(
+        text, name=name or Path(path).stem, relation=relation,
+        source=str(path),
+    )
 
 
 def loads_relation(
     text: str,
     name: str = "relation",
     relation: Relation | None = None,
+    *,
+    source: str | None = None,
 ) -> RelationInstance:
-    """Parse CSV text into a relation instance (see :func:`load_relation`)."""
+    """Parse CSV text into a relation instance (see :func:`load_relation`).
+
+    ``source`` names the input in diagnostics (``<source>:<line>``); it
+    defaults to ``<csv>`` for string input.
+    """
+    where = source or "<csv>"
     reader = csv.reader(io.StringIO(text))
     try:
         header = next(reader)
     except StopIteration:
-        raise InstanceError("CSV input is empty; a header row is required") from None
-    raw_rows = [
-        [None if cell == NULL_TOKEN else cell for cell in row] for row in reader
-    ]
-    for row in raw_rows:
+        raise InstanceError(
+            f"{where}:1: CSV input is empty; a header row is required"
+        ) from None
+    raw_rows = []
+    for row in reader:
         if len(row) != len(header):
             raise InstanceError(
-                f"CSV row arity {len(row)} does not match header arity "
-                f"{len(header)}"
+                f"{where}:{reader.line_num}: CSV row arity {len(row)} "
+                f"does not match header arity {len(header)}"
             )
+        raw_rows.append(
+            [None if cell == NULL_TOKEN else cell for cell in row]
+        )
     if relation is None:
         relation = _infer_relation(name, header, raw_rows)
     instance = RelationInstance(relation)

@@ -22,6 +22,8 @@ import json
 from pathlib import Path
 
 from ..matching.correspondence import Correspondence, CorrespondenceSet
+from ..relational.errors import InstanceError
+from ..resilience import DegradedResult
 from ..relational.constraints import (
     Constraint,
     ForeignKey,
@@ -146,7 +148,21 @@ def save_database(database: Database, directory: Path) -> None:
         dump_relation(database.table(rel.name), directory / f"{rel.name}.csv")
 
 
-def load_database(directory: Path) -> Database:
+def load_database(
+    directory: Path,
+    *,
+    degradations: list[DegradedResult] | None = None,
+    scenario_name: str = "",
+) -> Database:
+    """Load one database directory (schema.json + per-relation CSVs).
+
+    A malformed relation CSV — bad row arity, undecodable bytes — is a
+    data problem, not a format problem: with ``degradations`` supplied
+    the relation loads **empty** and a :class:`DegradedResult` tombstone
+    (``phase="load"``, error carrying the ``file:line`` diagnostic) is
+    appended instead of raising; without it the one-line diagnostic is
+    re-raised as :class:`ScenarioFormatError`.
+    """
     schema_path = directory / "schema.json"
     if not schema_path.exists():
         raise ScenarioFormatError(f"missing {schema_path}")
@@ -166,7 +182,20 @@ def load_database(directory: Path) -> Database:
         csv_path = directory / f"{rel.name}.csv"
         if not csv_path.exists():
             continue  # empty relation: no CSV is fine
-        loaded = load_relation(csv_path, relation=rel)
+        try:
+            loaded = load_relation(csv_path, relation=rel)
+        except InstanceError as exc:
+            if degradations is None:
+                raise ScenarioFormatError(str(exc)) from exc
+            degradations.append(
+                DegradedResult(
+                    module=f"{document['name']}.{rel.name}",
+                    phase="load",
+                    error=f"{type(exc).__name__}: {exc}",
+                    scenario=scenario_name,
+                )
+            )
+            continue
         for row in loaded:
             database.insert(rel.name, row)
     return database
@@ -230,9 +259,22 @@ def save_scenario(scenario: IntegrationScenario, path: str | Path) -> Path:
     return directory
 
 
-def load_scenario(path: str | Path) -> IntegrationScenario:
+def load_scenario(
+    path: str | Path, *, strict: bool = False
+) -> IntegrationScenario:
     """Load a scenario previously written by :func:`save_scenario` (or
-    hand-authored in the same layout)."""
+    hand-authored in the same layout).
+
+    Structural problems (missing manifest, unknown version, missing
+    schema) always raise :class:`ScenarioFormatError`.  Malformed
+    relation **data** is softer by default: each bad CSV loads as an
+    empty relation and leaves a :class:`DegradedResult` tombstone on
+    ``scenario.load_degradations``, which :meth:`Efes.run
+    <repro.core.framework.Efes.run>` merges into its outcome — the
+    estimate survives, visibly partial.  ``strict=True`` upgrades the
+    first bad CSV to a :class:`ScenarioFormatError` carrying the
+    ``file:line`` diagnostic.
+    """
     directory = Path(path)
     manifest_path = directory / "scenario.json"
     if not manifest_path.exists():
@@ -243,16 +285,28 @@ def load_scenario(path: str | Path) -> IntegrationScenario:
         raise ScenarioFormatError(
             f"unsupported scenario format version: {version!r}"
         )
+    degradations: list[DegradedResult] | None = None if strict else []
+    name = manifest["name"]
     sources = [
-        load_database(directory / name) for name in manifest["sources"]
+        load_database(
+            directory / source,
+            degradations=degradations,
+            scenario_name=name,
+        )
+        for source in manifest["sources"]
     ]
-    target = load_database(directory / manifest["target"])
+    target = load_database(
+        directory / manifest["target"],
+        degradations=degradations,
+        scenario_name=name,
+    )
     correspondences = {
         source_name: CorrespondenceSet(
             _correspondence_from_dict(entry) for entry in entries
         )
         for source_name, entries in manifest["correspondences"].items()
     }
-    return IntegrationScenario(
-        manifest["name"], sources, target, correspondences
-    )
+    scenario = IntegrationScenario(name, sources, target, correspondences)
+    if degradations:
+        scenario.load_degradations = degradations
+    return scenario

@@ -28,7 +28,15 @@ healthy/degraded/draining state, and :meth:`JobScheduler.close` drains
 gracefully — running jobs finish, queued jobs fail with a
 ``retry_after`` hint.
 
-``efes serve`` / ``efes submit`` are the CLI entry points.
+It also embeds the durability layer (:mod:`repro.durability`): pass a
+:class:`~repro.durability.JobJournal` to :class:`JobScheduler` and every
+acknowledged submission survives ``kill -9`` — journalled ahead of the
+ack, replayed by a :class:`~repro.durability.RecoveryManager` on the
+next start, deduped across the crash by client ``Idempotency-Key``
+headers.
+
+``efes serve`` / ``efes submit`` / ``efes recover`` are the CLI entry
+points.
 """
 
 from .client import (

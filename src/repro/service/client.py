@@ -30,6 +30,7 @@ import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 from collections.abc import Callable
 
 from ..resilience import RetryPolicy, call_with_retry
@@ -211,8 +212,18 @@ class ServiceClient:
         timeout: float | None = None,
         seed: int = 1,
         correlation_id: str | None = None,
+        idempotency_key: str | None = None,
     ) -> dict:
-        """Submit a job; returns its status snapshot (``job["id"]``...)."""
+        """Submit a job; returns its status snapshot (``job["id"]``...).
+
+        Every submission carries an ``Idempotency-Key`` — the caller's,
+        or an auto-generated one.  The same key rides every retry of
+        this POST, so an ambiguous failure (the service accepted the job
+        but the response was lost, or the process crashed right after
+        the ack) resolves to the *original* job on resubmission instead
+        of a duplicate execution — including across a service restart,
+        because the journal carries the dedup window.
+        """
         body: dict = {"scenario": scenario, "kind": kind, "seed": seed}
         if quality is not None:
             body["quality"] = quality
@@ -220,9 +231,11 @@ class ServiceClient:
             body["priority"] = priority
         if timeout is not None:
             body["timeout"] = timeout
-        headers = (
-            {"X-Correlation-ID": correlation_id} if correlation_id else None
-        )
+        headers = {
+            "Idempotency-Key": idempotency_key or uuid.uuid4().hex,
+        }
+        if correlation_id:
+            headers["X-Correlation-ID"] = correlation_id
         _, doc = self._request("POST", "/jobs", body, headers=headers)
         return doc["job"]
 

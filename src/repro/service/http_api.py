@@ -5,10 +5,15 @@ beyond the standard library.  Resources::
 
     POST   /jobs             submit {"scenario", "kind", "quality",
                              "priority", "timeout", "seed",
-                             "correlation_id"}  -> 202 job
+                             "correlation_id", "idempotency_key"}
+                             -> 202 job
                              (503 + Retry-After on queue saturation;
                              the X-Correlation-ID header also binds the
-                             job's correlation ID)
+                             job's correlation ID; the Idempotency-Key
+                             header dedups retried submissions — a
+                             repeat inside the dedup window returns the
+                             original job, even across a crash/restart
+                             when a journal is configured)
     GET    /jobs             all known jobs (newest last); ``?state=``
                              filters by lifecycle state
     GET    /jobs/<id>        one job's status
@@ -17,7 +22,8 @@ beyond the standard library.  Resources::
     DELETE /jobs/<id>        cancel; returns the job status
     GET    /trace/<id>       the job's span tree (service.job:<id> root)
     GET    /healthz          liveness + queue depth + worker-slot
-                             utilisation + report-store spool size
+                             utilisation + report-store spool size +
+                             journal lag + crash-recovery summary
     GET    /metrics          RuntimeMetrics counters/stages/histograms +
                              scheduler queue stats + report-store totals;
                              ``Accept: text/plain`` (or
@@ -163,6 +169,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                         "spooled": store.spooled_count(),
                         "quarantined": store.quarantined_count(),
                     },
+                    "journal": stats.get("journal"),
+                    "recovery": stats.get("recovery"),
                 },
             )
             return
@@ -263,7 +271,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if job is None:
             self._send_json(404, {"error": f"unknown job {job_id!r}"})
         elif job.state is JobState.DONE:
-            self._send_json(200, {"job": job.snapshot(), "result": job.result})
+            result = job.result
+            if result is None and job.store_key is not None:
+                # A job recovered as settled after a crash keeps no
+                # result in memory; the document lives in the store.
+                result = self.scheduler.store.get(job.store_key)
+            self._send_json(200, {"job": job.snapshot(), "result": result})
         elif job.state is JobState.FAILED:
             self._send_json(500, {"job": job.snapshot(), "error": job.error})
         elif job.state is JobState.CANCELLED:
@@ -291,11 +304,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         kind = body.get("kind", "estimate")
         try:
-            scenario = self.server.resolve_scenario(
-                str(name), int(body.get("seed", 1))
-            )
+            seed = int(body.get("seed", 1))
+            scenario = self.server.resolve_scenario(str(name), seed)
             correlation = body.get("correlation_id") or self.headers.get(
                 "X-Correlation-ID"
+            )
+            idempotency = body.get("idempotency_key") or self.headers.get(
+                "Idempotency-Key"
             )
             job = self.scheduler.submit(
                 scenario,
@@ -304,6 +319,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 priority=int(body.get("priority", 0)),
                 timeout=body.get("timeout"),
                 correlation_id=correlation,
+                idempotency_key=idempotency,
+                scenario_seed=seed,
             )
         except UnknownScenarioError as exc:
             self._send_json(404, {"error": str(exc)})
@@ -325,6 +342,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             )
         except SchedulerClosedError as exc:
             self._send_json(503, {"error": str(exc)})
+        except OSError as exc:
+            # A failing journal append refuses the ack (write-ahead
+            # contract): the client retries — with its idempotency key —
+            # rather than trusting a job a crash could lose.
+            self._send_json(503, {"error": f"journal unavailable: {exc}"})
         except (TypeError, ValueError) as exc:
             self._send_json(400, {"error": str(exc)})
         else:

@@ -90,6 +90,23 @@ class Job:
     #: produces; defaults to the job id, overridable at submission (the
     #: HTTP API maps the ``X-Correlation-ID`` request header here).
     correlation_id: str = ""
+    #: Client-supplied dedup key (the HTTP ``Idempotency-Key`` header).
+    #: While a key is inside the scheduler's dedup window, a repeated
+    #: submit returns the original job instead of enqueueing a second
+    #: execution — the contract that makes post-crash client retries
+    #: safe.  The journal persists keys, so the window survives restarts.
+    idempotency_key: str | None = None
+    #: True when this job was rebuilt from the journal by crash recovery
+    #: rather than submitted by a caller in this process lifetime.
+    recovered: bool = dataclasses.field(default=False, repr=False)
+    #: True when the journal shows the job was RUNNING at the crash; it
+    #: is re-executed idempotently (results are content-addressed, so a
+    #: partial first execution cannot double-count).
+    interrupted: bool = dataclasses.field(default=False, repr=False)
+    #: True once the job's ``submitted`` record is in the journal; only
+    #: journalled jobs write ``dispatched``/``settled`` records (a
+    #: callable job without a ``payload_ref`` is ephemeral by design).
+    journalled: bool = dataclasses.field(default=False, repr=False)
     state: JobState = JobState.QUEUED
     result: dict | None = None
     error: str | None = None
@@ -163,6 +180,9 @@ class Job:
             "stuck": self.stuck,
             "retry_after": self.retry_after,
             "correlation_id": self.correlation_id,
+            "idempotency_key": self.idempotency_key,
+            "recovered": self.recovered,
+            "interrupted": self.interrupted,
             "has_trace": self.trace is not None,
             "created_at": self.created_at,
             "started_at": self.started_at,

@@ -43,6 +43,17 @@ identical scenario content completes instantly from the store.  With the
 default ``strict=False``, a failing detector or planner degrades its
 module instead of failing the job — the result document then carries a
 ``degradations`` list alongside the surviving reports.
+
+Durability layer (see :mod:`repro.durability`): with a ``journal``
+configured, every acknowledged submission is written ahead to the
+:class:`~repro.durability.JobJournal` (fsynced before the ack under the
+default flush policy), ``dispatched``/``settled`` transitions follow as
+advisory records, and construction replays whatever journal a crashed
+predecessor left behind through a
+:class:`~repro.durability.RecoveryManager` — re-enqueueing unsettled
+jobs, settling crashed-but-stored ones from the spool, and rebuilding
+the **idempotency-key** dedup window so a client retrying a submit
+after a crash neither loses nor double-runs work.
 """
 
 from __future__ import annotations
@@ -52,6 +63,7 @@ import itertools
 import os
 import threading
 import time
+from collections import OrderedDict
 from collections.abc import Callable
 from contextlib import contextmanager
 
@@ -75,6 +87,14 @@ from ..resilience import (
     fault_point,
     format_exception,
     split_degraded,
+)
+from ..durability import (
+    JobJournal,
+    JournalError,
+    RecoveryManager,
+    dispatched_record,
+    settled_record,
+    submitted_record,
 )
 from ..runtime import Runtime
 from .jobs import (
@@ -119,6 +139,10 @@ class JobScheduler:
         breaker: CircuitBreaker | None = None,
         stuck_after: float | None = None,
         strict: bool = False,
+        journal: JobJournal | None = None,
+        payload_resolver: Callable[[str, "Job"], Callable | None] | None = None,
+        scenario_resolver: Callable[[str, int | None], object] | None = None,
+        idempotency_window: int = 256,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -127,6 +151,10 @@ class JobScheduler:
         if stuck_after is not None and stuck_after <= 0:
             raise ValueError(
                 f"stuck_after must be positive, got {stuck_after}"
+            )
+        if idempotency_window < 0:
+            raise ValueError(
+                f"idempotency_window must be >= 0, got {idempotency_window}"
             )
         self._owns_runtime = runtime is None and (
             efes is None or efes.runtime is None
@@ -167,6 +195,21 @@ class JobScheduler:
         )
         self.breaker.add_listener(self._breaker_transition)
         self.stuck_after = stuck_after
+        #: Write-ahead job journal (``None`` = durability off).  When
+        #: set, every acknowledged submission is journalled + fsynced
+        #: before ``submit`` returns, and construction runs crash
+        #: recovery over whatever the previous process left behind.
+        self.journal = journal
+        #: Rebuilds callable-job payloads at recovery: called with
+        #: ``(payload_ref, job)``, returns the payload or ``None``.
+        self.payload_resolver = payload_resolver
+        #: Rebuilds scenarios at recovery: called with ``(scenario_ref,
+        #: seed)``; defaults to :func:`repro.scenarios.resolve_scenario`.
+        self.scenario_resolver = scenario_resolver
+        self.idempotency_window = idempotency_window
+        #: Recovery summary of the journal replay run at construction
+        #: (``None`` without a journal); surfaced by ``/healthz``.
+        self.recovery_summary: dict | None = None
 
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)  # dispatcher wake-ups
@@ -175,11 +218,27 @@ class JobScheduler:
         self._sequence = itertools.count()
         self._jobs: dict[str, Job] = {}
         self._running: dict[str, Job] = {}
+        #: Idempotency-key dedup window: key -> job id, LRU-bounded.
+        self._idempotency: OrderedDict[str, str] = OrderedDict()
         self._free_slots = workers
         self._open = True
         self._completed_jobs = 0
         self._completed_seconds = 0.0
         self._watchdog_stop = threading.Event()
+        # Evicting a result a journalled-but-unsettled job still needs
+        # would break recovery's complete-from-store path; register the
+        # live keys as protected before any sweep can run.
+        if getattr(self.store, "protected_keys", None) is None and hasattr(
+            self.store, "protected_keys"
+        ):
+            self.store.protected_keys = self._unsettled_store_keys
+        # Recovery runs before the dispatcher exists: replayed jobs are
+        # re-stated and re-enqueued into a quiescent scheduler, then the
+        # dispatcher starts and drains them like any other submission.
+        if journal is not None:
+            self.recovery_summary = RecoveryManager(
+                journal, self.store
+            ).recover(self)
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
         )
@@ -210,6 +269,8 @@ class JobScheduler:
         priority: int = 0,
         timeout: float | None = None,
         correlation_id: str | None = None,
+        idempotency_key: str | None = None,
+        scenario_seed: int | None = None,
     ) -> Job:
         """Queue an assess/estimate job for ``scenario``; returns the job.
 
@@ -221,11 +282,25 @@ class JobScheduler:
         even through an open breaker, because serving the store costs no
         execution.  ``correlation_id`` stamps every event-log record and
         span the job produces (default: the job id).
+
+        ``idempotency_key`` dedups retried submissions: while the key is
+        inside the scheduler's dedup window — which the journal carries
+        across crashes — a repeat submit returns the original job instead
+        of running the work twice.  With a journal configured, the
+        submission is fsynced to the write-ahead log before this method
+        returns (under the default flush policy), and a journal append
+        failure raises :class:`~repro.durability.JournalError` instead of
+        acknowledging a job that could be lost.  ``scenario_seed`` is
+        recorded alongside the scenario name so recovery can re-resolve
+        the same scenario after a crash.
         """
         if kind not in ("assess", "estimate"):
             raise ValueError(
                 f"unknown job kind {kind!r}; expected 'assess' or 'estimate'"
             )
+        existing = self._deduplicate(idempotency_key)
+        if existing is not None:
+            return existing
         resolved_quality = _parse_quality(quality)
         key = job_key(
             scenario,
@@ -240,6 +315,7 @@ class JobScheduler:
             timeout=timeout if timeout is not None else self.default_timeout,
             store_key=key,
             correlation_id=correlation_id or "",
+            idempotency_key=idempotency_key,
         )
         self.metrics.increment("jobs_submitted")
         self.events.emit(
@@ -259,6 +335,7 @@ class JobScheduler:
             self.metrics.increment("jobs_from_store")
             with self._lock:
                 self._jobs[job.id] = job
+                self._remember_idempotency_locked(job)
             self.events.emit(
                 "job.finished",
                 correlation_id=job.correlation_id,
@@ -272,7 +349,12 @@ class JobScheduler:
         # that would actually execute.
         self.breaker.allow()
         job.payload = self._payload_for(job, scenario, resolved_quality)
-        self._enqueue(job)
+        record = None
+        if self.journal is not None:
+            record = submitted_record(
+                job, scenario_ref=scenario.name, seed=scenario_seed
+            )
+        self._enqueue(job, journal_record=record)
         return job
 
     def submit_callable(
@@ -282,12 +364,22 @@ class JobScheduler:
         name: str = "callable",
         priority: int = 0,
         timeout: float | None = None,
+        payload_ref: str | None = None,
+        idempotency_key: str | None = None,
     ) -> Job:
         """Queue an arbitrary payload (tests, extensions, maintenance).
 
         The payload receives the job (use ``job.check_cancelled()`` at
         convenient points) and returns the result document.
+
+        Callable jobs are journalled only when ``payload_ref`` names the
+        payload for the scheduler's ``payload_resolver`` — without a ref
+        there is nothing recovery could re-execute, so the job is
+        ephemeral by design.
         """
+        existing = self._deduplicate(idempotency_key)
+        if existing is not None:
+            return existing
         self.breaker.allow()
         job = Job(
             kind="callable",
@@ -295,10 +387,40 @@ class JobScheduler:
             priority=priority,
             timeout=timeout if timeout is not None else self.default_timeout,
             payload=payload,
+            idempotency_key=idempotency_key,
         )
         self.metrics.increment("jobs_submitted")
-        self._enqueue(job)
+        record = None
+        if self.journal is not None and payload_ref is not None:
+            record = submitted_record(job, payload_ref=payload_ref)
+        self._enqueue(job, journal_record=record)
         return job
+
+    def _deduplicate(self, idempotency_key: str | None) -> Job | None:
+        """The already-accepted job for this key, if inside the window."""
+        if not idempotency_key:
+            return None
+        with self._lock:
+            job_id = self._idempotency.get(idempotency_key)
+            job = self._jobs.get(job_id) if job_id is not None else None
+        if job is None:
+            return None
+        self.metrics.increment("jobs_deduplicated")
+        self.events.emit(
+            "job.deduplicated",
+            correlation_id=job.correlation_id,
+            job_id=job.id,
+            idempotency_key=idempotency_key,
+        )
+        return job
+
+    def _remember_idempotency_locked(self, job: Job) -> None:
+        if not job.idempotency_key or self.idempotency_window == 0:
+            return
+        self._idempotency[job.idempotency_key] = job.id
+        self._idempotency.move_to_end(job.idempotency_key)
+        while len(self._idempotency) > self.idempotency_window:
+            self._idempotency.popitem(last=False)
 
     def _payload_for(
         self, job: Job, scenario, quality: ResultQuality
@@ -363,7 +485,7 @@ class JobScheduler:
             phase="serialize",
         )
 
-    def _enqueue(self, job: Job) -> None:
+    def _enqueue(self, job: Job, *, journal_record: dict | None = None) -> None:
         with self._lock:
             if not self._open:
                 raise SchedulerClosedError("scheduler is shut down")
@@ -371,10 +493,19 @@ class JobScheduler:
             if depth >= self.max_queue:
                 self.metrics.increment("jobs_rejected")
                 raise QueueFullError(depth, self._retry_after_locked(depth))
+            if journal_record is not None and self.journal is not None:
+                # The write-ahead contract: the submitted record reaches
+                # the journal (fsynced, under fsync_on_ack) before the
+                # job is queued.  A failing append raises — rejecting
+                # the submission — rather than acknowledging a job a
+                # crash could silently lose.
+                self.journal.append(journal_record)
+                job.journalled = True
             heapq.heappush(
                 self._queue, (-job.priority, next(self._sequence), job)
             )
             self._jobs[job.id] = job
+            self._remember_idempotency_locked(job)
             self._wake.notify_all()
 
     # ------------------------------------------------------------------
@@ -413,8 +544,250 @@ class JobScheduler:
         if job.started_at is not None:
             self._release_slot_locked(job)
             self._record_duration_locked(job)
+        self._journal_settled_locked(job)
         self._finished.notify_all()
         return True
+
+    def _journal_settled_locked(self, job: Job) -> None:
+        """Advisory settled record; every terminal path funnels through.
+
+        Best-effort by design: losing a settled record merely means
+        recovery re-executes the job idempotently, so an append failure
+        here is counted and evented, never raised into the settle path.
+        """
+        if self.journal is None or not job.journalled:
+            return
+        record = settled_record(
+            job.id,
+            job.state.value,
+            error=job.error,
+            store_key=job.store_key,
+            from_store=job.from_store,
+            idempotency_key=job.idempotency_key,
+            kind=job.kind,
+            scenario=job.scenario_name,
+        )
+        self._journal_append_advisory(record)
+
+    def _journal_append_advisory(self, record: dict) -> None:
+        try:
+            self.journal.append(record, durable=False)
+        except JournalError as exc:
+            self.metrics.increment("journal_append_failures")
+            self.events.emit(
+                "journal.append_failed",
+                record_type=record.get("type"),
+                job_id=record.get("job_id"),
+                error=str(exc),
+            )
+
+    # ------------------------------------------------------------------
+    # Crash recovery enactment (called by RecoveryManager at startup)
+    # ------------------------------------------------------------------
+
+    def _unsettled_store_keys(self) -> set[str]:
+        """Store keys eviction must keep: journalled, not yet settled."""
+        with self._lock:
+            return {
+                job.store_key
+                for job in self._jobs.values()
+                if job.journalled
+                and job.store_key is not None
+                and not job.state.is_terminal
+            }
+
+    def _register_replayed_terminal(self, state) -> None:
+        """Re-admit a settled job from the journal's checkpoint window.
+
+        The job is terminal on arrival: ``GET /jobs/<id>`` keeps
+        answering after a restart, and its idempotency key re-enters the
+        dedup window so a late client retry still dedups instead of
+        re-running.  Results are served lazily from the store via
+        ``store_key`` — the journal never carries result documents.
+        """
+        settled = state.settled or {}
+        job = self._replayed_job_shell(state)
+        try:
+            job.state = JobState(settled.get("state", "failed"))
+        except ValueError:  # pragma: no cover - foreign record
+            job.state = JobState.FAILED
+        job.error = settled.get("error")
+        job.from_store = bool(settled.get("from_store"))
+        job.finished_at = time.time()
+        with self._lock:
+            self._jobs.setdefault(job.id, job)
+            self._remember_idempotency_locked(job)
+
+    def _complete_replayed_from_store(self, state) -> bool:
+        """Settle a crashed-but-stored job straight from the spool.
+
+        Covers the crash window between the store write and the settled
+        journal record: the result survived, so the job settles ``DONE``
+        (``from_store=True``) without re-executing.  Returns ``False``
+        when the spooled entry turns out to be unreadable after all
+        (quarantined between planning and now) — the caller falls back
+        to re-execution.
+        """
+        result = (
+            self.store.get(state.store_key) if state.store_key else None
+        )
+        if result is None:
+            return False
+        job = self._replayed_job_shell(state)
+        job.state = JobState.DONE
+        job.result = result
+        job.from_store = True
+        job.finished_at = time.time()
+        with self._lock:
+            self._jobs.setdefault(job.id, job)
+            self._remember_idempotency_locked(job)
+        self.metrics.increment("jobs_recovered_from_store")
+        self.events.emit(
+            "job.recovered",
+            correlation_id=job.correlation_id,
+            job_id=job.id,
+            outcome="completed_from_store",
+        )
+        self.journal.append(
+            settled_record(
+                job.id,
+                JobState.DONE.value,
+                store_key=job.store_key,
+                from_store=True,
+                idempotency_key=job.idempotency_key,
+                kind=job.kind,
+                scenario=job.scenario_name,
+            ),
+            durable=False,
+        )
+        return True
+
+    def _resubmit_replayed(self, state) -> bool:
+        """Rebuild and re-enqueue a job the crash left unsettled.
+
+        Returns ``False`` — after registering a FAILED tombstone so the
+        job id keeps answering — when the payload cannot be rebuilt
+        (unresolvable scenario, callable without a resolvable
+        ``payload_ref``).  Journal appends here go direct (not
+        best-effort): recovery's re-statements must land before
+        compaction deletes the originals, and a failure aborts startup
+        with the old segments intact.
+        """
+        job = self._rebuild_recovered_job(state)
+        if job is None:
+            self._register_unrecoverable(state)
+            return False
+        record = dict(state.submitted)
+        record["recovered"] = True
+        with self._lock:
+            self.journal.append(record, durable=False)
+            job.journalled = True
+            heapq.heappush(
+                self._queue, (-job.priority, next(self._sequence), job)
+            )
+            self._jobs[job.id] = job
+            self._remember_idempotency_locked(job)
+            self._wake.notify_all()
+        self.metrics.increment("jobs_recovered")
+        if job.interrupted:
+            self.metrics.increment("jobs_interrupted_recovered")
+        self.events.emit(
+            "job.recovered",
+            correlation_id=job.correlation_id,
+            job_id=job.id,
+            outcome="requeued",
+            interrupted=job.interrupted,
+        )
+        return True
+
+    def _replayed_job_shell(self, state) -> Job:
+        submitted = state.submitted or {}
+        job = Job(
+            kind=state.field("kind") or "estimate",
+            scenario_name=state.field("scenario") or "",
+            quality=submitted.get("quality"),
+            priority=int(submitted.get("priority") or 0),
+            timeout=submitted.get("timeout"),
+            store_key=state.store_key,
+            id=state.job_id,
+            correlation_id=submitted.get("correlation_id") or state.job_id,
+            idempotency_key=state.idempotency_key,
+        )
+        job.recovered = True
+        job.journalled = True
+        return job
+
+    def _rebuild_recovered_job(self, state) -> Job | None:
+        submitted = state.submitted or {}
+        job = self._replayed_job_shell(state)
+        job.interrupted = state.dispatched
+        if job.kind == "callable":
+            ref = submitted.get("payload_ref")
+            if ref is None or self.payload_resolver is None:
+                return None
+            try:
+                payload = self.payload_resolver(ref, job)
+            except Exception:  # noqa: BLE001 - resolver is foreign code
+                return None
+            if payload is None:
+                return None
+            job.payload = payload
+            return job
+        if job.kind not in ("assess", "estimate"):
+            return None
+        scenario_ref = submitted.get("scenario_ref") or job.scenario_name
+        if not scenario_ref:
+            return None
+        try:
+            scenario = self._resolve_scenario(
+                scenario_ref, submitted.get("seed")
+            )
+        except Exception:  # noqa: BLE001 - unresolvable scenario
+            return None
+        job.payload = self._payload_for(
+            job, scenario, _parse_quality(job.quality)
+        )
+        return job
+
+    def _resolve_scenario(self, scenario_ref: str, seed: int | None):
+        if self.scenario_resolver is not None:
+            return self.scenario_resolver(scenario_ref, seed)
+        from ..scenarios import resolve_scenario
+
+        return resolve_scenario(
+            scenario_ref, seed=seed if seed is not None else 1
+        )
+
+    def _register_unrecoverable(self, state) -> None:
+        job = self._replayed_job_shell(state)
+        job.state = JobState.FAILED
+        job.error = (
+            "unrecoverable after crash: payload could not be rebuilt "
+            "from the journal"
+        )
+        job.finished_at = time.time()
+        with self._lock:
+            self._jobs.setdefault(job.id, job)
+            self._remember_idempotency_locked(job)
+        self.metrics.increment("jobs_unrecoverable")
+        self.events.emit(
+            "job.recovered",
+            correlation_id=job.correlation_id,
+            job_id=job.id,
+            outcome="unrecoverable",
+        )
+        self.journal.append(
+            settled_record(
+                job.id,
+                JobState.FAILED.value,
+                error=job.error,
+                store_key=job.store_key,
+                idempotency_key=job.idempotency_key,
+                kind=job.kind,
+                scenario=job.scenario_name,
+            ),
+            durable=False,
+        )
 
     # ------------------------------------------------------------------
     # Dispatch + execution
@@ -459,6 +832,13 @@ class JobScheduler:
                     if job.timeout is not None:
                         job.deadline = now + job.timeout
                     self._running[job.id] = job
+                    if self.journal is not None and job.journalled:
+                        # Advisory: a crash after this point makes the
+                        # job "interrupted" (re-executed idempotently)
+                        # instead of merely queued.
+                        self._journal_append_advisory(
+                            dispatched_record(job.id)
+                        )
                     threading.Thread(
                         target=self._run_job,
                         args=(job,),
@@ -573,11 +953,19 @@ class JobScheduler:
                     self.metrics.increment("jobs_failed")
                     self.breaker.record_failure()
             else:
+                # Store BEFORE settling: the settled-done journal record
+                # must never precede its result document, so a crash
+                # between the two re-executes (idempotent) rather than
+                # trusting a result that was never persisted.
+                if (
+                    not job.state.is_terminal
+                    and job.store_key is not None
+                    and result is not None
+                ):
+                    self._store_result_locked(job, result)
                 if self._settle_locked(job, JobState.DONE, result=result):
                     self.metrics.increment("jobs_completed")
                     self.breaker.record_success()
-                    if job.store_key is not None and result is not None:
-                        self._store_result_locked(job, result)
             # A late arrival (the job settled by timeout or cancel while
             # the payload drained) still releases its slot idempotently.
             self._release_slot_locked(job)
@@ -672,6 +1060,9 @@ class JobScheduler:
         )
         doc = self.health.snapshot()
         doc["breaker"] = self.breaker.snapshot()
+        if self.journal is not None:
+            doc["journal"] = self.journal.stats()
+            doc["recovery"] = self.recovery_summary
         return doc
 
     # ------------------------------------------------------------------
@@ -753,6 +1144,11 @@ class JobScheduler:
                     else None
                 ),
                 "breaker": self.breaker.snapshot(),
+                "idempotency_window": len(self._idempotency),
+                "journal": (
+                    self.journal.stats() if self.journal is not None else None
+                ),
+                "recovery": self.recovery_summary,
             }
 
     def close(self, *, wait: bool = True, timeout: float | None = 10.0) -> None:
@@ -805,6 +1201,15 @@ class JobScheduler:
         if self._watchdog is not None:
             self._watchdog.join(timeout=1.0)
         self._dispatcher.join(timeout=1.0)
+        if self.journal is not None:
+            # The drain above settled every queued job; flush those
+            # records so a restart sees a clean ledger, then release
+            # the segment handle.
+            try:
+                self.journal.flush()
+            except OSError:  # pragma: no cover - dying disk at shutdown
+                pass
+            self.journal.close()
         if self._owns_runtime:
             self.runtime.close()
 

@@ -24,11 +24,19 @@ Writes retry under a small :class:`~repro.resilience.RetryPolicy`
 through :func:`~repro.resilience.corrupt_text` so chaos tests can
 manufacture exactly the torn files the quarantine machinery exists for.
 
+The spool no longer grows without bound: optional **LRU eviction caps**
+(``max_entries`` for the in-memory map, ``max_spool_bytes`` for the
+on-disk spool) trigger a sweep after every put.  The sweep never evicts
+an entry whose key is *protected* — the attached scheduler registers its
+unsettled journal-referenced store keys via :attr:`protected_keys`, so a
+result a recovering job still needs cannot be evicted out from under it.
+Evictions are counted on ``store_evictions``.
+
 Hits/misses/puts/quarantines are counted on the attached
 :class:`~repro.runtime.metrics.RuntimeMetrics` (``store_hits``,
 ``store_misses``, ``store_puts``, ``store_quarantined``,
-``store_write_retries``), which is how the service's ``/metrics``
-endpoint exposes store effectiveness and damage.
+``store_write_retries``, ``store_evictions``), which is how the
+service's ``/metrics`` endpoint exposes store effectiveness and damage.
 """
 
 from __future__ import annotations
@@ -37,6 +45,8 @@ import hashlib
 import json
 import os
 import threading
+from collections import OrderedDict
+from collections.abc import Callable
 from pathlib import Path
 
 from ..resilience import RetryPolicy, call_with_retry, corrupt_text, fault_point
@@ -100,11 +110,29 @@ class ReportStore:
         metrics: RuntimeMetrics | None = None,
         *,
         recover_on_start: bool = True,
+        max_entries: int | None = None,
+        max_spool_bytes: int | None = None,
     ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_spool_bytes is not None and max_spool_bytes < 0:
+            raise ValueError(
+                f"max_spool_bytes must be >= 0, got {max_spool_bytes}"
+            )
         self.directory = Path(directory) if directory is not None else None
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        #: LRU cap on the in-memory map (``None`` = unbounded).  Evicted
+        #: entries still live in the spool and re-enter on the next get.
+        self.max_entries = max_entries
+        #: Byte cap on the on-disk spool (``None`` = unbounded); sweeps
+        #: delete the least-recently-written unprotected entries.
+        self.max_spool_bytes = max_spool_bytes
+        #: Optional callable returning the set of store keys eviction
+        #: must never touch — the scheduler points this at its unsettled
+        #: journal-referenced keys so crash recovery keeps its promises.
+        self.protected_keys: Callable[[], set[str]] | None = None
         self._lock = threading.Lock()
-        self._entries: dict[str, dict] = {}
+        self._entries: OrderedDict[str, dict] = OrderedDict()
         self._quarantined_total = 0
         self.last_recovery: dict | None = None
         if self.directory is not None:
@@ -118,11 +146,14 @@ class ReportStore:
         """The stored document, or ``None``; counts a hit or a miss."""
         with self._lock:
             doc = self._entries.get(key)
+            if doc is not None:
+                self._entries.move_to_end(key)
         if doc is None and self.directory is not None:
             doc = self._read_spool(key)
             if doc is not None:
                 with self._lock:
                     self._entries[key] = doc
+                    self._entries.move_to_end(key)
         if doc is None:
             self.metrics.increment("store_misses")
             return None
@@ -141,6 +172,7 @@ class ReportStore:
     def put(self, key: str, doc: dict) -> None:
         with self._lock:
             self._entries[key] = doc
+            self._entries.move_to_end(key)
         self.metrics.increment("store_puts")
         if self.directory is not None:
             call_with_retry(
@@ -152,6 +184,8 @@ class ReportStore:
                     "store_write_retries"
                 ),
             )
+        if self.max_entries is not None or self.max_spool_bytes is not None:
+            self.sweep()
 
     # -- spool ------------------------------------------------------------
 
@@ -278,6 +312,71 @@ class ReportStore:
         return summary
 
     # -- maintenance ------------------------------------------------------
+
+    def sweep(self) -> int:
+        """LRU eviction down to the configured caps; returns evictions.
+
+        Two caps, swept independently: ``max_entries`` trims the
+        in-memory map (spool files stay, so trimmed entries are demoted
+        to disk, not lost), ``max_spool_bytes`` deletes the oldest spool
+        files until the directory fits.  A key reported by
+        :attr:`protected_keys` — a result an unsettled journalled job
+        still references — is never evicted by either sweep.
+        """
+        protected: set[str] = set()
+        if self.protected_keys is not None:
+            try:
+                protected = set(self.protected_keys())
+            except Exception:  # noqa: BLE001 - protection must not break puts
+                protected = set()
+        evicted = self._sweep_memory(protected) + self._sweep_spool(protected)
+        if evicted:
+            self.metrics.increment("store_evictions", evicted)
+        return evicted
+
+    def _sweep_memory(self, protected: set[str]) -> int:
+        evicted = 0
+        if self.max_entries is None:
+            return evicted
+        with self._lock:
+            while len(self._entries) > self.max_entries:
+                victim = next(
+                    (k for k in self._entries if k not in protected), None
+                )
+                if victim is None:
+                    break  # everything left is protected: over-cap is fine
+                del self._entries[victim]
+                evicted += 1
+        return evicted
+
+    def _sweep_spool(self, protected: set[str]) -> int:
+        evicted = 0
+        if self.max_spool_bytes is None or self.directory is None:
+            return evicted
+        files: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            files.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        files.sort()
+        for _, size, path in files:
+            if total <= self.max_spool_bytes:
+                break
+            if path.stem in protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            total -= size
+            evicted += 1
+            with self._lock:
+                self._entries.pop(path.stem, None)
+        return evicted
 
     def clear(self, *, spool: bool = False) -> None:
         """Drop the in-memory entries (and, optionally, the spool files)."""

@@ -1,0 +1,9 @@
+"""Deterministic crash–restart simulation for the durable job journal.
+
+The harness (:mod:`tests.sim.harness`) runs a real
+:class:`~repro.service.scheduler.JobScheduler` + :class:`JobJournal`
+in-process, kills it at seeded append boundaries (including mid-append
+torn writes), restarts it against the same journal directory, and
+asserts the headline durability invariant: **every acknowledged job is
+eventually settled exactly once**, across hundreds of seeds.
+"""

@@ -1,0 +1,282 @@
+"""Crash–restart simulation harness for the durable job scheduler.
+
+One :func:`run_crash_sim` call is one simulated *process lifetime
+sequence*: a seeded :class:`CrashSchedule` decides, per epoch, at which
+journal append the "process" dies and whether the dying write reaches
+the disk whole, torn, or not at all.  Each epoch runs a **real**
+:class:`~repro.service.scheduler.JobScheduler` over a real
+:class:`~repro.durability.JobJournal` in the same directory; the kill is
+injected through the journal's ``failpoint`` hook, which poisons the
+journal (:class:`~repro.durability.JournalCrashed`) so the abandoned
+epoch's threads are fenced out exactly like a dead process.
+
+The client model is a retrying submitter: every epoch it re-submits the
+full workload under stable idempotency keys, exactly like a client whose
+HTTP call failed mid-flight and who retries after the service restarts.
+The invariant checked at the end — on the first epoch that survives
+without a crash — is the headline durability claim:
+
+    every acknowledged job is eventually settled exactly once.
+
+"Acknowledged" means ``submit_callable`` returned (the write-ahead
+``submitted`` record is on disk); "exactly once" means the post-mortem
+journal replay shows exactly one settled terminal outcome for that key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from pathlib import Path
+
+from repro.durability import (
+    FlushPolicy,
+    JobJournal,
+    JournalError,
+    RecoveryManager,
+)
+from repro.service.jobs import JobState
+from repro.service.scheduler import JobScheduler
+from repro.service.store import ReportStore
+
+#: Upper bound on restarts per seed; a schedule that keeps crashing past
+#: this is a harness bug, not a durability finding.
+MAX_EPOCHS = 12
+
+#: How long the final (crash-free) epoch may take to settle everything.
+SETTLE_TIMEOUT = 30.0
+
+
+class VirtualClock:
+    """A monotonic clock the harness advances by hand.
+
+    Driving the journal's batch-fsync timing from this instead of
+    ``time.monotonic`` keeps every seed's fsync pattern deterministic:
+    the clock moves only when :meth:`advance` is called.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot rewind a clock ({seconds})")
+        self.now += seconds
+        return self.now
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashPoint:
+    """Where and how one epoch dies.
+
+    ``append_index`` counts the epoch's journal appends (0-based);
+    ``mode`` is ``"crash"`` (nothing written) or ``"torn"`` (a durable
+    prefix of ``keep_fraction`` of the line reaches the disk — a real
+    ``kill -9`` mid-``write(2)``).
+    """
+
+    append_index: int
+    mode: str
+    keep_fraction: float = 0.0
+
+
+class CrashSchedule:
+    """The seeded plan: one optional :class:`CrashPoint` per epoch.
+
+    Derived entirely from ``random.Random(seed)``, so a failing seed
+    reproduces byte-for-byte.  The schedule always terminates: after
+    ``crashes`` planned kills, every later epoch runs crash-free.
+    """
+
+    def __init__(self, seed: int, jobs: int) -> None:
+        rng = random.Random(seed)
+        self.seed = seed
+        self.jobs = jobs
+        # Up to 3 records per job (submitted/dispatched/settled) plus
+        # recovery re-statements; spreading crash points across that
+        # range hits every boundary class, including "crash during the
+        # *recovery* of the previous crash".
+        max_appends = max(3, 3 * jobs)
+        self.points: list[CrashPoint] = []
+        for _ in range(rng.randint(1, 3)):
+            mode = rng.choice(("crash", "torn"))
+            self.points.append(
+                CrashPoint(
+                    append_index=rng.randint(0, max_appends),
+                    mode=mode,
+                    keep_fraction=rng.random() if mode == "torn" else 0.0,
+                )
+            )
+        self.flush_policy = rng.choice(
+            (
+                FlushPolicy.strict(),
+                FlushPolicy.batched(records=2, seconds=None),
+                FlushPolicy.batched(records=8, seconds=0.05),
+            )
+        )
+        self.segment_max_records = rng.randint(2, 6)
+
+    def failpoint_for_epoch(self, epoch: int):
+        """The journal ``failpoint`` hook for this epoch (``None`` once
+        the schedule is exhausted — that epoch must survive)."""
+        if epoch >= len(self.points):
+            return None
+        point = self.points[epoch]
+
+        def failpoint(append_index: int, line: str):
+            if append_index != point.append_index:
+                return ("ok", 0)
+            if point.mode == "torn":
+                return ("torn", int(point.keep_fraction * len(line)))
+            return ("crash", 0)
+
+        return failpoint
+
+
+@dataclasses.dataclass
+class SimResult:
+    """What one seed's lifetime sequence did, for assertions/reporting."""
+
+    seed: int
+    epochs: int
+    acked: set[str]
+    executions: dict[str, int]
+    torn_records: int
+    resubmitted: int
+    settled_by_key: dict[str, int]
+
+
+def run_crash_sim(seed: int, directory: Path, runtime=None) -> SimResult:
+    """Run one full crash–restart lifetime sequence; returns the
+    evidence needed to assert exactly-once settlement.
+
+    Raises :class:`AssertionError` with the seed in the message when the
+    invariant is violated, so a matrix failure is immediately
+    reproducible (``run_crash_sim(seed, tmp_path)``).
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    total_jobs = rng.randint(3, 7)
+    schedule = CrashSchedule(seed, total_jobs)
+    clock = VirtualClock()
+    keys = [f"job-{seed}-{i}" for i in range(total_jobs)]
+
+    executions: dict[str, int] = {}
+
+    def make_payload(ref: str):
+        def payload(job):
+            executions[ref] = executions.get(ref, 0) + 1
+            return {"ref": ref, "seed": seed}
+
+        return payload
+
+    def payload_resolver(ref: str, job):
+        return make_payload(ref)
+
+    acked: set[str] = set()
+    torn_total = 0
+    resubmitted_total = 0
+    journal_dir = Path(directory) / "journal"
+
+    epoch = 0
+    while True:
+        assert epoch < MAX_EPOCHS, (
+            f"seed {seed}: schedule never produced a surviving epoch"
+        )
+        journal = JobJournal(
+            journal_dir,
+            flush=schedule.flush_policy,
+            segment_max_records=schedule.segment_max_records,
+            clock=clock,
+            failpoint=schedule.failpoint_for_epoch(epoch),
+        )
+        store = ReportStore()
+        try:
+            scheduler = JobScheduler(
+                runtime=runtime,
+                store=store,
+                workers=2,
+                journal=journal,
+                payload_resolver=payload_resolver,
+                trace=False,
+            )
+        except JournalError:
+            # Died during recovery itself — restart again.
+            epoch += 1
+            continue
+        if scheduler.recovery_summary is not None:
+            torn_total += scheduler.recovery_summary["torn_records"]
+            resubmitted_total += scheduler.recovery_summary["resubmitted"]
+
+        submitted: dict[str, object] = {}
+        crashed = False
+        for key in keys:
+            clock.advance(rng.random() * 0.02)
+            try:
+                submitted[key] = scheduler.submit_callable(
+                    make_payload(key),
+                    name=key,
+                    payload_ref=key,
+                    idempotency_key=key,
+                )
+            except JournalError:
+                crashed = True
+                break
+            # The write-ahead record is on disk: the submission is
+            # acknowledged, and from here on it must settle.
+            acked.add(key)
+
+        if not crashed:
+            for key, job in submitted.items():
+                scheduler.wait(job.id, timeout=SETTLE_TIMEOUT)
+            # An advisory append may have tripped the failpoint inside
+            # the dispatcher thread: the journal is poisoned even though
+            # every submit succeeded.  That, too, is a process death.
+            crashed = journal.crashed
+
+        if crashed:
+            # Abandon the epoch: fenced journal, drained threads.  The
+            # zombie may keep executing in memory — like the last
+            # instants of a killed process — but nothing it does can
+            # reach the journal.
+            scheduler.close(wait=False, timeout=0.0)
+            epoch += 1
+            continue
+
+        # The surviving epoch: assert the invariant and return.
+        for key in acked:
+            job = submitted[key]
+            assert job.state is JobState.DONE, (
+                f"seed {seed}: acked job {key} ended {job.state} "
+                f"(error={job.error!r})"
+            )
+        scheduler.close(wait=True, timeout=SETTLE_TIMEOUT)
+
+        # Post-mortem: the journal itself must agree — exactly one
+        # settled terminal outcome per acknowledged key.
+        post = JobJournal(journal_dir)
+        replay = RecoveryManager(post).replay()
+        post.close()
+        settled_by_key: dict[str, int] = {}
+        for state in replay.jobs.values():
+            if state.is_settled and state.idempotency_key:
+                settled_by_key[state.idempotency_key] = (
+                    settled_by_key.get(state.idempotency_key, 0) + 1
+                )
+        for key in acked:
+            count = settled_by_key.get(key, 0)
+            assert count == 1, (
+                f"seed {seed}: key {key} settled {count} times "
+                f"(want exactly once)"
+            )
+        return SimResult(
+            seed=seed,
+            epochs=epoch + 1,
+            acked=acked,
+            executions=executions,
+            torn_records=torn_total,
+            resubmitted=resubmitted_total,
+            settled_by_key=settled_by_key,
+        )

@@ -63,3 +63,31 @@ class TestRoundTrip:
         text = dumps_relation(instance)
         reloaded = loads_relation(text, relation=source)
         assert reloaded.rows[0] == (None, "x")
+
+
+class TestDiagnostics:
+    """Malformed input must fail with one ``file:line`` line, not a
+    traceback from inside the csv module."""
+
+    def test_ragged_row_names_source_and_line(self):
+        with pytest.raises(InstanceError, match=r"<csv>:3: CSV row arity 1"):
+            loads_relation("a,b\n1,2\n1\n", name="x")
+
+    def test_ragged_row_names_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2,3\n", encoding="utf-8")
+        with pytest.raises(InstanceError, match=r"bad\.csv:2: CSV row arity 3"):
+            load_relation(path)
+
+    def test_empty_input_names_line_one(self):
+        with pytest.raises(InstanceError, match=r"<csv>:1: CSV input is empty"):
+            loads_relation("", name="x")
+
+    def test_undecodable_bytes_name_offending_line(self, tmp_path):
+        path = tmp_path / "latin1.csv"
+        path.write_bytes(b"a,b\n1,caf\xe9\n")
+        with pytest.raises(
+            InstanceError,
+            match=r"latin1\.csv:2: undecodable byte 0xe9",
+        ):
+            load_relation(path)

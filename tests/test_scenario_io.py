@@ -147,3 +147,55 @@ class TestFormatValidation:
         (tmp_path / "scenario.json").write_text(json.dumps(manifest))
         with pytest.raises(ScenarioFormatError):
             load_scenario(tmp_path)
+
+
+class TestMalformedRelationData:
+    """Bad relation CSVs degrade by default and fail fast under strict."""
+
+    def _mangle_first_csv(self, directory):
+        victim = sorted(directory.rglob("*.csv"))[0]
+        lines = victim.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "one-lonely-cell")
+        victim.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return victim
+
+    def test_lenient_load_leaves_tombstone(self, small_example, tmp_path):
+        save_scenario(small_example, tmp_path)
+        victim = self._mangle_first_csv(tmp_path)
+        scenario = load_scenario(tmp_path)
+        degradations = scenario.load_degradations
+        assert len(degradations) == 1
+        assert degradations[0].phase == "load"
+        assert f"{victim}:2:" in degradations[0].error
+        assert degradations[0].scenario == scenario.name
+
+    def test_strict_load_raises_with_location(self, small_example, tmp_path):
+        save_scenario(small_example, tmp_path)
+        victim = self._mangle_first_csv(tmp_path)
+        with pytest.raises(ScenarioFormatError) as excinfo:
+            load_scenario(tmp_path, strict=True)
+        assert f"{victim}:2:" in str(excinfo.value)
+
+    def test_run_merges_load_tombstones(self, small_example, tmp_path):
+        save_scenario(small_example, tmp_path)
+        self._mangle_first_csv(tmp_path)
+        scenario = load_scenario(tmp_path)
+        outcome = default_efes().run(scenario, ResultQuality.HIGH_QUALITY)
+        assert outcome.is_degraded
+        assert any(d.phase == "load" for d in outcome.degradations)
+
+    def test_run_strict_upgrades_tombstone_to_error(
+        self, small_example, tmp_path
+    ):
+        save_scenario(small_example, tmp_path)
+        self._mangle_first_csv(tmp_path)
+        scenario = load_scenario(tmp_path)
+        with pytest.raises(ScenarioFormatError):
+            default_efes().run(
+                scenario, ResultQuality.HIGH_QUALITY, strict=True
+            )
+
+    def test_clean_scenario_has_no_tombstones(self, small_example, tmp_path):
+        save_scenario(small_example, tmp_path)
+        scenario = load_scenario(tmp_path)
+        assert not hasattr(scenario, "load_degradations")
