@@ -497,17 +497,18 @@ def build_parser() -> argparse.ArgumentParser:
     # $REPRO_RUNTIME_BACKEND sets the default; an unknown value falls
     # back to serial because argparse only validates explicit arguments.
     env_backend = os.environ.get(BACKEND_ENV_VAR)
+    backend_choices = ("serial", "threads", "process", "auto")
     parser.add_argument(
         "--backend",
-        choices=("serial", "threads", "auto"),
-        default=env_backend if env_backend in ("serial", "threads", "auto") else "serial",
+        choices=backend_choices,
+        default=env_backend if env_backend in backend_choices else "serial",
         help=f"assessment runtime backend (default: serial, or ${BACKEND_ENV_VAR})",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="thread count for the threaded backend (default: auto-sized)",
+        help="worker count for the threaded/process backends (default: auto-sized)",
     )
     parser.add_argument(
         "--metrics",

@@ -160,6 +160,16 @@ def compute_inds(
         for chunk in mapper(relation_value_sets, database.schema.relations)
         for key, values in chunk
     }
+    return _inds_from_value_sets(value_sets, min_values)
+
+
+def _inds_from_value_sets(
+    value_sets: dict[tuple[str, str], set[object]], min_values: int
+) -> list[InclusionDependency]:
+    """The pairwise subset half of IND discovery, shared by the serial
+    path and the process backend (which farms out only the value-set
+    scans); ``value_sets`` iteration order fixes the result order, so
+    callers build it relation-by-relation in schema order."""
     results: list[InclusionDependency] = []
     for (lhs_rel, lhs_attr), lhs_values in value_sets.items():
         if len(lhs_values) < min_values:

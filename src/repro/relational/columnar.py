@@ -1,0 +1,337 @@
+"""Typed-array column encoding: the canonical byte form of relation data.
+
+The relational substrate stores instances column-major
+(:class:`~repro.relational.instance.RelationInstance`); this module turns
+one column of Python values into a compact, *canonical* block of stdlib
+typed arrays — an :mod:`array` payload plus a null bitmask — and back,
+losslessly.  Three consumers share the encoding:
+
+* **Content fingerprints** (:mod:`repro.runtime.cache`) hash
+  :meth:`ColumnBlock.canonical_bytes`, so cache keys depend only on the
+  typed values themselves — never on ``repr`` formatting, row order of
+  dict iteration, or which executor backend produced them.
+* **The scenario spool** (:mod:`repro.runtime.spool`) ships blocks to
+  worker processes as base64 JSON; a rehydrated instance is
+  value-identical to the original, which is what makes the process
+  backend's results byte-identical to the serial oracle.
+* **Batch scans**: profiling statistics and UCC/IND/FD discovery operate
+  on whole columns; the column-major instance hands them the values
+  without per-row tuple gathering.
+
+Encoding kinds (chosen per column, most specific first):
+
+===========  ==========================================================
+``empty``    zero rows; no payload
+``int64``    every non-null is an ``int`` (not ``bool``) fitting 64 bits
+             → ``array('q')``, nulls as zero-filled slots + mask
+``float64``  every non-null is a ``float`` → ``array('d')``
+``bool``     every non-null is a ``bool`` → one byte per value
+``text``     every non-null is a ``str`` → UTF-8 blob + ``array('q')``
+             end-offsets
+``object``   anything else (mixed types, oversized ints) → per-value
+             tag + length-prefixed payload
+===========  ==========================================================
+
+All multi-byte integers are little-endian regardless of host byte order,
+so canonical bytes (and with them every fingerprint) are stable across
+machines.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import struct
+import sys
+from array import array
+from collections.abc import Sequence
+
+__all__ = [
+    "ColumnBlock",
+    "ColumnCodecError",
+    "block_from_doc",
+    "block_to_doc",
+    "decode_column",
+    "encode_column",
+]
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+#: Physical encodings a block may use.
+KINDS = ("empty", "int64", "float64", "bool", "text", "object")
+
+_LITTLE = sys.byteorder == "little"
+
+
+class ColumnCodecError(ValueError):
+    """A block is malformed or cannot represent the requested values."""
+
+
+def _le(typed: array) -> bytes:
+    """The array's bytes in little-endian order, canonically."""
+    if not _LITTLE:
+        typed = array(typed.typecode, typed)
+        typed.byteswap()
+    return typed.tobytes()
+
+
+def _from_le(typecode: str, raw: bytes) -> array:
+    typed = array(typecode)
+    typed.frombytes(raw)
+    if not _LITTLE:
+        typed.byteswap()
+    return typed
+
+
+def _pack_mask(values: Sequence[object]) -> bytes:
+    """One bit per row, LSB-first within each byte; 1 = value present."""
+    mask = bytearray((len(values) + 7) // 8)
+    for index, value in enumerate(values):
+        if value is not None:
+            mask[index >> 3] |= 1 << (index & 7)
+    return bytes(mask)
+
+
+def _mask_bit(mask: bytes, index: int) -> bool:
+    return bool(mask[index >> 3] & (1 << (index & 7)))
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnBlock:
+    """One encoded column: kind + row count + null mask + payload.
+
+    ``aux`` carries kind-specific framing (the end-offset array of
+    ``text`` blocks); it is empty for fixed-width kinds.
+    """
+
+    kind: str
+    count: int
+    null_mask: bytes
+    payload: bytes
+    aux: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ColumnCodecError(f"unknown column kind: {self.kind!r}")
+
+    @property
+    def null_count(self) -> int:
+        present = sum(bin(byte).count("1") for byte in self.null_mask)
+        return self.count - present
+
+    def canonical_bytes(self) -> bytes:
+        """A self-delimiting byte string; equal values ⇒ equal bytes.
+
+        Every variable-length section is length-prefixed, so no value can
+        forge a boundary (the weakness of separator-joined ``repr``
+        hashing this encoding replaced).
+        """
+        return b"".join(
+            (
+                self.kind.encode("ascii"),
+                struct.pack("<qqqq", self.count, len(self.null_mask),
+                            len(self.aux), len(self.payload)),
+                self.null_mask,
+                self.aux,
+                self.payload,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _classify(values: Sequence[object]) -> str:
+    if not values:
+        return "empty"
+    kinds: set[str] = set()
+    for value in values:
+        if value is None:
+            continue
+        if type(value) is bool:
+            kinds.add("bool")
+        elif type(value) is int:
+            if _INT64_MIN <= value <= _INT64_MAX:
+                kinds.add("int64")
+            else:
+                return "object"
+        elif type(value) is float:
+            kinds.add("float64")
+        elif type(value) is str:
+            kinds.add("text")
+        else:
+            return "object"
+        if len(kinds) > 1:
+            return "object"
+    if not kinds:
+        # All-null column: int64 with an all-zero mask is the cheapest.
+        return "int64"
+    return kinds.pop()
+
+
+def _encode_object(value: object) -> bytes:
+    """Tag + length-prefixed payload for one heterogeneous value."""
+    if type(value) is bool:
+        return b"b" + (b"\x01" if value else b"\x00")
+    if type(value) is int:
+        text = str(value).encode("ascii")
+        return b"i" + struct.pack("<q", len(text)) + text
+    if type(value) is float:
+        return b"f" + struct.pack("<d", value)
+    if type(value) is str:
+        blob = value.encode("utf-8")
+        return b"s" + struct.pack("<q", len(blob)) + blob
+    raise ColumnCodecError(
+        f"unencodable value type: {type(value).__name__!r} "
+        "(columns hold None/bool/int/float/str after datatype casting)"
+    )
+
+
+def encode_column(values: Sequence[object]) -> ColumnBlock:
+    """Encode one column of typed values into its canonical block."""
+    values = list(values)
+    kind = _classify(values)
+    mask = _pack_mask(values)
+    count = len(values)
+    if kind == "empty":
+        return ColumnBlock("empty", 0, b"", b"")
+    if kind == "int64":
+        typed = array("q", (0 if v is None else v for v in values))
+        return ColumnBlock("int64", count, mask, _le(typed))
+    if kind == "float64":
+        typed = array("d", (0.0 if v is None else v for v in values))
+        return ColumnBlock("float64", count, mask, _le(typed))
+    if kind == "bool":
+        payload = bytes(
+            0 if v is None else (1 if v else 0) for v in values
+        )
+        return ColumnBlock("bool", count, mask, payload)
+    if kind == "text":
+        blobs = [b"" if v is None else v.encode("utf-8") for v in values]
+        offsets = array("q")
+        position = 0
+        for blob in blobs:
+            position += len(blob)
+            offsets.append(position)
+        return ColumnBlock("text", count, mask, b"".join(blobs), _le(offsets))
+    payload = b"".join(
+        b"\x00" if v is None else _encode_object(v) for v in values
+    )
+    return ColumnBlock("object", count, mask, payload)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def _decode_object(payload: bytes, count: int) -> list[object]:
+    values: list[object] = []
+    position = 0
+    view = memoryview(payload)
+    for _ in range(count):
+        if position >= len(payload):
+            raise ColumnCodecError("object payload truncated")
+        tag = payload[position:position + 1]
+        position += 1
+        if tag == b"\x00":
+            values.append(None)
+        elif tag == b"b":
+            values.append(payload[position] != 0)
+            position += 1
+        elif tag == b"f":
+            (value,) = struct.unpack_from("<d", payload, position)
+            position += 8
+            values.append(value)
+        elif tag in (b"i", b"s"):
+            (length,) = struct.unpack_from("<q", payload, position)
+            position += 8
+            blob = bytes(view[position:position + length])
+            if len(blob) != length:
+                raise ColumnCodecError("object payload truncated")
+            position += length
+            values.append(
+                int(blob) if tag == b"i" else blob.decode("utf-8")
+            )
+        else:
+            raise ColumnCodecError(f"unknown object tag: {tag!r}")
+    if position != len(payload):
+        raise ColumnCodecError("object payload has trailing bytes")
+    return values
+
+
+def decode_column(block: ColumnBlock) -> list[object]:
+    """Restore the exact value list :func:`encode_column` consumed."""
+    if block.kind == "empty":
+        return []
+    count, mask = block.count, block.null_mask
+    if len(mask) != (count + 7) // 8:
+        raise ColumnCodecError(
+            f"null mask is {len(mask)} bytes for {count} rows"
+        )
+    if block.kind == "object":
+        values = _decode_object(block.payload, count)
+        for index, value in enumerate(values):
+            if (value is None) == _mask_bit(mask, index):
+                raise ColumnCodecError("object payload disagrees with mask")
+        return values
+    if block.kind == "int64":
+        typed = _from_le("q", block.payload)
+        raw: Sequence[object] = typed
+    elif block.kind == "float64":
+        typed = _from_le("d", block.payload)
+        raw = typed
+    elif block.kind == "bool":
+        raw = [byte != 0 for byte in block.payload]
+    elif block.kind == "text":
+        offsets = _from_le("q", block.aux)
+        blob = block.payload
+        raw = []
+        start = 0
+        for end in offsets:
+            raw.append(blob[start:end].decode("utf-8"))
+            start = end
+    else:  # pragma: no cover - __post_init__ rejects unknown kinds
+        raise ColumnCodecError(f"unknown column kind: {block.kind!r}")
+    if len(raw) != count:
+        raise ColumnCodecError(
+            f"payload holds {len(raw)} values for {count} rows"
+        )
+    return [
+        raw[index] if _mask_bit(mask, index) else None
+        for index in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# JSON document form (for the on-disk spool)
+# ----------------------------------------------------------------------
+
+
+def block_to_doc(block: ColumnBlock) -> dict:
+    """A JSON-compatible rendering of one block (payloads as base64)."""
+    doc = {
+        "kind": block.kind,
+        "count": block.count,
+        "nulls": base64.b64encode(block.null_mask).decode("ascii"),
+        "data": base64.b64encode(block.payload).decode("ascii"),
+    }
+    if block.aux:
+        doc["aux"] = base64.b64encode(block.aux).decode("ascii")
+    return doc
+
+
+def block_from_doc(doc: dict) -> ColumnBlock:
+    try:
+        return ColumnBlock(
+            kind=doc["kind"],
+            count=int(doc["count"]),
+            null_mask=base64.b64decode(doc["nulls"]),
+            payload=base64.b64decode(doc["data"]),
+            aux=base64.b64decode(doc.get("aux", "")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ColumnCodecError(f"malformed column document: {exc}") from exc

@@ -1,15 +1,24 @@
 """Relation and database instances: the tuples behind the schemas.
 
-Instances are deliberately simple — lists of value tuples — because every
-consumer in this library (profiling statistics, CSG cardinality counting,
-practitioner simulation) scans columns or joins relations wholesale rather
-than doing point lookups.
+Instances are stored **column-major**: one value list per attribute, in
+schema order.  Every consumer in this library — profiling statistics,
+UCC/IND/FD discovery, CSG cardinality counting, practitioner simulation —
+scans whole columns or whole relations, so the column layout serves the
+hot paths directly (``column()`` hands back a batch without per-row tuple
+gathering) while the row view (``rows``, iteration) is materialised on
+demand and memoised per mutation version.
+
+The canonical byte form of a column is produced by
+:mod:`repro.relational.columnar` (typed arrays + null bitmask);
+:meth:`RelationInstance.encoded_columns` memoises it per version for the
+content-fingerprint cache keys and the process-backend scenario spool.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
+from .columnar import ColumnBlock, encode_column
 from .datatypes import cast
 from .errors import InstanceError, UnknownRelationError
 from .schema import Relation, Schema
@@ -18,12 +27,18 @@ Row = tuple[object, ...]
 
 
 class RelationInstance:
-    """The tuples of one relation."""
+    """The tuples of one relation, stored column-major."""
 
     def __init__(self, relation: Relation, rows: Iterable[Sequence[object]] = ()) -> None:
         self.relation = relation
-        self._rows: list[Row] = []
+        self._columns: list[list[object]] = [
+            [] for _ in relation.attributes
+        ]
+        self._count = 0
         self._version = 0
+        #: Per-version memos of the row view and the canonical encoding.
+        self._row_memo: tuple[int, tuple[Row, ...]] | None = None
+        self._encoded_memo: tuple[int, tuple[ColumnBlock, ...]] | None = None
         for row in rows:
             self.insert(row)
 
@@ -56,7 +71,9 @@ class RelationInstance:
             cast(value, attribute.datatype)
             for value, attribute in zip(values, self.relation.attributes)
         )
-        self._rows.append(typed)
+        for column, value in zip(self._columns, typed):
+            column.append(value)
+        self._count += 1
         self._version += 1
         return typed
 
@@ -64,17 +81,56 @@ class RelationInstance:
         for row in rows:
             self.insert(row)
 
+    def load_typed_columns(
+        self,
+        columns: Sequence[Sequence[object]],
+        count: int | None = None,
+    ) -> None:
+        """Replace all content with already-typed columns, without casting.
+
+        The rehydration path of the process-backend spool: decoded
+        columnar blocks hold exactly the values the original ``insert``
+        casts produced, so re-casting them would only cost time.  Columns
+        must match the relation's arity and share one length; ``count``
+        covers the zero-attribute corner where no column carries it.
+        """
+        if len(columns) != self.relation.arity():
+            raise InstanceError(
+                f"column count mismatch for {self.relation.name!r}: "
+                f"expected {self.relation.arity()}, got {len(columns)}"
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise InstanceError(
+                f"ragged columns for {self.relation.name!r}: "
+                f"lengths {sorted(lengths)}"
+            )
+        if count is None:
+            count = lengths.pop() if lengths else 0
+        elif lengths and lengths.pop() != count:
+            raise InstanceError(
+                f"declared count disagrees with column length for "
+                f"{self.relation.name!r}"
+            )
+        self._columns = [list(column) for column in columns]
+        self._count = count
+        self._version += 1
+
     def delete_where(self, predicate) -> int:
         """Delete tuples matching ``predicate(row_dict)``; returns the count."""
-        keep: list[Row] = []
+        keep: list[int] = []
         deleted = 0
-        for row in self._rows:
-            if predicate(self.row_dict(row)):
+        for position in range(self._count):
+            if predicate(self.row_dict(self._row_at(position))):
                 deleted += 1
             else:
-                keep.append(row)
-        self._rows = keep
+                keep.append(position)
         if deleted:
+            self._columns = [
+                [column[position] for position in keep]
+                for column in self._columns
+            ]
+            self._count = len(keep)
             self._version += 1
         return deleted
 
@@ -86,13 +142,11 @@ class RelationInstance:
             for index, value in zip(indices, updates.values())
         ]
         updated = 0
-        for position, row in enumerate(self._rows):
-            if not predicate(self.row_dict(row)):
+        for position in range(self._count):
+            if not predicate(self.row_dict(self._row_at(position))):
                 continue
-            mutable = list(row)
             for index, value in zip(indices, new_values):
-                mutable[index] = value
-            self._rows[position] = tuple(mutable)
+                self._columns[index][position] = value
             updated += 1
         if updated:
             self._version += 1
@@ -102,16 +156,14 @@ class RelationInstance:
         """Apply ``transform(value)`` to every non-null value of a column."""
         index = self.relation.index_of(attribute_name)
         datatype = self.relation.attributes[index].datatype
+        column = self._columns[index]
         changed = 0
-        for position, row in enumerate(self._rows):
-            value = row[index]
+        for position, value in enumerate(column):
             if value is None:
                 continue
             new_value = cast(transform(value), datatype)
             if new_value != value:
-                mutable = list(row)
-                mutable[index] = new_value
-                self._rows[position] = tuple(mutable)
+                column[position] = new_value
                 changed += 1
         if changed:
             self._version += 1
@@ -132,37 +184,68 @@ class RelationInstance:
         """
         return self._version
 
+    def _row_at(self, position: int) -> Row:
+        return tuple(column[position] for column in self._columns)
+
     @property
     def rows(self) -> tuple[Row, ...]:
-        return tuple(self._rows)
+        memo = self._row_memo
+        if memo is not None and memo[0] == self._version:
+            return memo[1]
+        if self._columns:
+            materialised = tuple(zip(*self._columns))
+        else:  # zero-attribute relation: len(zip()) == 0 regardless of count
+            materialised = ()
+        self._row_memo = (self._version, materialised)
+        return materialised
 
     def row_dict(self, row: Row) -> dict[str, object]:
         return dict(zip(self.relation.attribute_names, row))
 
     def dicts(self) -> Iterator[dict[str, object]]:
-        for row in self._rows:
+        for row in self.rows:
             yield self.row_dict(row)
 
     def column(self, attribute_name: str) -> list[object]:
         """All values (including NULLs) of one attribute, in tuple order."""
         index = self.relation.index_of(attribute_name)
-        return [row[index] for row in self._rows]
+        return list(self._columns[index])
+
+    def columns(self) -> list[list[object]]:
+        """All columns in schema attribute order (copies, batch view)."""
+        return [list(column) for column in self._columns]
 
     def distinct(self, attribute_name: str) -> set[object]:
         """The distinct non-null values of one attribute."""
+        index = self.relation.index_of(attribute_name)
         return {
-            value for value in self.column(attribute_name) if value is not None
+            value for value in self._columns[index] if value is not None
         }
 
+    def encoded_columns(self) -> tuple[ColumnBlock, ...]:
+        """The canonical typed-array encoding of every column, in schema
+        attribute order; memoised per mutation version.
+
+        This is the content form shared by fingerprinting
+        (:mod:`repro.runtime.cache`) and process-backend shipping
+        (:mod:`repro.runtime.spool`).
+        """
+        memo = self._encoded_memo
+        if memo is not None and memo[0] == self._version:
+            return memo[1]
+        encoded = tuple(encode_column(column) for column in self._columns)
+        self._encoded_memo = (self._version, encoded)
+        return encoded
+
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._count
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __repr__(self) -> str:
         return (
-            f"RelationInstance({self.relation.name!r}, {len(self._rows)} rows)"
+            f"RelationInstance({self.relation.name!r}, {self._count} rows)"
         )
 
 

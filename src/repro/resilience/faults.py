@@ -4,7 +4,9 @@ Every hardening claim in this repository is testable because the code
 declares **named injection sites** — ``detector``, ``profile``,
 ``store.read``, ``store.write``, ``store.fsync``, ``scheduler.dispatch``,
 ``http.handler``, ``journal.append``, ``journal.fsync``,
-``journal.replay`` — and a :class:`FaultPlan` decides, deterministically,
+``journal.replay``, ``spool.read``, ``spool.write``,
+``process.dispatch``, ``process.worker`` — and a
+:class:`FaultPlan` decides, deterministically,
 which of them misbehave.  A plan is a list of :class:`FaultPoint` rules;
 each rule matches a site (optionally filtered on the site's context,
 e.g. ``{"name": "mapping"}``) and fires one of three actions:

@@ -10,8 +10,10 @@ Public surface:
 * :func:`default_runtime` / :func:`get_runtime` /
   :func:`set_default_runtime` — the process-wide default and the
   active-runtime resolution used by the profiling entry points,
-* :func:`make_executor` — ``serial`` / ``threads`` / ``auto`` backends
-  with deterministic result ordering.
+* :func:`make_executor` — ``serial`` / ``threads`` / ``process`` /
+  ``auto`` backends with deterministic result ordering,
+* :class:`ScenarioSpool` — the content-addressed on-disk spool the
+  process backend ships scenarios to workers through.
 """
 
 from .cache import ProfileCache, fingerprint_database, fingerprint_scenario
@@ -24,21 +26,36 @@ from .engine import (
 )
 from .executor import (
     Executor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     auto_worker_count,
+    in_process_worker,
     make_executor,
 )
 from .metrics import MetricsSnapshot, RuntimeMetrics, StageTiming
+from .spool import (
+    SPOOL_ENV_VAR,
+    ScenarioSpool,
+    SpoolCorruptionError,
+    SpoolError,
+    SpoolMissError,
+)
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "Executor",
     "MetricsSnapshot",
+    "ProcessExecutor",
     "ProfileCache",
     "Runtime",
     "RuntimeMetrics",
+    "SPOOL_ENV_VAR",
+    "ScenarioSpool",
     "SerialExecutor",
+    "SpoolCorruptionError",
+    "SpoolError",
+    "SpoolMissError",
     "StageTiming",
     "ThreadedExecutor",
     "auto_worker_count",
@@ -46,6 +63,7 @@ __all__ = [
     "fingerprint_database",
     "fingerprint_scenario",
     "get_runtime",
+    "in_process_worker",
     "make_executor",
     "set_default_runtime",
 ]

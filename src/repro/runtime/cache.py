@@ -13,14 +13,20 @@ fingerprint** of the database, so
 * two databases with byte-identical content share entries (common when
   scenarios are rebuilt from the same seed).
 
-Fingerprints hash all tuples, which is O(rows) — far cheaper than the
-profiling it saves — and are themselves memoised per instance + version,
-so the steady-state key cost is a dict lookup.
+Fingerprints hash the **canonical columnar encoding** of every relation
+(:meth:`~repro.relational.instance.RelationInstance.encoded_columns` —
+typed arrays + null bitmasks, every section length-prefixed), so keys
+depend only on the typed values themselves: not on ``repr`` formatting,
+not on constraint declaration order, and not on which executor backend
+computed the entry.  Hashing is O(bytes) — far cheaper than the
+profiling it saves — and digests are memoised per instance + version, so
+the steady-state key cost is a dict lookup.
 """
 
 from __future__ import annotations
 
 import hashlib
+import struct
 import threading
 import weakref
 from collections import OrderedDict
@@ -34,9 +40,6 @@ from .metrics import RuntimeMetrics
 #: instances they describe, so the bound mainly guards runaway scripts.
 DEFAULT_MAX_ENTRIES = 1024
 
-_FIELD = b"\x1f"
-_ROW = b"\x1e"
-
 _relation_digests: "weakref.WeakKeyDictionary[RelationInstance, tuple[int, str]]" = (
     weakref.WeakKeyDictionary()
 )
@@ -46,6 +49,11 @@ _database_digests: "weakref.WeakKeyDictionary[Database, tuple[tuple, str]]" = (
 _digest_lock = threading.Lock()
 
 
+def _sized(blob: bytes) -> bytes:
+    """Length-prefix a section so adjacent sections cannot run together."""
+    return struct.pack("<q", len(blob)) + blob
+
+
 def _relation_digest(instance: RelationInstance) -> str:
     with _digest_lock:
         memo = _relation_digests.get(instance)
@@ -53,16 +61,12 @@ def _relation_digest(instance: RelationInstance) -> str:
             return memo[1]
     digest = hashlib.sha1()
     relation = instance.relation
-    digest.update(relation.name.encode("utf-8"))
+    digest.update(_sized(relation.name.encode("utf-8")))
     for attribute in relation.attributes:
-        digest.update(_FIELD)
-        digest.update(attribute.name.encode("utf-8"))
-        digest.update(str(attribute.datatype).encode("utf-8"))
-    for row in instance:
-        digest.update(_ROW)
-        for value in row:
-            digest.update(_FIELD)
-            digest.update(repr(value).encode("utf-8", "backslashreplace"))
+        digest.update(_sized(attribute.name.encode("utf-8")))
+        digest.update(_sized(str(attribute.datatype).encode("utf-8")))
+    for block in instance.encoded_columns():
+        digest.update(_sized(block.canonical_bytes()))
     result = digest.hexdigest()
     with _digest_lock:
         _relation_digests[instance] = (instance.version, result)
@@ -75,6 +79,8 @@ def fingerprint_database(database: Database) -> str:
     Covers relation names, attribute names/datatypes, declared
     constraints, and every tuple — but not the database *name*, so
     identically shaped and filled databases share cache entries.
+    Constraints are hashed in sorted order: declaring the same constraint
+    set in a different order yields the same fingerprint.
     """
     version = database.version
     with _digest_lock:
@@ -83,11 +89,15 @@ def fingerprint_database(database: Database) -> str:
             return memo[1]
     digest = hashlib.sha1()
     for relation in sorted(database.schema.relations, key=lambda r: r.name):
-        digest.update(_ROW)
-        digest.update(_relation_digest(database.table(relation.name)).encode())
-    for constraint in database.schema.constraints:
-        digest.update(_FIELD)
-        digest.update(repr(constraint).encode("utf-8", "backslashreplace"))
+        digest.update(
+            _sized(_relation_digest(database.table(relation.name)).encode())
+        )
+    for constraint_repr in sorted(
+        repr(constraint) for constraint in database.schema.constraints
+    ):
+        digest.update(
+            _sized(constraint_repr.encode("utf-8", "backslashreplace"))
+        )
     result = digest.hexdigest()
     with _digest_lock:
         _database_digests[database] = (version, result)
@@ -106,19 +116,16 @@ def fingerprint_scenario(scenario) -> str:
     """
     digest = hashlib.sha1()
     for source in scenario.sources:
-        digest.update(_ROW)
-        digest.update(fingerprint_database(source).encode())
+        digest.update(_sized(fingerprint_database(source).encode()))
         correspondences = scenario.correspondences.get(source.name)
         for correspondence in sorted(
             correspondences or (),
             key=lambda c: (c.source, c.target, c.confidence),
         ):
-            digest.update(_FIELD)
             digest.update(
-                repr(correspondence).encode("utf-8", "backslashreplace")
+                _sized(repr(correspondence).encode("utf-8", "backslashreplace"))
             )
-    digest.update(_ROW)
-    digest.update(fingerprint_database(scenario.target).encode())
+    digest.update(_sized(fingerprint_database(scenario.target).encode()))
     return digest.hexdigest()
 
 
@@ -168,6 +175,58 @@ class ProfileCache:
                 self._entries.popitem(last=False)
                 self.metrics.increment("cache_evictions")
         return result
+
+    def peek(
+        self, database: Database, operation_key: tuple[Hashable, ...]
+    ):
+        """The cached entry for ``database`` + operation, or ``None``.
+
+        Does not count a hit/miss and does not refresh LRU order — this
+        is the process backend's "which columns are already warm?" probe,
+        not a read on the critical path.
+        """
+        key = (fingerprint_database(database), *operation_key)
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(
+        self,
+        database: Database,
+        operation_key: tuple[Hashable, ...],
+        value: object,
+    ) -> None:
+        """Store an externally computed entry under the canonical key.
+
+        The process backend computes entries in worker processes and
+        merges them here; because keys are pure content fingerprints the
+        merged entries are indistinguishable from locally computed ones.
+        """
+        self.put_raw((fingerprint_database(database), *operation_key), value)
+
+    def put_raw(self, key: tuple, value: object) -> None:
+        """Store an entry under an already-resolved key (worker merges)."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.metrics.increment("cache_evictions")
+
+    def entries(self) -> list[tuple[tuple, object]]:
+        """A snapshot of ``(key, value)`` pairs in LRU order (oldest
+        first); what a worker ships back to the coordinating process."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def keys(self) -> list[tuple]:
+        """A snapshot of the resolved cache keys, sorted.
+
+        Backend-equivalence tests compare these across executors: the
+        same scenario must populate the same content keys no matter
+        which backend computed them.
+        """
+        with self._lock:
+            return sorted(self._entries, key=repr)
 
     # -- maintenance ------------------------------------------------------
 

@@ -35,7 +35,7 @@ from .executor import Executor, make_executor
 from .metrics import RuntimeMetrics
 
 #: Environment variable selecting the default runtime's backend
-#: ("serial", "threads", or "auto").
+#: ("serial", "threads", "process", or "auto").
 BACKEND_ENV_VAR = "REPRO_RUNTIME_BACKEND"
 
 _ACTIVE: contextvars.ContextVar["Runtime | None"] = contextvars.ContextVar(
@@ -53,6 +53,7 @@ class Runtime:
         executor: Executor | None = None,
         cache: ProfileCache | None = None,
         metrics: RuntimeMetrics | None = None,
+        spool=None,
     ) -> None:
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
         self.executor = (
@@ -63,10 +64,47 @@ class Runtime:
         self.cache = (
             cache if cache is not None else ProfileCache(metrics=self.metrics)
         )
+        #: Scenario spool for the process backend; lazily created so the
+        #: spool directory only materialises when processes are used.
+        self._spool = spool
 
     @property
     def backend(self) -> str:
         return self.executor.name
+
+    def spool(self):
+        """The scenario spool shipping inputs to worker processes."""
+        if self._spool is None:
+            from .spool import ScenarioSpool
+
+            self._spool = ScenarioSpool()
+        return self._spool
+
+    def _process_eligible(self, task_count: int) -> bool:
+        """Whether to route a fan-out through the process pool."""
+        import os
+
+        from ..resilience.faults import FAULT_PLAN_ENV_VAR, active_fault_plan
+        from .executor import in_process_worker
+
+        if not (
+            not self.executor.supports_closures
+            and self.executor.max_workers > 1
+            and task_count > 1
+            and not in_process_worker()
+        ):
+            return False
+        # A chaos plan installed programmatically (injected_faults /
+        # install_fault_plan) is parent-local: forked workers never see
+        # it, so its detector/profile points would silently stop firing.
+        # Keep such runs in-parent; env-armed plans reach workers (the
+        # pool initializer re-resolves $REPRO_FAULT_PLAN) and stay on
+        # the process path.
+        if active_fault_plan() is not None and not os.environ.get(
+            FAULT_PLAN_ENV_VAR
+        ):
+            return False
+        return True
 
     # -- activation -------------------------------------------------------
 
@@ -159,12 +197,79 @@ class Runtime:
 
         with tracing.span("assess", scenario=scenario.name), \
                 self.metrics.time_stage("assess"):
+            if self._process_eligible(len(modules)):
+                processed = self._run_detectors_process(
+                    modules, scenario, on_error
+                )
+                if processed is not None:
+                    return processed
             reports = self.map_ordered(
                 run_one, modules, stage="assess.detector"
             )
         return {
             module.name: report for module, report in zip(modules, reports)
         }
+
+    def _run_detectors_process(
+        self, modules: Sequence, scenario, on_error: str
+    ) -> dict | None:
+        """Fan detector modules out across worker processes.
+
+        Returns the report dict, or ``None`` when the process machinery
+        itself fails (broken pool, unpicklable module, spool trouble,
+        injected dispatch fault) — the caller then falls back to the
+        in-process path, counted on ``process_fallbacks``.  Module
+        exceptions are **not** infrastructure: workers return them
+        tagged, and raise/degrade semantics are reproduced here exactly
+        as the serial path would.
+        """
+        import pickle
+
+        from . import workers
+
+        try:
+            fault_point(
+                "process.dispatch", stage="detectors", scenario=scenario.name
+            )
+            spool = self.spool()
+            fingerprint = spool.put_scenario(scenario)
+            tasks = [
+                (str(spool.directory), fingerprint, pickle.dumps(module))
+                for module in modules
+            ]
+            self.metrics.increment("tasks_submitted", by=len(tasks))
+            outcomes = self.executor.run_tasks(workers.assess_module, tasks)
+        except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
+            self._note_process_fallback(exc)
+            return None
+        reports: dict = {}
+        for module, outcome in zip(modules, outcomes):
+            status, payload, error_text, elapsed, cache_entries = outcome
+            for key, value in cache_entries:
+                self.cache.put_raw(key, value)
+            self.metrics.observe(
+                "detector_seconds", elapsed, detector=module.name
+            )
+            self.metrics.increment("tasks_completed")
+            with tracing.span(f"detector:{module.name}") as span:
+                if status == workers.OK:
+                    reports[module.name] = payload
+                    continue
+                span.set_attribute("error", error_text)
+                if on_error == "raise":
+                    if payload is not None:
+                        raise pickle.loads(payload)
+                    raise RuntimeError(error_text)
+                self.metrics.increment("degraded_total")
+                self.metrics.increment("detectors_degraded")
+                reports[module.name] = DegradedResult(
+                    module=module.name,
+                    phase="assess",
+                    error=error_text,
+                    elapsed_seconds=elapsed,
+                    scenario=scenario.name,
+                )
+        return reports
 
     # -- cached profiling -------------------------------------------------
 
@@ -212,6 +317,10 @@ class Runtime:
                 for relation in database.schema.relations
                 for attribute in relation.attributes
             ]
+            if self._process_eligible(len(pairs)):
+                profiles = self._profile_columns_process(database, pairs)
+                if profiles is not None:
+                    return dict(zip(pairs, profiles))
             profiles = self.map_ordered(
                 lambda pair: self.profile_column(database, pair[0], pair[1]),
                 pairs,
@@ -225,61 +334,184 @@ class Runtime:
                 database, ("profile_database",), compute
             )
 
+    def _profile_columns_process(self, database, pairs) -> list | None:
+        """Profile columns on worker processes; ``None`` → serial fallback.
+
+        Columns already warm in the cache (probed with ``peek``) are not
+        re-farmed; fresh results land in the cache under exactly the keys
+        :meth:`profile_column` would have used, so the backend leaves no
+        trace in the cache's key set.
+        """
+        from . import workers
+
+        def column_key(pair):
+            datatype = database.schema.attribute(pair[0], pair[1]).datatype
+            return (
+                ("profile_column", pair[0], pair[1], str(datatype)),
+                datatype,
+            )
+
+        try:
+            fault_point(
+                "process.dispatch", stage="profile", database=database.name
+            )
+            spool = self.spool()
+            fingerprint = spool.put_database(database)
+            keyed = {pair: column_key(pair) for pair in pairs}
+            missing = [
+                pair
+                for pair in pairs
+                if self.cache.peek(database, keyed[pair][0]) is None
+            ]
+            tasks = [
+                (
+                    str(spool.directory),
+                    fingerprint,
+                    pair[0],
+                    pair[1],
+                    keyed[pair][1].value,
+                )
+                for pair in missing
+            ]
+            self.metrics.increment("tasks_submitted", by=len(tasks))
+            outcomes = self.executor.run_tasks(workers.profile_column, tasks)
+        except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
+            self._note_process_fallback(exc)
+            return None
+        for pair, (profile, elapsed) in zip(missing, outcomes):
+            self.metrics.record_stage("profile", elapsed)
+            self.metrics.increment("tasks_completed")
+            self.cache.put(database, keyed[pair][0], profile)
+        return [self.cache.peek(database, keyed[pair][0]) for pair in pairs]
+
     def discover_uccs(self, database, max_arity: int = 2):
         from ..profiling import dependencies
+
+        def compute():
+            chunks = self._relation_chunks_process(
+                database, "relation_uccs", "uccs", extra=(max_arity,)
+            )
+            if chunks is not None:
+                span.set_attribute("cache_hit", False)
+                return [ucc for chunk in chunks for ucc in chunk]
+            return self._timed(
+                "dependencies",
+                dependencies.compute_uccs,
+                database,
+                max_arity,
+                self.map_ordered,
+                span=span,
+            )
 
         with tracing.span(
             "ucc", database=database.name, cache_hit=True
         ) as span:
             return self.cache.get_or_compute(
-                database,
-                ("uccs", max_arity),
-                lambda: self._timed(
-                    "dependencies",
-                    dependencies.compute_uccs,
-                    database,
-                    max_arity,
-                    self.map_ordered,
-                    span=span,
-                ),
+                database, ("uccs", max_arity), compute
             )
 
     def discover_inds(self, database, min_values: int = 1):
         from ..profiling import dependencies
 
+        def compute():
+            chunks = self._relation_chunks_process(
+                database, "relation_value_sets", "inds"
+            )
+            if chunks is not None:
+                span.set_attribute("cache_hit", False)
+                # Chunks arrive in schema relation order, each in schema
+                # attribute order — the same insertion order the serial
+                # path produces, so IND results stay canonical.
+                value_sets = {
+                    key: values for chunk in chunks for key, values in chunk
+                }
+                return dependencies._inds_from_value_sets(
+                    value_sets, min_values
+                )
+            return self._timed(
+                "dependencies",
+                dependencies.compute_inds,
+                database,
+                min_values,
+                self.map_ordered,
+                span=span,
+            )
+
         with tracing.span(
             "ind", database=database.name, cache_hit=True
         ) as span:
             return self.cache.get_or_compute(
-                database,
-                ("inds", min_values),
-                lambda: self._timed(
-                    "dependencies",
-                    dependencies.compute_inds,
-                    database,
-                    min_values,
-                    self.map_ordered,
-                    span=span,
-                ),
+                database, ("inds", min_values), compute
             )
 
     def discover_fds(self, database):
         from ..profiling import dependencies
 
+        def compute():
+            chunks = self._relation_chunks_process(
+                database, "relation_fds", "fds"
+            )
+            if chunks is not None:
+                span.set_attribute("cache_hit", False)
+                return [fd for chunk in chunks for fd in chunk]
+            return self._timed(
+                "dependencies",
+                dependencies.compute_fds,
+                database,
+                self.map_ordered,
+                span=span,
+            )
+
         with tracing.span(
             "fd", database=database.name, cache_hit=True
         ) as span:
-            return self.cache.get_or_compute(
-                database,
-                ("fds",),
-                lambda: self._timed(
-                    "dependencies",
-                    dependencies.compute_fds,
-                    database,
-                    self.map_ordered,
-                    span=span,
-                ),
+            return self.cache.get_or_compute(database, ("fds",), compute)
+
+    def _relation_chunks_process(
+        self, database, worker_name: str, stage: str, extra: tuple = ()
+    ) -> list | None:
+        """Fan per-relation discovery tasks out to worker processes.
+
+        Returns per-relation result chunks in schema relation order, or
+        ``None`` when the process backend is ineligible or its machinery
+        fails (then counted on ``process_fallbacks``) — callers fall
+        back to the in-process ``mapper`` path.
+        """
+        relations = database.schema.relations
+        if not self._process_eligible(len(relations)):
+            return None
+        from . import workers
+
+        try:
+            fault_point(
+                "process.dispatch", stage=stage, database=database.name
             )
+            spool = self.spool()
+            fingerprint = spool.put_database(database)
+            tasks = [
+                (str(spool.directory), fingerprint, relation.name, *extra)
+                for relation in relations
+            ]
+            self.metrics.increment("tasks_submitted", by=len(tasks))
+            outcomes = self.executor.run_tasks(
+                getattr(workers, worker_name), tasks
+            )
+        except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
+            self._note_process_fallback(exc)
+            return None
+        chunks = []
+        for chunk, elapsed in outcomes:
+            self.metrics.record_stage("dependencies", elapsed)
+            self.metrics.increment("tasks_completed")
+            chunks.append(chunk)
+        return chunks
+
+    def _note_process_fallback(self, exc: Exception) -> None:
+        self.metrics.increment("process_fallbacks")
+        with tracing.span(
+            "process.fallback", error=f"{type(exc).__name__}: {exc}"
+        ):
+            pass
 
     def _timed(self, stage: str, function: Callable, *args, span=None):
         # Reaching the compute callback means the cache did not have the

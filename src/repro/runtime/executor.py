@@ -1,21 +1,32 @@
-"""Pluggable task executors: one interface, serial and threaded backends.
+"""Pluggable task executors: serial, threaded, and process backends.
 
 EFES's phase-1 assessment fans out over independent units of work —
 module detectors, per-column statistic bundles, per-relation dependency
 discovery.  :class:`SerialExecutor` runs them inline (the reference
-behaviour); :class:`ThreadedExecutor` runs them on a shared thread pool.
-Both guarantee **deterministic result ordering**: ``map_ordered`` returns
-results in submission order regardless of completion order, and the first
-exception (in submission order) propagates to the caller.
+behaviour); :class:`ThreadedExecutor` runs them on a shared thread pool;
+:class:`ProcessExecutor` runs **picklable** task functions on a process
+pool, escaping the GIL for the pure-Python profiling workload.  All
+guarantee **deterministic result ordering**: results come back in
+submission order regardless of completion order, and the first exception
+(in submission order) propagates to the caller.
+
+The process backend has one structural difference the engine honours via
+``supports_closures``: arbitrary callables (closures over runtimes and
+databases) cannot cross a process boundary, so ``map_ordered`` on a
+:class:`ProcessExecutor` runs inline and the engine routes work through
+:meth:`ProcessExecutor.run_tasks` with module-level worker functions
+(:mod:`repro.runtime.workers`) and spool-fingerprint payloads instead.
 """
 
 from __future__ import annotations
 
 import contextvars
+import multiprocessing
 import os
 import threading
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 
 def auto_worker_count() -> int:
@@ -30,10 +41,14 @@ def auto_worker_count() -> int:
 class Executor:
     """The executor interface the runtime engine programs against."""
 
-    #: Stable backend identifier ("serial", "threads").
+    #: Stable backend identifier ("serial", "threads", "process").
     name: str = "executor"
     #: Number of concurrent workers (1 for the serial backend).
     max_workers: int = 1
+    #: Whether ``map_ordered`` can execute arbitrary callables
+    #: concurrently.  False for the process backend, whose concurrency
+    #: runs through ``run_tasks`` with picklable functions instead.
+    supports_closures: bool = True
 
     def map_ordered(self, function: Callable, items: Iterable) -> list:
         """Apply ``function`` to every item; results in submission order."""
@@ -122,10 +137,119 @@ class ThreadedExecutor(Executor):
                 self._pool = None
 
 
+#: True inside a process-pool worker (set by the pool initializer); lets
+#: code that forked with a process runtime active avoid nested pools.
+_in_process_worker = False
+
+
+def _mark_process_worker() -> None:
+    global _in_process_worker
+    _in_process_worker = True
+    # A forked worker inherits the parent's already-resolved fault-plan
+    # state; reset so the worker re-reads $REPRO_FAULT_PLAN itself.
+    # In-memory plans (injected_faults) stay parent-local by design —
+    # worker-side chaos is armed through the environment.
+    from ..resilience.faults import reset_fault_plan
+
+    reset_fault_plan()
+
+
+def in_process_worker() -> bool:
+    """Whether this interpreter is a process-pool worker."""
+    return _in_process_worker
+
+
+class ProcessExecutor(Executor):
+    """A shared, lazily created process pool for picklable tasks.
+
+    Scenario shipping stays cheap because task payloads carry **content
+    fingerprints**, not data: the engine spools each scenario/database
+    once (:mod:`repro.runtime.spool`) and workers rehydrate from disk
+    with a process-local memo, so a worker deserialises each distinct
+    input exactly once regardless of how many tasks it runs.
+
+    * ``map_ordered`` runs inline — closures cannot cross the process
+      boundary (``supports_closures`` is False); the engine calls
+      :meth:`run_tasks` with module-level functions instead.
+    * With one worker (or one task, or when already inside a worker)
+      tasks run inline, so ``--workers 1`` pays no IPC tax at all.
+    * A crashed worker (:class:`BrokenProcessPool`) discards the pool —
+      the next dispatch starts a fresh one — and re-raises so the engine
+      can fall back to serial in-process execution.
+
+    The ``fork`` start method is preferred (no interpreter re-import per
+    worker); hosts without it use the platform default.
+    """
+
+    name = "process"
+    supports_closures = False
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be a positive integer, got {max_workers}"
+            )
+        self.max_workers = max_workers or auto_worker_count()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=context,
+                    initializer=_mark_process_worker,
+                )
+            return self._pool
+
+    def map_ordered(self, function: Callable, items: Iterable) -> list:
+        return [function(item) for item in items]
+
+    def run_tasks(self, function: Callable, payloads: Iterable) -> list:
+        """Run a module-level ``function`` over picklable ``payloads`` on
+        the pool; results in submission order, first failure re-raised.
+
+        Raises :class:`BrokenProcessPool` (after discarding the pool) if
+        a worker dies mid-task; callers treat that as "fall back to
+        serial", never as a wrong answer.
+        """
+        payloads = list(payloads)
+        if (
+            len(payloads) <= 1
+            or self.max_workers == 1
+            or _in_process_worker
+        ):
+            return [function(payload) for payload in payloads]
+        pool = self._ensure_pool()
+        try:
+            futures: Sequence[Future] = [
+                pool.submit(function, payload) for payload in payloads
+            ]
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            with self._pool_lock:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                    self._pool = None
+            raise
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
 def make_executor(
     backend: str = "serial", max_workers: int | None = None
 ) -> Executor:
-    """Build a backend by name: ``serial``, ``threads``, or ``auto``.
+    """Build a backend by name: ``serial``, ``threads``, ``process``, or
+    ``auto``.
 
     ``auto`` picks threads on multi-core hosts and serial otherwise —
     on a single core the pure-Python workload cannot overlap usefully.
@@ -136,7 +260,9 @@ def make_executor(
         return SerialExecutor()
     if backend == "threads":
         return ThreadedExecutor(max_workers=max_workers)
+    if backend == "process":
+        return ProcessExecutor(max_workers=max_workers)
     raise ValueError(
         f"unknown executor backend {backend!r}; "
-        "expected 'serial', 'threads', or 'auto'"
+        "expected 'serial', 'threads', 'process', or 'auto'"
     )

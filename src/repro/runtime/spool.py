@@ -1,0 +1,235 @@
+"""A content-addressed on-disk spool for shipping scenarios to workers.
+
+The process backend cannot hand scenarios to workers by reference, and
+re-pickling a whole database per task would drown the speedup in IPC.
+Instead the parent **spools** each scenario (or database) once, keyed by
+its content fingerprint, and tasks carry only the fingerprint; workers
+rehydrate from the spool and memoise the result process-locally, so a
+worker deserialises each distinct scenario exactly once no matter how
+many tasks it executes.
+
+Durability discipline (same rules as :mod:`repro.durability`):
+
+* **Atomic visibility** — files are written to a temp name in the spool
+  directory, fsynced, then :func:`os.replace`'d into place, so a
+  concurrent reader sees either the complete file or no file: torn
+  reads are structurally impossible.
+* **Checksummed content** — the first line is the SHA-256 of the
+  payload; any other corruption (injected faults, disk trouble, a
+  foreign writer) surfaces as :class:`SpoolCorruptionError`, never as a
+  silently wrong scenario.  The caller's contract is to fall back to
+  serial in-process execution, degrading gracefully.
+
+Fault injection sites (:mod:`repro.resilience.faults`): ``spool.write``
+(raise/delay before writing, ``corrupt`` mangles the payload after the
+checksum is taken — so readers detect it) and ``spool.read``
+(raise/delay before reading).
+
+The spool directory defaults to ``$REPRO_SPOOL_DIR`` or a per-user
+directory under the system temp dir; every entry is immutable once
+written (content-addressed), so concurrent assessments share one spool
+safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from ..resilience.faults import corrupt_text, fault_point
+from .cache import fingerprint_database, fingerprint_scenario
+
+#: Environment variable overriding the spool directory.
+SPOOL_ENV_VAR = "REPRO_SPOOL_DIR"
+
+#: Rehydrated objects memoised per process (shared by every spool
+#: instance pointing at the same directory); bounded FIFO.
+_MEMO_MAX_ENTRIES = 32
+_memo: "OrderedDict[tuple[str, str, str], object]" = OrderedDict()
+_memo_lock = threading.Lock()
+
+_tmp_counter = itertools.count()
+
+
+class SpoolError(OSError):
+    """Base class of spool failures."""
+
+
+class SpoolMissError(SpoolError):
+    """The requested fingerprint has no spool entry."""
+
+
+class SpoolCorruptionError(SpoolError):
+    """A spool entry exists but fails its checksum or cannot be parsed."""
+
+
+def default_spool_directory() -> Path:
+    """``$REPRO_SPOOL_DIR`` or a per-user directory under the temp dir."""
+    override = os.environ.get(SPOOL_ENV_VAR)
+    if override:
+        return Path(override)
+    uid = getattr(os, "getuid", lambda: "shared")()
+    return Path(tempfile.gettempdir()) / f"repro-spool-{uid}"
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    tmp = path.with_name(
+        f".{path.name}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+    )
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class ScenarioSpool:
+    """Content-addressed scenario/database storage shared with workers."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory or default_spool_directory())
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, kind: str, fingerprint: str) -> Path:
+        return self.directory / f"{kind}-{fingerprint}.json"
+
+    # -- writing -----------------------------------------------------------
+
+    def _put(
+        self, kind: str, fingerprint: str, document: dict, force: bool
+    ) -> None:
+        path = self._path(kind, fingerprint)
+        if not force and path.exists():
+            return  # content-addressed: an existing entry is this entry
+        fault_point("spool.write", kind=kind, fingerprint=fingerprint)
+        payload = json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        )
+        # Checksum *before* the corrupt hook: injected corruption must be
+        # detectable downstream, exactly like real disk corruption.
+        checksum = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        payload = corrupt_text(
+            "spool.write", payload, kind=kind, fingerprint=fingerprint
+        )
+        try:
+            _write_atomic(path, f"{checksum}\n{payload}")
+        except OSError as exc:
+            raise SpoolError(f"cannot write spool entry {path}: {exc}") from exc
+
+    def put_scenario(self, scenario, *, force: bool = False) -> str:
+        """Spool a scenario; returns its content fingerprint (the task key)."""
+        fingerprint = fingerprint_scenario(scenario)
+        from ..scenarios.io import scenario_to_dict
+
+        self._put("scn", fingerprint, scenario_to_dict(scenario), force)
+        return fingerprint
+
+    def put_database(self, database, *, force: bool = False) -> str:
+        """Spool a single database; returns its content fingerprint."""
+        fingerprint = fingerprint_database(database)
+        from ..scenarios.io import database_to_dict
+
+        self._put("db", fingerprint, database_to_dict(database), force)
+        return fingerprint
+
+    # -- reading -----------------------------------------------------------
+
+    def _read_document(self, kind: str, fingerprint: str) -> dict:
+        fault_point("spool.read", kind=kind, fingerprint=fingerprint)
+        path = self._path(kind, fingerprint)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise SpoolMissError(
+                f"no spool entry for {kind}-{fingerprint} in {self.directory}"
+            ) from None
+        except OSError as exc:
+            raise SpoolError(f"cannot read spool entry {path}: {exc}") from exc
+        newline = raw.find("\n")
+        if newline < 0:
+            raise SpoolCorruptionError(f"spool entry {path} has no header")
+        checksum, payload = raw[:newline], raw[newline + 1:]
+        actual = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        if actual != checksum:
+            raise SpoolCorruptionError(
+                f"spool entry {path} fails its checksum "
+                f"(expected {checksum[:12]}…, got {actual[:12]}…)"
+            )
+        try:
+            return json.loads(payload)
+        except ValueError as exc:
+            raise SpoolCorruptionError(
+                f"spool entry {path} is not valid JSON: {exc}"
+            ) from exc
+
+    def _get(self, kind: str, fingerprint: str, rebuild):
+        memo_key = (str(self.directory), kind, fingerprint)
+        with _memo_lock:
+            if memo_key in _memo:
+                return _memo[memo_key]
+        document = self._read_document(kind, fingerprint)
+        from ..scenarios.io import ScenarioFormatError
+
+        try:
+            result = rebuild(document)
+        except ScenarioFormatError as exc:
+            raise SpoolCorruptionError(
+                f"spool entry {kind}-{fingerprint} does not decode: {exc}"
+            ) from exc
+        with _memo_lock:
+            _memo[memo_key] = result
+            while len(_memo) > _MEMO_MAX_ENTRIES:
+                _memo.popitem(last=False)
+        return result
+
+    def get_scenario(self, fingerprint: str):
+        """Rehydrate a spooled scenario (process-locally memoised)."""
+        from ..scenarios.io import scenario_from_dict
+
+        return self._get("scn", fingerprint, scenario_from_dict)
+
+    def get_database(self, fingerprint: str):
+        """Rehydrate a spooled database (process-locally memoised)."""
+        from ..scenarios.io import database_from_dict
+
+        return self._get("db", fingerprint, database_from_dict)
+
+    # -- maintenance -------------------------------------------------------
+
+    def contains(self, kind: str, fingerprint: str) -> bool:
+        return self._path(kind, fingerprint).exists()
+
+    def clear(self) -> int:
+        """Remove every spool entry (tests); returns the count removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+        with _memo_lock:
+            stale = [
+                key for key in _memo if key[0] == str(self.directory)
+            ]
+            for key in stale:
+                del _memo[key]
+        return removed
+
+    def __repr__(self) -> str:
+        entries = len(list(self.directory.glob("*.json")))
+        return f"ScenarioSpool({str(self.directory)!r}, {entries} entries)"
+
+
+def clear_rehydration_memo() -> None:
+    """Drop the process-local rehydration memo (test isolation)."""
+    with _memo_lock:
+        _memo.clear()

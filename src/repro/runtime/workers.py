@@ -1,0 +1,165 @@
+"""Process-pool worker entry points.
+
+Every function here is module-level (picklable **by reference** — the
+pool ships only the qualified name) and takes one tuple payload whose
+first two elements are ``(spool_directory, content_fingerprint)``; the
+worker rehydrates the scenario or database from the shared spool
+(:mod:`repro.runtime.spool`), which memoises per process, and runs the
+same pure computation the serial backend would run in-process.
+
+Two invariants make the process backend bit-equivalent to the serial
+oracle:
+
+* workers execute the **same functions** over **value-identical**
+  rehydrated inputs (the columnar codec is exact), and
+* detector workers run under a fresh *serial* runtime with a private
+  :class:`~repro.runtime.cache.ProfileCache` and return its raw entries;
+  because keys are pure content fingerprints, the parent can merge them
+  verbatim (``put_raw``) and end up with exactly the keys a serial run
+  would have produced.
+
+``fault_point("process.worker", ...)`` fires inside the worker before
+any real work, so crash-injection plans (armed via
+``$REPRO_FAULT_PLAN``, which child processes inherit) can kill workers
+deterministically; the engine answers with a serial fallback.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+#: Tagged outcome statuses of :func:`assess_module`.
+OK = "ok"
+ERROR = "error"
+
+
+def _rehydrated_database(spool_directory: str, fingerprint: str):
+    from .spool import ScenarioSpool
+
+    return ScenarioSpool(spool_directory).get_database(fingerprint)
+
+
+def assess_module(task) -> tuple:
+    """Run one detector module against a spooled scenario.
+
+    Payload: ``(spool_directory, scenario_fingerprint, module_pickle)``.
+    Returns ``(status, payload, error_text, elapsed_seconds,
+    cache_entries)`` where ``payload`` is the module report on ``OK`` or
+    a pickled exception (``None`` if unpicklable) on ``ERROR``; module
+    failures are *data*, not infrastructure — they travel back tagged so
+    the parent can reproduce serial raise/degrade semantics exactly.
+    """
+    spool_directory, scenario_fingerprint, module_blob = task
+    from ..resilience import format_exception
+    from ..resilience.faults import fault_point
+    from .engine import Runtime
+    from .spool import ScenarioSpool
+
+    fault_point("process.worker", stage="detector")
+    module = pickle.loads(module_blob)
+    scenario = ScenarioSpool(spool_directory).get_scenario(
+        scenario_fingerprint
+    )
+    runtime = Runtime(backend="serial")
+    started = time.perf_counter()
+    with runtime.activated():
+        try:
+            fault_point(
+                "detector", name=module.name, scenario=scenario.name
+            )
+            report = module.assess(scenario)
+        except Exception as exc:  # noqa: BLE001 - tagged, judged by parent
+            elapsed = time.perf_counter() - started
+            try:
+                blob = pickle.dumps(exc)
+            except Exception:  # noqa: BLE001 - unpicklable exception
+                blob = None
+            return (
+                ERROR,
+                blob,
+                format_exception(exc),
+                elapsed,
+                runtime.cache.entries(),
+            )
+    elapsed = time.perf_counter() - started
+    return (OK, report, None, elapsed, runtime.cache.entries())
+
+
+def profile_column(task) -> tuple:
+    """Profile one column of a spooled database.
+
+    Payload: ``(spool_directory, database_fingerprint, relation_name,
+    attribute_name, datatype_value)``.  Returns ``(profile, elapsed)``.
+    """
+    spool_directory, fingerprint, relation_name, attribute_name, datatype_value = task
+    from ..profiling.profiler import compute_column_profile
+    from ..relational.datatypes import DataType
+    from ..resilience.faults import fault_point
+
+    fault_point("process.worker", stage="profile")
+    database = _rehydrated_database(spool_directory, fingerprint)
+    fault_point(
+        "profile", relation=relation_name, attribute=attribute_name
+    )
+    started = time.perf_counter()
+    profile = compute_column_profile(
+        database, relation_name, attribute_name, DataType(datatype_value)
+    )
+    return (profile, time.perf_counter() - started)
+
+
+def relation_uccs(task) -> tuple:
+    """UCC discovery for one relation of a spooled database.
+
+    Payload: ``(spool_directory, database_fingerprint, relation_name,
+    max_arity)``.  Returns ``(uccs, elapsed)``.
+    """
+    spool_directory, fingerprint, relation_name, max_arity = task
+    from ..profiling.dependencies import compute_relation_uccs
+    from ..resilience.faults import fault_point
+
+    fault_point("process.worker", stage="uccs")
+    database = _rehydrated_database(spool_directory, fingerprint)
+    started = time.perf_counter()
+    uccs = compute_relation_uccs(database, relation_name, max_arity)
+    return (uccs, time.perf_counter() - started)
+
+
+def relation_fds(task) -> tuple:
+    """FD discovery for one relation of a spooled database.
+
+    Payload: ``(spool_directory, database_fingerprint, relation_name)``.
+    Returns ``(fds, elapsed)``.
+    """
+    spool_directory, fingerprint, relation_name = task
+    from ..profiling.dependencies import compute_relation_fds
+    from ..resilience.faults import fault_point
+
+    fault_point("process.worker", stage="fds")
+    database = _rehydrated_database(spool_directory, fingerprint)
+    started = time.perf_counter()
+    fds = compute_relation_fds(database, relation_name)
+    return (fds, time.perf_counter() - started)
+
+
+def relation_value_sets(task) -> tuple:
+    """Distinct-value sets for one relation (the IND scan's hot half).
+
+    Payload: ``(spool_directory, database_fingerprint, relation_name)``.
+    Returns ``([((relation, attribute), values), ...], elapsed)`` in
+    schema attribute order; the parent runs the pairwise subset checks
+    so result order stays canonical.
+    """
+    spool_directory, fingerprint, relation_name = task
+    from ..resilience.faults import fault_point
+
+    fault_point("process.worker", stage="inds")
+    database = _rehydrated_database(spool_directory, fingerprint)
+    instance = database.table(relation_name)
+    started = time.perf_counter()
+    value_sets = [
+        ((relation_name, name), instance.distinct(name))
+        for name in database.schema.relation(relation_name).attribute_names
+    ]
+    return (value_sets, time.perf_counter() - started)

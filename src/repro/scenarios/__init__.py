@@ -16,10 +16,14 @@ from .example import ExampleParameters, example_scenario
 from .generators import DataGenerator
 from .io import (
     ScenarioFormatError,
+    database_from_dict,
+    database_to_dict,
     load_database,
     load_scenario,
     save_database,
     save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
 )
 from .music import (
     music_scenarios,
@@ -77,10 +81,14 @@ __all__ = [
     "IntegrationScenario",
     "ScenarioFormatError",
     "UnknownScenarioError",
+    "database_from_dict",
+    "database_to_dict",
     "load_database",
     "load_scenario",
     "save_database",
     "save_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
     "bibliographic_scenarios",
     "example_scenario",
     "music_scenarios",

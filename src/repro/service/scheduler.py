@@ -96,7 +96,7 @@ from ..durability import (
     settled_record,
     submitted_record,
 )
-from ..runtime import Runtime
+from ..runtime import BACKEND_ENV_VAR, Runtime
 from .jobs import (
     Job,
     JobCancelled,
@@ -160,7 +160,14 @@ class JobScheduler:
             efes is None or efes.runtime is None
         )
         if runtime is None:
-            runtime = efes.runtime if efes and efes.runtime else Runtime()
+            # Honour $REPRO_RUNTIME_BACKEND (serial/threads/process/auto)
+            # so a service deployment selects its assessment backend the
+            # same way the CLI does.
+            runtime = (
+                efes.runtime
+                if efes and efes.runtime
+                else Runtime(backend=os.environ.get(BACKEND_ENV_VAR, "serial"))
+            )
         self.runtime = runtime
         self.efes = efes if efes is not None else default_efes(runtime=runtime)
         self.store = (

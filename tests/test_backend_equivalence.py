@@ -1,0 +1,137 @@
+"""Differential backend harness: serial is the oracle.
+
+Every scenario family (running example, bibliographic case study, music
+case study) runs through the serial, threaded, and process backends;
+the serialized reports, estimates, and task catalogues must be
+**byte-identical** and the ProfileCache must end up holding exactly the
+same content keys regardless of which backend computed the entries.
+The fine-grained profiling/discovery primitives get the same treatment
+on a shared database.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Efes, ResultQuality, default_modules
+from repro.core.serialize import (
+    dumps,
+    estimate_to_dict,
+    reports_to_dict,
+    tasks_to_dicts,
+)
+from repro.runtime import Runtime
+from repro.scenarios import (
+    example_scenario,
+    scenario_m1_f2,
+    scenario_s1_s2,
+)
+from repro.scenarios.example import ExampleParameters
+
+BACKENDS = ("serial", "threads", "process")
+
+#: One representative scenario per family; builders return fresh
+#: instances so no state leaks between backend runs.
+SCENARIO_FAMILIES = {
+    "example": lambda: example_scenario(
+        ExampleParameters(
+            albums=200,
+            multi_artist_albums=50,
+            detached_artists=12,
+            target_records=40,
+            seed=9,
+        )
+    ),
+    "bibliographic": lambda: scenario_s1_s2(seed=9),
+    "music": lambda: scenario_m1_f2(seed=9),
+}
+
+
+def run_pipeline(backend: str, build_scenario):
+    """One full Efes run on a fresh runtime; returns serialized artefacts."""
+    runtime = Runtime(backend=backend, max_workers=4)
+    scenario = build_scenario()
+    efes = Efes(default_modules(), runtime=runtime)
+    outcome = efes.run(scenario, ResultQuality.HIGH_QUALITY)
+    tasks = efes.plan(
+        scenario, ResultQuality.HIGH_QUALITY, reports=outcome.reports
+    )
+    artefacts = {
+        "reports": dumps(reports_to_dict(outcome.reports)),
+        "estimate": dumps(estimate_to_dict(outcome.estimate)),
+        "tasks": json.dumps(tasks_to_dicts(tasks), sort_keys=True),
+        "cache_keys": runtime.cache.keys(),
+        "degradations": len(outcome.degradations),
+        "fallbacks": runtime.metrics.counter("process_fallbacks"),
+    }
+    runtime.close()
+    return artefacts
+
+
+@pytest.mark.parametrize("family", sorted(SCENARIO_FAMILIES))
+class TestBackendEquivalence:
+    def test_reports_estimates_tasks_byte_identical(self, family):
+        build = SCENARIO_FAMILIES[family]
+        oracle = run_pipeline("serial", build)
+        assert oracle["degradations"] == 0
+        for backend in BACKENDS[1:]:
+            candidate = run_pipeline(backend, build)
+            assert candidate["degradations"] == 0, backend
+            assert candidate["reports"] == oracle["reports"], backend
+            assert candidate["estimate"] == oracle["estimate"], backend
+            assert candidate["tasks"] == oracle["tasks"], backend
+
+    def test_cache_keys_backend_independent(self, family):
+        build = SCENARIO_FAMILIES[family]
+        oracle = run_pipeline("serial", build)
+        for backend in BACKENDS[1:]:
+            candidate = run_pipeline(backend, build)
+            assert candidate["cache_keys"] == oracle["cache_keys"], backend
+
+    def test_process_backend_did_not_silently_fall_back(self, family):
+        # A fallback would still be *correct* (serial semantics), but
+        # then this harness would not be exercising the process path at
+        # all; require the happy path to actually stay on it.
+        build = SCENARIO_FAMILIES[family]
+        artefacts = run_pipeline("process", build)
+        assert artefacts["fallbacks"] == 0
+
+
+class TestPrimitiveEquivalence:
+    """profile_database / discover_* agree across backends on one db."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return SCENARIO_FAMILIES["example"]()
+
+    @pytest.mark.parametrize("backend", BACKENDS[1:])
+    def test_primitives_match_serial(self, scenario, backend):
+        serial = Runtime(backend="serial")
+        candidate = Runtime(backend=backend, max_workers=4)
+        for database in (*scenario.sources, scenario.target):
+            assert candidate.profile_database(database) == (
+                serial.profile_database(database)
+            )
+            assert candidate.discover_uccs(database) == (
+                serial.discover_uccs(database)
+            )
+            assert candidate.discover_inds(database) == (
+                serial.discover_inds(database)
+            )
+            assert candidate.discover_fds(database) == (
+                serial.discover_fds(database)
+            )
+        assert candidate.cache.keys() == serial.cache.keys()
+        assert candidate.metrics.counter("process_fallbacks") == 0
+        candidate.close()
+        serial.close()
+
+    def test_one_worker_process_backend_runs_inline(self, scenario):
+        # --workers 1 must not pay any IPC tax: every task runs in the
+        # parent and the pool is never even created.
+        runtime = Runtime(backend="process", max_workers=1)
+        database = scenario.sources[0]
+        runtime.profile_database(database)
+        runtime.discover_uccs(database)
+        assert runtime.executor._pool is None
+        runtime.close()

@@ -1,0 +1,214 @@
+"""Seeded stress tests for the process backend and its shared spool.
+
+Three claims under concurrency and injected failure:
+
+* N concurrent assessments through one process runtime + one shared
+  spool produce exactly the serial oracle's results even while an armed
+  ``process.worker`` fault is crashing workers — the engine falls back
+  to serial in-process execution (counted on ``process_fallbacks``)
+  and never returns a wrong or partial answer,
+* spool reads are never torn: concurrent re-writers and readers of the
+  same content-addressed entry see only complete, checksum-valid files
+  (atomic tmp + fsync + rename),
+* a module that genuinely fails inside a worker degrades exactly like
+  the serial path: a DegradedResult tombstone for that module, intact
+  reports for the rest.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import Efes, ResultQuality, default_modules
+from repro.core.serialize import dumps, reports_to_dict
+from repro.resilience import DegradedResult
+from repro.resilience.faults import reset_fault_plan
+from repro.runtime import Runtime, ScenarioSpool, SpoolCorruptionError
+from repro.runtime.spool import clear_rehydration_memo
+from repro.scenarios import example_scenario
+from repro.scenarios.example import ExampleParameters
+
+
+def small_scenario(seed: int):
+    return example_scenario(
+        ExampleParameters(
+            albums=60,
+            multi_artist_albums=15,
+            detached_artists=5,
+            target_records=15,
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture
+def env_fault_plan(monkeypatch):
+    """Arm a fault plan via the environment (so worker processes,
+    which re-resolve ``$REPRO_FAULT_PLAN`` on startup, inherit it)."""
+
+    def arm(plan: dict) -> None:
+        monkeypatch.setenv("REPRO_FAULT_PLAN", json.dumps(plan))
+        reset_fault_plan()
+
+    yield arm
+    monkeypatch.undo()
+    reset_fault_plan()
+
+
+def serial_oracle(seeds):
+    runtime = Runtime(backend="serial")
+    efes = Efes(default_modules(), runtime=runtime)
+    return {
+        seed: dumps(
+            reports_to_dict(
+                efes.run(
+                    small_scenario(seed), ResultQuality.HIGH_QUALITY
+                ).reports
+            )
+        )
+        for seed in seeds
+    }
+
+
+class TestConcurrentAssessments:
+    SEEDS = (1, 2, 3, 4)
+
+    def test_crash_injected_workers_never_corrupt_results(
+        self, tmp_path, env_fault_plan
+    ):
+        oracle = serial_oracle(self.SEEDS)
+        # Each worker process crashes its first task: FaultError at the
+        # process.worker site, once per worker ("times" budgets are
+        # process-local), exactly like a worker dying mid-dispatch.
+        env_fault_plan(
+            {
+                "name": "worker-crash",
+                "points": [
+                    {"site": "process.worker", "action": "raise", "times": 1}
+                ],
+            }
+        )
+        spool = ScenarioSpool(tmp_path)
+        runtime = Runtime(backend="process", max_workers=2, spool=spool)
+        efes = Efes(default_modules(), runtime=runtime)
+
+        def assess(seed):
+            outcome = efes.run(
+                small_scenario(seed), ResultQuality.HIGH_QUALITY
+            )
+            return seed, outcome
+
+        with ThreadPoolExecutor(max_workers=len(self.SEEDS)) as pool:
+            outcomes = list(pool.map(assess, self.SEEDS))
+        for seed, outcome in outcomes:
+            assert outcome.degradations == []
+            assert dumps(reports_to_dict(outcome.reports)) == oracle[seed]
+        # The injection must actually have bitten at least once —
+        # otherwise this test exercised nothing.
+        assert runtime.metrics.counter("process_fallbacks") >= 1
+        runtime.close()
+
+    def test_shared_spool_entries_are_complete(self, tmp_path):
+        spool = ScenarioSpool(tmp_path)
+        runtime = Runtime(backend="process", max_workers=2, spool=spool)
+        efes = Efes(default_modules(), runtime=runtime)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            list(
+                pool.map(
+                    lambda seed: efes.run(
+                        small_scenario(seed), ResultQuality.HIGH_QUALITY
+                    ),
+                    self.SEEDS[:3],
+                )
+            )
+        runtime.close()
+        # Every spooled file must parse and pass its checksum.
+        entries = sorted(tmp_path.glob("*.json"))
+        assert entries, "assessments should have spooled scenarios"
+        for path in entries:
+            kind, fingerprint = path.stem.split("-", 1)
+            clear_rehydration_memo()
+            if kind == "scn":
+                spool.get_scenario(fingerprint)
+            else:
+                spool.get_database(fingerprint)
+
+
+class TestTornReads:
+    def test_concurrent_rewrites_never_tear_reads(self, tmp_path):
+        spool = ScenarioSpool(tmp_path)
+        scenario = small_scenario(7)
+        fingerprint = spool.put_scenario(scenario)
+        stop = threading.Event()
+        corruption: list[Exception] = []
+
+        def rewriter():
+            while not stop.is_set():
+                spool.put_scenario(scenario, force=True)
+
+        def reader():
+            while not stop.is_set():
+                clear_rehydration_memo()
+                try:
+                    spool.get_scenario(fingerprint)
+                except SpoolCorruptionError as exc:
+                    corruption.append(exc)
+                    stop.set()
+                    return
+
+        threads = [
+            threading.Thread(target=rewriter),
+            threading.Thread(target=rewriter),
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.6)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert corruption == []
+
+    def test_corrupted_entry_detected_not_trusted(self, tmp_path):
+        spool = ScenarioSpool(tmp_path)
+        fingerprint = spool.put_scenario(small_scenario(5))
+        path = spool._path("scn", fingerprint)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[:-40] + "garbage", encoding="utf-8")
+        clear_rehydration_memo()
+        with pytest.raises(SpoolCorruptionError):
+            spool.get_scenario(fingerprint)
+
+
+class TestDegradedFallback:
+    def test_module_failure_in_worker_degrades_like_serial(
+        self, env_fault_plan
+    ):
+        env_fault_plan(
+            {
+                "name": "mapping-down",
+                "points": [
+                    {
+                        "site": "detector",
+                        "action": "raise",
+                        "match": {"name": "mapping"},
+                    }
+                ],
+            }
+        )
+        runtime = Runtime(backend="process", max_workers=2)
+        outcome = Efes(default_modules(), runtime=runtime).run(
+            small_scenario(11), ResultQuality.HIGH_QUALITY
+        )
+        runtime.close()
+        assert [d.module for d in outcome.degradations] == ["mapping"]
+        tombstone = outcome.degradations[0]
+        assert isinstance(tombstone, DegradedResult)
+        assert tombstone.phase == "assess"
+        # Exactly like the serial path: the failed module is split out of
+        # the report dict; the surviving modules' reports are intact.
+        assert set(outcome.reports) == {"structure", "values"}

@@ -135,6 +135,104 @@ class TestCacheMaintenance:
         assert cache.metrics.counter("cache_evictions") == 1
 
 
+class TestCanonicalKeys:
+    """Regression: fingerprints hash canonical column bytes, not reprs.
+
+    Keys must be independent of constraint declaration order and immune
+    to separator-forging values — and therefore identical no matter
+    which executor backend computed the entry.
+    """
+
+    def test_constraint_declaration_order_is_irrelevant(self):
+        from repro.relational.constraints import NotNull, Unique
+
+        def build(order):
+            schema = Schema(
+                "db",
+                relations=[
+                    relation(
+                        "albums",
+                        [("id", DataType.INTEGER), ("name", DataType.STRING)],
+                    )
+                ],
+                constraints=order,
+            )
+            db = Database(schema)
+            db.insert_all("albums", [(1, "A"), (2, "B")])
+            return db
+
+        forward = [Unique("albums", ("id",)), NotNull("albums", "name")]
+        backward = [NotNull("albums", "name"), Unique("albums", ("id",))]
+        assert fingerprint_database(build(forward)) == fingerprint_database(
+            build(backward)
+        )
+
+    def test_separator_values_cannot_collide(self):
+        """Values that mimic old field/row separators hash distinctly."""
+
+        def single_column(values):
+            schema = Schema(
+                "db",
+                relations=[relation("t", [("v", DataType.STRING)])],
+            )
+            db = Database(schema)
+            db.insert_all("t", [(value,) for value in values])
+            return db
+
+        # One row "a\x1fb" vs two rows "a"/"b": a separator-joined repr
+        # hash could conflate these; length-prefixed blocks cannot.
+        joined = single_column(["a\x1fb"])
+        split = single_column(["a", "b"])
+        assert fingerprint_database(joined) != fingerprint_database(split)
+        # repr-lookalike strings must differ from the values they mimic.
+        assert fingerprint_database(
+            single_column(["'x'"])
+        ) != fingerprint_database(single_column(["x"]))
+
+    def test_numeric_types_hash_distinctly(self):
+        def one(datatype, value):
+            schema = Schema(
+                "db", relations=[relation("t", [("v", datatype)])]
+            )
+            db = Database(schema)
+            db.insert("t", (value,))
+            return db
+
+        # 1 and 1.0 share repr-adjacent forms but are different typed
+        # columns; the canonical encoding keeps them apart.
+        assert fingerprint_database(
+            one(DataType.INTEGER, 1)
+        ) != fingerprint_database(one(DataType.FLOAT, 1.0))
+
+    def test_put_then_peek_round_trips(self):
+        cache = ProfileCache()
+        db = build_database()
+        key = ("profile_column", "albums", "id", "integer")
+        assert cache.peek(db, key) is None
+        sentinel = object()
+        cache.put(db, key, sentinel)
+        assert cache.peek(db, key) is sentinel
+        # peek is passive: no hit/miss accounting.
+        assert cache.metrics.cache_hits == 0
+        assert cache.metrics.cache_misses == 0
+
+    def test_entries_merge_between_caches(self):
+        """Worker-cache entries merged via put_raw are indistinguishable
+        from locally computed ones (same content keys)."""
+        db = build_database()
+        worker_runtime = Runtime()
+        worker_runtime.profile_database(db)
+        parent = ProfileCache()
+        for key, value in worker_runtime.cache.entries():
+            parent.put_raw(key, value)
+        parent_runtime = Runtime(cache=parent, metrics=parent.metrics)
+        parent_runtime.profile_database(db)
+        assert parent.metrics.cache_hits >= 1
+        assert sorted(parent.keys(), key=repr) == sorted(
+            worker_runtime.cache.keys(), key=repr
+        )
+
+
 def random_database(seed: int) -> Database:
     """A seeded-random schema + instance for the property check."""
     rng = random.Random(seed)
