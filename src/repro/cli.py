@@ -14,6 +14,8 @@ of the shipped scenarios:
   (``--journal-dir`` makes every acknowledged job survive a crash;
   SIGTERM drains gracefully, flushes the journal, and exits 0),
 * ``efes submit <scenario>``   — submit a job to a running service,
+* ``efes slo``                 — show a running service's SLO burn rates
+  (exit 3 when any objective is burning critically),
 * ``efes recover <journal>``   — replay a job journal offline:
   ``--dry-run`` prints what recovery would do, without it the journal
   is checkpointed and compacted.
@@ -481,6 +483,65 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    url = args.url or os.environ.get(SERVICE_URL_ENV_VAR) or (
+        "http://127.0.0.1:8765"
+    )
+    client = ServiceClient(url)
+    try:
+        doc = client.slo()
+    except (ServiceError, OSError) as exc:
+        print(f"efes: cannot fetch SLOs from {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        rows = []
+        for status in doc["slos"]:
+            fast = status["windows"]["fast"]
+            slow = status["windows"]["slow"]
+            rows.append(
+                (
+                    status["name"],
+                    f"{status['objective']:.2%}",
+                    status["state"],
+                    f"{fast['burn_rate']:.2f}",
+                    f"{slow['burn_rate']:.2f}",
+                    status["totals"]["events"],
+                    status["totals"]["bad"],
+                )
+            )
+        print(
+            render_table(
+                [
+                    "SLO",
+                    "Objective",
+                    "State",
+                    f"Burn {doc['fast_window_seconds']:g}s",
+                    f"Burn {doc['slow_window_seconds']:g}s",
+                    "Events",
+                    "Bad",
+                ],
+                rows,
+                title=f"Service SLOs at {url} "
+                f"(warn ≥ {doc['warn_burn_rate']:g}, "
+                f"critical ≥ {doc['critical_burn_rate']:g})",
+            )
+        )
+        health = doc.get("health", {})
+        print(
+            f"overall: {doc['state']} "
+            f"(health: {health.get('state', 'unknown')})"
+        )
+    # Critical burn is actionable from scripts: same exit convention as
+    # degraded pipeline runs.
+    return EXIT_DEGRADED if doc["state"] == "critical" else 0
+
+
 def _report_size(body: dict) -> int:
     for field in ("connections", "violations", "findings"):
         if field in body:
@@ -559,6 +620,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="also write the span tree(s) as JSON to this path",
+    )
+    # Subparser defaults clobber the global option's parse result, so
+    # these overrides use private dests and main() resolves precedence
+    # (subcommand flag > global flag > $REPRO_RUNTIME_BACKEND).
+    trace.add_argument(
+        "--backend",
+        dest="trace_backend",
+        choices=backend_choices,
+        default=None,
+        help="runtime backend for this trace run (overrides the global "
+        f"--backend and ${BACKEND_ENV_VAR})",
+    )
+    trace.add_argument(
+        "--workers",
+        dest="trace_workers",
+        type=int,
+        default=None,
+        help="worker count for this trace run (overrides the global "
+        "--workers)",
     )
 
     curve = subparsers.add_parser(
@@ -685,14 +765,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the job id and return without waiting for the result",
     )
+
+    slo = subparsers.add_parser(
+        "slo", help="show a running service's SLO burn rates"
+    )
+    slo.add_argument(
+        "--url",
+        default=None,
+        help=f"service URL (default: ${SERVICE_URL_ENV_VAR} or "
+        "http://127.0.0.1:8765)",
+    )
+    slo.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw /slo document instead of a table",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.workers is not None and args.workers < 1:
-        parser.error(f"argument --workers: must be positive, got {args.workers}")
+    backend = getattr(args, "trace_backend", None) or args.backend
+    workers = (
+        getattr(args, "trace_workers", None)
+        if getattr(args, "trace_workers", None) is not None
+        else args.workers
+    )
+    if workers is not None and workers < 1:
+        parser.error(f"argument --workers: must be positive, got {workers}")
     try:
         # Validate the fault plan up front: a typo in a chaos run must be
         # a one-line error, not a silently disabled injection campaign.
@@ -703,7 +804,7 @@ def main(argv: list[str] | None = None) -> int:
     # One runtime per invocation: every command (and the profiling
     # underneath it) executes on the selected backend and records its
     # instrumentation here.
-    runtime = Runtime(backend=args.backend, max_workers=args.workers)
+    runtime = Runtime(backend=backend, max_workers=workers)
     set_default_runtime(runtime)
     commands = {
         "list": cmd_list,
@@ -716,6 +817,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": cmd_experiments,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "slo": cmd_slo,
         "recover": cmd_recover,
     }
     try:

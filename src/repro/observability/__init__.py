@@ -20,6 +20,13 @@ Exporters (:mod:`~repro.observability.export`) turn spans into JSON and
 aligned text trees, and metrics snapshots into Prometheus exposition.
 """
 
+from .context import (
+    SpanContext,
+    WorkerTelemetry,
+    WorkerTelemetrySession,
+    merge_worker_telemetry,
+    telemetry_session,
+)
 from .events import (
     EVENT_LOG_ENV_VAR,
     EventLog,
@@ -39,16 +46,31 @@ from .histograms import (
     Histogram,
     HistogramSnapshot,
 )
+from .resources import (
+    ResourceSampler,
+    publish_worker_resources,
+    sample_resources,
+)
+from .slo import (
+    CRITICAL_BURN_RATE,
+    WARN_BURN_RATE,
+    SLOMonitor,
+    SLOSpec,
+    SLOStatus,
+    default_slos,
+)
 from .tracing import (
     NOOP_SPAN,
     Span,
     Tracer,
+    active_tracer,
     current_span,
     is_tracing,
     span,
 )
 
 __all__ = [
+    "CRITICAL_BURN_RATE",
     "DEFAULT_BOUNDS",
     "EVENT_LOG_ENV_VAR",
     "EventLog",
@@ -56,16 +78,30 @@ __all__ = [
     "Histogram",
     "HistogramSnapshot",
     "NOOP_SPAN",
+    "ResourceSampler",
+    "SLOMonitor",
+    "SLOSpec",
+    "SLOStatus",
     "Span",
+    "SpanContext",
     "Tracer",
+    "WARN_BURN_RATE",
+    "WorkerTelemetry",
+    "WorkerTelemetrySession",
+    "active_tracer",
     "correlation_scope",
     "current_correlation_id",
     "current_span",
+    "default_slos",
     "escape_label_value",
     "is_tracing",
+    "merge_worker_telemetry",
     "prometheus_text",
+    "publish_worker_resources",
     "render_span_tree",
+    "sample_resources",
     "span",
     "span_from_dict",
     "span_to_dict",
+    "telemetry_session",
 ]

@@ -1,0 +1,244 @@
+"""Cross-process trace propagation and worker telemetry.
+
+The process backend (:mod:`repro.runtime.executor`) runs detectors and
+profilers in forked workers where the parent's contextvars-based tracer,
+metrics, and event log do not exist.  This module makes observability
+survive the boundary without touching the untraced fast path:
+
+* :class:`SpanContext` is the wire form of "where in the trace am I?" —
+  trace id, parent span id, correlation id, backend tag.
+  :meth:`SpanContext.capture` returns ``None`` when no tracer is active,
+  so untraced runs ship a ``None`` and workers skip every telemetry
+  allocation (the <5% overhead gate and byte-identical backend
+  equivalence are preserved structurally).
+* :func:`telemetry_session` is the worker-side half: under an active
+  context it activates a fresh process-local
+  :class:`~repro.observability.tracing.Tracer` (sharing the parent's
+  trace id), binds the correlation scope, collects events, and on exit
+  packs spans + metrics deltas + events + a resource sample into a
+  :class:`WorkerTelemetry` blob the worker returns beside its result.
+* :func:`merge_worker_telemetry` is the parent-side half: it grafts the
+  worker's span subtree under the parent's current span (rewriting
+  parent/trace ids through the subtree), folds the metrics snapshot into
+  the parent's :class:`~repro.runtime.RuntimeMetrics`, absorbs events,
+  and republishes the worker's resource sample as ``worker_*`` gauges.
+  It is **defensive end to end**: any malformed blob (a crashed worker's
+  partial telemetry) is dropped and counted on
+  ``worker_telemetry_dropped`` — it can never corrupt the parent trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from . import tracing
+from .events import EventLog, correlation_scope, current_correlation_id
+from .export import span_from_dict, span_to_dict
+from .resources import publish_worker_resources, sample_resources
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanContext:
+    """The serialisable trace position shipped inside task payloads."""
+
+    trace_id: str
+    parent_span_id: str | None = None
+    correlation_id: str | None = None
+    backend: str = "process"
+
+    @classmethod
+    def capture(cls, backend: str = "process") -> "SpanContext | None":
+        """The calling context's trace position, or ``None`` untraced.
+
+        ``None`` is the contract's fast path: engine code passes it
+        through unconditionally and workers allocate nothing for it.
+        """
+        tracer = tracing.active_tracer()
+        if tracer is None:
+            return None
+        parent = tracing.current_span()
+        return cls(
+            trace_id=parent.trace_id if parent is not None else tracer.trace_id,
+            parent_span_id=parent.span_id if parent is not None else None,
+            correlation_id=current_correlation_id(),
+            backend=backend,
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SpanContext":
+        try:
+            return cls(
+                trace_id=str(doc["trace_id"]),
+                parent_span_id=doc.get("parent_span_id"),
+                correlation_id=doc.get("correlation_id"),
+                backend=str(doc.get("backend", "process")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed span context: {exc}") from exc
+
+
+@dataclasses.dataclass
+class WorkerTelemetry:
+    """Everything a worker observed, packed for the trip home.
+
+    ``spans`` are serialised span-tree documents (the worker's root
+    spans), ``metrics`` is a picklable
+    :class:`~repro.runtime.metrics.MetricsSnapshot` of the worker's
+    private runtime (``None`` when the worker recorded nothing),
+    ``events`` are raw event-log records, and ``resources`` is one
+    :func:`~repro.observability.resources.sample_resources` document.
+    """
+
+    context: SpanContext
+    pid: int
+    spans: list = dataclasses.field(default_factory=list)
+    metrics: object | None = None
+    events: list = dataclasses.field(default_factory=list)
+    resources: dict = dataclasses.field(default_factory=dict)
+
+
+class _NoopTelemetrySession:
+    """The shared no-cost session of untraced worker invocations."""
+
+    __slots__ = ()
+    telemetry = None
+
+    def __enter__(self) -> "_NoopTelemetrySession":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+
+NOOP_TELEMETRY_SESSION = _NoopTelemetrySession()
+
+
+class WorkerTelemetrySession:
+    """Worker-side telemetry collection for one task execution.
+
+    Use as a context manager around the task body::
+
+        session = telemetry_session(context, metrics=runtime.metrics)
+        with session:
+            ... run under tracing.span(...) ...
+        return (result, ..., session.telemetry)
+
+    On exit (normal *or* exceptional — a failing detector still ships
+    the spans it opened) the collected spans, metrics, events, and a
+    resource sample are frozen into ``session.telemetry``.
+    """
+
+    def __init__(self, context: SpanContext, metrics=None) -> None:
+        self.context = context
+        self.metrics = metrics
+        self.tracer = tracing.Tracer()
+        # The worker's root spans must join the parent's tree: share the
+        # trace id so grafting is a pure parent_id rewrite.
+        self.tracer.trace_id = context.trace_id
+        self.events = EventLog(max_memory_events=256)
+        self.telemetry: WorkerTelemetry | None = None
+        self._tracer_cm = None
+        self._correlation_cm = None
+        self._detach_cm = None
+
+    def emit(self, event: str, **fields) -> None:
+        """Record a worker-side event for the shipped stream."""
+        self.events.emit(event, **fields)
+
+    def __enter__(self) -> "WorkerTelemetrySession":
+        # Forked workers inherit the parent's contextvars, including the
+        # span that was open at fork time — detach so worker spans root
+        # on this session's tracer instead of a stale parent copy.
+        self._detach_cm = tracing.detached_span_scope()
+        self._detach_cm.__enter__()
+        self._tracer_cm = self.tracer.activated()
+        self._tracer_cm.__enter__()
+        self._correlation_cm = correlation_scope(self.context.correlation_id)
+        self._correlation_cm.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._correlation_cm.__exit__(*exc_info)
+        self._tracer_cm.__exit__(*exc_info)
+        self._detach_cm.__exit__(*exc_info)
+        metrics_snapshot = None
+        if self.metrics is not None and not self.metrics.is_empty():
+            metrics_snapshot = self.metrics.snapshot()
+        try:
+            resources = sample_resources()
+        except Exception:  # noqa: BLE001 - telemetry must not fail the task
+            resources = {}
+        self.telemetry = WorkerTelemetry(
+            context=self.context,
+            pid=os.getpid(),
+            spans=[span_to_dict(root) for root in self.tracer.roots],
+            metrics=metrics_snapshot,
+            events=self.events.records(),
+            resources=resources,
+        )
+        return False
+
+
+def telemetry_session(context: SpanContext | None, metrics=None):
+    """A worker telemetry session for ``context`` — no-op when ``None``.
+
+    The single branch point that keeps untraced process runs at zero
+    telemetry cost: an absent context returns the shared no-op session,
+    whose ``telemetry`` stays ``None``.
+    """
+    if context is None:
+        return NOOP_TELEMETRY_SESSION
+    return WorkerTelemetrySession(context, metrics=metrics)
+
+
+def merge_worker_telemetry(
+    telemetry, metrics, events: EventLog | None = None
+) -> bool:
+    """Graft a worker's telemetry into the parent context.
+
+    Returns ``True`` when the worker's span subtree landed under the
+    parent's current span (so the caller must not open its own stub
+    span for the task), ``False`` when there was nothing to merge or
+    the blob was malformed.  Malformed telemetry — a crashed worker's
+    torn blob, a foreign object, garbage span documents — is counted on
+    ``worker_telemetry_dropped`` and dropped whole: the parent trace is
+    never left with a partially-grafted subtree.
+    """
+    if telemetry is None:
+        return False
+    try:
+        # Decode and fold the side channels BEFORE mutating the parent
+        # trace: a torn blob must fail here, leaving the tree untouched.
+        grafted = [
+            span_from_dict(doc) for doc in (telemetry.spans or ())
+        ]
+        if telemetry.metrics is not None:
+            metrics.merge_snapshot(telemetry.metrics)
+        if events is not None and telemetry.events:
+            events.absorb(telemetry.events)
+        if telemetry.resources:
+            publish_worker_resources(metrics, telemetry.resources)
+        parent = tracing.current_span()
+        merged_spans = False
+        if parent is not None and parent.is_recording and grafted:
+            for root in grafted:
+                root.parent_id = parent.span_id
+                for node in root.walk():
+                    node.trace_id = parent.trace_id
+                parent.add_child(root)
+            merged_spans = True
+        metrics.increment("worker_telemetry_merged")
+        return merged_spans
+    except Exception:  # noqa: BLE001 - a bad blob must never hurt the parent
+        try:
+            metrics.increment("worker_telemetry_dropped")
+        except Exception:  # noqa: BLE001 - even counting is best-effort
+            pass
+        return False

@@ -178,10 +178,31 @@ def prometheus_text(
     """
     lines: list[str] = []
 
-    for name in sorted(snapshot.counters):
+    # Counter families: the unlabelled counter and any labelled series
+    # of the same name share one TYPE declaration.
+    counter_families: dict[str, list[tuple[dict, float]]] = {}
+    for name in snapshot.counters:
+        counter_families.setdefault(name, []).append(
+            ({}, snapshot.counters[name])
+        )
+    for name, labels, value in getattr(snapshot, "counter_series", ()):
+        counter_families.setdefault(name, []).append((dict(labels), value))
+    for name in sorted(counter_families):
         metric = f"{prefix}_{sanitize_metric_name(name)}_total"
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {snapshot.counters[name]}")
+        for labels, value in counter_families[name]:
+            lines.append(f"{metric}{format_labels(labels)} {value}")
+
+    gauge_families: dict[str, list[tuple[dict, float]]] = {}
+    for name, labels, value in getattr(snapshot, "gauges", ()):
+        gauge_families.setdefault(name, []).append((dict(labels), value))
+    for name in sorted(gauge_families):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in gauge_families[name]:
+            lines.append(
+                f"{metric}{format_labels(labels)} {_format_value(value)}"
+            )
 
     if snapshot.stages:
         work = f"{prefix}_stage_work_seconds"

@@ -161,6 +161,37 @@ class Histogram:
             if value > self._max:
                 self._max = value
 
+    def merge(self, snapshot: HistogramSnapshot) -> None:
+        """Fold a snapshot of another histogram into this one.
+
+        The cross-process aggregation primitive: a worker ships its
+        histogram snapshots home inside a ``WorkerTelemetry`` blob and
+        the parent merges them bucket-wise.  Only snapshots with
+        identical bounds merge — fixed log-scale buckets make that the
+        common case by construction.
+        """
+        if tuple(snapshot.bounds) != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {snapshot.name!r}: bucket bounds "
+                "differ from this histogram's"
+            )
+        if len(snapshot.counts) != len(self._counts):
+            raise ValueError(
+                f"cannot merge histogram {snapshot.name!r}: bucket count "
+                f"mismatch ({len(snapshot.counts)} != {len(self._counts)})"
+            )
+        if snapshot.count == 0:
+            return
+        with self._lock:
+            for index, bucket_count in enumerate(snapshot.counts):
+                self._counts[index] += bucket_count
+            self._count += snapshot.count
+            self._sum += snapshot.sum
+            if snapshot.min < self._min:
+                self._min = snapshot.min
+            if snapshot.max > self._max:
+                self._max = snapshot.max
+
     def snapshot(self) -> HistogramSnapshot:
         with self._lock:
             return HistogramSnapshot(

@@ -1,0 +1,156 @@
+"""Process resource telemetry: RSS, CPU time, GC activity, spool I/O.
+
+The fleet-observability complement to tracing and histograms: spans say
+*where* time went, histograms say *how it distributes*, and this module
+says *what it cost the machine* — per process, which matters once the
+process backend fans assessment work out across workers.  Everything
+here is stdlib-only: :func:`os.times` for CPU seconds,
+:mod:`resource` (``getrusage``) for peak RSS, :mod:`gc` for collection
+counts, and the scenario spool's byte accounting for I/O volume.
+
+Two consumers:
+
+* each worker samples itself once at the end of a telemetry session and
+  ships the document home inside its ``WorkerTelemetry`` blob — the
+  parent republishes the numbers as ``worker_*`` gauges keyed by
+  ``pid``,
+* the service's :class:`ResourceSampler` samples the *parent* process on
+  demand (every ``/metrics`` / ``/healthz`` scrape) into ``process_*``
+  gauges on the shared :class:`~repro.runtime.RuntimeMetrics`.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX host
+    _resource = None
+
+import sys
+
+
+def _rss_bytes() -> int:
+    """Peak resident set size in bytes (0 when unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS — normalise
+    to bytes so dashboards read one unit.
+    """
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def sample_resources() -> dict:
+    """One point-in-time resource document for the calling process.
+
+    Keys are stable and flat (every value numeric except ``pid``-as-int)
+    so the document can be shipped across a process boundary and turned
+    into labelled gauges verbatim.
+    """
+    times = os.times()
+    counts = gc.get_count()
+    collections = [0, 0, 0]
+    for generation, stats in enumerate(gc.get_stats()):
+        if generation < 3:
+            collections[generation] = int(stats.get("collections", 0))
+    from ..runtime.spool import spool_stats
+
+    spool = spool_stats()
+    return {
+        "pid": os.getpid(),
+        "rss_bytes": _rss_bytes(),
+        "cpu_user_seconds": times.user,
+        "cpu_system_seconds": times.system,
+        "cpu_seconds": times.user + times.system,
+        "gc_gen0_objects": counts[0],
+        "gc_gen1_objects": counts[1],
+        "gc_gen2_objects": counts[2],
+        "gc_gen0_collections": collections[0],
+        "gc_gen1_collections": collections[1],
+        "gc_gen2_collections": collections[2],
+        "spool_reads": spool["reads"],
+        "spool_writes": spool["writes"],
+        "spool_bytes_read": spool["bytes_read"],
+        "spool_bytes_written": spool["bytes_written"],
+    }
+
+
+#: Resource-document keys republished as gauges (``pid`` is a label,
+#: never a gauge).
+GAUGE_KEYS = (
+    "rss_bytes",
+    "cpu_user_seconds",
+    "cpu_system_seconds",
+    "cpu_seconds",
+    "gc_gen0_collections",
+    "gc_gen1_collections",
+    "gc_gen2_collections",
+    "spool_reads",
+    "spool_writes",
+    "spool_bytes_read",
+    "spool_bytes_written",
+)
+
+
+def publish_worker_resources(metrics, resources: dict) -> None:
+    """Republish a worker's resource document as ``worker_*`` gauges.
+
+    Gauges are keyed by the worker's ``pid`` label so a pool of workers
+    shows up as one gauge family with per-process series.
+    """
+    pid = str(resources.get("pid", ""))
+    for key in GAUGE_KEYS:
+        value = resources.get(key)
+        if isinstance(value, (int, float)):
+            metrics.set_gauge(f"worker_{key}", float(value), pid=pid)
+
+
+class ResourceSampler:
+    """Samples the calling process into ``<prefix>_*`` gauges on demand.
+
+    The service calls :meth:`sample` from its ``/metrics``, ``/healthz``
+    and ``/slo`` handlers — scrape-driven sampling, no background thread
+    to leak.  Returns the raw document so handlers can embed a summary.
+    """
+
+    def __init__(self, metrics, *, prefix: str = "process") -> None:
+        self.metrics = metrics
+        self.prefix = prefix
+        self.samples_taken = 0
+
+    def sample(self) -> dict:
+        doc = sample_resources()
+        for key in GAUGE_KEYS:
+            value = doc.get(key)
+            if isinstance(value, (int, float)):
+                self.metrics.set_gauge(f"{self.prefix}_{key}", float(value))
+        self.samples_taken += 1
+        return doc
+
+    def summary(self) -> dict:
+        """The compact rendering ``/healthz`` embeds."""
+        doc = self.sample()
+        return {
+            "pid": doc["pid"],
+            "rss_bytes": doc["rss_bytes"],
+            "cpu_seconds": round(doc["cpu_seconds"], 3),
+            "gc_collections": (
+                doc["gc_gen0_collections"]
+                + doc["gc_gen1_collections"]
+                + doc["gc_gen2_collections"]
+            ),
+            "spool_bytes_read": doc["spool_bytes_read"],
+            "spool_bytes_written": doc["spool_bytes_written"],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourceSampler(prefix={self.prefix!r}, "
+            f"samples={self.samples_taken})"
+        )

@@ -1,0 +1,348 @@
+"""Declarative SLOs with rolling multi-window burn-rate evaluation.
+
+Point metrics ("12 jobs failed") cannot answer the operator's question
+— *are we failing fast enough to exhaust the error budget before anyone
+looks?*  This module implements the standard multi-window burn-rate
+construction: each :class:`SLOSpec` declares an objective (e.g.
+availability 99.9% → error budget 0.1%); job outcomes land in a
+bucketed rolling window; evaluation computes the **burn rate** (error
+rate ÷ error budget) over a *fast* window (~5 min, catches cliffs) and
+a *slow* window (~1 h, filters blips).  A burn rate of 1.0 spends the
+budget exactly at the sustainable pace; 14.4 on both windows — the
+classic paging threshold — exhausts a 30-day budget in ~2 days.
+
+States per SLO:
+
+* ``ok`` — both windows under the warning threshold,
+* ``warning`` — both windows at/over ``warn_burn`` (default 3.0): the
+  budget is burning faster than sustainable; the service's health state
+  becomes ``slo-warning``,
+* ``critical`` — both windows at/over ``critical_burn`` (default 14.4):
+  the service reports itself ``degraded``.
+
+Requiring *both* windows keeps the signal honest: the fast window alone
+would page on one bad minute, the slow window alone would page an hour
+late.  The clock is injectable so window arithmetic is testable in
+virtual time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from collections.abc import Callable
+
+#: Default window spans, seconds (fast catches cliffs, slow filters blips).
+DEFAULT_FAST_WINDOW = 300.0
+DEFAULT_SLOW_WINDOW = 3600.0
+
+#: Default burn-rate thresholds (multiples of the sustainable pace).
+WARN_BURN_RATE = 3.0
+CRITICAL_BURN_RATE = 14.4
+
+#: Default latency threshold of the job-latency SLO, seconds.
+DEFAULT_LATENCY_THRESHOLD = 30.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over a good/bad event stream."""
+
+    name: str
+    objective: float
+    description: str = ""
+    #: Only the latency SLO sets this: a job counts "good" when it
+    #: finishes within the threshold.
+    latency_threshold_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerable error fraction (1 - objective)."""
+        return 1.0 - self.objective
+
+    def to_dict(self) -> dict:
+        doc = {
+            "name": self.name,
+            "objective": self.objective,
+            "error_budget": self.error_budget,
+            "description": self.description,
+        }
+        if self.latency_threshold_seconds is not None:
+            doc["latency_threshold_seconds"] = self.latency_threshold_seconds
+        return doc
+
+
+def default_slos(
+    latency_threshold_seconds: float = DEFAULT_LATENCY_THRESHOLD,
+) -> tuple[SLOSpec, ...]:
+    """The assessment service's stock objectives.
+
+    * **availability** — 99.9% of jobs settle without failing,
+    * **job_latency** — 99% of successful jobs finish within the
+      threshold (the p99 latency objective, expressed as a ratio SLI),
+    * **degradation** — 99% of successful jobs produce complete results
+      (no detector degraded into the ``degradations`` list).
+    """
+    return (
+        SLOSpec(
+            "availability",
+            0.999,
+            "jobs settle successfully (no failure, no timeout)",
+        ),
+        SLOSpec(
+            "job_latency",
+            0.99,
+            f"jobs finish within {latency_threshold_seconds:g}s",
+            latency_threshold_seconds=latency_threshold_seconds,
+        ),
+        SLOSpec(
+            "degradation",
+            0.99,
+            "results are complete (no degraded detector modules)",
+        ),
+    )
+
+
+class RollingCounter:
+    """Good/bad event counts over a bucketed rolling horizon.
+
+    O(1) record, O(buckets) query; bucket granularity bounds the error
+    of windowed totals at one ``bucket_seconds``.
+    """
+
+    def __init__(
+        self,
+        horizon_seconds: float,
+        bucket_seconds: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if bucket_seconds <= 0 or horizon_seconds < bucket_seconds:
+            raise ValueError(
+                "horizon must be at least one positive bucket"
+            )
+        self.bucket_seconds = bucket_seconds
+        self.horizon_seconds = horizon_seconds
+        self.clock = clock
+        #: (bucket_index, good, bad) triples, oldest first.
+        self._buckets: deque[list] = deque()
+        self.total_good = 0
+        self.total_bad = 0
+
+    def _bucket_index(self) -> int:
+        return int(self.clock() / self.bucket_seconds)
+
+    def _prune(self, current_index: int) -> None:
+        horizon_buckets = int(self.horizon_seconds / self.bucket_seconds)
+        while self._buckets and self._buckets[0][0] < current_index - horizon_buckets:
+            self._buckets.popleft()
+
+    def record(self, good: bool, count: int = 1) -> None:
+        index = self._bucket_index()
+        self._prune(index)
+        if not self._buckets or self._buckets[-1][0] != index:
+            self._buckets.append([index, 0, 0])
+        bucket = self._buckets[-1]
+        if good:
+            bucket[1] += count
+            self.total_good += count
+        else:
+            bucket[2] += count
+            self.total_bad += count
+
+    def totals(self, window_seconds: float) -> tuple[int, int]:
+        """``(good, bad)`` over the trailing window."""
+        index = self._bucket_index()
+        self._prune(index)
+        window_buckets = int(window_seconds / self.bucket_seconds)
+        floor = index - window_buckets
+        good = bad = 0
+        for bucket_index, bucket_good, bucket_bad in self._buckets:
+            if bucket_index > floor:
+                good += bucket_good
+                bad += bucket_bad
+        return good, bad
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOStatus:
+    """One SLO's evaluated state at a point in time."""
+
+    spec: SLOSpec
+    state: str  # "ok" | "warning" | "critical"
+    fast: dict
+    slow: dict
+    total_good: int
+    total_bad: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def to_dict(self) -> dict:
+        return {
+            **self.spec.to_dict(),
+            "state": self.state,
+            "windows": {"fast": dict(self.fast), "slow": dict(self.slow)},
+            "totals": {
+                "good": self.total_good,
+                "bad": self.total_bad,
+                "events": self.total_good + self.total_bad,
+            },
+        }
+
+
+class SLOMonitor:
+    """Rolling good/bad streams per SLO, evaluated to burn rates.
+
+    Thread-compatible with the scheduler's usage: ``record_job`` is
+    called under the scheduler lock; ``evaluate`` copies nothing that
+    mutates concurrently in a way that matters (bucket triples are
+    appended/pruned atomically enough for monitoring data).
+    """
+
+    def __init__(
+        self,
+        slos: tuple[SLOSpec, ...] | list[SLOSpec] | None = None,
+        *,
+        fast_window: float = DEFAULT_FAST_WINDOW,
+        slow_window: float = DEFAULT_SLOW_WINDOW,
+        bucket_seconds: float = 10.0,
+        warn_burn: float = WARN_BURN_RATE,
+        critical_burn: float = CRITICAL_BURN_RATE,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.slos = tuple(slos) if slos is not None else default_slos()
+        if len({spec.name for spec in self.slos}) != len(self.slos):
+            raise ValueError("SLO names must be unique")
+        self.fast_window = fast_window
+        self.slow_window = slow_window
+        self.warn_burn = warn_burn
+        self.critical_burn = critical_burn
+        horizon = max(fast_window, slow_window)
+        self._counters = {
+            spec.name: RollingCounter(
+                horizon, bucket_seconds=bucket_seconds, clock=clock
+            )
+            for spec in self.slos
+        }
+
+    def spec(self, name: str) -> SLOSpec:
+        for candidate in self.slos:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"unknown SLO {name!r}")
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, name: str, good: bool, count: int = 1) -> None:
+        """Record ``count`` good/bad events against one SLO's stream."""
+        counter = self._counters.get(name)
+        if counter is not None:
+            counter.record(good, count)
+
+    def record_job(
+        self,
+        *,
+        ok: bool,
+        duration_seconds: float | None = None,
+        degraded: bool = False,
+    ) -> None:
+        """Record one settled job against every applicable SLO.
+
+        A failed/timed-out job is bad for availability; latency and
+        degradation only judge *successful* jobs (a failure should not
+        double-dip into every budget).
+        """
+        self.record("availability", ok)
+        if not ok:
+            return
+        latency_spec = next(
+            (
+                spec
+                for spec in self.slos
+                if spec.latency_threshold_seconds is not None
+            ),
+            None,
+        )
+        if latency_spec is not None and duration_seconds is not None:
+            self.record(
+                latency_spec.name,
+                duration_seconds <= latency_spec.latency_threshold_seconds,
+            )
+        self.record("degradation", not degraded)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _window_doc(
+        self, spec: SLOSpec, counter: RollingCounter, window_seconds: float
+    ) -> dict:
+        good, bad = counter.totals(window_seconds)
+        events = good + bad
+        error_rate = bad / events if events else 0.0
+        return {
+            "window_seconds": window_seconds,
+            "events": events,
+            "bad": bad,
+            "error_rate": error_rate,
+            "burn_rate": error_rate / spec.error_budget,
+        }
+
+    def evaluate(self) -> list[SLOStatus]:
+        """Every SLO's burn rates + state, in declaration order."""
+        statuses = []
+        for spec in self.slos:
+            counter = self._counters[spec.name]
+            fast = self._window_doc(spec, counter, self.fast_window)
+            slow = self._window_doc(spec, counter, self.slow_window)
+            if (
+                fast["burn_rate"] >= self.critical_burn
+                and slow["burn_rate"] >= self.critical_burn
+            ):
+                state = "critical"
+            elif (
+                fast["burn_rate"] >= self.warn_burn
+                and slow["burn_rate"] >= self.warn_burn
+            ):
+                state = "warning"
+            else:
+                state = "ok"
+            statuses.append(
+                SLOStatus(
+                    spec=spec,
+                    state=state,
+                    fast=fast,
+                    slow=slow,
+                    total_good=counter.total_good,
+                    total_bad=counter.total_bad,
+                )
+            )
+        return statuses
+
+    def worst_state(self) -> str:
+        order = {"ok": 0, "warning": 1, "critical": 2}
+        worst = "ok"
+        for status in self.evaluate():
+            if order[status.state] > order[worst]:
+                worst = status.state
+        return worst
+
+    def to_dict(self) -> dict:
+        """The full ``GET /slo`` document body."""
+        return {
+            "fast_window_seconds": self.fast_window,
+            "slow_window_seconds": self.slow_window,
+            "warn_burn_rate": self.warn_burn,
+            "critical_burn_rate": self.critical_burn,
+            "slos": [status.to_dict() for status in self.evaluate()],
+        }
+
+    def __repr__(self) -> str:
+        names = ",".join(spec.name for spec in self.slos)
+        return f"SLOMonitor([{names}], fast={self.fast_window:g}s, slow={self.slow_window:g}s)"

@@ -226,6 +226,23 @@ class Tracer:
         )
 
 
+@contextmanager
+def detached_span_scope() -> Iterator[None]:
+    """Detach from any inherited current span for the ``with`` block.
+
+    Forked process-pool workers inherit the parent's contextvars as of
+    fork time — including a then-open span.  A worker must not attach
+    its spans to that stale copy (they would never register as roots of
+    its own tracer); telemetry sessions open this scope so worker spans
+    start a fresh subtree.
+    """
+    token = _CURRENT_SPAN.set(None)
+    try:
+        yield
+    finally:
+        _CURRENT_SPAN.reset(token)
+
+
 def span(name: str, **attributes):
     """Open a child span of the current one on the active tracer.
 
@@ -243,6 +260,11 @@ def span(name: str, **attributes):
 def current_span() -> Span | None:
     """The innermost open span of the calling context, if tracing is on."""
     return _CURRENT_SPAN.get()
+
+
+def active_tracer() -> Tracer | None:
+    """The tracer activated in the calling context, if any."""
+    return _ACTIVE_TRACER.get()
 
 
 def is_tracing() -> bool:

@@ -1,22 +1,27 @@
-"""The service health state machine: healthy / degraded / draining.
+"""The service health state machine: healthy / slo-warning / degraded /
+draining.
 
 ``/healthz`` needs more nuance than alive-or-dead: a service whose
 circuit breaker is open, whose report store has quarantined entries, or
 whose watchdog found stuck workers is *up* but *degraded* — load
 balancers should prefer other replicas without killing this one.  A
-service that has begun graceful shutdown is *draining* — it finishes
-running jobs but accepts nothing new.
+service whose SLO error budget is burning faster than sustainable (but
+not yet critically) is in *slo-warning* — still routable, but operators
+should look.  A service that has begun graceful shutdown is *draining*
+— it finishes running jobs but accepts nothing new.
 
 State machine::
 
-    HEALTHY <──────> DEGRADED          (reasons flagged / cleared)
-       │                │
-       └──> DRAINING <──┘              (terminal: shutdown has begun)
+    HEALTHY <──> SLO-WARNING <──> DEGRADED    (warnings/reasons flagged)
+       │              │               │
+       └────────> DRAINING <──────────┘       (terminal: shutdown began)
 
-:class:`HealthMonitor` tracks a set of named *reasons*; the state is
-``degraded`` while any reason is flagged, and ``draining`` permanently
-once :meth:`start_draining` is called.  Reasons are part of the snapshot
-so operators see *why* a replica is degraded, not just that it is.
+:class:`HealthMonitor` tracks two named sets: *reasons* (hard
+degradation) and *warnings* (soft, advisory).  The derived state is
+``draining`` permanently once :meth:`start_draining` is called, else
+``degraded`` while any reason is flagged, else ``slo-warning`` while
+any warning is flagged, else ``healthy``.  Both sets are part of the
+snapshot so operators see *why*, not just *what*.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import threading
 
 class HealthState(enum.Enum):
     HEALTHY = "healthy"
+    SLO_WARNING = "slo-warning"
     DEGRADED = "degraded"
     DRAINING = "draining"
 
@@ -35,11 +41,12 @@ class HealthState(enum.Enum):
 
 
 class HealthMonitor:
-    """A thread-safe reason-set with a derived three-state health."""
+    """A thread-safe reason/warning-set with a derived health state."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._reasons: set[str] = set()
+        self._warnings: set[str] = set()
         self._draining = False
 
     def flag(self, reason: str) -> None:
@@ -58,37 +65,58 @@ class HealthMonitor:
         else:
             self.clear(reason)
 
+    def warn(self, warning: str) -> None:
+        """Mark an advisory warning active (idempotent)."""
+        with self._lock:
+            self._warnings.add(warning)
+
+    def clear_warning(self, warning: str) -> None:
+        """Retire an advisory warning (idempotent)."""
+        with self._lock:
+            self._warnings.discard(warning)
+
+    def set_warning(self, warning: str, active: bool) -> None:
+        if active:
+            self.warn(warning)
+        else:
+            self.clear_warning(warning)
+
     def start_draining(self) -> None:
         """Enter the terminal draining state (graceful shutdown began)."""
         with self._lock:
             self._draining = True
 
+    def _state_locked(self) -> HealthState:
+        if self._draining:
+            return HealthState.DRAINING
+        if self._reasons:
+            return HealthState.DEGRADED
+        if self._warnings:
+            return HealthState.SLO_WARNING
+        return HealthState.HEALTHY
+
     @property
     def state(self) -> HealthState:
         with self._lock:
-            if self._draining:
-                return HealthState.DRAINING
-            if self._reasons:
-                return HealthState.DEGRADED
-            return HealthState.HEALTHY
+            return self._state_locked()
 
     @property
     def reasons(self) -> list[str]:
         with self._lock:
             return sorted(self._reasons)
 
+    @property
+    def warnings(self) -> list[str]:
+        with self._lock:
+            return sorted(self._warnings)
+
     def snapshot(self) -> dict:
         with self._lock:
-            state = (
-                HealthState.DRAINING
-                if self._draining
-                else (
-                    HealthState.DEGRADED
-                    if self._reasons
-                    else HealthState.HEALTHY
-                )
-            )
-            return {"state": state.value, "reasons": sorted(self._reasons)}
+            return {
+                "state": self._state_locked().value,
+                "reasons": sorted(self._reasons),
+                "warnings": sorted(self._warnings),
+            }
 
     def __repr__(self) -> str:
         snapshot = self.snapshot()

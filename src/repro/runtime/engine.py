@@ -29,6 +29,7 @@ from collections.abc import Callable, Iterable, Sequence
 from contextlib import contextmanager
 
 from ..observability import tracing
+from ..observability.context import SpanContext, merge_worker_telemetry
 from ..resilience import DegradedResult, fault_point, format_exception
 from .cache import ProfileCache
 from .executor import Executor, make_executor
@@ -67,6 +68,10 @@ class Runtime:
         #: Scenario spool for the process backend; lazily created so the
         #: spool directory only materialises when processes are used.
         self._spool = spool
+        #: Event sink for worker telemetry + fallback records.  The
+        #: service scheduler injects its own log here; standalone runs
+        #: get one lazily only when ``$REPRO_EVENT_LOG`` asks for it.
+        self.events = None
 
     @property
     def backend(self) -> str:
@@ -77,7 +82,7 @@ class Runtime:
         if self._spool is None:
             from .spool import ScenarioSpool
 
-            self._spool = ScenarioSpool()
+            self._spool = ScenarioSpool(metrics=self.metrics)
         return self._spool
 
     def _process_eligible(self, task_count: int) -> bool:
@@ -233,25 +238,44 @@ class Runtime:
             )
             spool = self.spool()
             fingerprint = spool.put_scenario(scenario)
+            context = SpanContext.capture()
             tasks = [
-                (str(spool.directory), fingerprint, pickle.dumps(module))
+                (
+                    str(spool.directory),
+                    fingerprint,
+                    pickle.dumps(module),
+                    context,
+                )
                 for module in modules
             ]
             self.metrics.increment("tasks_submitted", by=len(tasks))
             outcomes = self.executor.run_tasks(workers.assess_module, tasks)
         except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
-            self._note_process_fallback(exc)
+            self._note_process_fallback(exc, stage="detectors")
             return None
         reports: dict = {}
         for module, outcome in zip(modules, outcomes):
-            status, payload, error_text, elapsed, cache_entries = outcome
+            status, payload, error_text, elapsed, cache_entries, telemetry = (
+                outcome
+            )
             for key, value in cache_entries:
                 self.cache.put_raw(key, value)
             self.metrics.observe(
                 "detector_seconds", elapsed, detector=module.name
             )
             self.metrics.increment("tasks_completed")
-            with tracing.span(f"detector:{module.name}") as span:
+            merged = merge_worker_telemetry(
+                telemetry, self.metrics, events=self._event_sink()
+            )
+            # The worker's own detector span landed in the tree when its
+            # telemetry merged; only open a stub here when it did not
+            # (untraced runs, or a dropped blob).
+            handle = (
+                tracing.NOOP_SPAN
+                if merged
+                else tracing.span(f"detector:{module.name}", backend="process")
+            )
+            with handle as span:
                 if status == workers.OK:
                     reports[module.name] = payload
                     continue
@@ -357,6 +381,7 @@ class Runtime:
             )
             spool = self.spool()
             fingerprint = spool.put_database(database)
+            context = SpanContext.capture()
             keyed = {pair: column_key(pair) for pair in pairs}
             missing = [
                 pair
@@ -370,18 +395,22 @@ class Runtime:
                     pair[0],
                     pair[1],
                     keyed[pair][1].value,
+                    context,
                 )
                 for pair in missing
             ]
             self.metrics.increment("tasks_submitted", by=len(tasks))
             outcomes = self.executor.run_tasks(workers.profile_column, tasks)
         except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
-            self._note_process_fallback(exc)
+            self._note_process_fallback(exc, stage="profile")
             return None
-        for pair, (profile, elapsed) in zip(missing, outcomes):
+        for pair, (profile, elapsed, telemetry) in zip(missing, outcomes):
             self.metrics.record_stage("profile", elapsed)
             self.metrics.increment("tasks_completed")
             self.cache.put(database, keyed[pair][0], profile)
+            merge_worker_telemetry(
+                telemetry, self.metrics, events=self._event_sink()
+            )
         return [self.cache.peek(database, keyed[pair][0]) for pair in pairs]
 
     def discover_uccs(self, database, max_arity: int = 2):
@@ -488,8 +517,15 @@ class Runtime:
             )
             spool = self.spool()
             fingerprint = spool.put_database(database)
+            context = SpanContext.capture()
             tasks = [
-                (str(spool.directory), fingerprint, relation.name, *extra)
+                (
+                    str(spool.directory),
+                    fingerprint,
+                    relation.name,
+                    *extra,
+                    context,
+                )
                 for relation in relations
             ]
             self.metrics.increment("tasks_submitted", by=len(tasks))
@@ -497,19 +533,72 @@ class Runtime:
                 getattr(workers, worker_name), tasks
             )
         except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
-            self._note_process_fallback(exc)
+            self._note_process_fallback(exc, stage=stage)
             return None
         chunks = []
-        for chunk, elapsed in outcomes:
+        for chunk, elapsed, telemetry in outcomes:
             self.metrics.record_stage("dependencies", elapsed)
             self.metrics.increment("tasks_completed")
+            merge_worker_telemetry(
+                telemetry, self.metrics, events=self._event_sink()
+            )
             chunks.append(chunk)
         return chunks
 
-    def _note_process_fallback(self, exc: Exception) -> None:
-        self.metrics.increment("process_fallbacks")
+    def _event_sink(self):
+        """The event log that worker events and fallback records land in.
+
+        The service scheduler shares its log via ``runtime.events``;
+        standalone runs get a log lazily only when ``$REPRO_EVENT_LOG``
+        names a sink, so plain library use allocates nothing.
+        """
+        if self.events is None:
+            from ..observability.events import EVENT_LOG_ENV_VAR, EventLog
+
+            sink_path = os.environ.get(EVENT_LOG_ENV_VAR)
+            if sink_path:
+                self.events = EventLog(path=sink_path)
+        return self.events
+
+    @staticmethod
+    def _fallback_reason(exc: Exception) -> str:
+        """Classify why the process backend bailed, for the metric label.
+
+        Order matters: :class:`~repro.resilience.faults.FaultError` and
+        :class:`~repro.runtime.spool.SpoolError` are both ``OSError``
+        subclasses, and injected faults must not masquerade as spool IO.
+        """
+        import pickle
+        from concurrent.futures.process import BrokenProcessPool
+
+        from ..resilience.faults import FaultError
+        from .spool import SpoolError
+
+        if isinstance(exc, FaultError):
+            return "fault"
+        if isinstance(exc, BrokenProcessPool):
+            return "broken_pool"
+        if isinstance(exc, SpoolError):
+            return "spool_io"
+        if isinstance(
+            exc, (pickle.PicklingError, pickle.UnpicklingError, AttributeError)
+        ):
+            return "codec"
+        return "other"
+
+    def _note_process_fallback(
+        self, exc: Exception, stage: str = "unknown"
+    ) -> None:
+        reason = self._fallback_reason(exc)
+        error = f"{type(exc).__name__}: {exc}"
+        self.metrics.increment("process_fallbacks", reason=reason)
+        events = self._event_sink()
+        if events is not None:
+            events.emit(
+                "process.fallback", stage=stage, reason=reason, error=error
+            )
         with tracing.span(
-            "process.fallback", error=f"{type(exc).__name__}: {exc}"
+            "process.fallback", stage=stage, reason=reason, error=error
         ):
             pass
 

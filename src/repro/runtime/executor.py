@@ -192,6 +192,23 @@ class ProcessExecutor(Executor):
         self.max_workers = max_workers or auto_worker_count()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._dispatches = 0
+        self._pooled_tasks = 0
+        self._inline_tasks = 0
+        self._peak_inflight = 0
+
+    def stats(self) -> dict:
+        """Pool utilization counters for the resource-telemetry gauges."""
+        with self._stats_lock:
+            return {
+                "max_workers": self.max_workers,
+                "dispatches": self._dispatches,
+                "pooled_tasks": self._pooled_tasks,
+                "inline_tasks": self._inline_tasks,
+                "peak_inflight": self._peak_inflight,
+                "pool_live": self._pool is not None,
+            }
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
@@ -224,8 +241,14 @@ class ProcessExecutor(Executor):
             or self.max_workers == 1
             or _in_process_worker
         ):
+            with self._stats_lock:
+                self._inline_tasks += len(payloads)
             return [function(payload) for payload in payloads]
         pool = self._ensure_pool()
+        with self._stats_lock:
+            self._dispatches += 1
+            self._pooled_tasks += len(payloads)
+            self._peak_inflight = max(self._peak_inflight, len(payloads))
         try:
             futures: Sequence[Future] = [
                 pool.submit(function, payload) for payload in payloads

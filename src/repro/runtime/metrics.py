@@ -48,21 +48,53 @@ class StageTiming:
         return self.seconds / self.calls if self.calls else 0.0
 
 
+#: Canonical key shape for one labelled metric series.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
 @dataclasses.dataclass(frozen=True)
 class MetricsSnapshot:
     """An immutable copy of the metrics at one point in time.
 
     ``timestamp`` (unix seconds) lets two scrapes of the service's
-    ``/metrics`` endpoint be diffed into rates.
+    ``/metrics`` endpoint be diffed into rates.  ``counters`` holds the
+    unlabelled counters; labelled series (``process_fallbacks`` by
+    ``reason``, worker gauges by ``pid``) live in ``counter_series`` and
+    ``gauges`` as ``(name, labels, value)`` triples.
     """
 
     counters: dict[str, int]
     stages: dict[str, StageTiming]
     histograms: tuple[HistogramSnapshot, ...] = ()
     timestamp: float = 0.0
+    counter_series: tuple[tuple[str, LabelSet, int], ...] = ()
+    gauges: tuple[tuple[str, LabelSet, float], ...] = ()
 
-    def counter(self, name: str) -> int:
-        return self.counters.get(name, 0)
+    def counter(self, name: str, **labels) -> int:
+        """The counter's value: one labelled series, or — with no labels
+        given — the sum over the unlabelled counter and every series."""
+        if labels:
+            wanted = _label_key(labels)
+            for series_name, series_labels, value in self.counter_series:
+                if series_name == name and series_labels == wanted:
+                    return value
+            return 0
+        total = self.counters.get(name, 0)
+        for series_name, _, value in self.counter_series:
+            if series_name == name:
+                total += value
+        return total
+
+    def gauge(self, name: str, **labels) -> float | None:
+        wanted = _label_key(labels)
+        for gauge_name, gauge_labels, value in self.gauges:
+            if gauge_name == name and gauge_labels == wanted:
+                return value
+        return None
 
     def histogram(self, name: str, **labels) -> HistogramSnapshot | None:
         """The snapshot of one histogram series, if it was recorded."""
@@ -77,6 +109,14 @@ class MetricsSnapshot:
         return {
             "timestamp": self.timestamp,
             "counters": dict(self.counters),
+            "counter_series": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for name, labels, value in self.counter_series
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for name, labels, value in self.gauges
+            ],
             "stages": {
                 name: {
                     "calls": timing.calls,
@@ -99,6 +139,8 @@ class RuntimeMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._counter_series: dict[tuple[str, LabelSet], int] = {}
+        self._gauges: dict[tuple[str, LabelSet], float] = {}
         self._stages: dict[str, StageTiming] = {}
         #: Wall-clock bookkeeping per stage: [active_calls, entered_perf].
         self._stage_active: dict[str, list] = {}
@@ -106,13 +148,42 @@ class RuntimeMetrics:
 
     # -- counters --------------------------------------------------------
 
-    def increment(self, name: str, by: int = 1) -> None:
+    def increment(self, name: str, by: int = 1, **labels) -> None:
+        """Bump a counter; labels select a series within the family
+        (``increment("process_fallbacks", reason="spool_io")``)."""
+        if labels:
+            key = (name, _label_key(labels))
+            with self._lock:
+                self._counter_series[key] = (
+                    self._counter_series.get(key, 0) + by
+                )
+            return
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + by
 
-    def counter(self, name: str) -> int:
+    def counter(self, name: str, **labels) -> int:
+        """One labelled series, or — without labels — the family total
+        (unlabelled counter plus every labelled series)."""
         with self._lock:
-            return self._counters.get(name, 0)
+            if labels:
+                return self._counter_series.get((name, _label_key(labels)), 0)
+            total = self._counters.get(name, 0)
+            for (series_name, _), value in self._counter_series.items():
+                if series_name == name:
+                    total += value
+            return total
+
+    # -- gauges -----------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set a point-in-time gauge (worker RSS, pool utilisation, SLO
+        burn rate); last write wins."""
+        with self._lock:
+            self._gauges[(name, _label_key(labels))] = float(value)
+
+    def gauge(self, name: str, **labels) -> float | None:
+        with self._lock:
+            return self._gauges.get((name, _label_key(labels)))
 
     # -- cache accounting -------------------------------------------------
 
@@ -196,7 +267,12 @@ class RuntimeMetrics:
 
     def is_empty(self) -> bool:
         with self._lock:
-            return not self._counters and not self._stages
+            return (
+                not self._counters
+                and not self._counter_series
+                and not self._stages
+                and not self._histograms
+            )
 
     def snapshot(self) -> MetricsSnapshot:
         with self._lock:
@@ -211,11 +287,67 @@ class RuntimeMetrics:
                     histogram.snapshot() for histogram in histograms
                 ),
                 timestamp=time.time(),
+                counter_series=tuple(
+                    (name, labels, value)
+                    for (name, labels), value in sorted(
+                        self._counter_series.items()
+                    )
+                ),
+                gauges=tuple(
+                    (name, labels, value)
+                    for (name, labels), value in sorted(self._gauges.items())
+                ),
             )
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold another instance's snapshot into this one.
+
+        The parent-side half of cross-process telemetry: a worker ships a
+        :class:`MetricsSnapshot` of its process-local metrics and the
+        parent adds counters, accumulates stage timings (work sums and
+        call counts add; ``max_seconds`` takes the max — ``wall_seconds``
+        also adds, so it reads as per-process elapsed, not fleet
+        latency), and merges histograms bucket-wise.  Gauges are *not*
+        merged — they are point-in-time and per-process; worker resource
+        gauges are published separately under a ``pid`` label.
+        """
+        for name, value in snapshot.counters.items():
+            if value:
+                self.increment(name, by=value)
+        for name, labels, value in snapshot.counter_series:
+            if value:
+                key = (name, labels)
+                with self._lock:
+                    self._counter_series[key] = (
+                        self._counter_series.get(key, 0) + value
+                    )
+        for name, timing in snapshot.stages.items():
+            with self._lock:
+                mine = self._stages.get(name)
+                if mine is None:
+                    mine = self._stages[name] = StageTiming()
+                mine.calls += timing.calls
+                mine.seconds += timing.seconds
+                mine.wall_seconds += timing.wall_seconds
+                if timing.max_seconds > mine.max_seconds:
+                    mine.max_seconds = timing.max_seconds
+        for histogram_snapshot in snapshot.histograms:
+            key = (histogram_snapshot.name, histogram_snapshot.labels)
+            with self._lock:
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = Histogram(
+                        histogram_snapshot.name,
+                        labels=histogram_snapshot.labels,
+                        bounds=histogram_snapshot.bounds,
+                    )
+            histogram.merge(histogram_snapshot)
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._counter_series.clear()
+            self._gauges.clear()
             self._stages.clear()
             self._stage_active.clear()
             self._histograms.clear()
@@ -234,6 +366,11 @@ class RuntimeMetrics:
                 lines.append(
                     f"    {'cache_hit_rate':24s} {hits / (hits + misses):.1%}"
                 )
+        if snapshot.counter_series:
+            lines.append("  labelled counters:")
+            for name, labels, value in snapshot.counter_series:
+                rendered = ",".join(f"{k}={v}" for k, v in labels)
+                lines.append(f"    {name}{{{rendered}}} {value}")
         if snapshot.stages:
             lines.append("  stages (work | wall latency | worst call):")
             for name in sorted(snapshot.stages):

@@ -56,6 +56,35 @@ _memo_lock = threading.Lock()
 
 _tmp_counter = itertools.count()
 
+#: Process-local spool I/O accounting — bytes and operations, summed
+#: over every :class:`ScenarioSpool` instance.  Workers report these in
+#: their resource telemetry; the parent republishes them as gauges.
+_stats_lock = threading.Lock()
+_stats = {"reads": 0, "writes": 0, "bytes_read": 0, "bytes_written": 0}
+
+
+def spool_stats() -> dict:
+    """A copy of this process's cumulative spool I/O counters."""
+    with _stats_lock:
+        return dict(_stats)
+
+
+def reset_spool_stats() -> None:
+    """Zero the process-local spool counters (test isolation)."""
+    with _stats_lock:
+        for key in _stats:
+            _stats[key] = 0
+
+
+def _account(operation: str, byte_count: int, metrics=None) -> None:
+    bytes_key = "bytes_written" if operation == "write" else "bytes_read"
+    with _stats_lock:
+        _stats[f"{operation}s"] += 1
+        _stats[bytes_key] += byte_count
+    if metrics is not None:
+        metrics.increment(f"spool_{operation}s")
+        metrics.increment(f"spool_{bytes_key}", by=byte_count)
+
 
 class SpoolError(OSError):
     """Base class of spool failures."""
@@ -92,9 +121,14 @@ def _write_atomic(path: Path, text: str) -> None:
 class ScenarioSpool:
     """Content-addressed scenario/database storage shared with workers."""
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    def __init__(
+        self, directory: str | Path | None = None, metrics=None
+    ) -> None:
         self.directory = Path(directory or default_spool_directory())
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Optional RuntimeMetrics mirroring the process-local I/O
+        #: counters onto the owning runtime's counter set.
+        self.metrics = metrics
 
     # -- paths -------------------------------------------------------------
 
@@ -119,10 +153,12 @@ class ScenarioSpool:
         payload = corrupt_text(
             "spool.write", payload, kind=kind, fingerprint=fingerprint
         )
+        text = f"{checksum}\n{payload}"
         try:
-            _write_atomic(path, f"{checksum}\n{payload}")
+            _write_atomic(path, text)
         except OSError as exc:
             raise SpoolError(f"cannot write spool entry {path}: {exc}") from exc
+        _account("write", len(text), self.metrics)
 
     def put_scenario(self, scenario, *, force: bool = False) -> str:
         """Spool a scenario; returns its content fingerprint (the task key)."""
@@ -153,6 +189,7 @@ class ScenarioSpool:
             ) from None
         except OSError as exc:
             raise SpoolError(f"cannot read spool entry {path}: {exc}") from exc
+        _account("read", len(raw), self.metrics)
         newline = raw.find("\n")
         if newline < 0:
             raise SpoolCorruptionError(f"spool entry {path} has no header")

@@ -18,6 +18,16 @@ oracle:
   verbatim (``put_raw``) and end up with exactly the keys a serial run
   would have produced.
 
+Observability crosses the boundary through the payload's trailing
+element: a :class:`~repro.observability.SpanContext` (or ``None`` when
+the parent run is untraced).  Under a context the worker runs inside a
+:func:`~repro.observability.telemetry_session` — a process-local tracer
+sharing the parent's trace id, worker-side ``detector:*``/``profile``/
+``ucc``/``ind``/``fd`` spans tagged ``backend="process"`` and ``pid``,
+metrics, events, and a final resource sample — and returns the packed
+:class:`~repro.observability.WorkerTelemetry` blob as the trailing
+element of its result tuple (``None`` untraced, costing nothing).
+
 ``fault_point("process.worker", ...)`` fires inside the worker before
 any real work, so crash-injection plans (armed via
 ``$REPRO_FAULT_PLAN``, which child processes inherit) can kill workers
@@ -26,6 +36,7 @@ deterministically; the engine answers with a serial fallback.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 
@@ -43,14 +54,19 @@ def _rehydrated_database(spool_directory: str, fingerprint: str):
 def assess_module(task) -> tuple:
     """Run one detector module against a spooled scenario.
 
-    Payload: ``(spool_directory, scenario_fingerprint, module_pickle)``.
-    Returns ``(status, payload, error_text, elapsed_seconds,
-    cache_entries)`` where ``payload`` is the module report on ``OK`` or
-    a pickled exception (``None`` if unpicklable) on ``ERROR``; module
-    failures are *data*, not infrastructure — they travel back tagged so
-    the parent can reproduce serial raise/degrade semantics exactly.
+    Payload: ``(spool_directory, scenario_fingerprint, module_pickle,
+    span_context)``.  Returns ``(status, payload, error_text,
+    elapsed_seconds, cache_entries, telemetry)`` where ``payload`` is
+    the module report on ``OK`` or a pickled exception (``None`` if
+    unpicklable) on ``ERROR``; module failures are *data*, not
+    infrastructure — they travel back tagged so the parent can reproduce
+    serial raise/degrade semantics exactly.  ``telemetry`` is the
+    worker's :class:`~repro.observability.WorkerTelemetry` blob
+    (``None`` when the parent run is untraced); a failing detector
+    still ships the spans it opened, error annotation included.
     """
-    spool_directory, scenario_fingerprint, module_blob = task
+    spool_directory, scenario_fingerprint, module_blob, context = task
+    from ..observability import telemetry_session, tracing
     from ..resilience import format_exception
     from ..resilience.faults import fault_point
     from .engine import Runtime
@@ -62,104 +78,168 @@ def assess_module(task) -> tuple:
         scenario_fingerprint
     )
     runtime = Runtime(backend="serial")
+    session = telemetry_session(context, metrics=runtime.metrics)
+    status, payload, error_text = OK, None, None
     started = time.perf_counter()
-    with runtime.activated():
+    with session, runtime.activated():
+        session.emit(
+            "worker.task",
+            stage="detector",
+            detector=module.name,
+            scenario=scenario.name,
+            pid=os.getpid(),
+        )
         try:
-            fault_point(
-                "detector", name=module.name, scenario=scenario.name
-            )
-            report = module.assess(scenario)
+            with tracing.span(
+                f"detector:{module.name}",
+                backend="process",
+                pid=os.getpid(),
+                scenario=scenario.name,
+            ):
+                fault_point(
+                    "detector", name=module.name, scenario=scenario.name
+                )
+                payload = module.assess(scenario)
         except Exception as exc:  # noqa: BLE001 - tagged, judged by parent
-            elapsed = time.perf_counter() - started
+            status = ERROR
+            error_text = format_exception(exc)
             try:
-                blob = pickle.dumps(exc)
+                payload = pickle.dumps(exc)
             except Exception:  # noqa: BLE001 - unpicklable exception
-                blob = None
-            return (
-                ERROR,
-                blob,
-                format_exception(exc),
-                elapsed,
-                runtime.cache.entries(),
-            )
+                payload = None
     elapsed = time.perf_counter() - started
-    return (OK, report, None, elapsed, runtime.cache.entries())
+    return (
+        status,
+        payload,
+        error_text,
+        elapsed,
+        runtime.cache.entries(),
+        session.telemetry,
+    )
 
 
 def profile_column(task) -> tuple:
     """Profile one column of a spooled database.
 
     Payload: ``(spool_directory, database_fingerprint, relation_name,
-    attribute_name, datatype_value)``.  Returns ``(profile, elapsed)``.
+    attribute_name, datatype_value, span_context)``.  Returns
+    ``(profile, elapsed, telemetry)``.
     """
-    spool_directory, fingerprint, relation_name, attribute_name, datatype_value = task
+    (
+        spool_directory,
+        fingerprint,
+        relation_name,
+        attribute_name,
+        datatype_value,
+        context,
+    ) = task
+    from ..observability import telemetry_session, tracing
     from ..profiling.profiler import compute_column_profile
     from ..relational.datatypes import DataType
     from ..resilience.faults import fault_point
 
     fault_point("process.worker", stage="profile")
     database = _rehydrated_database(spool_directory, fingerprint)
-    fault_point(
-        "profile", relation=relation_name, attribute=attribute_name
-    )
-    started = time.perf_counter()
-    profile = compute_column_profile(
-        database, relation_name, attribute_name, DataType(datatype_value)
-    )
-    return (profile, time.perf_counter() - started)
+    session = telemetry_session(context)
+    with session:
+        with tracing.span(
+            "profile",
+            relation=relation_name,
+            attribute=attribute_name,
+            cache_hit=False,
+            backend="process",
+            pid=os.getpid(),
+        ):
+            fault_point(
+                "profile", relation=relation_name, attribute=attribute_name
+            )
+            started = time.perf_counter()
+            profile = compute_column_profile(
+                database, relation_name, attribute_name,
+                DataType(datatype_value),
+            )
+            elapsed = time.perf_counter() - started
+    return (profile, elapsed, session.telemetry)
+
+
+def _relation_worker(task, *, stage: str, span_name: str, compute) -> tuple:
+    """Shared scaffolding of the per-relation discovery workers.
+
+    Rehydrates the database, opens a backend-tagged span under the
+    telemetry session, times ``compute``, and returns
+    ``(result, elapsed, telemetry)``.
+    """
+    spool_directory, fingerprint, relation_name = task[:3]
+    context = task[-1]
+    from ..observability import telemetry_session, tracing
+    from ..resilience.faults import fault_point
+
+    fault_point("process.worker", stage=stage)
+    database = _rehydrated_database(spool_directory, fingerprint)
+    session = telemetry_session(context)
+    with session:
+        with tracing.span(
+            span_name,
+            relation=relation_name,
+            backend="process",
+            pid=os.getpid(),
+        ):
+            started = time.perf_counter()
+            result = compute(database, relation_name)
+            elapsed = time.perf_counter() - started
+    return (result, elapsed, session.telemetry)
 
 
 def relation_uccs(task) -> tuple:
     """UCC discovery for one relation of a spooled database.
 
     Payload: ``(spool_directory, database_fingerprint, relation_name,
-    max_arity)``.  Returns ``(uccs, elapsed)``.
+    max_arity, span_context)``.  Returns ``(uccs, elapsed, telemetry)``.
     """
-    spool_directory, fingerprint, relation_name, max_arity = task
     from ..profiling.dependencies import compute_relation_uccs
-    from ..resilience.faults import fault_point
 
-    fault_point("process.worker", stage="uccs")
-    database = _rehydrated_database(spool_directory, fingerprint)
-    started = time.perf_counter()
-    uccs = compute_relation_uccs(database, relation_name, max_arity)
-    return (uccs, time.perf_counter() - started)
+    max_arity = task[3]
+    return _relation_worker(
+        task,
+        stage="uccs",
+        span_name="ucc",
+        compute=lambda database, relation: compute_relation_uccs(
+            database, relation, max_arity
+        ),
+    )
 
 
 def relation_fds(task) -> tuple:
     """FD discovery for one relation of a spooled database.
 
-    Payload: ``(spool_directory, database_fingerprint, relation_name)``.
-    Returns ``(fds, elapsed)``.
+    Payload: ``(spool_directory, database_fingerprint, relation_name,
+    span_context)``.  Returns ``(fds, elapsed, telemetry)``.
     """
-    spool_directory, fingerprint, relation_name = task
     from ..profiling.dependencies import compute_relation_fds
-    from ..resilience.faults import fault_point
 
-    fault_point("process.worker", stage="fds")
-    database = _rehydrated_database(spool_directory, fingerprint)
-    started = time.perf_counter()
-    fds = compute_relation_fds(database, relation_name)
-    return (fds, time.perf_counter() - started)
+    return _relation_worker(
+        task, stage="fds", span_name="fd", compute=compute_relation_fds
+    )
 
 
 def relation_value_sets(task) -> tuple:
     """Distinct-value sets for one relation (the IND scan's hot half).
 
-    Payload: ``(spool_directory, database_fingerprint, relation_name)``.
-    Returns ``([((relation, attribute), values), ...], elapsed)`` in
-    schema attribute order; the parent runs the pairwise subset checks
-    so result order stays canonical.
+    Payload: ``(spool_directory, database_fingerprint, relation_name,
+    span_context)``.  Returns ``([((relation, attribute), values), ...],
+    elapsed, telemetry)`` in schema attribute order; the parent runs the
+    pairwise subset checks so result order stays canonical.
     """
-    spool_directory, fingerprint, relation_name = task
-    from ..resilience.faults import fault_point
 
-    fault_point("process.worker", stage="inds")
-    database = _rehydrated_database(spool_directory, fingerprint)
-    instance = database.table(relation_name)
-    started = time.perf_counter()
-    value_sets = [
-        ((relation_name, name), instance.distinct(name))
-        for name in database.schema.relation(relation_name).attribute_names
-    ]
-    return (value_sets, time.perf_counter() - started)
+    def compute(database, relation_name):
+        instance = database.table(relation_name)
+        return [
+            ((relation_name, name), instance.distinct(name))
+            for name in database.schema.relation(
+                relation_name
+            ).attribute_names
+        ]
+
+    return _relation_worker(
+        task, stage="inds", span_name="ind", compute=compute
+    )

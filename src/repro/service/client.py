@@ -296,6 +296,11 @@ class ServiceClient:
         _, doc = self._request("GET", "/metrics")
         return doc
 
+    def slo(self) -> dict:
+        """Burn-rate SLO document (``GET /slo``)."""
+        _, doc = self._request("GET", "/slo")
+        return doc
+
     def metrics_text(self) -> str:
         """Prometheus text exposition of ``GET /metrics``."""
         request = urllib.request.Request(

@@ -23,12 +23,16 @@ beyond the standard library.  Resources::
     GET    /trace/<id>       the job's span tree (service.job:<id> root)
     GET    /healthz          liveness + queue depth + worker-slot
                              utilisation + report-store spool size +
-                             journal lag + crash-recovery summary
+                             SLO state + resource summary + journal lag +
+                             crash-recovery summary
     GET    /metrics          RuntimeMetrics counters/stages/histograms +
-                             scheduler queue stats + report-store totals;
-                             ``Accept: text/plain`` (or
+                             scheduler queue stats + report-store totals +
+                             worker/process resource gauges + SLO
+                             burn-rate gauges; ``Accept: text/plain`` (or
                              ``?format=prometheus``) switches to
                              Prometheus text exposition
+    GET    /slo              declarative SLOs with fast/slow-window
+                             burn rates and the derived health state
 
 Scenario references are either shipped catalogue names (``efes list``)
 or scenario directories in the on-disk format; resolution is cached per
@@ -177,6 +181,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if segments == ["metrics"]:
             self._get_metrics()
             return
+        if segments == ["slo"]:
+            self._send_json(200, self.scheduler.slo_snapshot())
+            return
         if segments == ["jobs"]:
             jobs = self.scheduler.jobs()
             state = self._query().get("state")
@@ -209,6 +216,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
         Content negotiation keys on the ``Accept`` header (any
         ``text/plain`` preference) or an explicit ``?format=prometheus``.
         """
+        # Point-in-time gauges (resources, utilization, burn rates) are
+        # re-sampled per scrape, so Prometheus always sees fresh values.
+        self.scheduler.refresh_observability()
         stats = self.scheduler.stats()
         store = self.scheduler.store
         snapshot = self.scheduler.metrics.snapshot()

@@ -74,6 +74,8 @@ from ..core.serialize import estimate_to_dict, reports_to_dict
 from ..observability import (
     EVENT_LOG_ENV_VAR,
     EventLog,
+    ResourceSampler,
+    SLOMonitor,
     Tracer,
     correlation_scope,
     span_to_dict,
@@ -143,6 +145,7 @@ class JobScheduler:
         payload_resolver: Callable[[str, "Job"], Callable | None] | None = None,
         scenario_resolver: Callable[[str, int | None], object] | None = None,
         idempotency_window: int = 256,
+        slo: SLOMonitor | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -192,8 +195,19 @@ class JobScheduler:
             self.events = EventLog(
                 path=os.environ.get(EVENT_LOG_ENV_VAR) or None
             )
+        # The runtime's worker telemetry (fallback records, absorbed
+        # worker events) lands in the service's lifecycle stream unless
+        # the runtime already has a sink of its own.
+        if getattr(self.runtime, "events", None) is None:
+            self.runtime.events = self.events
         #: Health state machine surfaced by ``/healthz``.
         self.health = HealthMonitor()
+        #: Multi-window burn-rate SLOs over settled-job outcomes,
+        #: surfaced by ``GET /slo`` and folded into the health state.
+        self.slo = slo if slo is not None else SLOMonitor()
+        #: Per-process resource telemetry (RSS, CPU, GC, spool IO),
+        #: published as ``process_*`` gauges on ``/metrics``.
+        self.sampler = ResourceSampler(self.runtime.metrics)
         #: Consecutive-failure breaker guarding job admission.
         self.breaker = (
             breaker
@@ -826,6 +840,7 @@ class JobScheduler:
                         ):
                             self.metrics.increment("jobs_failed")
                             self.breaker.record_failure()
+                            self.slo.record_job(ok=False)
                             self.events.emit(
                                 "job.dispatch_failed",
                                 correlation_id=job.correlation_id,
@@ -888,6 +903,7 @@ class JobScheduler:
                 self.metrics.increment("jobs_timeout")
                 self.metrics.increment("jobs_failed")
                 self.breaker.record_failure()
+                self.slo.record_job(ok=False)
                 self.events.emit(
                     "job.timeout",
                     correlation_id=job.correlation_id,
@@ -959,6 +975,7 @@ class JobScheduler:
                 if self._settle_locked(job, JobState.FAILED, error=error):
                     self.metrics.increment("jobs_failed")
                     self.breaker.record_failure()
+                    self.slo.record_job(ok=False)
             else:
                 # Store BEFORE settling: the settled-done journal record
                 # must never precede its result document, so a crash
@@ -973,6 +990,14 @@ class JobScheduler:
                 if self._settle_locked(job, JobState.DONE, result=result):
                     self.metrics.increment("jobs_completed")
                     self.breaker.record_success()
+                    self.slo.record_job(
+                        ok=True,
+                        duration_seconds=job.duration_seconds,
+                        degraded=bool(
+                            isinstance(result, dict)
+                            and result.get("degradations")
+                        ),
+                    )
             # A late arrival (the job settled by timeout or cancel while
             # the payload drained) still releases its slot idempotently.
             self._release_slot_locked(job)
@@ -1060,13 +1085,93 @@ class JobScheduler:
                 self.breaker.record_failure()
             self.health.set_reason("stuck_workers", any_stuck)
 
+    def _apply_slo_health(self, statuses) -> None:
+        """Fold SLO burn-rate states into the health state machine.
+
+        A critical burn flags a hard ``slo:<name>`` degradation reason;
+        a warning burn flags the advisory warning of the same name, so
+        the replica reports ``slo-warning`` without being pulled from
+        rotation.
+        """
+        for status in statuses:
+            self.health.set_reason(
+                f"slo:{status.name}", status.state == "critical"
+            )
+            self.health.set_warning(
+                f"slo:{status.name}", status.state == "warning"
+            )
+
+    def slo_snapshot(self) -> dict:
+        """The ``GET /slo`` document: burn rates + derived health."""
+        statuses = self.slo.evaluate()
+        self._apply_slo_health(statuses)
+        for status in statuses:
+            for window in ("fast", "slow"):
+                self.metrics.set_gauge(
+                    "slo_burn_rate",
+                    getattr(status, window)["burn_rate"],
+                    slo=status.name,
+                    window=window,
+                )
+        doc = self.slo.to_dict()
+        doc["state"] = self.slo.worst_state()
+        doc["health"] = self.health.snapshot()
+        return doc
+
+    def refresh_observability(self) -> None:
+        """Re-sample point-in-time gauges before a ``/metrics`` scrape.
+
+        Publishes the dispatcher process's resource sample
+        (``process_*`` gauges), scheduler pool utilization, executor
+        dispatch stats, the profile-cache hit rate, and the current SLO
+        burn-rate gauges.
+        """
+        self.sampler.sample()
+        with self._lock:
+            busy = self.workers - self._free_slots
+            queue_depth = self._queue_depth_locked()
+        self.metrics.set_gauge("scheduler_busy_workers", float(busy))
+        self.metrics.set_gauge(
+            "scheduler_worker_utilisation", busy / self.workers
+        )
+        self.metrics.set_gauge("scheduler_queue_depth", float(queue_depth))
+        executor_stats = getattr(self.runtime.executor, "stats", None)
+        if callable(executor_stats):
+            for key, value in executor_stats().items():
+                self.metrics.set_gauge(
+                    f"executor_{key}", float(value)
+                )
+        hits = self.metrics.counter("cache_hits")
+        misses = self.metrics.counter("cache_misses")
+        lookups = hits + misses
+        self.metrics.set_gauge(
+            "cache_hit_rate", hits / lookups if lookups else 0.0
+        )
+        statuses = self.slo.evaluate()
+        self._apply_slo_health(statuses)
+        for status in statuses:
+            for window in ("fast", "slow"):
+                self.metrics.set_gauge(
+                    "slo_burn_rate",
+                    getattr(status, window)["burn_rate"],
+                    slo=status.name,
+                    window=window,
+                )
+
     def health_snapshot(self) -> dict:
-        """Health + breaker + store damage, as ``/healthz`` reports it."""
+        """Health + breaker + SLO + resources, as ``/healthz`` reports it."""
         self.health.set_reason(
             "store_quarantine", self.store.quarantined_count() > 0
         )
+        statuses = self.slo.evaluate()
+        self._apply_slo_health(statuses)
         doc = self.health.snapshot()
         doc["breaker"] = self.breaker.snapshot()
+        doc["slo"] = {
+            "state": self.slo.worst_state(),
+            "states": {status.name: status.state for status in statuses},
+        }
+        doc["resources"] = self.sampler.summary()
         if self.journal is not None:
             doc["journal"] = self.journal.stats()
             doc["recovery"] = self.recovery_summary

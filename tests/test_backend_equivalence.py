@@ -47,12 +47,12 @@ SCENARIO_FAMILIES = {
 }
 
 
-def run_pipeline(backend: str, build_scenario):
+def run_pipeline(backend: str, build_scenario, trace: bool = False):
     """One full Efes run on a fresh runtime; returns serialized artefacts."""
     runtime = Runtime(backend=backend, max_workers=4)
     scenario = build_scenario()
     efes = Efes(default_modules(), runtime=runtime)
-    outcome = efes.run(scenario, ResultQuality.HIGH_QUALITY)
+    outcome = efes.run(scenario, ResultQuality.HIGH_QUALITY, trace=trace)
     tasks = efes.plan(
         scenario, ResultQuality.HIGH_QUALITY, reports=outcome.reports
     )
@@ -63,7 +63,28 @@ def run_pipeline(backend: str, build_scenario):
         "cache_keys": runtime.cache.keys(),
         "degradations": len(outcome.degradations),
         "fallbacks": runtime.metrics.counter("process_fallbacks"),
+        "fault_fallbacks": runtime.metrics.counter(
+            "process_fallbacks", reason="fault"
+        ),
+        "telemetry_dropped": runtime.metrics.counter(
+            "worker_telemetry_dropped"
+        ),
     }
+    if trace:
+        nodes = list(outcome.trace.walk())
+        ids = {node.span_id for node in nodes}
+        artefacts["trace_ids"] = {node.trace_id for node in nodes}
+        artefacts["orphans"] = sum(
+            1
+            for node in nodes
+            if node.parent_id is not None and node.parent_id not in ids
+        )
+        artefacts["worker_spans"] = sum(
+            1
+            for node in nodes
+            if node.attributes.get("backend") == "process"
+            and node.attributes.get("pid")
+        )
     runtime.close()
     return artefacts
 
@@ -135,3 +156,85 @@ class TestPrimitiveEquivalence:
         runtime.discover_uccs(database)
         assert runtime.executor._pool is None
         runtime.close()
+
+
+@pytest.fixture
+def env_fault_plan(monkeypatch):
+    """Arm a fault plan via the environment so pool workers — which
+    re-resolve ``$REPRO_FAULT_PLAN`` on startup — inherit it, and so
+    the engine keeps the process path eligible."""
+    from repro.resilience.faults import reset_fault_plan
+
+    def arm(plan: dict) -> None:
+        monkeypatch.setenv("REPRO_FAULT_PLAN", json.dumps(plan))
+        reset_fault_plan()
+
+    yield arm
+    monkeypatch.undo()
+    reset_fault_plan()
+
+
+class TestTracedEquivalence:
+    """Tracing must observe the computation, never participate in it."""
+
+    def test_traced_process_run_matches_untraced_serial_oracle(self):
+        build = SCENARIO_FAMILIES["example"]
+        oracle = run_pipeline("serial", build)
+        traced = run_pipeline("process", build, trace=True)
+        assert traced["reports"] == oracle["reports"]
+        assert traced["estimate"] == oracle["estimate"]
+        assert traced["tasks"] == oracle["tasks"]
+        assert traced["cache_keys"] == oracle["cache_keys"]
+        assert traced["degradations"] == 0
+        assert traced["fallbacks"] == 0
+        # The traced run actually exercised cross-process propagation:
+        # worker-side spans merged into one seamless, orphan-free tree.
+        assert traced["worker_spans"] > 0
+        assert len(traced["trace_ids"]) == 1
+        assert traced["orphans"] == 0
+
+    def test_traced_and_untraced_process_runs_agree(self):
+        build = SCENARIO_FAMILIES["bibliographic"]
+        untraced = run_pipeline("process", build)
+        traced = run_pipeline("process", build, trace=True)
+        assert traced["reports"] == untraced["reports"]
+        assert traced["estimate"] == untraced["estimate"]
+        assert traced["cache_keys"] == untraced["cache_keys"]
+
+
+class TestCrashedWorkerTelemetry:
+    def test_crashed_worker_never_corrupts_results_or_trace(
+        self, env_fault_plan
+    ):
+        build = SCENARIO_FAMILIES["example"]
+        oracle = run_pipeline("serial", build)
+        # Each worker process crashes its first task at the
+        # process.worker site — before its telemetry session even
+        # opens, exactly like a worker dying mid-dispatch.
+        env_fault_plan(
+            {
+                "name": "worker-crash",
+                "points": [
+                    {
+                        "site": "process.worker",
+                        "action": "raise",
+                        "times": 1,
+                    }
+                ],
+            }
+        )
+        traced = run_pipeline("process", build, trace=True)
+        # The engine fell back (labelled with the injected reason) and
+        # still produced the oracle's bytes with zero degradations.
+        assert traced["fallbacks"] >= 1
+        assert traced["fault_fallbacks"] >= 1
+        assert traced["reports"] == oracle["reports"]
+        assert traced["estimate"] == oracle["estimate"]
+        assert traced["cache_keys"] == oracle["cache_keys"]
+        assert traced["degradations"] == 0
+        # A crashed worker ships no telemetry blob; whatever partial
+        # work it did must never tear the parent's trace: one trace id,
+        # no orphaned spans, nothing counted as dropped.
+        assert len(traced["trace_ids"]) == 1
+        assert traced["orphans"] == 0
+        assert traced["telemetry_dropped"] == 0

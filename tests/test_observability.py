@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 
@@ -15,16 +16,28 @@ from repro.core.serialize import (
     span_to_dict,
 )
 from repro.observability import (
+    CRITICAL_BURN_RATE,
     EventLog,
     Histogram,
+    ResourceSampler,
+    SLOMonitor,
+    SLOSpec,
+    SpanContext,
     Tracer,
+    WorkerTelemetry,
     correlation_scope,
     current_correlation_id,
     escape_label_value,
+    merge_worker_telemetry,
     prometheus_text,
+    publish_worker_resources,
     render_span_tree,
+    sample_resources,
     span,
+    telemetry_session,
 )
+from repro.observability.context import NOOP_TELEMETRY_SESSION
+from repro.observability.slo import RollingCounter
 from repro.runtime import Runtime, RuntimeMetrics
 
 
@@ -548,3 +561,594 @@ class TestExperimentTraces:
             )
             assert root.name == f"scenario:{scenario.name}"
             assert root.find("assess")
+
+
+# ----------------------------------------------------------------------
+# Cross-process trace propagation
+# ----------------------------------------------------------------------
+
+
+class TestSpanContext:
+    def test_capture_is_none_without_a_tracer(self):
+        assert SpanContext.capture() is None
+        assert telemetry_session(None) is NOOP_TELEMETRY_SESSION
+
+    def test_capture_snapshots_the_active_trace(self):
+        tracer = Tracer()
+        with tracer.activated(), correlation_scope("req-ctx"):
+            with span("parent"):
+                context = SpanContext.capture(backend="process")
+        assert context.trace_id == tracer.trace_id
+        assert context.parent_span_id == tracer.root.span_id
+        assert context.correlation_id == "req-ctx"
+        assert context.backend == "process"
+
+    def test_round_trips_through_dict(self):
+        tracer = Tracer()
+        with tracer.activated():
+            with span("parent"):
+                context = SpanContext.capture()
+        assert SpanContext.from_dict(context.to_dict()) == context
+
+    def test_from_dict_rejects_malformed_documents(self):
+        with pytest.raises(ValueError):
+            SpanContext.from_dict({"nope": 1})
+
+
+class TestWorkerTelemetrySession:
+    def _context(self):
+        tracer = Tracer()
+        with tracer.activated():
+            with span("assess"):
+                return SpanContext.capture()
+
+    def test_collects_spans_metrics_events_and_resources(self):
+        context = self._context()
+        metrics = RuntimeMetrics()
+        session = telemetry_session(context, metrics=metrics)
+        with session:
+            session.emit("worker.task", stage="detector")
+            metrics.increment("cache_misses")
+            with span("detector:test", backend="process"):
+                with span("profile"):
+                    pass
+        blob = session.telemetry
+        assert blob.pid == os.getpid()
+        assert [doc["name"] for doc in blob.spans] == ["detector:test"]
+        assert blob.spans[0]["trace_id"] == context.trace_id
+        assert blob.spans[0]["children"][0]["name"] == "profile"
+        assert blob.metrics.counter("cache_misses") == 1
+        assert [record["event"] for record in blob.events] == ["worker.task"]
+        assert blob.resources["pid"] == os.getpid()
+
+    def test_empty_worker_metrics_are_not_shipped(self):
+        context = self._context()
+        session = telemetry_session(context, metrics=RuntimeMetrics())
+        with session:
+            pass
+        assert session.telemetry.metrics is None
+        assert session.telemetry.spans == []
+
+    def test_detaches_from_an_inherited_open_span(self):
+        # Regression: a forked pool worker inherits the parent's
+        # contextvars as of fork time, including the span that was open
+        # when the pool spawned.  The session must detach, or worker
+        # spans would attach to that stale copy and never register as
+        # roots of the session tracer (shipping an empty span list).
+        tracer = Tracer()
+        with tracer.activated():
+            with span("assess"):
+                context = SpanContext.capture()
+                session = telemetry_session(context)
+                with session:
+                    with span("detector:inner"):
+                        pass
+        assert [doc["name"] for doc in session.telemetry.spans] == [
+            "detector:inner"
+        ]
+        # ... and the parent tree must not have absorbed the worker span.
+        assert tracer.root.children == []
+
+
+class TestTelemetryMerge:
+    def _worker_blob(self, context):
+        worker_metrics = RuntimeMetrics()
+        session = telemetry_session(context, metrics=worker_metrics)
+        with session:
+            worker_metrics.increment("cache_hits")
+            session.emit("worker.task", stage="detector")
+            with span("detector:worker", backend="process", pid=1234):
+                with span("profile"):
+                    pass
+        return session.telemetry
+
+    def test_grafts_worker_spans_under_the_current_span(self):
+        tracer = Tracer()
+        metrics = RuntimeMetrics()
+        events = EventLog()
+        with tracer.activated():
+            with span("assess"):
+                context = SpanContext.capture()
+                blob = self._worker_blob(context)
+                assert (
+                    merge_worker_telemetry(blob, metrics, events=events)
+                    is True
+                )
+        root = tracer.root
+        assert [child.name for child in root.children] == ["detector:worker"]
+        detector = root.children[0]
+        assert detector.attributes["backend"] == "process"
+        assert detector.parent_id == root.span_id
+        assert [child.name for child in detector.children] == ["profile"]
+        # Grafting rewrites every shipped node onto the parent's trace.
+        assert {node.trace_id for node in root.walk()} == {tracer.trace_id}
+        assert metrics.counter("worker_telemetry_merged") == 1
+        assert metrics.counter("cache_hits") == 1
+        assert any(
+            record["event"] == "worker.task" for record in events.records()
+        )
+        # The worker's resource sample lands as pid-labelled gauges.
+        pid = str(blob.pid)
+        assert metrics.gauge("worker_rss_bytes", pid=pid) > 0
+
+    def test_none_telemetry_is_a_noop(self):
+        metrics = RuntimeMetrics()
+        assert merge_worker_telemetry(None, metrics) is False
+        assert metrics.counter("worker_telemetry_merged") == 0
+
+    def test_malformed_blob_is_dropped_whole(self):
+        tracer = Tracer()
+        metrics = RuntimeMetrics()
+        with tracer.activated():
+            with span("assess"):
+                context = SpanContext.capture()
+                garbage = WorkerTelemetry(
+                    context=context,
+                    pid=0,
+                    spans=["not a span document"],
+                )
+                assert merge_worker_telemetry(garbage, metrics) is False
+        # The torn blob never touched the parent tree and was counted.
+        assert tracer.root.children == []
+        assert metrics.counter("worker_telemetry_dropped") == 1
+        assert metrics.counter("worker_telemetry_merged") == 0
+
+    def test_side_channels_fold_even_without_a_recording_parent(self):
+        tracer = Tracer()
+        with tracer.activated():
+            with span("assess"):
+                context = SpanContext.capture()
+        blob = self._worker_blob(context)
+        metrics = RuntimeMetrics()
+        # No span open here: spans cannot graft, but the worker's
+        # metrics still fold into the parent's counters.
+        assert merge_worker_telemetry(blob, metrics) is False
+        assert metrics.counter("cache_hits") == 1
+        assert metrics.counter("worker_telemetry_merged") == 1
+
+
+class TestCrossProcessTracing:
+    def test_process_run_yields_one_seamless_tree(self, small_example):
+        runtime = Runtime(backend="process", max_workers=2)
+        efes = default_efes(runtime=runtime)
+        outcome = efes.run(
+            small_example, ResultQuality.HIGH_QUALITY, trace=True
+        )
+        root = outcome.trace
+        nodes = list(root.walk())
+        # One trace id across the whole tree, parent and workers alike.
+        assert {node.trace_id for node in nodes} == {root.trace_id}
+        worker_spans = [
+            node
+            for node in nodes
+            if node.attributes.get("backend") == "process"
+            and node.attributes.get("pid")
+        ]
+        assert worker_spans, "no worker-side spans were merged"
+        detectors = {
+            node.name
+            for node in worker_spans
+            if node.name.startswith("detector:")
+        }
+        assert detectors == {
+            "detector:mapping",
+            "detector:structure",
+            "detector:values",
+        }
+        # Worker detector spans hang under the parent's assess span.
+        assess = root.find("assess")[0]
+        for node in worker_spans:
+            if node.name.startswith("detector:"):
+                assert node.parent_id == assess.span_id
+        assert runtime.metrics.counter("worker_telemetry_merged") >= 3
+        assert runtime.metrics.counter("worker_telemetry_dropped") == 0
+        assert runtime.metrics.counter("process_fallbacks") == 0
+        runtime.close()
+
+
+class TestFallbackReasons:
+    def test_reason_classification(self):
+        import pickle
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.resilience.faults import FaultError
+        from repro.runtime.spool import SpoolError
+
+        reason = Runtime._fallback_reason
+        assert reason(FaultError("injected")) == "fault"
+        assert reason(BrokenProcessPool("worker died")) == "broken_pool"
+        assert reason(SpoolError("torn read")) == "spool_io"
+        assert reason(pickle.PicklingError("no")) == "codec"
+        assert reason(AttributeError("lookup failed")) == "codec"
+        assert reason(RuntimeError("anything else")) == "other"
+
+    def test_fallback_increments_labelled_counter_and_emits_event(self):
+        from repro.resilience.faults import FaultError
+
+        runtime = Runtime(backend="process", max_workers=2)
+        runtime.events = EventLog()
+        runtime._note_process_fallback(FaultError("boom"), stage="detectors")
+        assert (
+            runtime.metrics.counter("process_fallbacks", reason="fault") == 1
+        )
+        # The unlabelled read still sums the family.
+        assert runtime.metrics.counter("process_fallbacks") == 1
+        record = runtime.events.records()[-1]
+        assert record["event"] == "process.fallback"
+        assert record["stage"] == "detectors"
+        assert record["reason"] == "fault"
+        assert "FaultError" in record["error"]
+        runtime.close()
+
+
+# ----------------------------------------------------------------------
+# Resource telemetry
+# ----------------------------------------------------------------------
+
+
+class TestResourceTelemetry:
+    def test_sample_resources_document(self):
+        doc = sample_resources()
+        assert doc["pid"] == os.getpid()
+        assert doc["rss_bytes"] > 0
+        assert doc["cpu_seconds"] >= 0.0
+        assert doc["cpu_seconds"] == pytest.approx(
+            doc["cpu_user_seconds"] + doc["cpu_system_seconds"]
+        )
+        for key in ("gc_gen0_collections", "spool_reads", "spool_bytes_read"):
+            assert key in doc
+
+    def test_resource_sampler_sets_process_gauges(self):
+        metrics = RuntimeMetrics()
+        sampler = ResourceSampler(metrics)
+        doc = sampler.sample()
+        assert metrics.gauge("process_rss_bytes") == float(doc["rss_bytes"])
+        assert metrics.gauge("process_cpu_seconds") is not None
+        summary = sampler.summary()
+        assert summary["pid"] == os.getpid()
+        assert summary["rss_bytes"] > 0
+        assert sampler.samples_taken == 2
+
+    def test_publish_worker_resources_labels_by_pid(self):
+        metrics = RuntimeMetrics()
+        publish_worker_resources(
+            metrics, {"pid": 1234, "rss_bytes": 4096, "cpu_seconds": 1.5}
+        )
+        assert metrics.gauge("worker_rss_bytes", pid="1234") == 4096.0
+        assert metrics.gauge("worker_cpu_seconds", pid="1234") == 1.5
+        # The pid is a label, never a gauge of its own.
+        assert metrics.gauge("worker_pid", pid="1234") is None
+
+
+# ----------------------------------------------------------------------
+# SLO burn-rate monitoring
+# ----------------------------------------------------------------------
+
+
+class TestRollingCounter:
+    def test_totals_respect_the_window(self):
+        now = [1000.0]
+        counter = RollingCounter(
+            3600.0, bucket_seconds=10.0, clock=lambda: now[0]
+        )
+        counter.record(True, 5)
+        counter.record(False)
+        now[0] += 400.0
+        counter.record(True, 2)
+        assert counter.totals(300.0) == (2, 0)
+        assert counter.totals(3600.0) == (7, 1)
+        # Past the horizon everything expires from the windows ...
+        now[0] += 4000.0
+        counter.record(True)
+        assert counter.totals(3600.0) == (1, 0)
+        # ... but lifetime totals never do.
+        assert counter.total_good == 8
+        assert counter.total_bad == 1
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            RollingCounter(5.0, bucket_seconds=10.0)
+
+
+class TestSLOMonitor:
+    def _monitor(self, now):
+        return SLOMonitor(clock=lambda: now[0])
+
+    def test_healthy_stream_is_ok(self):
+        now = [5000.0]
+        monitor = self._monitor(now)
+        for _ in range(50):
+            monitor.record_job(ok=True, duration_seconds=0.1)
+        assert [status.state for status in monitor.evaluate()] == [
+            "ok",
+            "ok",
+            "ok",
+        ]
+        assert monitor.worst_state() == "ok"
+
+    def test_sustained_failures_burn_critical(self):
+        now = [5000.0]
+        monitor = self._monitor(now)
+        for _ in range(10):
+            monitor.record_job(ok=False)
+        statuses = {status.name: status for status in monitor.evaluate()}
+        availability = statuses["availability"]
+        assert availability.state == "critical"
+        assert availability.fast["burn_rate"] >= CRITICAL_BURN_RATE
+        assert availability.slow["burn_rate"] >= CRITICAL_BURN_RATE
+        # Failures never double-dip into the latency/degradation budgets.
+        assert statuses["job_latency"].state == "ok"
+        assert statuses["degradation"].state == "ok"
+        assert monitor.worst_state() == "critical"
+
+    def test_warning_band_requires_both_windows(self):
+        now = [5000.0]
+        monitor = self._monitor(now)
+        # Error rate 5/1000 against a 0.1% budget: burn 5.0, inside the
+        # warning band on both windows.
+        monitor.record("availability", False, count=5)
+        monitor.record("availability", True, count=995)
+        status = {s.name: s for s in monitor.evaluate()}["availability"]
+        assert status.state == "warning"
+        assert 3.0 <= status.fast["burn_rate"] < CRITICAL_BURN_RATE
+        # Age the burst out of the fast window: one hot window alone
+        # must not hold the warning.
+        now[0] += 600.0
+        status = {s.name: s for s in monitor.evaluate()}["availability"]
+        assert status.fast["events"] == 0
+        assert status.state == "ok"
+
+    def test_latency_and_degradation_judge_successful_jobs_only(self):
+        now = [5000.0]
+        monitor = self._monitor(now)
+        monitor.record_job(ok=True, duration_seconds=45.0)
+        monitor.record_job(ok=True, duration_seconds=1.0, degraded=True)
+        statuses = {status.name: status for status in monitor.evaluate()}
+        assert statuses["availability"].total_bad == 0
+        assert statuses["job_latency"].total_bad == 1
+        assert statuses["degradation"].total_bad == 1
+
+    def test_spec_and_monitor_validation(self):
+        with pytest.raises(ValueError):
+            SLOSpec("bad", objective=1.5)
+        with pytest.raises(ValueError):
+            SLOMonitor((SLOSpec("dup", 0.9), SLOSpec("dup", 0.9)))
+
+    def test_to_dict_is_the_slo_document_body(self):
+        now = [5000.0]
+        monitor = self._monitor(now)
+        monitor.record_job(ok=True, duration_seconds=0.5)
+        doc = monitor.to_dict()
+        assert doc["warn_burn_rate"] == 3.0
+        assert doc["critical_burn_rate"] == CRITICAL_BURN_RATE
+        names = [entry["name"] for entry in doc["slos"]]
+        assert names == ["availability", "job_latency", "degradation"]
+        availability = doc["slos"][0]
+        assert availability["totals"] == {"good": 1, "bad": 0, "events": 1}
+        assert set(availability["windows"]) == {"fast", "slow"}
+
+
+# ----------------------------------------------------------------------
+# Service-level SLOs, worker gauges, and the slo CLI
+# ----------------------------------------------------------------------
+
+
+class TestServiceSLO:
+    def test_slo_endpoint_reports_burn_rates_and_health(self, service):
+        from repro.service import ServiceClient
+
+        server, _ = service
+        client = ServiceClient(server.url)
+        job = client.submit("s4-s4", kind="assess")
+        client.result(job["id"], deadline=120)
+        doc = client.slo()
+        assert doc["state"] == "ok"
+        assert doc["health"]["state"] == "healthy"
+        availability = doc["slos"][0]
+        assert availability["name"] == "availability"
+        assert availability["state"] == "ok"
+        assert availability["totals"]["good"] >= 1
+        assert availability["windows"]["fast"]["burn_rate"] == 0.0
+
+    def test_critical_burn_degrades_health(self, service):
+        from repro.service import ServiceClient
+
+        server, scheduler = service
+        client = ServiceClient(server.url)
+        for _ in range(5):
+            scheduler.slo.record_job(ok=False)
+        doc = client.slo()
+        assert doc["state"] == "critical"
+        assert doc["health"]["state"] == "degraded"
+        assert "slo:availability" in doc["health"]["reasons"]
+        health = client.healthz()
+        assert health["health"]["slo"]["states"]["availability"] == "critical"
+
+    def test_warning_burn_is_advisory_not_degrading(self, service):
+        from repro.service import ServiceClient
+
+        server, scheduler = service
+        client = ServiceClient(server.url)
+        scheduler.slo.record("availability", False, count=5)
+        scheduler.slo.record("availability", True, count=995)
+        doc = client.slo()
+        assert doc["state"] == "warning"
+        assert doc["health"]["state"] == "slo-warning"
+        assert "slo:availability" in doc["health"]["warnings"]
+        assert doc["health"]["reasons"] == []
+
+    def test_healthz_embeds_slo_and_resource_summaries(self, service):
+        from repro.service import ServiceClient
+
+        server, _ = service
+        client = ServiceClient(server.url)
+        doc = client.healthz()
+        assert doc["health"]["slo"]["state"] == "ok"
+        assert set(doc["health"]["slo"]["states"]) == {
+            "availability",
+            "job_latency",
+            "degradation",
+        }
+        resources = doc["health"]["resources"]
+        assert resources["pid"] == os.getpid()
+        assert resources["rss_bytes"] > 0
+
+    def test_metrics_expose_resource_and_slo_gauges(self, service):
+        from repro.service import ServiceClient
+
+        server, _ = service
+        client = ServiceClient(server.url)
+        job = client.submit("s4-s4", kind="assess", seed=5)
+        client.result(job["id"], deadline=120)
+        text = client.metrics_text()
+        assert "repro_process_rss_bytes" in text
+        assert "repro_process_cpu_seconds" in text
+        assert "repro_cache_hit_rate" in text
+        assert "repro_scheduler_worker_utilisation" in text
+        assert "repro_slo_burn_rate" in text
+        assert 'slo="availability",window="fast"' in text
+
+    def test_process_executor_stats_feed_the_gauges(self):
+        runtime = Runtime(backend="process", max_workers=2)
+        try:
+            stats = runtime.executor.stats()
+        finally:
+            runtime.close()
+        assert stats["max_workers"] == 2
+        for key in (
+            "dispatches",
+            "pooled_tasks",
+            "inline_tasks",
+            "peak_inflight",
+            "pool_live",
+        ):
+            assert key in stats
+
+
+class TestSloCli:
+    def test_slo_table_and_json(self, service, capsys):
+        from repro.cli import main
+
+        server, _ = service
+        assert main(["slo", "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        for name in ("availability", "job_latency", "degradation"):
+            assert name in out
+        assert "overall: ok (health: healthy)" in out
+        assert main(["slo", "--url", server.url, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["state"] == "ok"
+
+    def test_slo_exit_code_flags_critical_burn(self, service, capsys):
+        from repro.cli import EXIT_DEGRADED, main
+
+        server, scheduler = service
+        for _ in range(5):
+            scheduler.slo.record_job(ok=False)
+        assert main(["slo", "--url", server.url]) == EXIT_DEGRADED
+        out = capsys.readouterr().out
+        assert "critical" in out
+
+    def test_slo_unreachable_service_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["slo", "--url", "http://127.0.0.1:1"]) == 1
+        assert "cannot fetch SLOs" in capsys.readouterr().err
+
+
+class TestTraceCliBackend:
+    """``efes trace --backend`` — satellite of the propagation tentpole."""
+
+    def _walk(self, doc):
+        yield doc
+        for child in doc.get("children", ()):
+            yield from self._walk(child)
+
+    def _worker_spans(self, path):
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        return [
+            node
+            for node in self._walk(doc)
+            if node.get("attributes", {}).get("backend") == "process"
+        ]
+
+    def test_backend_flag_selects_the_process_backend(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        output = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "s4-s4",
+                    "--backend",
+                    "process",
+                    "--workers",
+                    "2",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        workers = self._worker_spans(output)
+        assert workers, "process run should merge worker-side spans"
+        assert all(node["attributes"].get("pid") for node in workers)
+        out = capsys.readouterr().out
+        assert "run:s4-s4" in out
+
+    def test_trace_honours_the_backend_env_var(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+        from repro.runtime import BACKEND_ENV_VAR
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        output = tmp_path / "trace.json"
+        assert main(["trace", "s4-s4", "--output", str(output)]) == 0
+        assert self._worker_spans(output)
+
+    def test_explicit_flag_overrides_the_env_var(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+        from repro.runtime import BACKEND_ENV_VAR
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        output = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "s4-s4",
+                    "--backend",
+                    "serial",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        assert self._worker_spans(output) == []

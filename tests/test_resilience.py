@@ -389,7 +389,25 @@ class TestHealthMonitor:
         health.start_draining()
         health.clear("stuck_workers")
         assert health.state is HealthState.DRAINING
-        assert health.snapshot() == {"state": "draining", "reasons": []}
+        assert health.snapshot() == {
+            "state": "draining",
+            "reasons": [],
+            "warnings": [],
+        }
+
+    def test_warnings_are_advisory_and_outranked_by_reasons(self):
+        health = HealthMonitor()
+        health.set_warning("slo:availability", True)
+        assert health.state is HealthState.SLO_WARNING
+        # A hard reason outranks any number of advisories ...
+        health.flag("circuit_open")
+        assert health.state is HealthState.DEGRADED
+        health.clear("circuit_open")
+        assert health.state is HealthState.SLO_WARNING
+        # ... and clearing the warning restores full health.
+        health.set_warning("slo:availability", False)
+        assert health.state is HealthState.HEALTHY
+        assert health.snapshot()["warnings"] == []
 
 
 # ----------------------------------------------------------------------
