@@ -1,0 +1,265 @@
+"""Fleet failover latency and throughput-vs-workers.
+
+Two questions the supervised fleet (``efes fleet serve``) must answer
+with numbers, not prose:
+
+* **How long is a worker death visible?**  Each round submits a small
+  job mix, SIGKILLs one worker mid-workload (in-process sim workers —
+  the same journal/store poisoning fidelity the chaos matrix uses, so
+  hundreds of failovers fit in seconds), and measures the time from the
+  kill to a fully healed fleet (death detected, journal fenced and
+  replayed, unsettled work re-dispatched, replacement live at the next
+  epoch).  Reported as p50/p99 over the rounds.
+* **What does fleet size cost?**  A fixed cold job mix is pushed
+  through fleets of 1, 2, and 3 workers (fresh directory each, so the
+  shared store cannot warm-serve across curve points) and jobs/second
+  is recorded per fleet size.  The payload records ``cpu_count`` so the
+  curve can be read correctly: on a single-core host the points expose
+  pure routing/coordination overhead, while on multi-core hosts they
+  show compute scaling.
+
+Results go to ``BENCH_fleet_failover.json``.  ``REPRO_BENCH_SMOKE=1``
+shrinks rounds and the curve so CI can exercise the harness quickly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.fleet import FleetSupervisor, make_fleet_server
+from repro.reporting import render_table
+from repro.service import ServiceClient
+from conftest import run_once
+
+# The sim-worker backend lives with the chaos tests; the bench reuses it
+# for cheap, high-fidelity kills instead of paying process spawn tax per
+# failover sample.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.sim.fleet_harness import SimWorkerBackend  # noqa: E402
+
+OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_fleet_failover.json"
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Kill-and-heal samples for the latency distribution.
+FAILOVER_ROUNDS = 3 if SMOKE else 12
+
+#: Fleet sizes on the throughput curve.
+CURVE = (1, 2) if SMOKE else (1, 2, 3)
+
+#: Cold job mix per curve point: distinct (scenario, quality) pairs so
+#: content addressing cannot collapse them onto one execution.
+JOB_MIX = [
+    (name, quality)
+    for name in (("s1-s2", "s4-s4") if SMOKE else ("s1-s2", "s1-s3", "s3-s4", "s4-s4"))
+    for quality in ("low", "high")
+]
+
+HEARTBEAT = 0.04
+LIVENESS = 0.5
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _start_fleet(directory, workers):
+    backend = SimWorkerBackend(directory)
+    supervisor = FleetSupervisor(
+        directory,
+        workers=workers,
+        backend=backend,
+        heartbeat_interval=HEARTBEAT,
+        liveness_deadline=LIVENESS,
+        startup_grace=10.0,
+        restart_dead=True,
+    )
+    supervisor.start()
+    deadline = time.monotonic() + 30.0
+    while supervisor.status()["live"] < workers:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"fleet never came up: {supervisor.status()}")
+        time.sleep(0.01)
+    server = make_fleet_server(supervisor)
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.02), daemon=True
+    )
+    thread.start()
+    return supervisor, backend, server, thread
+
+
+def _stop_fleet(supervisor, backend, server, thread):
+    server.shutdown()
+    server.server_close()
+    supervisor.close()
+    backend.close_all()
+    thread.join(timeout=5.0)
+
+
+def _measure_failovers(directory):
+    """Kill one worker per round; seconds from kill to healed fleet."""
+    supervisor, backend, server, thread = _start_fleet(directory, workers=2)
+    client = ServiceClient(server.url, timeout=60.0)
+    healed_seconds = []
+    settled_seconds = []
+    try:
+        for round_index in range(FAILOVER_ROUNDS):
+            jobs = {}
+            for job_index, (name, quality) in enumerate(JOB_MIX[:4]):
+                job = client.submit(
+                    name,
+                    quality=quality,
+                    priority=3,  # never shed while degraded
+                    seed=100 + round_index,  # cold content every round
+                    idempotency_key=f"fo-{round_index}-{job_index}",
+                )
+                jobs[job["id"]] = name
+            victim = f"w{round_index % 2}"
+            epoch_before = next(
+                worker["epoch"]
+                for worker in supervisor.status()["workers"]
+                if worker["worker_id"] == victim
+            )
+            killed_at = time.perf_counter()
+            backend.current[victim].kill9()
+            for job_id in jobs:
+                client.result(job_id, deadline=60.0)
+            settled_seconds.append(time.perf_counter() - killed_at)
+            deadline = time.monotonic() + 30.0
+            while True:
+                status = supervisor.status()
+                record = next(
+                    worker
+                    for worker in status["workers"]
+                    if worker["worker_id"] == victim
+                )
+                if (
+                    record["state"] == "live"
+                    and record["epoch"] == epoch_before + 1
+                ):
+                    break
+                if time.monotonic() > deadline:
+                    raise AssertionError(f"fleet never healed: {status}")
+                time.sleep(0.005)
+            healed_seconds.append(time.perf_counter() - killed_at)
+        assert supervisor.failovers_total >= FAILOVER_ROUNDS
+    finally:
+        _stop_fleet(supervisor, backend, server, thread)
+    return healed_seconds, settled_seconds
+
+
+def _measure_curve(base_directory):
+    """Cold jobs/second for each fleet size, fresh directory each."""
+    points = []
+    for workers in CURVE:
+        supervisor, backend, server, thread = _start_fleet(
+            base_directory / f"curve-{workers}", workers
+        )
+        client = ServiceClient(server.url, timeout=60.0)
+        try:
+            started = time.perf_counter()
+            jobs = [
+                client.submit(
+                    name,
+                    quality=quality,
+                    idempotency_key=f"curve-{workers}-{index}",
+                )["id"]
+                for index, (name, quality) in enumerate(JOB_MIX)
+            ]
+            for job_id in jobs:
+                client.result(job_id, deadline=120.0)
+            wall = time.perf_counter() - started
+        finally:
+            _stop_fleet(supervisor, backend, server, thread)
+        points.append(
+            {
+                "workers": workers,
+                "jobs": len(JOB_MIX),
+                "wall_seconds": round(wall, 4),
+                "jobs_per_second": round(len(JOB_MIX) / wall, 2),
+            }
+        )
+    return points
+
+
+def test_fleet_failover(benchmark, tmp_path):
+    (healed, settled), curve = run_once(
+        benchmark,
+        lambda: (
+            _measure_failovers(tmp_path / "failover"),
+            _measure_curve(tmp_path),
+        ),
+    )
+
+    payload = {
+        "bench": "fleet_failover",
+        "smoke": SMOKE,
+        "cpu_count": os.cpu_count(),
+        "heartbeat_interval_seconds": HEARTBEAT,
+        "liveness_deadline_seconds": LIVENESS,
+        "failover": {
+            "rounds": FAILOVER_ROUNDS,
+            "healed_p50_seconds": round(statistics.median(healed), 4),
+            "healed_p99_seconds": round(_percentile(healed, 0.99), 4),
+            "healed_max_seconds": round(max(healed), 4),
+            "all_results_p50_seconds": round(
+                statistics.median(settled), 4
+            ),
+            "all_results_p99_seconds": round(
+                _percentile(settled, 0.99), 4
+            ),
+        },
+        "throughput": curve,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(
+        render_table(
+            ["Metric", "p50 (s)", "p99 (s)"],
+            [
+                (
+                    "kill -> healed (respawned live)",
+                    f"{payload['failover']['healed_p50_seconds']:.3f}",
+                    f"{payload['failover']['healed_p99_seconds']:.3f}",
+                ),
+                (
+                    "kill -> all results served",
+                    f"{payload['failover']['all_results_p50_seconds']:.3f}",
+                    f"{payload['failover']['all_results_p99_seconds']:.3f}",
+                ),
+            ],
+            title=f"Fleet failover over {FAILOVER_ROUNDS} kill(s)",
+        )
+    )
+    print(
+        render_table(
+            ["Workers", "Jobs", "Wall (s)", "Jobs/s"],
+            [
+                (
+                    str(point["workers"]),
+                    str(point["jobs"]),
+                    f"{point['wall_seconds']:.2f}",
+                    f"{point['jobs_per_second']:.2f}",
+                )
+                for point in curve
+            ],
+            title=f"Cold throughput vs fleet size ({os.cpu_count()} CPU(s))",
+        )
+    )
+    print(f"wrote {OUTPUT.name}")
+
+    # Sanity floors, not performance assertions: every kill healed, and
+    # every curve point completed its whole mix.
+    assert len(healed) == FAILOVER_ROUNDS
+    assert all(point["jobs_per_second"] > 0 for point in curve)

@@ -1,0 +1,54 @@
+"""Supervised multi-process worker fleet for the assessment service.
+
+ROADMAP item 2 ("scale out the service") made concrete: N worker
+processes, each a full journalled assessment service
+(:mod:`repro.fleet.worker`), supervised over a heartbeat control plane
+(:mod:`repro.fleet.protocol`, :mod:`repro.fleet.supervisor`) behind one
+HTTP front door (:mod:`repro.fleet.frontend`).  Submissions are
+consistent-hashed by content key across workers
+(:mod:`repro.fleet.hashing`); results land in one shared read-through
+:class:`~repro.service.ReportStore` spool, so any worker serves any
+warm result.
+
+The robustness contract — a job submitted once is **settled exactly
+once**, byte-identical to a serial execution, even while workers are
+killed, hung, or partitioned — rests on three mechanisms working
+together: per-worker write-ahead journals that are *fenced* (renamed)
+after a kill and replayed read-only, idempotency keys riding every
+submission end-to-end (client → front end → worker → failover
+re-dispatch, via :class:`~repro.service.SubmitEnvelope`), and
+content-addressed results that make duplicate execution converge on
+the same bytes.  ``tests/sim/`` drives the whole fleet through seeded
+chaos schedules asserting exactly that.
+
+CLI: ``efes fleet serve --workers N`` / ``efes fleet status``;
+``efes recover --fleet <dir>`` inspects every worker journal offline.
+"""
+
+from .frontend import FleetServer, make_fleet_server
+from .hashing import HashRing
+from .supervisor import (
+    FleetShedError,
+    FleetSupervisor,
+    JobRoute,
+    NoWorkersError,
+    ProcessWorkerBackend,
+    WorkerBackend,
+    WorkerRecord,
+)
+from .worker import FleetWorker, worker_dirs
+
+__all__ = [
+    "FleetServer",
+    "FleetShedError",
+    "FleetSupervisor",
+    "FleetWorker",
+    "HashRing",
+    "JobRoute",
+    "NoWorkersError",
+    "ProcessWorkerBackend",
+    "WorkerBackend",
+    "WorkerRecord",
+    "make_fleet_server",
+    "worker_dirs",
+]

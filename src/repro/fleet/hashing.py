@@ -1,0 +1,100 @@
+"""Consistent hashing of job content keys onto fleet workers.
+
+The fleet front end routes every submission by its report-store content
+address (``job_key`` — the sha1 over scenario fingerprint, kind, and
+quality), so repeated submissions of the same work land on the same
+worker and hit that worker's warm caches.  A plain ``hash(key) % N``
+would reshuffle almost every key when a worker dies; a **consistent
+hash ring** with virtual nodes moves only ~1/N of the keyspace when the
+fleet shrinks or grows by one worker, and spreads each worker's share
+evenly around the ring.
+
+The ring is deterministic — md5 over ``worker_id:replica`` — so the
+supervisor, the chaos harness, and the serial oracle all compute the
+same placement for the same fleet membership.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+#: Virtual nodes per worker: enough to keep the share spread within a
+#: few percent for small fleets without making ring rebuilds costly.
+DEFAULT_REPLICAS = 64
+
+
+def _ring_hash(value: str) -> int:
+    return int.from_bytes(
+        hashlib.md5(value.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over named workers."""
+
+    def __init__(
+        self,
+        workers: Iterable[str] = (),
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self._workers: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for worker in workers:
+            self.add(worker)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    @property
+    def workers(self) -> list[str]:
+        return sorted(self._workers)
+
+    def add(self, worker: str) -> None:
+        """Add a worker (idempotent); only ~1/N of keys move to it."""
+        if worker in self._workers:
+            return
+        self._workers.add(worker)
+        for replica in range(self.replicas):
+            point = (_ring_hash(f"{worker}:{replica}"), worker)
+            bisect.insort(self._points, point)
+
+    def remove(self, worker: str) -> None:
+        """Remove a worker (idempotent); its keys fall to ring successors."""
+        if worker not in self._workers:
+            return
+        self._workers.discard(worker)
+        self._points = [
+            point for point in self._points if point[1] != worker
+        ]
+
+    def assign(self, key: str, exclude: set[str] | None = None) -> str | None:
+        """The worker owning ``key``: the first ring point at or after
+        the key's hash, skipping ``exclude``d (dead/draining) workers.
+
+        Walking the ring instead of rehashing keeps the failover
+        placement deterministic: every key of a dead worker falls to
+        that key's ring successor, not to an arbitrary survivor.
+        Returns ``None`` when no eligible worker remains.
+        """
+        exclude = exclude or set()
+        if not self._points or not (self._workers - exclude):
+            return None
+        position = bisect.bisect_left(
+            self._points, (_ring_hash(key), "")
+        )
+        for offset in range(len(self._points)):
+            _, worker = self._points[
+                (position + offset) % len(self._points)
+            ]
+            if worker not in exclude:
+                return worker
+        return None

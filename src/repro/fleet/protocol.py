@@ -1,0 +1,149 @@
+"""The fleet control plane's wire protocol: newline-delimited JSON.
+
+Workers dial the supervisor's control socket once at startup and keep
+the connection for their whole life.  Three message types flow worker →
+supervisor:
+
+* ``hello`` — the worker announces itself: id, **epoch**, pid, and the
+  ephemeral HTTP port it serves jobs on.  The epoch is the fencing
+  token: the supervisor assigns it at spawn and bumps it on every
+  restart, so a stopped-then-resumed zombie whose epoch has been
+  superseded is ignored (and told to die) instead of racing its
+  replacement for the journal.
+* ``heartbeat`` — periodic liveness + a cheap status document (queue
+  depth, running count, health state) and, every few beats, a full
+  metrics snapshot (``MetricsSnapshot.to_dict``) the supervisor merges
+  worker-labelled into the fleet view.
+* ``goodbye`` — a graceful drain announcement, so planned shutdown is
+  not mistaken for death.
+
+One JSON object per line keeps framing trivial (no length prefixes to
+tear), makes captured streams greppable in CI artifacts, and lets the
+chaos harness drop, delay, or duplicate individual messages by line.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+#: Maximum accepted line length (a metrics snapshot is ~tens of KB; a
+#: megabyte of headroom rejects garbage without rejecting telemetry).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Messages the supervisor understands.
+MESSAGE_TYPES = ("hello", "heartbeat", "goodbye")
+
+
+def hello_message(
+    worker_id: str, epoch: int, pid: int, http_port: int
+) -> dict:
+    return {
+        "type": "hello",
+        "worker_id": worker_id,
+        "epoch": epoch,
+        "pid": pid,
+        "http_port": http_port,
+        "ts": time.time(),
+    }
+
+
+def heartbeat_message(
+    worker_id: str,
+    epoch: int,
+    seq: int,
+    *,
+    status: dict | None = None,
+    telemetry: dict | None = None,
+) -> dict:
+    doc = {
+        "type": "heartbeat",
+        "worker_id": worker_id,
+        "epoch": epoch,
+        "seq": seq,
+        "ts": time.time(),
+    }
+    if status is not None:
+        doc["status"] = status
+    if telemetry is not None:
+        doc["telemetry"] = telemetry
+    return doc
+
+
+def goodbye_message(worker_id: str, epoch: int, reason: str = "drain") -> dict:
+    return {
+        "type": "goodbye",
+        "worker_id": worker_id,
+        "epoch": epoch,
+        "reason": reason,
+        "ts": time.time(),
+    }
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one message as a single ``\\n``-terminated JSON line.
+
+    ``sendall`` under a blocking socket: a partial write must not tear
+    a frame, and heartbeat cadence is slow enough that blocking briefly
+    on a full buffer is preferable to silently dropping liveness.
+    """
+    line = json.dumps(message, ensure_ascii=False).encode("utf-8")
+    sock.sendall(line + b"\n")
+
+
+class MessageReader:
+    """Incremental line-framed JSON decoding over a stream socket.
+
+    Damage containment mirrors the journal's WAL stance: a line that is
+    not valid JSON (or is preposterously long) is dropped and counted,
+    never allowed to break the connection — the sender's *next* line
+    resynchronises the stream.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = b""
+        self.malformed = 0
+
+    def read(self) -> dict | None:
+        """The next decoded message, or ``None`` once the peer closed.
+
+        Blocks on the underlying socket; callers run one reader thread
+        per connection.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = self._buffer[:newline]
+                self._buffer = self._buffer[newline + 1:]
+                message = self._decode(line)
+                if message is not None:
+                    return message
+                continue
+            if len(self._buffer) > MAX_LINE_BYTES:
+                self._buffer = b""
+                self.malformed += 1
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            self._buffer += chunk
+
+    def _decode(self, line: bytes) -> dict | None:
+        if not line.strip():
+            return None
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self.malformed += 1
+            return None
+        if (
+            not isinstance(message, dict)
+            or message.get("type") not in MESSAGE_TYPES
+        ):
+            self.malformed += 1
+            return None
+        return message

@@ -29,6 +29,7 @@ virtual time.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections import deque
 from collections.abc import Callable
@@ -201,10 +202,13 @@ class SLOStatus:
 class SLOMonitor:
     """Rolling good/bad streams per SLO, evaluated to burn rates.
 
-    Thread-compatible with the scheduler's usage: ``record_job`` is
-    called under the scheduler lock; ``evaluate`` copies nothing that
-    mutates concurrently in a way that matters (bucket triples are
-    appended/pruned atomically enough for monitoring data).
+    Thread-safe: the monitor takes its own lock around every record and
+    every evaluation.  ``record_job`` is called from the scheduler's
+    settle path (under the scheduler lock) while ``evaluate`` runs from
+    HTTP handler threads (``GET /slo``, ``/healthz``, ``/metrics``) and
+    from ``close()``-time drains — without the internal lock those
+    evaluations iterate bucket deques that a concurrent settle is
+    appending to or pruning from.
     """
 
     def __init__(
@@ -221,6 +225,8 @@ class SLOMonitor:
         self.slos = tuple(slos) if slos is not None else default_slos()
         if len({spec.name for spec in self.slos}) != len(self.slos):
             raise ValueError("SLO names must be unique")
+        # Reentrant: worst_state()/to_dict() call evaluate() under it.
+        self._lock = threading.RLock()
         self.fast_window = fast_window
         self.slow_window = slow_window
         self.warn_burn = warn_burn
@@ -243,9 +249,10 @@ class SLOMonitor:
 
     def record(self, name: str, good: bool, count: int = 1) -> None:
         """Record ``count`` good/bad events against one SLO's stream."""
-        counter = self._counters.get(name)
-        if counter is not None:
-            counter.record(good, count)
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is not None:
+                counter.record(good, count)
 
     def record_job(
         self,
@@ -260,23 +267,24 @@ class SLOMonitor:
         degradation only judge *successful* jobs (a failure should not
         double-dip into every budget).
         """
-        self.record("availability", ok)
-        if not ok:
-            return
-        latency_spec = next(
-            (
-                spec
-                for spec in self.slos
-                if spec.latency_threshold_seconds is not None
-            ),
-            None,
-        )
-        if latency_spec is not None and duration_seconds is not None:
-            self.record(
-                latency_spec.name,
-                duration_seconds <= latency_spec.latency_threshold_seconds,
+        with self._lock:
+            self.record("availability", ok)
+            if not ok:
+                return
+            latency_spec = next(
+                (
+                    spec
+                    for spec in self.slos
+                    if spec.latency_threshold_seconds is not None
+                ),
+                None,
             )
-        self.record("degradation", not degraded)
+            if latency_spec is not None and duration_seconds is not None:
+                self.record(
+                    latency_spec.name,
+                    duration_seconds <= latency_spec.latency_threshold_seconds,
+                )
+            self.record("degradation", not degraded)
 
     # -- evaluation --------------------------------------------------------
 
@@ -296,6 +304,10 @@ class SLOMonitor:
 
     def evaluate(self) -> list[SLOStatus]:
         """Every SLO's burn rates + state, in declaration order."""
+        with self._lock:
+            return self._evaluate_locked()
+
+    def _evaluate_locked(self) -> list[SLOStatus]:
         statuses = []
         for spec in self.slos:
             counter = self._counters[spec.name]
@@ -328,20 +340,24 @@ class SLOMonitor:
     def worst_state(self) -> str:
         order = {"ok": 0, "warning": 1, "critical": 2}
         worst = "ok"
-        for status in self.evaluate():
-            if order[status.state] > order[worst]:
-                worst = status.state
+        with self._lock:
+            for status in self._evaluate_locked():
+                if order[status.state] > order[worst]:
+                    worst = status.state
         return worst
 
     def to_dict(self) -> dict:
         """The full ``GET /slo`` document body."""
-        return {
-            "fast_window_seconds": self.fast_window,
-            "slow_window_seconds": self.slow_window,
-            "warn_burn_rate": self.warn_burn,
-            "critical_burn_rate": self.critical_burn,
-            "slos": [status.to_dict() for status in self.evaluate()],
-        }
+        with self._lock:
+            return {
+                "fast_window_seconds": self.fast_window,
+                "slow_window_seconds": self.slow_window,
+                "warn_burn_rate": self.warn_burn,
+                "critical_burn_rate": self.critical_burn,
+                "slos": [
+                    status.to_dict() for status in self._evaluate_locked()
+                ],
+            }
 
     def __repr__(self) -> str:
         names = ",".join(spec.name for spec in self.slos)

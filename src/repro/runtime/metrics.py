@@ -25,7 +25,11 @@ import time
 from collections.abc import Iterator
 from contextlib import contextmanager
 
-from ..observability.histograms import Histogram, HistogramSnapshot
+from ..observability.histograms import (
+    DEFAULT_BOUNDS,
+    Histogram,
+    HistogramSnapshot,
+)
 
 
 @dataclasses.dataclass
@@ -131,6 +135,89 @@ class MetricsSnapshot:
                 histogram.to_dict() for histogram in self.histograms
             ],
         }
+
+
+def _histogram_from_dict(doc: dict) -> HistogramSnapshot | None:
+    """Rebuild one histogram snapshot from its sparse JSON form.
+
+    ``to_dict`` keeps only non-empty buckets; the counts vector is
+    re-expanded against :data:`DEFAULT_BOUNDS`.  Histograms recorded
+    with custom bounds cannot be reconstructed from the sparse form and
+    yield ``None`` (the caller skips them).
+    """
+    bounds = DEFAULT_BOUNDS
+    index_of = {bound: index for index, bound in enumerate(bounds)}
+    index_of[float("inf")] = len(bounds)
+    counts = [0] * (len(bounds) + 1)
+    for bucket in doc.get("buckets", ()):
+        index = index_of.get(float(bucket["le"]))
+        if index is None:
+            return None
+        counts[index] = int(bucket["count"])
+    count = int(doc.get("count", 0))
+    return HistogramSnapshot(
+        name=str(doc["name"]),
+        labels=_label_key(doc.get("labels", {})),
+        bounds=bounds,
+        counts=tuple(counts),
+        count=count,
+        sum=float(doc.get("sum", 0.0)),
+        min=float(doc.get("min", 0.0)) if count else 0.0,
+        max=float(doc.get("max", 0.0)) if count else 0.0,
+    )
+
+
+def snapshot_from_dict(doc: dict) -> MetricsSnapshot:
+    """The inverse of :meth:`MetricsSnapshot.to_dict`.
+
+    Lets a snapshot cross a process boundary as JSON — a fleet worker
+    ships ``snapshot().to_dict()`` inside its heartbeat and the
+    supervisor rebuilds it here before handing it to
+    :meth:`RuntimeMetrics.merge_snapshot` (or to
+    ``merge_worker_telemetry`` for worker-labelled publication).
+    Histogram series whose sparse bucket bounds are not the default
+    log-scale ladder are dropped rather than misreconstructed; raises
+    ``ValueError``/``KeyError``/``TypeError`` on a structurally torn
+    document so callers can discard the whole blob.
+    """
+    histograms = []
+    for histogram_doc in doc.get("histograms", ()):
+        histogram = _histogram_from_dict(histogram_doc)
+        if histogram is not None:
+            histograms.append(histogram)
+    return MetricsSnapshot(
+        counters={
+            str(name): int(value)
+            for name, value in doc.get("counters", {}).items()
+        },
+        stages={
+            str(name): StageTiming(
+                calls=int(stage.get("calls", 0)),
+                seconds=float(stage.get("seconds", 0.0)),
+                max_seconds=float(stage.get("max_seconds", 0.0)),
+                wall_seconds=float(stage.get("wall_seconds", 0.0)),
+            )
+            for name, stage in doc.get("stages", {}).items()
+        },
+        histograms=tuple(histograms),
+        timestamp=float(doc.get("timestamp", 0.0)),
+        counter_series=tuple(
+            (
+                str(series["name"]),
+                _label_key(series.get("labels", {})),
+                int(series["value"]),
+            )
+            for series in doc.get("counter_series", ())
+        ),
+        gauges=tuple(
+            (
+                str(series["name"]),
+                _label_key(series.get("labels", {})),
+                float(series["value"]),
+            )
+            for series in doc.get("gauges", ())
+        ),
+    )
 
 
 class RuntimeMetrics:

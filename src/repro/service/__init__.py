@@ -45,6 +45,7 @@ from .client import (
     ServiceClient,
     ServiceError,
     ServiceUnavailableError,
+    SubmitEnvelope,
 )
 from .http_api import (
     DEFAULT_HOST,
@@ -86,6 +87,7 @@ __all__ = [
     "ServiceServer",
     "ServiceUnavailableError",
     "StoreCorruptionError",
+    "SubmitEnvelope",
     "document_checksum",
     "job_key",
     "make_server",

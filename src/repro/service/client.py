@@ -90,6 +90,76 @@ DEFAULT_RETRY_POLICY = RetryPolicy(
     seed=0,
 )
 
+#: How many submit envelopes the client remembers for resubmission.
+ENVELOPE_WINDOW = 256
+
+
+@dataclasses.dataclass(frozen=True)
+class SubmitEnvelope:
+    """The complete, immutable description of one job submission.
+
+    An idempotency key only guarantees exactly-once *admission*; for the
+    retried submission to mean the same thing it must also carry the
+    same scenario, kind, quality, **priority**, timeout, and seed.  The
+    client therefore freezes every submission into an envelope, keeps a
+    window of them keyed by idempotency key, and
+    :meth:`ServiceClient.resubmit` replays the envelope verbatim —
+    nothing is rebuilt from (possibly different) defaults.  The fleet
+    supervisor rides the same type when it re-dispatches a dead worker's
+    unsettled jobs to a survivor.
+    """
+
+    scenario: str
+    kind: str = "estimate"
+    quality: str | None = None
+    priority: int = 0
+    timeout: float | None = None
+    seed: int = 1
+    correlation_id: str | None = None
+    idempotency_key: str = ""
+
+    def body(self) -> dict:
+        """The full ``POST /jobs`` body — priority always included, so a
+        resubmission can never silently fall back to the default."""
+        doc: dict = {
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "seed": self.seed,
+            "priority": self.priority,
+        }
+        if self.quality is not None:
+            doc["quality"] = self.quality
+        if self.timeout is not None:
+            doc["timeout"] = self.timeout
+        return doc
+
+    def headers(self) -> dict:
+        doc = {"Idempotency-Key": self.idempotency_key}
+        if self.correlation_id:
+            doc["X-Correlation-ID"] = self.correlation_id
+        return doc
+
+    def to_dict(self) -> dict:
+        """A JSON form (ridden by the fleet control plane)."""
+        doc = self.body()
+        doc["idempotency_key"] = self.idempotency_key
+        if self.correlation_id:
+            doc["correlation_id"] = self.correlation_id
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> SubmitEnvelope:
+        return cls(
+            scenario=doc["scenario"],
+            kind=doc.get("kind", "estimate"),
+            quality=doc.get("quality"),
+            priority=int(doc.get("priority", 0)),
+            timeout=doc.get("timeout"),
+            seed=int(doc.get("seed", 1)),
+            correlation_id=doc.get("correlation_id"),
+            idempotency_key=doc.get("idempotency_key", ""),
+        )
+
 
 def _retry_after_hint(payload: dict, headers) -> float | None:
     value = payload.get("retry_after")
@@ -125,6 +195,9 @@ class ServiceClient:
         self.retry_policy = policy
         self._sleep = sleep
         self.retries_total = 0
+        #: Recent submissions by idempotency key, for full-envelope
+        #: resubmission after a 503 (insertion-ordered, bounded window).
+        self._envelopes: dict[str, SubmitEnvelope] = {}
 
     # -- plumbing ---------------------------------------------------------
 
@@ -223,21 +296,62 @@ class ServiceClient:
         the ack) resolves to the *original* job on resubmission instead
         of a duplicate execution — including across a service restart,
         because the journal carries the dedup window.
+
+        The full submission is frozen into a :class:`SubmitEnvelope`
+        remembered under its key (:meth:`envelope`), so a later
+        :meth:`resubmit` after backpressure re-sends *exactly* what was
+        sent the first time — same priority included, not whatever the
+        call-site defaults happen to be.
         """
-        body: dict = {"scenario": scenario, "kind": kind, "seed": seed}
-        if quality is not None:
-            body["quality"] = quality
-        if priority:
-            body["priority"] = priority
-        if timeout is not None:
-            body["timeout"] = timeout
-        headers = {
-            "Idempotency-Key": idempotency_key or uuid.uuid4().hex,
-        }
-        if correlation_id:
-            headers["X-Correlation-ID"] = correlation_id
-        _, doc = self._request("POST", "/jobs", body, headers=headers)
+        envelope = SubmitEnvelope(
+            scenario=scenario,
+            kind=kind,
+            quality=quality,
+            priority=priority,
+            timeout=timeout,
+            seed=seed,
+            correlation_id=correlation_id,
+            idempotency_key=idempotency_key or uuid.uuid4().hex,
+        )
+        return self.submit_envelope(envelope)
+
+    def submit_envelope(self, envelope: SubmitEnvelope) -> dict:
+        """Submit one frozen envelope (the resubmission-safe path)."""
+        if not envelope.idempotency_key:
+            envelope = dataclasses.replace(
+                envelope, idempotency_key=uuid.uuid4().hex
+            )
+        self._remember(envelope)
+        _, doc = self._request(
+            "POST", "/jobs", envelope.body(), headers=envelope.headers()
+        )
         return doc["job"]
+
+    def resubmit(self, idempotency_key: str) -> dict:
+        """Re-send the original envelope for ``idempotency_key``.
+
+        The correct follow-up to a :class:`BackpressureError`: the same
+        key *and* the same body ride again, so the service either dedups
+        onto the original job or admits an identical one — never a
+        default-priority clone of a high-priority submission.
+        """
+        envelope = self._envelopes.get(idempotency_key)
+        if envelope is None:
+            raise KeyError(
+                f"no remembered envelope for idempotency key "
+                f"{idempotency_key!r}"
+            )
+        return self.submit_envelope(envelope)
+
+    def envelope(self, idempotency_key: str) -> SubmitEnvelope | None:
+        """The remembered envelope for a key, if still in the window."""
+        return self._envelopes.get(idempotency_key)
+
+    def _remember(self, envelope: SubmitEnvelope) -> None:
+        self._envelopes.pop(envelope.idempotency_key, None)
+        self._envelopes[envelope.idempotency_key] = envelope
+        while len(self._envelopes) > ENVELOPE_WINDOW:
+            self._envelopes.pop(next(iter(self._envelopes)))
 
     def status(self, job_id: str) -> dict:
         _, doc = self._request("GET", f"/jobs/{job_id}")

@@ -1,0 +1,578 @@
+"""Fleet-level chaos harness: kill, hang, and mute a live fleet.
+
+One :func:`run_fleet_chaos` call is one seeded fleet lifetime: a real
+:class:`~repro.fleet.FleetSupervisor` (TCP control plane, liveness
+monitor, failover machinery — nothing stubbed) over **in-process**
+simulated workers.  Each sim worker is the same stack a worker process
+runs — a journalled :class:`~repro.service.JobScheduler` behind a real
+HTTP server, dialling the supervisor's control socket and heartbeating
+— but lives on threads, so a schedule finishes in seconds instead of
+paying process fork+import tax per worker.
+
+Death is simulated with the fidelity the exactly-once claim needs.
+``SIGKILL`` cannot be delivered to a thread, so :meth:`SimWorker.kill9`
+makes the worker *as dead as the journal can see*: the journal is
+poisoned (appends raise :class:`~repro.durability.JournalCrashed` —
+the same fencing the crash-sim harness uses), the shared-store handle
+is poisoned (a dead process cannot spool results either), and the HTTP
+server stops accepting.  Abandoned scheduler threads may keep running
+— exactly like the last scheduled instants of a killed process — but
+nothing they do can reach disk.  By the time ``kill9`` returns the
+:class:`~repro.fleet.supervisor.WorkerBackend.kill` contract holds:
+the worker can no longer write its journal, so the supervisor's
+fence-rename is safe.
+
+The invariant asserted per seed is the fleet's headline claim:
+
+    every acknowledged submission settles **exactly once** — exactly
+    one durable settled record across every journal in the fleet
+    (fenced and live), or exactly one supervisor completion from the
+    shared store, never both — and the served result is byte-identical
+    to a serial, single-scheduler execution of the same job.
+
+"Acknowledged" means the front end returned 202.  Shed (503) and
+dead-worker-window submissions are retried with the *same* idempotency
+key, exactly like a real client.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+import socket
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.durability import FlushPolicy, JobJournal, RecoveryManager
+from repro.fleet import FleetSupervisor, make_fleet_server, worker_dirs
+from repro.fleet.protocol import (
+    MessageReader,
+    goodbye_message,
+    heartbeat_message,
+    hello_message,
+    send_message,
+)
+from repro.fleet.supervisor import WorkerBackend
+from repro.scenarios import resolve_scenario
+from repro.service import JobScheduler, ReportStore, ServiceClient, make_server
+from repro.service.client import BackpressureError, ServiceUnavailableError
+
+#: Scenarios cheap enough to run dozens of times per schedule.
+SCENARIO_POOL = ("example", "s1-s2", "s1-s3", "m1-d2", "d1-d2")
+
+#: How long one schedule may take to settle everything (wall clock;
+#: generous because CI machines stall).
+SETTLE_TIMEOUT = 60.0
+
+#: Sim heartbeat cadence and liveness deadline: fast enough that a
+#: failover costs tenths of a second, slow enough that a GC pause is
+#: not a spurious death.
+HEARTBEAT_INTERVAL = 0.04
+LIVENESS_DEADLINE = 0.5
+
+
+class PoisonableStore(ReportStore):
+    """A shared-store handle that dies with its worker.
+
+    A SIGKILLed process cannot spool results after death; in-process
+    zombie threads could.  Poisoning ``put`` restores the real
+    semantics (the scheduler treats a failing spool as best-effort, so
+    the zombie shrugs and the supervisor sees an absent result —
+    the re-dispatch path, not a phantom completion).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.dead = False
+
+    def put(self, key: str, doc: dict) -> None:
+        if self.dead:
+            raise OSError("worker killed (simulated)")
+        super().put(key, doc)
+
+
+class SimWorker:
+    """One in-process worker: real scheduler, journal, HTTP, heartbeat."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        epoch: int,
+        fleet_dir: Path,
+        control_port: int,
+        *,
+        flush_policy: FlushPolicy,
+        job_workers: int = 2,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    ) -> None:
+        self.worker_id = worker_id
+        self.epoch = epoch
+        self.heartbeat_interval = heartbeat_interval
+        journal_dir, spool_dir = worker_dirs(fleet_dir, worker_id)
+        self.store = PoisonableStore(directory=spool_dir)
+        self.journal = JobJournal(journal_dir, flush=flush_policy)
+        self.scheduler = JobScheduler(
+            store=self.store,
+            workers=job_workers,
+            journal=self.journal,
+            trace=False,
+        )
+        self.server = make_server(self.scheduler, host="127.0.0.1", port=0)
+        self.http_port = self.server.server_address[1]
+        self.alive = True
+        #: Chaos switches (the supervisor never sees these directly).
+        self.mute = False
+        self._drop_remaining = 0
+        self._stop = threading.Event()
+        self._lifecycle = threading.Lock()
+        self._beats = 0
+        self._sock = socket.create_connection(
+            ("127.0.0.1", control_port), timeout=10.0
+        )
+        self._threads = [
+            threading.Thread(
+                # Tight poll so kill9's shutdown() costs milliseconds,
+                # not the stdlib's half-second default.
+                target=lambda: self.server.serve_forever(poll_interval=0.02),
+                name=f"sim-{worker_id}-http",
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"sim-{worker_id}-beat",
+                daemon=True,
+            ),
+        ]
+        send_message(
+            self._sock,
+            hello_message(worker_id, epoch, 0, self.http_port),
+        )
+        for thread in self._threads:
+            thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            self._beats += 1
+            if self._drop_remaining > 0:
+                self._drop_remaining -= 1
+                continue
+            if self.mute:
+                continue
+            try:
+                send_message(
+                    self._sock,
+                    heartbeat_message(
+                        self.worker_id, self.epoch, self._beats
+                    ),
+                )
+            except OSError:
+                return  # connection closed: fenced or supervisor gone
+
+    def drop_beats(self, count: int) -> None:
+        """Chaos: go silent for the next ``count`` beats, then resume."""
+        self._drop_remaining = count
+
+    def kill9(self) -> None:
+        """Make the worker dead enough to fence.  Idempotent.
+
+        Order matters: poison the journal and store *first* (no append
+        or spool write can succeed from this line on), then stop the
+        control plane and HTTP ingress, then abandon the scheduler.
+        """
+        with self._lifecycle:
+            if not self.alive:
+                return
+            self.alive = False
+        self.journal.crashed = True
+        self.store.dead = True
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self.server.shutdown()
+        self.server.server_close()
+        self.scheduler.close(wait=False, timeout=0.0)
+
+    def graceful_stop(self) -> None:
+        """Drain like SIGTERM: goodbye, stop ingress, settle the queue."""
+        with self._lifecycle:
+            if not self.alive:
+                return
+            self.alive = False
+        self._stop.set()
+        try:
+            send_message(
+                self._sock, goodbye_message(self.worker_id, self.epoch)
+            )
+            self._sock.close()
+        except OSError:
+            pass
+        self.server.shutdown()
+        self.server.server_close()
+        self.scheduler.close(wait=True, timeout=10.0)
+
+
+class SimWorkerBackend(WorkerBackend):
+    """In-process workers behind the real supervisor control plane."""
+
+    def __init__(
+        self,
+        fleet_dir: Path,
+        *,
+        flush_policy: FlushPolicy | None = None,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    ) -> None:
+        self.fleet_dir = Path(fleet_dir)
+        self.flush_policy = (
+            flush_policy if flush_policy is not None else FlushPolicy.strict()
+        )
+        self.heartbeat_interval = heartbeat_interval
+        #: Latest handle per worker id (chaos targets the current epoch).
+        self.current: dict[str, SimWorker] = {}
+        self.spawned: list[SimWorker] = []
+
+    def spawn(self, worker_id: str, epoch: int, control_port: int):
+        handle = SimWorker(
+            worker_id,
+            epoch,
+            self.fleet_dir,
+            control_port,
+            flush_policy=self.flush_policy,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+        self.current[worker_id] = handle
+        self.spawned.append(handle)
+        return handle
+
+    def kill(self, handle) -> None:
+        if handle is not None:
+            handle.kill9()
+
+    def terminate(self, handle) -> None:
+        if handle is not None:
+            handle.graceful_stop()
+
+    def is_alive(self, handle) -> bool:
+        return handle is not None and handle.alive
+
+    def close_all(self) -> None:
+        for handle in self.spawned:
+            handle.kill9()
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetFault:
+    """One chaos action, injected after ``after_jobs`` submissions."""
+
+    kind: str  # "kill9" | "hang" | "drop"
+    worker_index: int
+    after_jobs: int
+    drop_beats: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    scenario: str
+    kind: str
+    quality: str | None
+    priority: int
+
+
+class FleetChaosSchedule:
+    """The seeded plan: fleet size, workload, and fault injections.
+
+    Derived entirely from ``random.Random(seed)`` so a failing seed
+    reproduces exactly.  Kills dominate (they exercise fence + replay +
+    re-dispatch); hangs exercise the liveness deadline against a worker
+    that is still executing; drops exercise deadline tolerance.
+    """
+
+    def __init__(self, seed: int) -> None:
+        rng = random.Random(seed)
+        self.seed = seed
+        self.workers = rng.randint(2, 3)
+        total = rng.randint(4, 7)
+        self.jobs = [
+            JobSpec(
+                scenario=rng.choice(SCENARIO_POOL),
+                kind="estimate" if rng.random() < 0.8 else "assess",
+                quality=rng.choice(("low", "high", None)),
+                priority=rng.randint(0, 3),
+            )
+            for _ in range(total)
+        ]
+        #: Index of a job re-submitted under its original key (dedup).
+        self.duplicate_of = (
+            rng.randrange(total) if rng.random() < 0.5 else None
+        )
+        self.faults = sorted(
+            (
+                FleetFault(
+                    kind=rng.choice(("kill9", "kill9", "kill9", "hang", "drop")),
+                    worker_index=rng.randrange(self.workers),
+                    after_jobs=rng.randint(1, total),
+                    drop_beats=rng.randint(1, 3),
+                )
+                for _ in range(rng.randint(1, 2))
+            ),
+            key=lambda fault: fault.after_jobs,
+        )
+        self.flush_policy = rng.choice(
+            (
+                FlushPolicy.strict(),
+                FlushPolicy.batched(records=4, seconds=None),
+            )
+        )
+
+
+@dataclasses.dataclass
+class FleetSimResult:
+    """What one seed did, for assertions and reporting."""
+
+    seed: int
+    workers: int
+    acked: dict[str, str]
+    failovers: int
+    redispatched: int
+    completed_from_store: int
+    settled_by_key: dict[str, int]
+    faults: tuple[FleetFault, ...]
+
+
+def _submit_with_retry(
+    client: ServiceClient, spec: JobSpec, key: str, deadline: float
+) -> dict:
+    """Submit like a real client: same idempotency key on every retry.
+
+    Shed (503 + retry_after) and dead-worker-window failures both
+    resolve by resubmitting the identical envelope once capacity
+    returns — the fleet either dedups onto the original route or admits
+    it fresh, never both.
+    """
+    limit = time.monotonic() + deadline
+    first = True
+    while True:
+        try:
+            if first:
+                return client.submit(
+                    spec.scenario,
+                    kind=spec.kind,
+                    quality=spec.quality,
+                    priority=spec.priority,
+                    idempotency_key=key,
+                )
+            return client.resubmit(key)
+        except (BackpressureError, ServiceUnavailableError):
+            first = False
+            if time.monotonic() >= limit:
+                raise
+            time.sleep(0.05)
+
+
+def _await_live(supervisor: FleetSupervisor, count: int, deadline: float):
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        if supervisor.status()["live"] >= count:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"fleet never reached {count} live workers: {supervisor.status()}"
+    )
+
+
+def _serial_oracle(specs: set[JobSpec]) -> dict[JobSpec, str]:
+    """Canonical bytes per job spec from one serial scheduler."""
+    store = ReportStore()
+    scheduler = JobScheduler(store=store, workers=1, trace=False)
+    oracle: dict[JobSpec, str] = {}
+    try:
+        for spec in specs:
+            scenario = resolve_scenario(spec.scenario, 1)
+            job = scheduler.submit(
+                scenario, kind=spec.kind, quality=spec.quality
+            )
+            scheduler.wait(job.id, timeout=SETTLE_TIMEOUT)
+            assert job.state.value == "done", (
+                f"oracle job {spec} ended {job.state}: {job.error}"
+            )
+            oracle[spec] = json.dumps(job.result, sort_keys=True)
+    finally:
+        scheduler.close(wait=True, timeout=5.0)
+    return oracle
+
+
+def ensure_oracle(
+    cache: dict[JobSpec, str], specs: set[JobSpec]
+) -> dict[JobSpec, str]:
+    """Fill ``cache`` with any missing serial-oracle results.
+
+    The matrix shares one cache across seeds: scenario content is
+    deterministic, so each distinct (scenario, kind, quality) costs one
+    serial execution for the whole run.
+    """
+    missing = specs - cache.keys()
+    if missing:
+        cache.update(_serial_oracle(missing))
+    return cache
+
+
+def _journal_settles(fleet_dir: Path) -> Counter:
+    """Durable settled records per idempotency key, across every
+    journal in the fleet — live and fenced alike."""
+    settles: Counter = Counter()
+    workers_root = fleet_dir / "workers"
+    if not workers_root.is_dir():
+        return settles
+    for journal_dir in sorted(workers_root.glob("*/journal*")):
+        journal = JobJournal(journal_dir)  # opening never writes
+        try:
+            replay = RecoveryManager(journal).replay()
+        finally:
+            journal.close()
+        for state in replay.jobs.values():
+            if state.is_settled and state.idempotency_key:
+                settles[state.idempotency_key] += 1
+    return settles
+
+
+def run_fleet_chaos(
+    seed: int, directory: Path, *, oracle: dict | None = None
+) -> FleetSimResult:
+    """Run one seeded fleet chaos schedule and assert the invariants.
+
+    ``oracle`` optionally carries pre-computed serial results keyed by
+    :class:`JobSpec` (the test matrix shares one across seeds).
+    """
+    schedule = FleetChaosSchedule(seed)
+    fleet_dir = Path(directory) / f"fleet-{seed}"
+    backend = SimWorkerBackend(
+        fleet_dir, flush_policy=schedule.flush_policy
+    )
+    supervisor = FleetSupervisor(
+        fleet_dir,
+        workers=schedule.workers,
+        backend=backend,
+        heartbeat_interval=HEARTBEAT_INTERVAL,
+        liveness_deadline=LIVENESS_DEADLINE,
+        startup_grace=5.0,
+        restart_dead=True,
+    )
+    server = None
+    try:
+        supervisor.start()
+        _await_live(supervisor, schedule.workers, deadline=10.0)
+        server = make_fleet_server(supervisor)
+        threading.Thread(
+            target=lambda: server.serve_forever(poll_interval=0.02),
+            name="fleet-frontend",
+            daemon=True,
+        ).start()
+        client = ServiceClient(server.url, timeout=30.0)
+
+        faults = list(schedule.faults)
+        acked: dict[str, str] = {}
+        key_by_index: dict[int, str] = {}
+        for index, spec in enumerate(schedule.jobs):
+            while faults and faults[0].after_jobs <= index:
+                _inject(backend, faults.pop(0))
+            key = f"fleet-{seed}-{index}"
+            job = _submit_with_retry(client, spec, key, deadline=30.0)
+            acked[key] = job["id"]
+            key_by_index[index] = key
+        for fault in faults:
+            _inject(backend, fault)
+        if schedule.duplicate_of is not None:
+            # A client retry after an ambiguous ack: same key, same
+            # envelope — must resolve to the original route.
+            index = schedule.duplicate_of
+            duplicate = _submit_with_retry(
+                client,
+                schedule.jobs[index],
+                key_by_index[index],
+                deadline=30.0,
+            )
+            assert duplicate["id"] == acked[key_by_index[index]], (
+                f"seed {seed}: duplicate key "
+                f"{key_by_index[index]} got a new route "
+                f"({duplicate['id']} != {acked[key_by_index[index]]})"
+            )
+
+        # Every acknowledged job must settle DONE with the right bytes.
+        oracle = ensure_oracle(
+            oracle if oracle is not None else {}, set(schedule.jobs)
+        )
+        for index, spec in enumerate(schedule.jobs):
+            key = key_by_index[index]
+            result = client.result(
+                acked[key], deadline=SETTLE_TIMEOUT, poll_interval=0.03
+            )
+            served = json.dumps(result, sort_keys=True)
+            assert served == oracle[spec], (
+                f"seed {seed}: job {key} ({spec}) served bytes differ "
+                f"from the serial oracle"
+            )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        supervisor.close()
+        backend.close_all()
+
+    # Post-mortem: exactly-once settlement, from the journals' own
+    # testimony.  Each acknowledged key has **at most one** settlement
+    # authority — a durable settled record somewhere in the fleet's
+    # journals (fenced or live), or a supervisor completion from the
+    # shared store — never two.  A key with *no* trace is legitimate in
+    # exactly one case: the job was served straight off the warm shared
+    # store (the scheduler's read-through hit journals nothing because
+    # there is nothing to recover) — in which case the store must
+    # actually hold the job's content key.
+    settles = _journal_settles(fleet_dir)
+    for key in acked:
+        route = supervisor.route_for_key(key)
+        assert route is not None, f"seed {seed}: no route for acked {key}"
+        from_store = bool(
+            route.settled is not None and route.settled.get("from_store")
+        )
+        journal_count = settles.get(key, 0)
+        total = journal_count + (1 if from_store else 0)
+        assert total <= 1, (
+            f"seed {seed}: key {key} settled {journal_count} time(s) in "
+            f"journals and {'also' if from_store else 'not'} from the "
+            f"store — duplicate settlement; faults={schedule.faults}"
+        )
+        if total == 0:
+            assert supervisor.store.contains(route.store_key), (
+                f"seed {seed}: key {key} has no settlement trace and the "
+                f"shared store lacks {route.store_key} — the served "
+                f"result came from nowhere; faults={schedule.faults}"
+            )
+    return FleetSimResult(
+        seed=seed,
+        workers=schedule.workers,
+        acked=acked,
+        failovers=supervisor.failovers_total,
+        redispatched=supervisor.redispatched_total,
+        completed_from_store=supervisor.completed_from_store_total,
+        settled_by_key=dict(settles),
+        faults=tuple(schedule.faults),
+    )
+
+
+def _inject(backend: SimWorkerBackend, fault: FleetFault) -> None:
+    worker_id = f"w{fault.worker_index}"
+    handle = backend.current.get(worker_id)
+    if handle is None or not handle.alive:
+        return  # a previous fault already took this worker down
+    if fault.kind == "kill9":
+        handle.kill9()
+    elif fault.kind == "hang":
+        handle.mute = True  # still executing, silent on the control plane
+    elif fault.kind == "drop":
+        handle.drop_beats(fault.drop_beats)
+    else:  # pragma: no cover - schedule generator bug
+        raise ValueError(f"unknown fault kind {fault.kind!r}")

@@ -1,0 +1,161 @@
+"""Real-process fleet smokes: SIGKILL and SIGSTOP against live workers.
+
+The chaos matrix (:mod:`tests.sim.test_fleet_chaos`) drives failover
+through in-process workers; these smokes complement it with the blunt
+real thing — actual ``python -m repro.fleet.worker`` processes getting
+``kill -9``'d and ``SIGSTOP``'d mid-workload — asserting the same
+contract: every acknowledged job settles exactly once, the fleet heals
+(dead worker respawned at the next epoch), and nothing is served that
+a serial execution would not have produced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.fleet import FleetSupervisor, make_fleet_server
+from repro.service import ServiceClient
+
+from .fleet_harness import _journal_settles
+
+pytestmark = pytest.mark.slow
+
+
+def _start_fleet(tmp_path, workers=2):
+    supervisor = FleetSupervisor(
+        tmp_path / "fleet",
+        workers=workers,
+        heartbeat_interval=0.25,
+        startup_grace=30.0,
+    )
+    supervisor.start()
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if supervisor.status()["live"] == workers:
+            break
+        time.sleep(0.1)
+    else:
+        raise AssertionError(
+            f"fleet never came up: {supervisor.status()}"
+        )
+    server = make_fleet_server(supervisor)
+    threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
+    ).start()
+    return supervisor, server
+
+
+def _await_healed(supervisor, workers, deadline_seconds=30.0):
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        if supervisor.status()["live"] == workers:
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"fleet never healed: {supervisor.status()}")
+
+
+def _assert_exactly_once(supervisor, fleet_dir, acked):
+    settles = _journal_settles(fleet_dir)
+    for key in acked:
+        route = supervisor.route_for_key(key)
+        assert route is not None, f"no route for acked key {key}"
+        from_store = bool(
+            route.settled is not None and route.settled.get("from_store")
+        )
+        total = settles.get(key, 0) + (1 if from_store else 0)
+        assert total <= 1, f"key {key} settled {total} times"
+        if total == 0:
+            assert supervisor.store.contains(route.store_key)
+
+
+def test_sigkill_worker_failover_exactly_once(tmp_path):
+    supervisor, server = _start_fleet(tmp_path)
+    try:
+        client = ServiceClient(server.url, timeout=30.0)
+        acked = {}
+        for index in range(4):
+            key = f"sigkill-{index}"
+            job = client.submit(
+                "example" if index % 2 else "s1-s2",
+                quality="high",
+                priority=3,  # never shed while the fleet is degraded
+                idempotency_key=key,
+            )
+            acked[key] = job["id"]
+        victim = supervisor.status()["workers"][0]
+        assert victim["pid"], victim
+        os.kill(victim["pid"], signal.SIGKILL)
+
+        results = {
+            key: client.result(job_id, deadline=60.0)
+            for key, job_id in acked.items()
+        }
+        for key, result in results.items():
+            assert result["kind"] in ("estimate", "assess"), (key, result)
+        assert supervisor.failovers_total >= 1
+        _await_healed(supervisor, workers=2)
+        status = supervisor.status()
+        respawned = next(
+            worker
+            for worker in status["workers"]
+            if worker["worker_id"] == victim["worker_id"]
+        )
+        assert respawned["epoch"] == victim["epoch"] + 1
+        assert respawned["state"] == "live"
+        _assert_exactly_once(supervisor, supervisor.fleet_dir, acked)
+        # Determinism across the fleet: resubmitting a settled key
+        # returns the original route, and the served bytes are stable.
+        again = client.resubmit("sigkill-0")
+        assert again["id"] == acked["sigkill-0"]
+        stable = client.result(acked["sigkill-0"], deadline=30.0)
+        assert json.dumps(stable, sort_keys=True) == json.dumps(
+            results["sigkill-0"], sort_keys=True
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        supervisor.close()
+
+
+def test_sigstop_hung_worker_is_fenced_and_replaced(tmp_path):
+    supervisor, server = _start_fleet(tmp_path)
+    try:
+        client = ServiceClient(server.url, timeout=30.0)
+        acked = {}
+        for index in range(3):
+            key = f"sigstop-{index}"
+            job = client.submit(
+                "s1-s3", quality="low", priority=3, idempotency_key=key
+            )
+            acked[key] = job["id"]
+        victim = supervisor.status()["workers"][1]
+        assert victim["pid"], victim
+        # SIGSTOP: the process is alive but silent — exactly the case
+        # the liveness deadline (not process exit) must catch.
+        os.kill(victim["pid"], signal.SIGSTOP)
+
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if supervisor.failovers_total >= 1:
+                break
+            time.sleep(0.1)
+        assert supervisor.failovers_total >= 1, supervisor.status()
+
+        for key, job_id in acked.items():
+            result = client.result(job_id, deadline=60.0)
+            assert result["scenario"] == "s1-s3", (key, result)
+        _await_healed(supervisor, workers=2)
+        healthz = client.healthz()
+        assert healthz["fleet"]["live"] == 2
+        assert healthz["fleet"]["failovers"] >= 1
+        _assert_exactly_once(supervisor, supervisor.fleet_dir, acked)
+    finally:
+        server.shutdown()
+        server.server_close()
+        supervisor.close()

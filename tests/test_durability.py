@@ -490,6 +490,29 @@ class TestStoreEviction:
             release.set()
             scheduler.close()
 
+    def test_spool_eviction_tracks_protection_churn(self, tmp_path):
+        """Protection is consulted per sweep, not latched at put time:
+        a key pinned through many sweeps becomes evictable the moment
+        the protection set stops naming it."""
+        metrics = RuntimeMetrics()
+        protected: set[str] = {"pinned"}
+        store = ReportStore(tmp_path, metrics, max_spool_bytes=300)
+        store.protected_keys = lambda: set(protected)
+        store.put("pinned", {"pad": "x" * 100})
+        time.sleep(0.02)
+        # Churn the spool hard: "pinned" is always the oldest file and
+        # would be the first eviction candidate, but stays immune.
+        for index in range(4):
+            store.put(f"churn-{index}", {"pad": "x" * 100})
+            time.sleep(0.02)
+            assert (tmp_path / "pinned.json").exists(), index
+        protected.clear()
+        store.put("after", {"pad": "x" * 100})
+        names = {path.stem for path in tmp_path.glob("*.json")}
+        assert "pinned" not in names, "released key survived the sweep"
+        assert "after" in names
+        assert metrics.snapshot().counters["store_evictions"] >= 1
+
     def test_cap_validation(self):
         with pytest.raises(ValueError):
             ReportStore(max_entries=0)

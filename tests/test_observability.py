@@ -934,6 +934,54 @@ class TestSLOMonitor:
         with pytest.raises(ValueError):
             SLOMonitor((SLOSpec("dup", 0.9), SLOSpec("dup", 0.9)))
 
+    def test_concurrent_settlement_and_evaluation_never_deadlock(self):
+        """The ``JobScheduler.close()`` interleaving: worker threads are
+        still settling (``record_job``) while health/status readers call
+        ``worst_state()``/``to_dict()`` — both of which re-enter the
+        monitor lock through ``evaluate``.  A non-reentrant lock hangs
+        here; the join timeout turns that hang into a failure."""
+        monitor = SLOMonitor()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def hammer(operation):
+            try:
+                while not stop.is_set():
+                    operation()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=hammer,
+                args=(
+                    lambda: monitor.record_job(
+                        ok=True, duration_seconds=0.01
+                    ),
+                ),
+                daemon=True,
+            )
+            for _ in range(2)
+        ] + [
+            threading.Thread(
+                target=hammer, args=(monitor.worst_state,), daemon=True
+            ),
+            threading.Thread(
+                target=hammer, args=(monitor.to_dict,), daemon=True
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not any(
+            thread.is_alive() for thread in threads
+        ), "SLO monitor deadlocked under concurrent settle + evaluate"
+        assert not errors, errors
+        assert monitor.worst_state() in ("ok", "warning", "critical")
+
     def test_to_dict_is_the_slo_document_body(self):
         now = [5000.0]
         monitor = self._monitor(now)

@@ -393,7 +393,23 @@ class TestHealthMonitor:
             "state": "draining",
             "reasons": [],
             "warnings": [],
+            "fleet_degraded": False,
         }
+
+    def test_fleet_degraded_sits_between_warning_and_degraded(self):
+        health = HealthMonitor()
+        health.set_fleet_degraded(True)
+        assert health.state is HealthState.FLEET_DEGRADED
+        assert health.snapshot()["fleet_degraded"] is True
+        # A hard reason outranks partial fleet loss ...
+        health.flag("circuit_open")
+        assert health.state is HealthState.DEGRADED
+        health.clear("circuit_open")
+        # ... while fleet loss outranks an SLO advisory.
+        health.set_warning("slo:availability", True)
+        assert health.state is HealthState.FLEET_DEGRADED
+        health.set_fleet_degraded(False)
+        assert health.state is HealthState.SLO_WARNING
 
     def test_warnings_are_advisory_and_outranked_by_reasons(self):
         health = HealthMonitor()
