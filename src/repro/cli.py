@@ -637,13 +637,21 @@ def _fleet_status(args: argparse.Namespace) -> int:
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
-    from .service import BackpressureError, ServiceClient, ServiceError
+    from .service import (
+        BackpressureError,
+        DeadlineExceededError,
+        ServiceClient,
+        ServiceError,
+    )
 
     url = args.url or os.environ.get(SERVICE_URL_ENV_VAR) or (
         "http://127.0.0.1:8765"
     )
     client = ServiceClient(url)
     try:
+        # The wait budget doubles as the end-to-end deadline: the client
+        # ships it as X-Deadline-Ms so the server bounds execution too
+        # (an explicit --timeout still wins as the body field).
         job = client.submit(
             args.scenario,
             kind=args.kind,
@@ -651,6 +659,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
             priority=args.priority,
             timeout=args.timeout,
             seed=args.seed,
+            deadline=args.deadline,
         )
     except BackpressureError as exc:
         print(
@@ -665,13 +674,25 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if args.no_wait:
         return 0
     try:
-        result = client.result(job["id"], deadline=args.deadline)
+        # The server's settle contract is deadline + grace: a run that
+        # overruns still lands a partial result inside the grace window,
+        # so the local wait must outlive the execution deadline by that
+        # much (plus poll slack) to collect it.
+        from .runtime.deadline import DEFAULT_GRACE
+
+        result = client.result(
+            job["id"], deadline=args.deadline + DEFAULT_GRACE + 1.0
+        )
+    except DeadlineExceededError as exc:
+        print(f"efes: {exc}", file=sys.stderr)
+        return 1
     except ServiceError as exc:
         print(f"efes: job {job['id']} failed: {exc}", file=sys.stderr)
         return 1
     except TimeoutError as exc:
         print(f"efes: {exc}", file=sys.stderr)
         return 1
+    degraded = bool(result.get("deadline_exceeded"))
     if args.kind == "estimate":
         total = result["estimate"]["total_minutes"]
         tasks = len(result["estimate"]["entries"])
@@ -685,7 +706,16 @@ def cmd_submit(args: argparse.Namespace) -> int:
             for name, body in result["reports"].items()
         )
         print(f"assessed {result['scenario']}: {counts}")
-    return 0
+    if degraded:
+        print(
+            "efes: deadline exceeded mid-run; estimate covers completed "
+            "stages only (unrun stages are degraded tombstones)",
+            file=sys.stderr,
+        )
+    # Same convention as `efes fleet` / `efes slo`: exit 3 marks a
+    # degraded (partial) answer that scripts should treat differently
+    # from success or failure.
+    return EXIT_DEGRADED if degraded else 0
 
 
 def cmd_slo(args: argparse.Namespace) -> int:
@@ -1049,7 +1079,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline",
         type=float,
         default=120.0,
-        help="seconds to wait for the result (default: 120)",
+        help="end-to-end deadline in seconds: sent as X-Deadline-Ms so "
+        "the server bounds execution, and bounds the local wait for the "
+        "result (default: 120)",
     )
     submit.add_argument(
         "--no-wait",

@@ -19,6 +19,7 @@ import time
 from ..observability import Span, Tracer, tracing
 from ..resilience import DegradedResult, format_exception, split_degraded
 from ..runtime import Runtime, RuntimeMetrics, get_runtime
+from ..runtime.deadline import checkpoint as deadline_checkpoint
 from ..scenarios.scenario import IntegrationScenario
 from .effort import (
     EffortEstimate,
@@ -210,6 +211,11 @@ class Efes:
                 with tracing.span(f"planner:{module.name}") as span:
                     started = time.perf_counter()
                     try:
+                        # Past a deadline this raises per planner, so each
+                        # unrun module tombstones (non-strict) and the
+                        # surviving tasks still get priced — the partial
+                        # estimate a timed-out job settles with.
+                        deadline_checkpoint("planner", module=module.name)
                         planned = module.plan(scenario, report, quality)
                     except Exception as exc:  # noqa: BLE001 - degradation
                         if strict_mode:

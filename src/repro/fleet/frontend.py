@@ -242,12 +242,20 @@ class FleetHandler(BaseHTTPRequestHandler):
                 if body.get("quality") in ("low", "low_effort")
                 else "high_quality"
             )
+            timeout = body.get("timeout")
+            if timeout is None:
+                # Same contract as the worker HTTP API: the client's
+                # X-Deadline-Ms header is the execution budget unless
+                # the body names a timeout explicitly.
+                deadline_ms = self.headers.get("X-Deadline-Ms")
+                if deadline_ms is not None:
+                    timeout = float(deadline_ms) / 1000.0
             envelope = SubmitEnvelope(
                 scenario=str(name),
                 kind=kind,
                 quality=quality if kind == "estimate" else None,
                 priority=int(body.get("priority", 0)),
-                timeout=body.get("timeout"),
+                timeout=timeout,
                 seed=seed,
                 correlation_id=(
                     body.get("correlation_id")

@@ -153,6 +153,12 @@ class JobRoute:
     settled: dict | None = None
     redispatches: int = 0
     parked: bool = False
+    #: Supervisor-clock admission time.  ``envelope`` always keeps the
+    #: *original* submission; a re-dispatch sends a copy whose timeout
+    #: is the budget remaining since this instant — a job that burned
+    #: 8s of a 10s budget on a dead worker gets 2s on the survivor,
+    #: not a fresh 10s.
+    admitted_at: float = 0.0
 
 
 class WorkerBackend:
@@ -559,7 +565,7 @@ class FleetSupervisor:
                 for route in self._routes.values()
                 if route.worker_id == worker_id and route.settled is None
             ]
-        settled = redispatched = parked = 0
+        settled = redispatched = parked = exhausted = 0
         for route in owned:
             state = replayed_jobs.get(route.remote_id)
             if state is not None and state.is_settled:
@@ -585,8 +591,15 @@ class FleetSupervisor:
                 self.completed_from_store_total += 1
                 self.metrics.increment("fleet_completed_from_store")
                 continue
+            remaining = self._remaining_budget(route)
+            if remaining is not None and remaining <= 0:
+                self._fail_exhausted(route)
+                exhausted += 1
+                continue
             if self._redispatch(route, exclude={worker_id}):
                 redispatched += 1
+            elif route.settled is not None:
+                exhausted += 1
             else:
                 parked += 1
         self.events.emit(
@@ -596,16 +609,55 @@ class FleetSupervisor:
             settled=settled,
             redispatched=redispatched,
             parked=parked,
+            deadline_exhausted=exhausted,
         )
         return {
             "settled": settled,
             "redispatched": redispatched,
             "parked": parked,
+            "deadline_exhausted": exhausted,
             "fenced": str(fenced) if fenced is not None else None,
         }
 
+    def _remaining_budget(self, route: JobRoute) -> float | None:
+        """Seconds left of the route's original execution budget.
+
+        ``None`` for unbounded submissions.  Measured from admission on
+        the supervisor's clock, so time burned on a dead worker — and
+        time spent parked — counts against the budget.
+        """
+        timeout = route.envelope.timeout
+        if timeout is None:
+            return None
+        return timeout - (self.clock() - route.admitted_at)
+
+    def _fail_exhausted(self, route: JobRoute) -> None:
+        """Settle a route whose budget died with its worker(s)."""
+        with self._lock:
+            route.settled = {
+                "state": "failed",
+                "error": (
+                    f"timed out after {route.envelope.timeout:g}s "
+                    "(budget exhausted across failover)"
+                ),
+            }
+            route.worker_id = None
+            route.parked = False
+        self.metrics.increment("fleet_deadline_exhausted")
+        self.events.emit(
+            "fleet.job.deadline_exhausted",
+            job_id=route.job_id,
+            timeout=route.envelope.timeout,
+            redispatches=route.redispatches,
+        )
+
     def _redispatch(self, route: JobRoute, exclude: set[str]) -> bool:
-        """Send a route's original envelope to a ring survivor."""
+        """Send a route's envelope — with its *remaining* budget — to a
+        ring survivor."""
+        remaining = self._remaining_budget(route)
+        if remaining is not None and remaining <= 0:
+            self._fail_exhausted(route)
+            return False
         target = self._assign(route.store_key, exclude=exclude)
         if target is None:
             with self._lock:
@@ -620,8 +672,14 @@ class FleetSupervisor:
                 route.worker_id = None
                 self._parked.append(route.job_id)
             return False
+        envelope = route.envelope
+        if remaining is not None:
+            # The successor receives only what is left of the original
+            # budget; the route keeps the pristine envelope so a second
+            # failover subtracts from the same anchor.
+            envelope = dataclasses.replace(envelope, timeout=remaining)
         try:
-            job = client.submit_envelope(route.envelope)
+            job = client.submit_envelope(envelope)
         except (ServiceError, OSError):
             with self._lock:
                 route.parked = True
@@ -655,6 +713,10 @@ class FleetSupervisor:
             if route is None or route.settled is not None or not route.parked:
                 continue
             if not self._redispatch(route, exclude=set()):
+                if route.settled is not None:
+                    # Budget ran out while parked: the route failed,
+                    # but the next parked job may still have time left.
+                    continue
                 return  # went straight back to the park queue; stop
 
     def _refresh_degradation(self) -> None:
@@ -725,6 +787,7 @@ class FleetSupervisor:
                     "store_key": store_key,
                     "from_store": True,
                 },
+                admitted_at=self.clock(),
             )
             self._remember(route)
             self.metrics.increment("fleet_jobs_from_store")
@@ -747,6 +810,7 @@ class FleetSupervisor:
             remote_id=job["id"],
             envelope=envelope,
             store_key=store_key,
+            admitted_at=self.clock(),
         )
         self._remember(route)
         self.metrics.increment("fleet_jobs_routed")

@@ -20,6 +20,7 @@ from collections import defaultdict
 
 from ..relational.database import Database
 from ..relational.instance import RelationInstance
+from ..runtime.deadline import checkpoint
 
 
 @dataclasses.dataclass(frozen=True)
@@ -98,6 +99,7 @@ def compute_relation_uccs(
     names = database.schema.relation(relation_name).attribute_names
     unary_uccs: set[str] = set()
     for name in names:
+        checkpoint("ucc", relation=relation_name)
         if _is_unique(instance, (name,)):
             unary_uccs.add(name)
             results.append(UniqueColumnCombination(relation_name, (name,)))
@@ -106,6 +108,7 @@ def compute_relation_uccs(
     for left, right in itertools.combinations(names, 2):
         if left in unary_uccs or right in unary_uccs:
             continue  # not minimal
+        checkpoint("ucc", relation=relation_name)
         if _is_unique(instance, (left, right)):
             results.append(
                 UniqueColumnCombination(relation_name, (left, right))
@@ -149,6 +152,7 @@ def compute_inds(
     """
 
     def relation_value_sets(relation):
+        checkpoint("ind.scan", relation=relation.name)
         instance = database.table(relation.name)
         return [
             ((relation.name, name), instance.distinct(name))
@@ -174,6 +178,7 @@ def _inds_from_value_sets(
     for (lhs_rel, lhs_attr), lhs_values in value_sets.items():
         if len(lhs_values) < min_values:
             continue
+        checkpoint("ind", relation=lhs_rel)
         for (rhs_rel, rhs_attr), rhs_values in value_sets.items():
             if (lhs_rel, lhs_attr) == (rhs_rel, rhs_attr):
                 continue
@@ -216,6 +221,7 @@ def compute_relation_fds(
         for dependent in names:
             if dependent == determinant:
                 continue
+            checkpoint("fd", relation=relation_name)
             dep_index = instance.relation.index_of(dependent)
             mapping: dict[object, object] = {}
             holds = True

@@ -20,6 +20,7 @@ from ..relational.constraints import (
 )
 from ..relational.database import Database
 from ..relational.datatypes import DataType
+from ..runtime.deadline import checkpoint
 from .dependencies import discover_fds, discover_inds, discover_uccs
 from .statistics import (
     CharacterHistogram,
@@ -118,6 +119,11 @@ def compute_column_profile(
     values = instance.column(attribute_name)
     statistics: dict[str, Statistic] = {}
     for statistic_type in statistic_types_for(datatype):
+        checkpoint(
+            "profile.statistic",
+            relation=relation_name,
+            attribute=attribute_name,
+        )
         statistic = statistic_type.compute(values)
         statistics[statistic_type.name] = statistic
     return ColumnProfile(

@@ -5,7 +5,9 @@ declares **named injection sites** — ``detector``, ``profile``,
 ``store.read``, ``store.write``, ``store.fsync``, ``scheduler.dispatch``,
 ``http.handler``, ``journal.append``, ``journal.fsync``,
 ``journal.replay``, ``spool.read``, ``spool.write``,
-``process.dispatch``, ``process.worker`` — and a
+``process.dispatch``, ``process.worker``, ``deadline.checkpoint`` (fires
+only under an active :class:`~repro.runtime.deadline.CancelScope`, so
+delay rules stall exactly the code that must notice deadlines) — and a
 :class:`FaultPlan` decides, deterministically,
 which of them misbehave.  A plan is a list of :class:`FaultPoint` rules;
 each rule matches a site (optionally filtered on the site's context,

@@ -17,6 +17,17 @@ Public surface:
 """
 
 from .cache import ProfileCache, fingerprint_database, fingerprint_scenario
+from .deadline import (
+    CancelScope,
+    Deadline,
+    DeadlineExceededError,
+    OperationCancelled,
+    WorkerReapedError,
+    checkpoint,
+    current_scope,
+    remaining_scope,
+    wire_deadline,
+)
 from .engine import (
     BACKEND_ENV_VAR,
     Runtime,
@@ -44,8 +55,12 @@ from .spool import (
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "CancelScope",
+    "Deadline",
+    "DeadlineExceededError",
     "Executor",
     "MetricsSnapshot",
+    "OperationCancelled",
     "ProcessExecutor",
     "ProfileCache",
     "Runtime",
@@ -58,12 +73,17 @@ __all__ = [
     "SpoolMissError",
     "StageTiming",
     "ThreadedExecutor",
+    "WorkerReapedError",
     "auto_worker_count",
+    "checkpoint",
+    "current_scope",
     "default_runtime",
     "fingerprint_database",
     "fingerprint_scenario",
     "get_runtime",
     "in_process_worker",
     "make_executor",
+    "remaining_scope",
     "set_default_runtime",
+    "wire_deadline",
 ]

@@ -1,0 +1,249 @@
+"""Deadlines and cooperative cancellation for the assessment pipeline.
+
+The paper's premise is pricing work before doing it; this module applies
+the same discipline to the estimator's own execution.  A job admitted
+with a budget either finishes inside it or stops burning resources at
+the next *checkpoint*, returning whatever partial estimate it earned.
+
+Three pieces, mirroring the contextvars design of the Tracer:
+
+``Deadline``
+    An absolute point on the monotonic clock with ``remaining()`` /
+    ``expired``.  Budgets are shipped across process boundaries as
+    *remaining seconds* (never absolute times — the worker's clock is
+    not ours) and re-anchored with :func:`remaining_scope`.
+
+``CancelScope``
+    Couples an optional deadline with an optional external cancel event
+    (the scheduler passes the job's ``cancel_event``) plus the grace
+    window the reaper honours.  ``activated()`` installs the scope in a
+    contextvar so checkpoints anywhere below — detectors, profiling
+    loops, dependency lattice search — observe it without plumbing.
+
+``checkpoint(site)``
+    The cooperative cancellation point.  With no active scope it is one
+    contextvar read and a ``None`` check (gated <5% by
+    ``bench_deadline_overhead.py``).  Under an active scope it is also
+    the ``deadline.checkpoint`` fault site, so chaos schedules can
+    stall exactly the code that is supposed to notice deadlines; the
+    scope is re-checked *after* an injected delay so an overrun is
+    noticed at this checkpoint, not the next one.
+
+Cancellation raises :class:`OperationCancelled` (or its deadline
+flavour :class:`DeadlineExceededError`); the engine's degradation
+boundaries convert those into :class:`~repro.resilience.DegradedResult`
+tombstones, which is what turns a timed-out run into a priced partial
+estimate instead of a crash.  :class:`WorkerReapedError` marks the
+non-cooperative path: a pool worker that ignored its shipped budget past
+the grace window and was hard-killed by the executor's reaper.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+
+from ..observability import tracing
+from ..resilience.faults import fault_point
+
+__all__ = [
+    "DEFAULT_GRACE",
+    "CancelScope",
+    "Deadline",
+    "DeadlineExceededError",
+    "OperationCancelled",
+    "WorkerReapedError",
+    "checkpoint",
+    "current_scope",
+    "remaining_scope",
+    "wire_deadline",
+]
+
+#: Seconds a cancelled computation gets to reach its next checkpoint
+#: before the hard layers (scheduler grace reap, process-pool reaper)
+#: take over.
+DEFAULT_GRACE = 0.5
+
+
+class OperationCancelled(Exception):
+    """A checkpoint observed that the active scope was cancelled."""
+
+    reason = "cancelled"
+
+    def __init__(
+        self, message: str = "operation cancelled", site: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class DeadlineExceededError(OperationCancelled):
+    """The active scope's deadline expired."""
+
+    reason = "deadline"
+
+    def __init__(
+        self, message: str = "deadline exceeded", site: str = ""
+    ) -> None:
+        super().__init__(message, site)
+
+
+class WorkerReapedError(DeadlineExceededError):
+    """A pool worker overran deadline + grace and was hard-killed."""
+
+    reason = "reaped"
+
+    def __init__(
+        self, message: str = "worker reaped past deadline", site: str = ""
+    ) -> None:
+        super().__init__(message, site)
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now (clamped non-negative)."""
+        return cls(time.monotonic() + max(0.0, float(seconds)))
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+_SCOPE: contextvars.ContextVar["CancelScope | None"] = contextvars.ContextVar(
+    "repro_cancel_scope", default=None
+)
+
+
+class CancelScope:
+    """A deadline and/or cancel event observed by checkpoints below."""
+
+    __slots__ = ("deadline", "cancel_event", "grace", "label")
+
+    def __init__(
+        self,
+        deadline: Deadline | None = None,
+        cancel_event: "threading.Event | None" = None,
+        *,
+        grace: float = DEFAULT_GRACE,
+        label: str = "",
+    ) -> None:
+        self.deadline = deadline
+        self.cancel_event = cancel_event
+        self.grace = max(0.0, float(grace))
+        self.label = label
+
+    def cancel_reason(self) -> str | None:
+        """``"deadline"``, ``"cancelled"``, or ``None`` if still live.
+
+        Deadline wins over an external cancel: the scheduler sets the
+        job's ``cancel_event`` when its deadline fires, and the partial
+        -result settlement path needs to tell the two apart.
+        """
+        if self.deadline is not None and self.deadline.expired:
+            return "deadline"
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            return "cancelled"
+        return None
+
+    def remaining(self) -> float | None:
+        """Seconds of budget left, or ``None`` for an unbounded scope."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline.remaining())
+
+    @contextlib.contextmanager
+    def activated(self):
+        """Install this scope for the duration of the ``with`` block."""
+        token = _SCOPE.set(self)
+        try:
+            yield self
+        finally:
+            _SCOPE.reset(token)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CancelScope(label={self.label!r}, deadline={self.deadline!r}, "
+            f"grace={self.grace:g})"
+        )
+
+
+def current_scope() -> CancelScope | None:
+    """The innermost active scope, or ``None``."""
+    return _SCOPE.get()
+
+
+def checkpoint(site: str = "", **context) -> None:
+    """Cooperative cancellation point for the pipeline's hot loops.
+
+    Raises :class:`DeadlineExceededError` /
+    :class:`OperationCancelled` when the active scope is cancelled; a
+    no-op (one contextvar read) when no scope is active.
+    """
+    scope = _SCOPE.get()
+    if scope is None:
+        return
+    reason = scope.cancel_reason()
+    if reason is None:
+        # The named chaos site: injected delays model slow work landing
+        # exactly where cancellation should be noticed.  Re-check after
+        # the (possible) stall so an overrun aborts here, not one full
+        # work unit later.
+        fault_point("deadline.checkpoint", checkpoint=site, **context)
+        reason = scope.cancel_reason()
+    if reason is None:
+        return
+    where = site or "checkpoint"
+    span = tracing.current_span()
+    if span is not None:
+        span.set_attribute("cancelled_at", where)
+        span.set_attribute("cancel_reason", reason)
+    if reason == "deadline":
+        raise DeadlineExceededError(
+            f"deadline exceeded at checkpoint {where!r}", site=where
+        )
+    raise OperationCancelled(
+        f"operation cancelled at checkpoint {where!r}", site=where
+    )
+
+
+def wire_deadline() -> float | None:
+    """The active scope's remaining budget, for shipping inside a task.
+
+    Returns *remaining seconds* (monotonic clocks do not travel across
+    process boundaries), or ``None`` when the run is unbounded.
+    """
+    scope = _SCOPE.get()
+    if scope is None or scope.deadline is None:
+        return None
+    return max(0.0, scope.deadline.remaining())
+
+
+@contextlib.contextmanager
+def remaining_scope(seconds: float | None, *, label: str = ""):
+    """Re-anchor a shipped budget against the local clock (worker side).
+
+    ``None`` means unbounded: yields without installing a scope.
+    """
+    if seconds is None:
+        yield None
+        return
+    scope = CancelScope(deadline=Deadline.after(seconds), label=label)
+    with scope.activated():
+        yield scope

@@ -32,6 +32,12 @@ from ..observability import tracing
 from ..observability.context import SpanContext, merge_worker_telemetry
 from ..resilience import DegradedResult, fault_point, format_exception
 from .cache import ProfileCache
+from .deadline import (
+    OperationCancelled,
+    WorkerReapedError,
+    checkpoint,
+    wire_deadline,
+)
 from .executor import Executor, make_executor
 from .metrics import RuntimeMetrics
 
@@ -174,6 +180,7 @@ class Runtime:
             with tracing.span(f"detector:{module.name}") as span:
                 started = time.perf_counter()
                 try:
+                    checkpoint("detector", detector=module.name)
                     fault_point(
                         "detector", name=module.name, scenario=scenario.name
                     )
@@ -203,9 +210,20 @@ class Runtime:
         with tracing.span("assess", scenario=scenario.name), \
                 self.metrics.time_stage("assess"):
             if self._process_eligible(len(modules)):
-                processed = self._run_detectors_process(
-                    modules, scenario, on_error
-                )
+                try:
+                    processed = self._run_detectors_process(
+                        modules, scenario, on_error
+                    )
+                except OperationCancelled as exc:
+                    # A deadline abort (worker self-abort or pool reap)
+                    # is not an infra failure: never re-run serially.
+                    # Per-task attribution was lost with the pool, so
+                    # every module tombstones in degrade mode.
+                    if on_error == "raise":
+                        raise
+                    processed = self._cancelled_reports(
+                        modules, scenario, exc
+                    )
                 if processed is not None:
                     return processed
             reports = self.map_ordered(
@@ -239,17 +257,22 @@ class Runtime:
             spool = self.spool()
             fingerprint = spool.put_scenario(scenario)
             context = SpanContext.capture()
+            budget = wire_deadline()
             tasks = [
                 (
                     str(spool.directory),
                     fingerprint,
                     pickle.dumps(module),
+                    budget,
                     context,
                 )
                 for module in modules
             ]
             self.metrics.increment("tasks_submitted", by=len(tasks))
             outcomes = self.executor.run_tasks(workers.assess_module, tasks)
+        except OperationCancelled as exc:
+            self._note_cancelled(exc, stage="detectors")
+            raise
         except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
             self._note_process_fallback(exc, stage="detectors")
             return None
@@ -308,6 +331,9 @@ class Runtime:
             else database.schema.attribute(relation_name, attribute_name).datatype
         )
         def compute():
+            checkpoint(
+                "profile", relation=relation_name, attribute=attribute_name
+            )
             fault_point(
                 "profile", relation=relation_name, attribute=attribute_name
             )
@@ -388,6 +414,7 @@ class Runtime:
                 for pair in pairs
                 if self.cache.peek(database, keyed[pair][0]) is None
             ]
+            budget = wire_deadline()
             tasks = [
                 (
                     str(spool.directory),
@@ -395,12 +422,16 @@ class Runtime:
                     pair[0],
                     pair[1],
                     keyed[pair][1].value,
+                    budget,
                     context,
                 )
                 for pair in missing
             ]
             self.metrics.increment("tasks_submitted", by=len(tasks))
             outcomes = self.executor.run_tasks(workers.profile_column, tasks)
+        except OperationCancelled as exc:
+            self._note_cancelled(exc, stage="profile")
+            raise
         except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
             self._note_process_fallback(exc, stage="profile")
             return None
@@ -518,12 +549,14 @@ class Runtime:
             spool = self.spool()
             fingerprint = spool.put_database(database)
             context = SpanContext.capture()
+            budget = wire_deadline()
             tasks = [
                 (
                     str(spool.directory),
                     fingerprint,
                     relation.name,
                     *extra,
+                    budget,
                     context,
                 )
                 for relation in relations
@@ -532,6 +565,9 @@ class Runtime:
             outcomes = self.executor.run_tasks(
                 getattr(workers, worker_name), tasks
             )
+        except OperationCancelled as exc:
+            self._note_cancelled(exc, stage=stage)
+            raise
         except Exception as exc:  # noqa: BLE001 - degrade to serial, never fail
             self._note_process_fallback(exc, stage=stage)
             return None
@@ -544,6 +580,32 @@ class Runtime:
             )
             chunks.append(chunk)
         return chunks
+
+    def _cancelled_reports(
+        self, modules: Sequence, scenario, exc: OperationCancelled
+    ) -> dict:
+        """Tombstone every module after a pool-level deadline abort."""
+        error = format_exception(exc)
+        reports: dict = {}
+        for module in modules:
+            self.metrics.increment("degraded_total")
+            self.metrics.increment("detectors_degraded")
+            reports[module.name] = DegradedResult(
+                module=module.name,
+                phase="assess",
+                error=error,
+                elapsed_seconds=0.0,
+                scenario=scenario.name,
+            )
+        return reports
+
+    def _note_cancelled(self, exc: OperationCancelled, stage: str) -> None:
+        """Account a deadline abort surfacing from the process backend."""
+        if isinstance(exc, WorkerReapedError):
+            self.metrics.increment("worker_reaped")
+            events = self._event_sink()
+            if events is not None:
+                events.emit("worker.reaped", stage=stage, error=str(exc))
 
     def _event_sink(self):
         """The event log that worker events and fallback records land in.

@@ -26,7 +26,10 @@ import os
 import threading
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
+
+from .deadline import WorkerReapedError, current_scope
 
 
 def auto_worker_count() -> int:
@@ -197,6 +200,8 @@ class ProcessExecutor(Executor):
         self._pooled_tasks = 0
         self._inline_tasks = 0
         self._peak_inflight = 0
+        self._reaps = 0
+        self._reaped_workers = 0
 
     def stats(self) -> dict:
         """Pool utilization counters for the resource-telemetry gauges."""
@@ -207,6 +212,8 @@ class ProcessExecutor(Executor):
                 "pooled_tasks": self._pooled_tasks,
                 "inline_tasks": self._inline_tasks,
                 "peak_inflight": self._peak_inflight,
+                "reaps": self._reaps,
+                "reaped_workers": self._reaped_workers,
                 "pool_live": self._pool is not None,
             }
 
@@ -253,13 +260,63 @@ class ProcessExecutor(Executor):
             futures: Sequence[Future] = [
                 pool.submit(function, payload) for payload in payloads
             ]
-            return [future.result() for future in futures]
+            scope = current_scope()
+            if scope is None or scope.deadline is None:
+                return [future.result() for future in futures]
+            return self._collect_with_deadline(futures, scope)
         except BrokenProcessPool:
             with self._pool_lock:
                 if self._pool is not None:
                     self._pool.shutdown(wait=False, cancel_futures=True)
                     self._pool = None
             raise
+
+    def _collect_with_deadline(self, futures: Sequence[Future], scope) -> list:
+        """Collect results, hard-killing workers that overrun the grace.
+
+        Workers normally self-abort at their shipped-budget checkpoints;
+        this is the backstop for a *runaway* worker (stuck in an
+        un-checkpointed loop or a blocking call).  Once the scope's
+        deadline plus grace passes without the next result, every pool
+        process is SIGKILLed and the pool discarded — the next dispatch
+        builds a fresh one via the usual broken-pool replacement path —
+        and :class:`WorkerReapedError` propagates to the engine.
+        """
+        results = []
+        for future in futures:
+            budget = scope.deadline.remaining() + scope.grace
+            try:
+                results.append(future.result(timeout=max(0.0, budget)))
+            except _FutureTimeout:
+                reaped = self._reap_pool()
+                raise WorkerReapedError(
+                    f"pool worker overran the deadline by more than "
+                    f"{scope.grace:g}s grace; reaped {reaped} worker "
+                    f"process(es)"
+                ) from None
+        return results
+
+    def _reap_pool(self) -> int:
+        """SIGKILL every pool worker process and discard the pool."""
+        import signal
+
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return 0
+        killed = 0
+        for process in list(getattr(pool, "_processes", {}).values()):
+            if process.is_alive():
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                    killed += 1
+                except OSError:  # pragma: no cover - already exiting
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        with self._stats_lock:
+            self._reaps += 1
+            self._reaped_workers += killed
+        return killed
 
     def shutdown(self) -> None:
         with self._pool_lock:

@@ -32,6 +32,13 @@ element of its result tuple (``None`` untraced, costing nothing).
 any real work, so crash-injection plans (armed via
 ``$REPRO_FAULT_PLAN``, which child processes inherit) can kill workers
 deterministically; the engine answers with a serial fallback.
+
+Deadlines cross the boundary as the payload element *before* the span
+context: the remaining budget in seconds (``None`` when unbounded).
+The worker re-anchors it against its own monotonic clock
+(:func:`~repro.runtime.deadline.remaining_scope`) and self-aborts at
+its next checkpoint once the budget is gone — the cooperative half of
+runaway-worker reclamation; the executor's reaper is the backstop.
 """
 
 from __future__ import annotations
@@ -55,7 +62,7 @@ def assess_module(task) -> tuple:
     """Run one detector module against a spooled scenario.
 
     Payload: ``(spool_directory, scenario_fingerprint, module_pickle,
-    span_context)``.  Returns ``(status, payload, error_text,
+    remaining_budget, span_context)``.  Returns ``(status, payload, error_text,
     elapsed_seconds, cache_entries, telemetry)`` where ``payload`` is
     the module report on ``OK`` or a pickled exception (``None`` if
     unpicklable) on ``ERROR``; module failures are *data*, not
@@ -65,10 +72,11 @@ def assess_module(task) -> tuple:
     (``None`` when the parent run is untraced); a failing detector
     still ships the spans it opened, error annotation included.
     """
-    spool_directory, scenario_fingerprint, module_blob, context = task
+    spool_directory, scenario_fingerprint, module_blob, budget, context = task
     from ..observability import telemetry_session, tracing
     from ..resilience import format_exception
     from ..resilience.faults import fault_point
+    from .deadline import remaining_scope
     from .engine import Runtime
     from .spool import ScenarioSpool
 
@@ -81,7 +89,7 @@ def assess_module(task) -> tuple:
     session = telemetry_session(context, metrics=runtime.metrics)
     status, payload, error_text = OK, None, None
     started = time.perf_counter()
-    with session, runtime.activated():
+    with session, runtime.activated(), remaining_scope(budget):
         session.emit(
             "worker.task",
             stage="detector",
@@ -122,8 +130,8 @@ def profile_column(task) -> tuple:
     """Profile one column of a spooled database.
 
     Payload: ``(spool_directory, database_fingerprint, relation_name,
-    attribute_name, datatype_value, span_context)``.  Returns
-    ``(profile, elapsed, telemetry)``.
+    attribute_name, datatype_value, remaining_budget, span_context)``.
+    Returns ``(profile, elapsed, telemetry)``.
     """
     (
         spool_directory,
@@ -131,17 +139,19 @@ def profile_column(task) -> tuple:
         relation_name,
         attribute_name,
         datatype_value,
+        budget,
         context,
     ) = task
     from ..observability import telemetry_session, tracing
     from ..profiling.profiler import compute_column_profile
     from ..relational.datatypes import DataType
     from ..resilience.faults import fault_point
+    from .deadline import remaining_scope
 
     fault_point("process.worker", stage="profile")
     database = _rehydrated_database(spool_directory, fingerprint)
     session = telemetry_session(context)
-    with session:
+    with session, remaining_scope(budget):
         with tracing.span(
             "profile",
             relation=relation_name,
@@ -170,14 +180,16 @@ def _relation_worker(task, *, stage: str, span_name: str, compute) -> tuple:
     ``(result, elapsed, telemetry)``.
     """
     spool_directory, fingerprint, relation_name = task[:3]
+    budget = task[-2]
     context = task[-1]
     from ..observability import telemetry_session, tracing
     from ..resilience.faults import fault_point
+    from .deadline import remaining_scope
 
     fault_point("process.worker", stage=stage)
     database = _rehydrated_database(spool_directory, fingerprint)
     session = telemetry_session(context)
-    with session:
+    with session, remaining_scope(budget):
         with tracing.span(
             span_name,
             relation=relation_name,
@@ -194,7 +206,8 @@ def relation_uccs(task) -> tuple:
     """UCC discovery for one relation of a spooled database.
 
     Payload: ``(spool_directory, database_fingerprint, relation_name,
-    max_arity, span_context)``.  Returns ``(uccs, elapsed, telemetry)``.
+    max_arity, remaining_budget, span_context)``.  Returns
+    ``(uccs, elapsed, telemetry)``.
     """
     from ..profiling.dependencies import compute_relation_uccs
 
@@ -213,7 +226,8 @@ def relation_fds(task) -> tuple:
     """FD discovery for one relation of a spooled database.
 
     Payload: ``(spool_directory, database_fingerprint, relation_name,
-    span_context)``.  Returns ``(fds, elapsed, telemetry)``.
+    remaining_budget, span_context)``.  Returns
+    ``(fds, elapsed, telemetry)``.
     """
     from ..profiling.dependencies import compute_relation_fds
 
@@ -226,7 +240,8 @@ def relation_value_sets(task) -> tuple:
     """Distinct-value sets for one relation (the IND scan's hot half).
 
     Payload: ``(spool_directory, database_fingerprint, relation_name,
-    span_context)``.  Returns ``([((relation, attribute), values), ...],
+    remaining_budget, span_context)``.  Returns
+    ``([((relation, attribute), values), ...],
     elapsed, telemetry)`` in schema attribute order; the parent runs the
     pairwise subset checks so result order stays canonical.
     """

@@ -41,6 +41,7 @@ points.
 
 from .client import (
     BackpressureError,
+    DeadlineExceededError,
     JobFailedError,
     ServiceClient,
     ServiceError,
@@ -71,6 +72,7 @@ from .store import (
 
 __all__ = [
     "BackpressureError",
+    "DeadlineExceededError",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DRAINING_ERROR",

@@ -12,7 +12,13 @@ resources one method each.  Error taxonomy:
   ``retry_after`` hint the service sent, and **is retried** under the
   client's :class:`~repro.resilience.RetryPolicy` (exponential backoff,
   full jitter, ``Retry-After`` honoured) before surfacing,
-* :class:`ServiceError` — any other HTTP-level error, raised as-is.
+* :class:`ServiceError` — any other HTTP-level error, raised as-is,
+* :class:`DeadlineExceededError` — the caller's end-to-end ``deadline=``
+  passed before the request (or polled result) arrived.  Subclasses
+  :class:`TimeoutError`, so existing ``except TimeoutError`` callers
+  keep working; like :class:`BackpressureError` it is **never** retried
+  automatically — a retry past the deadline can only waste budget the
+  caller no longer has.
 
 No bare :class:`urllib.error.URLError` ever escapes.  ``sleep`` is
 injectable so retry behaviour is testable in virtual time::
@@ -80,6 +86,21 @@ class JobFailedError(ServiceError):
     """The polled job reached FAILED or CANCELLED instead of DONE."""
 
 
+class DeadlineExceededError(ServiceError, TimeoutError):
+    """The client-side deadline passed before the service answered.
+
+    Dual-inherits :class:`TimeoutError` so callers that predate the
+    deadline API (``except TimeoutError`` around ``result()``) keep
+    working unchanged.
+    """
+
+    def __init__(
+        self, message: str, *, deadline: float | None = None
+    ) -> None:
+        ServiceError.__init__(self, 504, {"error": message})
+        self.deadline = deadline
+
+
 #: Default client-side retry: a few quick attempts on unavailability
 #: only; deterministic jitter so tests are reproducible.
 DEFAULT_RETRY_POLICY = RetryPolicy(
@@ -117,6 +138,11 @@ class SubmitEnvelope:
     seed: int = 1
     correlation_id: str | None = None
     idempotency_key: str = ""
+    #: End-to-end budget in seconds.  Rides as the ``X-Deadline-Ms``
+    #: header (the service maps it to the job timeout unless the body
+    #: already carries one) and bounds the client's own submit/poll
+    #: cycle — see :meth:`ServiceClient.submit`.
+    deadline: float | None = None
 
     def body(self) -> dict:
         """The full ``POST /jobs`` body — priority always included, so a
@@ -137,6 +163,8 @@ class SubmitEnvelope:
         doc = {"Idempotency-Key": self.idempotency_key}
         if self.correlation_id:
             doc["X-Correlation-ID"] = self.correlation_id
+        if self.deadline is not None:
+            doc["X-Deadline-Ms"] = str(int(self.deadline * 1000))
         return doc
 
     def to_dict(self) -> dict:
@@ -145,6 +173,8 @@ class SubmitEnvelope:
         doc["idempotency_key"] = self.idempotency_key
         if self.correlation_id:
             doc["correlation_id"] = self.correlation_id
+        if self.deadline is not None:
+            doc["deadline"] = self.deadline
         return doc
 
     @classmethod
@@ -158,6 +188,7 @@ class SubmitEnvelope:
             seed=int(doc.get("seed", 1)),
             correlation_id=doc.get("correlation_id"),
             idempotency_key=doc.get("idempotency_key", ""),
+            deadline=doc.get("deadline"),
         )
 
 
@@ -207,19 +238,36 @@ class ServiceClient:
         path: str,
         body: dict | None = None,
         headers: dict | None = None,
+        *,
+        until: float | None = None,
     ) -> tuple[int, dict]:
-        """One HTTP exchange, retried on :class:`ServiceUnavailableError`."""
+        """One HTTP exchange, retried on :class:`ServiceUnavailableError`.
+
+        ``until`` is an absolute monotonic limit: past it the exchange
+        raises :class:`DeadlineExceededError` without touching the wire,
+        and before it the retry policy's time budget is clamped to the
+        remaining seconds — a retry never sleeps past the deadline.
+        """
 
         def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
             self.retries_total += 1
 
+        policy = self.retry_policy
+        if until is not None:
+            remaining = until - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"deadline exceeded before {method} {path}"
+                )
+            if policy.deadline is None or policy.deadline > remaining:
+                policy = dataclasses.replace(policy, deadline=remaining)
         return call_with_retry(
             self._request_once,
             method,
             path,
             body,
             headers,
-            policy=self.retry_policy,
+            policy=policy,
             sleep=self._sleep,
             on_retry=on_retry,
         )
@@ -286,8 +334,15 @@ class ServiceClient:
         seed: int = 1,
         correlation_id: str | None = None,
         idempotency_key: str | None = None,
+        deadline: float | None = None,
     ) -> dict:
         """Submit a job; returns its status snapshot (``job["id"]``...).
+
+        ``deadline`` is the end-to-end budget in seconds: it rides to
+        the service as ``X-Deadline-Ms`` (becoming the job's execution
+        timeout unless ``timeout`` is given explicitly) and bounds this
+        submission's own HTTP exchange — past it the client raises
+        :class:`DeadlineExceededError` instead of retrying.
 
         Every submission carries an ``Idempotency-Key`` — the caller's,
         or an auto-generated one.  The same key rides every retry of
@@ -312,6 +367,7 @@ class ServiceClient:
             seed=seed,
             correlation_id=correlation_id,
             idempotency_key=idempotency_key or uuid.uuid4().hex,
+            deadline=deadline,
         )
         return self.submit_envelope(envelope)
 
@@ -322,8 +378,17 @@ class ServiceClient:
                 envelope, idempotency_key=uuid.uuid4().hex
             )
         self._remember(envelope)
+        until = (
+            time.monotonic() + envelope.deadline
+            if envelope.deadline is not None
+            else None
+        )
         _, doc = self._request(
-            "POST", "/jobs", envelope.body(), headers=envelope.headers()
+            "POST",
+            "/jobs",
+            envelope.body(),
+            headers=envelope.headers(),
+            until=until,
         )
         return doc["job"]
 
@@ -382,12 +447,22 @@ class ServiceClient:
         """The job's result document; polls until terminal by default.
 
         Raises :class:`JobFailedError` when the job failed or was
-        cancelled, ``TimeoutError`` when ``deadline`` elapses first.
+        cancelled, :class:`DeadlineExceededError` (a
+        :class:`TimeoutError` subclass) when ``deadline`` elapses first.
+        Polling stops the moment the deadline passes — no request and no
+        retry ever runs on a spent budget.
         """
         limit = time.monotonic() + deadline
         while True:
+            if time.monotonic() >= limit:
+                raise DeadlineExceededError(
+                    f"job {job_id} not finished within {deadline:g}s",
+                    deadline=deadline,
+                )
             try:
-                status, doc = self._request("GET", f"/jobs/{job_id}/result")
+                status, doc = self._request(
+                    "GET", f"/jobs/{job_id}/result", until=limit
+                )
             except ServiceError as exc:
                 if exc.status in (410, 500):  # cancelled / failed
                     raise JobFailedError(exc.status, exc.payload) from None
@@ -396,10 +471,6 @@ class ServiceClient:
                 return doc["result"]
             if not wait:
                 raise TimeoutError(f"job {job_id} not finished yet")
-            if time.monotonic() >= limit:
-                raise TimeoutError(
-                    f"job {job_id} not finished within {deadline:g}s"
-                )
             self._sleep(poll_interval)
 
     def healthz(self) -> dict:

@@ -13,7 +13,11 @@ beyond the standard library.  Resources::
                              header dedups retried submissions — a
                              repeat inside the dedup window returns the
                              original job, even across a crash/restart
-                             when a journal is configured)
+                             when a journal is configured; the
+                             X-Deadline-Ms header is the job's execution
+                             budget in milliseconds — equivalent to the
+                             body's "timeout" field, which wins when
+                             both are present)
     GET    /jobs             all known jobs (newest last); ``?state=``
                              filters by lifecycle state
     GET    /jobs/<id>        one job's status
@@ -24,7 +28,8 @@ beyond the standard library.  Resources::
     GET    /healthz          liveness + queue depth + worker-slot
                              utilisation + report-store spool size +
                              SLO state + resource summary + journal lag +
-                             crash-recovery summary
+                             crash-recovery summary + deadline posture
+                             (jobs in grace, minimum remaining budget)
     GET    /metrics          RuntimeMetrics counters/stages/histograms +
                              scheduler queue stats + report-store totals +
                              worker/process resource gauges + SLO
@@ -188,6 +193,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     },
                     "journal": stats.get("journal"),
                     "recovery": stats.get("recovery"),
+                    "deadlines": stats.get("deadlines"),
                 },
             )
             return
@@ -335,12 +341,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
             idempotency = body.get("idempotency_key") or self.headers.get(
                 "Idempotency-Key"
             )
+            timeout = body.get("timeout")
+            if timeout is None:
+                deadline_ms = self.headers.get("X-Deadline-Ms")
+                if deadline_ms is not None:
+                    timeout = float(deadline_ms) / 1000.0
             job = self.scheduler.submit(
                 scenario,
                 kind=kind,
                 quality=body.get("quality"),
                 priority=int(body.get("priority", 0)),
-                timeout=body.get("timeout"),
+                timeout=timeout,
                 correlation_id=correlation,
                 idempotency_key=idempotency,
                 scenario_seed=seed,

@@ -122,6 +122,13 @@ class Job:
     finished_at: float | None = None
     #: Monotonic deadline, set when the job starts running with a timeout.
     deadline: float | None = None
+    #: True once the deadline reaper fired: the cancel event is set, the
+    #: slot is reclaimed, and the payload has until ``grace_deadline`` to
+    #: reach a checkpoint and settle with whatever partial it earned.
+    deadline_fired: bool = dataclasses.field(default=False, repr=False)
+    #: Monotonic hard stop for a deadline-fired job; past it the job is
+    #: settled FAILED even if the payload never cooperates.
+    grace_deadline: float | None = dataclasses.field(default=None, repr=False)
     cancel_event: threading.Event = dataclasses.field(
         default_factory=threading.Event, repr=False, compare=False
     )
@@ -177,6 +184,7 @@ class Job:
             "state": self.state.value,
             "error": self.error,
             "from_store": self.from_store,
+            "deadline_fired": self.deadline_fired,
             "stuck": self.stuck,
             "retry_after": self.retry_after,
             "correlation_id": self.correlation_id,

@@ -9,13 +9,22 @@ concurrent slots; each job executes with the scheduler's
 :class:`~repro.runtime.Runtime` activated, so detector fan-out, profile
 caching, and instrumentation all go through the shared runtime layer.
 
-Per-job **timeouts** are enforced by the dispatcher: an overdue job is
-marked ``FAILED``, its cancellation event is set (cooperative payloads
-stop at their next check), its slot is released immediately, and the
-abandoned payload thread is left to drain in the background — a stuck
-detector cannot wedge the service.  **Cancellation** works on queued jobs
-(they simply never start) and on running jobs (event + immediate slot
-release, result discarded).
+Per-job **deadlines** are enforced by the dispatcher in two phases.
+When a job overruns its ``timeout`` the reaper *fires* the deadline: the
+cancellation event is set, the worker slot is reclaimed immediately, and
+the payload — running under a :class:`~repro.runtime.CancelScope`, so
+every ``checkpoint()`` in the detector/profiling/planning hot loops
+observes it — gets ``deadline_grace`` seconds to unwind.  A payload that
+reaches a checkpoint in time settles ``DONE`` with whatever *partial*
+estimate it earned (unrun modules become degradation tombstones and the
+result document carries ``deadline_exceeded: true``); one that never
+cooperates is settled ``FAILED`` at the grace deadline, its abandoned
+thread left to drain in the background — a stuck detector cannot wedge
+the service.  Deadline partials are never written to the report store:
+they are budget-dependent, and a later full-budget submission of the
+same scenario must not be served a truncated answer.  **Cancellation**
+works on queued jobs (they simply never start) and on running jobs
+(event + immediate slot release, result discarded).
 
 Resilience layer (see :mod:`repro.resilience`):
 
@@ -98,7 +107,14 @@ from ..durability import (
     settled_record,
     submitted_record,
 )
-from ..runtime import BACKEND_ENV_VAR, Runtime
+from ..runtime import (
+    BACKEND_ENV_VAR,
+    CancelScope,
+    Deadline,
+    OperationCancelled,
+    Runtime,
+)
+from ..runtime.deadline import DEFAULT_GRACE
 from .jobs import (
     Job,
     JobCancelled,
@@ -146,11 +162,16 @@ class JobScheduler:
         scenario_resolver: Callable[[str, int | None], object] | None = None,
         idempotency_window: int = 256,
         slo: SLOMonitor | None = None,
+        deadline_grace: float = DEFAULT_GRACE,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         if max_queue < 0:
             raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if deadline_grace < 0:
+            raise ValueError(
+                f"deadline_grace must be >= 0, got {deadline_grace}"
+            )
         if stuck_after is not None and stuck_after <= 0:
             raise ValueError(
                 f"stuck_after must be positive, got {stuck_after}"
@@ -183,6 +204,10 @@ class JobScheduler:
         #: ``False`` (default) degrades failed modules into the result
         #: document's ``degradations`` list; ``True`` fails the job.
         self.strict = strict
+        #: Seconds a deadline-fired payload gets to reach a checkpoint
+        #: and settle with its partial result before the reaper settles
+        #: it ``FAILED`` (the slot is reclaimed at fire time either way).
+        self.deadline_grace = deadline_grace
         #: Per-job tracing: each executed job runs under its own tracer
         #: and keeps its serialised ``service.job:<id>`` span tree.
         self.trace = trace
@@ -443,6 +468,17 @@ class JobScheduler:
         while len(self._idempotency) > self.idempotency_window:
             self._idempotency.popitem(last=False)
 
+    def _cancel_guard(self, job: Job) -> None:
+        """Between-stage cancellation check for assess/estimate payloads.
+
+        A plain cancel stops the pipeline here; a *fired deadline* does
+        not — the cancel scope has already tombstoned the unrun work, and
+        the partial document this payload is carrying is exactly what the
+        job must settle with inside its grace window.
+        """
+        if not job.deadline_fired:
+            job.check_cancelled()
+
     def _payload_for(
         self, job: Job, scenario, quality: ResultQuality
     ) -> Callable[[Job], dict]:
@@ -450,7 +486,7 @@ class JobScheduler:
 
             def assess_payload(job: Job) -> dict:
                 reports = self.efes.assess(scenario, strict=self.strict)
-                job.check_cancelled()
+                self._cancel_guard(job)
                 clean, degraded = split_degraded(reports)
                 with self._serialize_phase():
                     doc = {
@@ -467,7 +503,7 @@ class JobScheduler:
         def estimate_payload(job: Job) -> dict:
             degradations: list[DegradedResult] = []
             reports = self.efes.assess(scenario, strict=self.strict)
-            job.check_cancelled()
+            self._cancel_guard(job)
             clean, assess_degraded = split_degraded(reports)
             degradations.extend(assess_degraded)
             estimate = self.efes.estimate(
@@ -477,7 +513,7 @@ class JobScheduler:
                 strict=self.strict,
                 degradations=degradations,
             )
-            job.check_cancelled()
+            self._cancel_guard(job)
             with self._serialize_phase():
                 doc = {
                     "kind": "estimate",
@@ -882,7 +918,7 @@ class JobScheduler:
 
     def _next_deadline_delay_locked(self) -> float | None:
         deadlines = [
-            job.deadline
+            job.grace_deadline if job.deadline_fired else job.deadline
             for job in self._running.values()
             if job.deadline is not None
         ]
@@ -891,25 +927,60 @@ class JobScheduler:
         return max(0.0, min(deadlines) - time.monotonic()) + 0.005
 
     def _reap_expired_locked(self, now: float) -> None:
+        """Two-phase deadline enforcement over the running set.
+
+        Phase 1 (*fire*, at ``job.deadline``): set the cancel event —
+        observed by the payload's cancel scope at its next checkpoint —
+        reclaim the worker slot so admission capacity never waits on a
+        cooperating payload, and start the grace clock.  The job is NOT
+        settled: it keeps running toward a partial-result settlement.
+
+        Phase 2 (*reap*, at ``job.grace_deadline``): a payload that never
+        reached a checkpoint is settled ``FAILED`` and its thread is
+        abandoned; the first-settle-wins rule in ``_settle_locked``
+        resolves the race against a partial arriving at the same moment.
+        """
         for job in list(self._running.values()):
-            if job.deadline is not None and now >= job.deadline:
+            if job.deadline is None:
+                continue
+            if not job.deadline_fired and now >= job.deadline:
+                job.deadline_fired = True
+                job.grace_deadline = now + self.deadline_grace
                 job.cancel_event.set()
+                self._release_slot_locked(job)
+                self.metrics.increment("jobs_deadline_exceeded")
+                self.events.emit(
+                    "job.deadline",
+                    correlation_id=job.correlation_id,
+                    job_id=job.id,
+                    timeout=job.timeout,
+                    grace=self.deadline_grace,
+                )
+            if (
+                job.deadline_fired
+                and job.grace_deadline is not None
+                and now >= job.grace_deadline
+            ):
                 if not self._settle_locked(
                     job,
                     JobState.FAILED,
                     error=f"timed out after {job.timeout:g}s",
                 ):
                     continue
-                self.metrics.increment("jobs_timeout")
-                self.metrics.increment("jobs_failed")
-                self.breaker.record_failure()
-                self.slo.record_job(ok=False)
-                self.events.emit(
-                    "job.timeout",
-                    correlation_id=job.correlation_id,
-                    job_id=job.id,
-                    timeout=job.timeout,
-                )
+                self._note_timeout_locked(job)
+
+    def _note_timeout_locked(self, job: Job) -> None:
+        """Metrics/breaker/SLO/event bookkeeping of one timed-out job."""
+        self.metrics.increment("jobs_timeout")
+        self.metrics.increment("jobs_failed")
+        self.breaker.record_failure()
+        self.slo.record_job(ok=False)
+        self.events.emit(
+            "job.timeout",
+            correlation_id=job.correlation_id,
+            job_id=job.id,
+            timeout=job.timeout,
+        )
 
     def _run_job(self, job: Job) -> None:
         result: dict | None = None
@@ -929,8 +1000,22 @@ class JobScheduler:
                     "job_phase_seconds", job.queued_seconds, phase="queued"
                 )
             started = time.perf_counter()
+            # The scope every checkpoint below observes: the job's
+            # deadline (already on the monotonic clock) plus its cancel
+            # event, so both the reaper and a user cancel stop the
+            # payload at the next checkpoint without any plumbing.
+            scope = CancelScope(
+                deadline=(
+                    Deadline(job.deadline)
+                    if job.deadline is not None
+                    else None
+                ),
+                cancel_event=job.cancel_event,
+                grace=self.deadline_grace,
+                label=f"job:{job.id}",
+            )
             try:
-                with self.runtime.activated():
+                with self.runtime.activated(), scope.activated():
                     if tracer is None:
                         job.check_cancelled()
                         result = job.payload(job)
@@ -945,6 +1030,15 @@ class JobScheduler:
                             result = job.payload(job)
             except JobCancelled:
                 cancelled = True
+            except OperationCancelled as exc:
+                # A checkpoint stopped the payload.  Plain cancellation
+                # maps to the CANCELLED settle; a deadline abort leaves
+                # ``result`` unset and lets the deadline branch of
+                # ``_finish`` settle the timeout.
+                if exc.reason == "cancelled":
+                    cancelled = True
+                else:
+                    error = f"{type(exc).__name__}: {exc}"
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
                 error = f"{type(exc).__name__}: {exc}"
             self.metrics.observe(
@@ -968,7 +1062,35 @@ class JobScheduler:
         self, job: Job, result: dict | None, error: str | None, cancelled: bool
     ) -> None:
         with self._lock:
-            if cancelled or job.cancel_event.is_set():
+            if job.deadline_fired:
+                # The deadline reaper fired while this payload ran; its
+                # cancel event being set means "timed out", never "user
+                # cancelled".  A payload that still produced a document
+                # settles DONE with the partial it earned — marked, and
+                # deliberately NOT written to the report store: partials
+                # are budget-dependent, and the content address must keep
+                # answering with full-budget results only.
+                if result is not None:
+                    partial = dict(result)
+                    partial["deadline_exceeded"] = True
+                    if self._settle_locked(
+                        job, JobState.DONE, result=partial
+                    ):
+                        self.metrics.increment("jobs_completed")
+                        self.metrics.increment("jobs_deadline_partial")
+                        self.breaker.record_success()
+                        self.slo.record_job(
+                            ok=True,
+                            duration_seconds=job.duration_seconds,
+                            degraded=True,
+                        )
+                elif self._settle_locked(
+                    job,
+                    JobState.FAILED,
+                    error=f"timed out after {job.timeout:g}s",
+                ):
+                    self._note_timeout_locked(job)
+            elif cancelled or job.cancel_event.is_set():
                 if self._settle_locked(job, JobState.CANCELLED):
                     self.metrics.increment("jobs_cancelled")
             elif error is not None:
@@ -1101,6 +1223,38 @@ class JobScheduler:
                 f"slo:{status.name}", status.state == "warning"
             )
 
+    def _deadline_stats_locked(self) -> dict:
+        """Point-in-time deadline posture of the running set."""
+        now = time.monotonic()
+        remaining = [
+            job.deadline - now
+            for job in self._running.values()
+            if job.deadline is not None and not job.deadline_fired
+        ]
+        in_grace = sum(
+            1 for job in self._running.values() if job.deadline_fired
+        )
+        return {
+            "grace_seconds": self.deadline_grace,
+            "running_with_deadline": len(remaining),
+            "in_grace": in_grace,
+            "min_remaining_seconds": (
+                round(min(remaining), 4) if remaining else None
+            ),
+            "exceeded_total": int(
+                self.metrics.counter("jobs_deadline_exceeded")
+            ),
+            "partial_results_total": int(
+                self.metrics.counter("jobs_deadline_partial")
+            ),
+        }
+
+    def deadline_stats(self) -> dict:
+        """The ``/healthz`` deadlines document (see
+        :meth:`health_snapshot`)."""
+        with self._lock:
+            return self._deadline_stats_locked()
+
     def slo_snapshot(self) -> dict:
         """The ``GET /slo`` document: burn rates + derived health."""
         statuses = self.slo.evaluate()
@@ -1130,6 +1284,14 @@ class JobScheduler:
         with self._lock:
             busy = self.workers - self._free_slots
             queue_depth = self._queue_depth_locked()
+            deadline_stats = self._deadline_stats_locked()
+        self.metrics.set_gauge(
+            "scheduler_jobs_in_grace", float(deadline_stats["in_grace"])
+        )
+        self.metrics.set_gauge(
+            "scheduler_deadline_min_remaining_seconds",
+            float(deadline_stats["min_remaining_seconds"] or 0.0),
+        )
         self.metrics.set_gauge("scheduler_busy_workers", float(busy))
         self.metrics.set_gauge(
             "scheduler_worker_utilisation", busy / self.workers
@@ -1172,6 +1334,7 @@ class JobScheduler:
             "states": {status.name: status.state for status in statuses},
         }
         doc["resources"] = self.sampler.summary()
+        doc["deadlines"] = self.deadline_stats()
         if self.journal is not None:
             doc["journal"] = self.journal.stats()
             doc["recovery"] = self.recovery_summary
@@ -1256,6 +1419,7 @@ class JobScheduler:
                     else None
                 ),
                 "breaker": self.breaker.snapshot(),
+                "deadlines": self._deadline_stats_locked(),
                 "idempotency_window": len(self._idempotency),
                 "journal": (
                     self.journal.stats() if self.journal is not None else None

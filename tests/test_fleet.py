@@ -504,3 +504,144 @@ def test_no_workers_error_is_503_shape():
     assert shed.priority == 0
     assert shed.missing == 2
     assert "priority-0" in str(shed)
+
+
+# -- failover budget accounting --------------------------------------------
+
+
+class _Ticker:
+    """A hand-advanced supervisor clock for deterministic budget math."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class _CapturingWorkerClient:
+    """Stands in for a ring survivor's HTTP client at re-dispatch."""
+
+    def __init__(self) -> None:
+        self.envelopes = []
+
+    def submit_envelope(self, envelope):
+        self.envelopes.append(envelope)
+        return {"id": f"remote-{len(self.envelopes)}"}
+
+
+@pytest.fixture()
+def budget_supervisor(tmp_path):
+    """An unstarted supervisor with an injectable clock (no workers)."""
+    ticker = _Ticker()
+    supervisor = FleetSupervisor(
+        tmp_path / "fleet",
+        workers=1,
+        backend=SimWorkerBackend(tmp_path / "fleet"),
+        clock=ticker,
+    )
+    yield supervisor, ticker
+
+
+def _budget_route(timeout, admitted_at, job_id="j1"):
+    from repro.fleet.supervisor import JobRoute
+
+    return JobRoute(
+        job_id=job_id,
+        worker_id="w0",
+        remote_id=job_id,
+        envelope=SubmitEnvelope(
+            scenario="example", timeout=timeout, idempotency_key=job_id
+        ),
+        store_key=f"key-{job_id}",
+        admitted_at=admitted_at,
+    )
+
+
+def test_remaining_budget_subtracts_time_on_the_dead_worker(
+    budget_supervisor,
+):
+    supervisor, ticker = budget_supervisor
+    route = _budget_route(timeout=10.0, admitted_at=ticker.now)
+    ticker.now += 8.0
+    assert supervisor._remaining_budget(route) == pytest.approx(2.0)
+
+
+def test_unbounded_route_has_no_budget(budget_supervisor):
+    supervisor, ticker = budget_supervisor
+    route = _budget_route(timeout=None, admitted_at=ticker.now)
+    ticker.now += 1000.0
+    assert supervisor._remaining_budget(route) is None
+
+
+def test_redispatch_ships_the_remaining_budget(
+    budget_supervisor, monkeypatch
+):
+    # A job that burned 4s of a 10s budget on a dead worker gets 6s on
+    # the ring successor — and the route keeps the pristine envelope so
+    # a second failover subtracts from the same admission anchor.
+    supervisor, ticker = budget_supervisor
+    worker_client = _CapturingWorkerClient()
+    monkeypatch.setattr(
+        supervisor, "_assign", lambda store_key, exclude: "w1"
+    )
+    monkeypatch.setattr(supervisor, "_client", lambda worker_id: worker_client)
+    route = _budget_route(timeout=10.0, admitted_at=ticker.now)
+    ticker.now += 4.0
+    assert supervisor._redispatch(route, exclude={"w0"}) is True
+    assert worker_client.envelopes[0].timeout == pytest.approx(6.0)
+    assert route.envelope.timeout == pytest.approx(10.0)
+    assert route.worker_id == "w1"
+    assert route.redispatches == 1
+
+
+def test_exhausted_budget_fails_the_route_instead_of_redispatching(
+    budget_supervisor, monkeypatch
+):
+    supervisor, ticker = budget_supervisor
+    worker_client = _CapturingWorkerClient()
+    monkeypatch.setattr(
+        supervisor, "_assign", lambda store_key, exclude: "w1"
+    )
+    monkeypatch.setattr(supervisor, "_client", lambda worker_id: worker_client)
+    route = _budget_route(timeout=10.0, admitted_at=ticker.now)
+    ticker.now += 11.0
+    assert supervisor._redispatch(route, exclude={"w0"}) is False
+    assert worker_client.envelopes == []
+    assert route.settled is not None
+    assert route.settled["state"] == "failed"
+    assert "budget exhausted across failover" in route.settled["error"]
+    counters = supervisor.metrics.snapshot().counters
+    assert counters["fleet_deadline_exhausted"] == 1
+
+
+def test_drain_parked_skips_exhausted_routes_and_continues(
+    budget_supervisor, monkeypatch
+):
+    # Budget can run out *while parked*; the drain must fail that route
+    # and still re-dispatch the next parked job that has time left.
+    supervisor, ticker = budget_supervisor
+    worker_client = _CapturingWorkerClient()
+    monkeypatch.setattr(
+        supervisor, "_assign", lambda store_key, exclude: "w1"
+    )
+    monkeypatch.setattr(supervisor, "_client", lambda worker_id: worker_client)
+    monkeypatch.setattr(supervisor, "_live_ids", lambda: {"w1"})
+    spent = _budget_route(timeout=5.0, admitted_at=ticker.now, job_id="spent")
+    fresh = _budget_route(
+        timeout=60.0, admitted_at=ticker.now, job_id="fresh"
+    )
+    for route in (spent, fresh):
+        route.worker_id = None
+        route.parked = True
+        supervisor._routes[route.job_id] = route
+        supervisor._parked.append(route.job_id)
+    ticker.now += 10.0
+    supervisor._drain_parked()
+    assert spent.settled is not None
+    assert "budget exhausted across failover" in spent.settled["error"]
+    assert fresh.settled is None
+    assert fresh.worker_id == "w1"
+    assert [env.idempotency_key for env in worker_client.envelopes] == [
+        "fresh"
+    ]

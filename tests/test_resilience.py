@@ -504,8 +504,11 @@ class TestSchedulerResilience:
     def test_timeout_racing_completion_settles_exactly_once(self):
         """Regression: a payload finishing after its timeout fired must
         not double-settle the job (flip FAILED back to DONE/CANCELLED,
-        double-release the slot, or double-count metrics)."""
-        with JobScheduler(workers=1, max_queue=8) as sched:
+        double-release the slot, or double-count metrics).  Grace is
+        kept below the payload duration so the FAILED settle wins."""
+        with JobScheduler(
+            workers=1, max_queue=8, deadline_grace=0.05
+        ) as sched:
             job = sched.submit_callable(
                 stubborn_payload(0.4), timeout=0.1
             )
